@@ -1,0 +1,393 @@
+// Benchmarks regenerating the paper's evaluation (one family per table and
+// figure), runnable with:
+//
+//	go test -bench=. -benchmem
+//
+// Table I  → BenchmarkTableI_*   (primitive op costs, SS512 like the paper)
+// Table II → BenchmarkTableII_*  (individual vs batch verify, per scheme/τ)
+// Figure 4 → BenchmarkFig4_*     (required-sample-size computation)
+// Figure 5 → BenchmarkFig5_*     (DA batch verification vs user count)
+//
+// Protocol-level end-to-end costs (store / compute / audit) follow as
+// BenchmarkProtocol_*. The heavier pairing-based benches use the fast
+// InsecureTest256 parameters unless the name says SS512; ratios, not
+// absolute times, carry the paper's claims.
+package seccloud
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+	"time"
+
+	"seccloud/internal/baseline"
+	"seccloud/internal/curve"
+	"seccloud/internal/dvs"
+	"seccloud/internal/funcs"
+	"seccloud/internal/pairing"
+	"seccloud/internal/sampling"
+	"seccloud/internal/workload"
+)
+
+// --- Table I: primitive operations on SS512 --------------------------------
+
+func BenchmarkTableI_PointMul_SS512(b *testing.B) {
+	pp := pairing.SS512()
+	g := pp.G1()
+	pt, _, err := g.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := g.Scalars().Rand(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMult(pt, k)
+	}
+}
+
+func BenchmarkTableI_Pairing_SS512(b *testing.B) {
+	pp := pairing.SS512()
+	g := pp.G1()
+	p1, _, err := g.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, _, err := g.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp.Pair(p1, p2)
+	}
+}
+
+func BenchmarkTableI_HashToPoint_SS512(b *testing.B) {
+	g := pairing.SS512().G1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HashToPoint("bench", []byte{byte(i), byte(i >> 8), byte(i >> 16)})
+	}
+}
+
+// --- Table II: individual vs batch verification ----------------------------
+
+// tableIIFixture prepares τ designated signatures for one verifier.
+type tableIIFixture struct {
+	scheme   *dvs.Scheme
+	verifier *PrivateKey
+	msgs     [][]byte
+	sigs     []*dvs.Designated
+}
+
+func newTableIIFixture(b *testing.B, tau int) *tableIIFixture {
+	b.Helper()
+	sys, err := NewSystemDeterministic(ParamInsecureTest256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := sys.Scheme()
+	verifier, err := sys.ExtractKey("da:bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer, err := sys.ExtractKey("user:bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &tableIIFixture{scheme: scheme, verifier: verifier}
+	for i := 0; i < tau; i++ {
+		msg := []byte(fmt.Sprintf("bench message %d", i))
+		ds, err := scheme.SignDesignated(signer, msg, rand.Reader, verifier.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.msgs = append(f.msgs, msg)
+		f.sigs = append(f.sigs, ds[0])
+	}
+	return f
+}
+
+func BenchmarkTableII_OursIndividual(b *testing.B) {
+	for _, tau := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			f := newTableIIFixture(b, tau)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < tau; j++ {
+					if err := f.scheme.Verify(f.sigs[j], f.msgs[j], f.verifier); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableII_OursBatch(b *testing.B) {
+	for _, tau := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			f := newTableIIFixture(b, tau)
+			items := make([]dvs.BatchItem, tau)
+			for j := 0; j < tau; j++ {
+				items[j] = dvs.NewBatchItem(f.msgs[j], f.sigs[j])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.scheme.BatchVerify(items, f.verifier); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableII_RSAIndividual(b *testing.B) {
+	for _, tau := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			s, err := baseline.NewRSASigner(rand.Reader, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msgs := make([][]byte, tau)
+			sigs := make([][]byte, tau)
+			for j := range msgs {
+				msgs[j] = []byte(fmt.Sprintf("rsa %d", j))
+				if sigs[j], err = s.Sign(rand.Reader, msgs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < tau; j++ {
+					if err := s.Verify(msgs[j], sigs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableII_ECDSAIndividual(b *testing.B) {
+	for _, tau := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			s, err := baseline.NewECDSASigner(rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msgs := make([][]byte, tau)
+			sigs := make([][]byte, tau)
+			for j := range msgs {
+				msgs[j] = []byte(fmt.Sprintf("ecdsa %d", j))
+				if sigs[j], err = s.Sign(rand.Reader, msgs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < tau; j++ {
+					if err := s.Verify(msgs[j], sigs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableII_BGLSBatch(b *testing.B) {
+	for _, tau := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			scheme := baseline.NewBGLS(pairing.InsecureTest256())
+			msgs := make([][]byte, tau)
+			keys := make([]*baseline.BGLSKey, tau)
+			sigs := make([]*curve.Point, tau)
+			for j := range msgs {
+				msgs[j] = []byte(fmt.Sprintf("bgls %d", j))
+				k, err := scheme.KeyGen(rand.Reader)
+				if err != nil {
+					b.Fatal(err)
+				}
+				keys[j] = k
+				sigs[j] = scheme.Sign(k, msgs[j])
+			}
+			agg, err := scheme.Aggregate(msgs, sigs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkArr := make([]*curve.Point, tau)
+			for j := range keys {
+				pkArr[j] = keys[j].PK
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := scheme.AggregateVerify(pkArr, msgs, agg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 4: required-sample-size computation -----------------------------
+
+func BenchmarkFig4_RequiredSampleSize(b *testing.B) {
+	p := sampling.Params{CSC: 0.5, SSC: 0.5, R: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.RequiredSampleSize(p, 1e-4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_Surface(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.Fig4Surface(2, 1e-4, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5: DA batch verification vs user count --------------------------
+
+func BenchmarkFig5_MultiUserBatchVerify(b *testing.B) {
+	sys, err := NewSystemDeterministic(ParamInsecureTest256, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := sys.Scheme()
+	verifier, err := sys.ExtractKey("da:fig5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const maxUsers = 50
+	items := make([]dvs.BatchItem, maxUsers)
+	for i := 0; i < maxUsers; i++ {
+		signer, err := sys.ExtractKey(fmt.Sprintf("user:%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msg := []byte(fmt.Sprintf("session %d", i))
+		ds, err := scheme.SignDesignated(signer, msg, rand.Reader, verifier.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items[i] = dvs.NewBatchItem(msg, ds[0])
+	}
+	for _, users := range []int{1, 10, 25, 50} {
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := scheme.BatchVerify(items[:users], verifier); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Protocol-level end-to-end costs ----------------------------------------
+
+// protoFixture is a stored-and-computed honest deployment ready to audit.
+type protoFixture struct {
+	user    *User
+	auditor *Auditor
+	link    Client
+	job     *Job
+	d       *JobDelegation
+}
+
+func newProtoFixture(b *testing.B, blocks int) *protoFixture {
+	b.Helper()
+	sys, err := NewSystemDeterministic(ParamInsecureTest256, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, err := sys.NewUser("user:bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	auditor, err := sys.NewAuditor("da:bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := sys.NewServer("cs:bench", ServerConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	link := Loopback(server)
+	ds := NewGenerator(4).GenDataset(user.ID(), blocks, 16)
+	req, err := user.PrepareStore(ds, server.ID(), auditor.ID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := user.Store(link, req); err != nil {
+		b.Fatal(err)
+	}
+	job := workload.UniformJob(user.ID(), funcs.Spec{Name: "sum"}, blocks)
+	resp, err := user.SubmitJob(link, "bench-job", job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := Delegate(user, auditor.ID(), "bench-job", job, resp, time.Now().Add(24*time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &protoFixture{user: user, auditor: auditor, link: link, job: job, d: d}
+}
+
+func BenchmarkProtocol_SignBlock(b *testing.B) {
+	sys, err := NewSystemDeterministic(ParamInsecureTest256, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, err := sys.NewUser("user:s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	block := NewGenerator(5).GenDataset(user.ID(), 1, 16).Blocks[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := user.SignBlock(uint64(i), block, "cs:s", "da:s"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtocol_Audit(b *testing.B) {
+	for _, t := range []int{1, 8, 16} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			f := newProtoFixture(b, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				report, err := f.auditor.AuditJob(f.link, f.d, AuditConfig{
+					SampleSize:      t,
+					Rng:             mrand.New(mrand.NewSource(int64(i))),
+					BatchSignatures: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.Valid() {
+					b.Fatal("honest audit failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProtocol_Compute(b *testing.B) {
+	f := newProtoFixture(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.user.SubmitJob(f.link, fmt.Sprintf("rejob-%d", i), f.job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package seccloud_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"seccloud"
+	"seccloud/internal/funcs"
+	"seccloud/internal/workload"
+)
+
+// Example walks the full protocol: system initialization, secure storage,
+// a computing job with a Merkle commitment, and a sampled audit.
+func Example() {
+	sys, err := seccloud.NewSystemDeterministic(seccloud.ParamInsecureTest256, 42)
+	if err != nil {
+		fmt.Println("setup:", err)
+		return
+	}
+	user, _ := sys.NewUser("user:alice")
+	server, _ := sys.NewServer("cs:1", seccloud.ServerConfig{VerifyOnStore: true})
+	auditor, _ := sys.NewAuditor("da:tpa")
+	link := seccloud.Loopback(server)
+
+	ds := seccloud.NewGenerator(1).GenDataset(user.ID(), 8, 4)
+	req, _ := user.PrepareStore(ds, server.ID(), auditor.ID())
+	if err := user.Store(link, req); err != nil {
+		fmt.Println("store:", err)
+		return
+	}
+
+	job := workload.UniformJob(user.ID(), funcs.Spec{Name: "sum"}, 8)
+	resp, err := user.SubmitJob(link, "job-1", job)
+	if err != nil {
+		fmt.Println("compute:", err)
+		return
+	}
+	d, _ := seccloud.Delegate(user, auditor.ID(), "job-1", job, resp, time.Now().Add(time.Hour))
+	report, err := auditor.AuditJob(link, d, seccloud.AuditConfig{
+		SampleSize:      4,
+		Rng:             rand.New(rand.NewSource(1)),
+		BatchSignatures: true,
+	})
+	if err != nil {
+		fmt.Println("audit:", err)
+		return
+	}
+	fmt.Println("audit valid:", report.Valid())
+	// Output: audit valid: true
+}
+
+// ExampleRequiredSampleSize reproduces the paper's Figure 4 spot values.
+func ExampleRequiredSampleSize() {
+	t33, _ := seccloud.RequiredSampleSize(
+		seccloud.SamplingParams{CSC: 0.5, SSC: 0.5, R: 2}, 1e-4)
+	t15, _ := seccloud.RequiredSampleSize(
+		seccloud.SamplingParams{CSC: 0.5, SSC: 0.5, R: math.Inf(1)}, 1e-4)
+	fmt.Println(t33, t15)
+	// Output: 33 15
+}
+
+// ExampleOptimalSampleSize evaluates Theorem 3's cost-optimal audit size.
+func ExampleOptimalSampleSize() {
+	t, _ := seccloud.OptimalSampleSize(seccloud.CostParams{
+		A1: 1, A2: 1, A3: 1,
+		CTrans: 100, CComp: 10, CCheat: 1e6, Q: 0.5,
+	})
+	fmt.Println(t)
+	// Output: 13
+}
+
+// ExampleWithParity shows the retrievability extension: erasure-coded
+// archives recover deleted blocks from survivors.
+func ExampleWithParity() {
+	ds := seccloud.NewGenerator(2).GenDataset("user:alice", 4, 4)
+	coded, coder, _ := seccloud.WithParity(ds, 2)
+
+	// Lose two blocks, recover both.
+	shards := make([][]byte, len(coded.Blocks))
+	copy(shards, coded.Blocks)
+	shards[1], shards[3] = nil, nil
+	if err := seccloud.RecoverDataset(coder, shards); err != nil {
+		fmt.Println("recover:", err)
+		return
+	}
+	fmt.Println("recovered:",
+		string(shards[1]) == string(coded.Blocks[1]) &&
+			string(shards[3]) == string(coded.Blocks[3]))
+	// Output: recovered: true
+}

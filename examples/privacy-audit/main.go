@@ -1,0 +1,103 @@
+// Command privacy-audit demonstrates the privacy-cheating discouragement
+// property (§III-B, Definition 2): a hacked cloud server tries to sell a
+// user's data to a buyer, offering the stored designated signature as
+// "proof of authenticity". The demo shows why the proof is worthless:
+//
+//  1. the designated verifiers (server, DA) can verify the signature;
+//  2. the buyer — lacking a designated secret key — cannot check it at
+//     all (the public verification equation needs V, never published);
+//  3. worse for the seller, any designated verifier can *simulate*
+//     transcripts that are indistinguishable from real ones, so even a
+//     verifying party can't convince the buyer the data is genuine.
+//
+// Run with:
+//
+//	go run ./examples/privacy-audit
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"os"
+)
+
+import "seccloud"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "privacy-audit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := seccloud.NewSystem(seccloud.ParamInsecureTest256)
+	if err != nil {
+		return err
+	}
+	scheme := sys.Scheme()
+
+	alice, err := sys.ExtractKey("user:alice")
+	if err != nil {
+		return err
+	}
+	serverKey, err := sys.ExtractKey("cs:server-1")
+	if err != nil {
+		return err
+	}
+	daKey, err := sys.ExtractKey("da:tpa")
+	if err != nil {
+		return err
+	}
+	// The buyer registers too — identity keys are not the barrier; the
+	// *designation* is.
+	buyerKey, err := sys.ExtractKey("corp:business-competitor")
+	if err != nil {
+		return err
+	}
+
+	secret := []byte("Q3 acquisition target list: ...")
+	fmt.Printf("alice outsources a confidential record (%d bytes), signed for CS and DA only\n", len(secret))
+	sigs, err := scheme.SignDesignated(alice, secret, rand.Reader, serverKey.ID, daKey.ID)
+	if err != nil {
+		return err
+	}
+	toServer, toDA := sigs[0], sigs[1]
+
+	// 1. Designated verifiers succeed.
+	if err := scheme.Verify(toServer, secret, serverKey); err != nil {
+		return fmt.Errorf("server verification should succeed: %w", err)
+	}
+	if err := scheme.Verify(toDA, secret, daKey); err != nil {
+		return fmt.Errorf("DA verification should succeed: %w", err)
+	}
+	fmt.Println("✓ cloud server and DA verify the stored record (eq. 5 / eq. 7)")
+
+	// 2. The hacked server leaks (record, signature) to the buyer. The
+	// buyer cannot verify: the signature is bound to the server's key.
+	if err := scheme.Verify(toServer, secret, buyerKey); err == nil {
+		return fmt.Errorf("buyer verified a signature designated to the server — privacy broken")
+	}
+	fmt.Println("✓ the buyer cannot verify the leaked signature with its own key")
+
+	// 3. Even if the buyer trusts the server to verify on its behalf, the
+	// server could have fabricated the whole transcript: simulate one for
+	// a record alice never wrote.
+	fake := []byte("Q3 acquisition target list: COMPLETELY FABRICATED")
+	simulated, err := scheme.Simulate(alice.ID, fake, serverKey, rand.Reader)
+	if err != nil {
+		return err
+	}
+	if err := scheme.Verify(simulated, fake, serverKey); err != nil {
+		return fmt.Errorf("simulated transcript should verify for the simulator: %w", err)
+	}
+	fmt.Println("✓ the server forged a transcript for data alice never signed —")
+	fmt.Println("  it verifies exactly like the real one under the server's key")
+
+	// 4. Consequently the pair (record, Σ) carries no transferable
+	// authenticity: Pr[InfoLeak] reduces to the signature-forgery
+	// probability (Theorem 2). Selling the data is discouraged because no
+	// buyer can distinguish stolen gold from fabricated lead.
+	fmt.Println("conclusion: leaked transcripts convince nobody — privacy cheating is discouraged")
+	return nil
+}

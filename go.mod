@@ -1,0 +1,3 @@
+module seccloud
+
+go 1.22

@@ -1,0 +1,97 @@
+// Package baseline implements the comparator signature schemes of the
+// paper's Table II, so the batch-verification comparison can be *measured*
+// rather than only modeled:
+//
+//	RSA    — individual verification only (n·T_RSA), stdlib crypto/rsa;
+//	ECDSA  — individual verification only (n·T_ECDSA), stdlib crypto/ecdsa;
+//	BGLS   — Boneh–Gentry–Lynn–Shacham aggregate signatures [29] built on
+//	         the same pairing as SecCloud: 2n pairings individually,
+//	         (n+1) pairings aggregated.
+//
+// RSA keys default to 1024 bits to match the 80-bit security level of the
+// paper's SS512 pairing era; ECDSA uses P-256 (the closest stdlib curve).
+package baseline
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrVerifyFailed reports a failed signature check in any baseline scheme.
+var ErrVerifyFailed = errors.New("baseline: signature verification failed")
+
+// RSASigner wraps an RSA key pair for the Table II RSA row.
+type RSASigner struct {
+	key *rsa.PrivateKey
+}
+
+// NewRSASigner generates a key of the given size (0 → 1024 bits, the
+// security level contemporary with the paper).
+func NewRSASigner(random io.Reader, bits int) (*RSASigner, error) {
+	if bits == 0 {
+		bits = 1024
+	}
+	key, err := rsa.GenerateKey(random, bits)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: generating RSA key: %w", err)
+	}
+	return &RSASigner{key: key}, nil
+}
+
+// Sign produces a PKCS#1 v1.5 signature over SHA-256(msg).
+func (s *RSASigner) Sign(random io.Reader, msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := rsa.SignPKCS1v15(random, s.key, crypto.SHA256, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("baseline: RSA sign: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks one signature.
+func (s *RSASigner) Verify(msg, sig []byte) error {
+	digest := sha256.Sum256(msg)
+	if err := rsa.VerifyPKCS1v15(&s.key.PublicKey, crypto.SHA256, digest[:], sig); err != nil {
+		return fmt.Errorf("baseline: %w: %v", ErrVerifyFailed, err)
+	}
+	return nil
+}
+
+// ECDSASigner wraps a P-256 key pair for the Table II ECDSA row.
+type ECDSASigner struct {
+	key *ecdsa.PrivateKey
+}
+
+// NewECDSASigner generates a P-256 key.
+func NewECDSASigner(random io.Reader) (*ECDSASigner, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), random)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: generating ECDSA key: %w", err)
+	}
+	return &ECDSASigner{key: key}, nil
+}
+
+// Sign produces an ASN.1 DER signature over SHA-256(msg).
+func (s *ECDSASigner) Sign(random io.Reader, msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := ecdsa.SignASN1(random, s.key, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("baseline: ECDSA sign: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks one signature.
+func (s *ECDSASigner) Verify(msg, sig []byte) error {
+	digest := sha256.Sum256(msg)
+	if !ecdsa.VerifyASN1(&s.key.PublicKey, digest[:], sig) {
+		return ErrVerifyFailed
+	}
+	return nil
+}

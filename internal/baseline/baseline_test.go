@@ -1,0 +1,165 @@
+package baseline
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"testing"
+
+	"seccloud/internal/curve"
+	"seccloud/internal/pairing"
+)
+
+func TestRSASignVerify(t *testing.T) {
+	s, err := NewRSASigner(rand.Reader, 1024)
+	if err != nil {
+		t.Fatalf("NewRSASigner: %v", err)
+	}
+	msg := []byte("table II row 1")
+	sig, err := s.Sign(rand.Reader, msg)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := s.Verify(msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if err := s.Verify([]byte("other"), sig); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("wrong message: got %v, want ErrVerifyFailed", err)
+	}
+	sig[0] ^= 1
+	if err := s.Verify(msg, sig); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("tampered sig: got %v, want ErrVerifyFailed", err)
+	}
+}
+
+func TestRSADefaultBits(t *testing.T) {
+	s, err := NewRSASigner(rand.Reader, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.key.PublicKey.N.BitLen(); got != 1024 {
+		t.Fatalf("default RSA modulus %d bits, want 1024", got)
+	}
+}
+
+func TestECDSASignVerify(t *testing.T) {
+	s, err := NewECDSASigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewECDSASigner: %v", err)
+	}
+	msg := []byte("table II row 2")
+	sig, err := s.Sign(rand.Reader, msg)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := s.Verify(msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if err := s.Verify([]byte("other"), sig); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("wrong message: got %v, want ErrVerifyFailed", err)
+	}
+}
+
+func testBGLS(t *testing.T) *BGLS {
+	t.Helper()
+	return NewBGLS(pairing.InsecureTest256())
+}
+
+func TestBGLSSingle(t *testing.T) {
+	b := testBGLS(t)
+	key, err := b.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatalf("KeyGen: %v", err)
+	}
+	msg := []byte("aggregate me")
+	sig := b.Sign(key, msg)
+	if err := b.Verify(key.PK, msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if err := b.Verify(key.PK, []byte("not me"), sig); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("wrong message: got %v, want ErrVerifyFailed", err)
+	}
+	// Signature by a different key must fail.
+	key2, err := b.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(key2.PK, msg, sig); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("wrong key: got %v, want ErrVerifyFailed", err)
+	}
+}
+
+func TestBGLSAggregate(t *testing.T) {
+	b := testBGLS(t)
+	const n = 5
+	keys := make([]*BGLSKey, n)
+	pks := make([]*curve.Point, n)
+	msgs := make([][]byte, n)
+	sigs := make([]*curve.Point, n)
+	for i := 0; i < n; i++ {
+		k, err := b.KeyGen(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+		pks[i] = k.PK
+		msgs[i] = []byte(fmt.Sprintf("msg-%d", i))
+		sigs[i] = b.Sign(k, msgs[i])
+	}
+	agg, err := b.Aggregate(msgs, sigs)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if err := b.AggregateVerify(pks, msgs, agg); err != nil {
+		t.Fatalf("AggregateVerify: %v", err)
+	}
+
+	t.Run("tampered aggregate rejected", func(t *testing.T) {
+		g := b.pp.G1()
+		bad := g.Add(agg, g.Generator())
+		if err := b.AggregateVerify(pks, msgs, bad); !errors.Is(err, ErrVerifyFailed) {
+			t.Fatalf("got %v, want ErrVerifyFailed", err)
+		}
+	})
+	t.Run("swapped message rejected", func(t *testing.T) {
+		swapped := make([][]byte, n)
+		copy(swapped, msgs)
+		swapped[0] = []byte("forged")
+		if err := b.AggregateVerify(pks, swapped, agg); !errors.Is(err, ErrVerifyFailed) {
+			t.Fatalf("got %v, want ErrVerifyFailed", err)
+		}
+	})
+	t.Run("duplicate messages rejected at aggregation", func(t *testing.T) {
+		dupMsgs := [][]byte{[]byte("same"), []byte("same")}
+		dupSigs := []*curve.Point{sigs[0], sigs[1]}
+		if _, err := b.Aggregate(dupMsgs, dupSigs); err == nil {
+			t.Fatal("duplicate messages accepted")
+		}
+	})
+	t.Run("length mismatches rejected", func(t *testing.T) {
+		if _, err := b.Aggregate(msgs[:2], sigs[:3]); err == nil {
+			t.Fatal("mismatched aggregate lengths accepted")
+		}
+		if err := b.AggregateVerify(pks[:2], msgs[:3], agg); err == nil {
+			t.Fatal("mismatched verify lengths accepted")
+		}
+	})
+}
+
+func TestBGLSAggregateSingleItem(t *testing.T) {
+	// An aggregate of one signature must agree with individual verify.
+	b := testBGLS(t)
+	k, err := b.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("solo")
+	sig := b.Sign(k, msg)
+	agg, err := b.Aggregate([][]byte{msg}, []*curve.Point{sig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AggregateVerify([]*curve.Point{k.PK}, [][]byte{msg}, agg); err != nil {
+		t.Fatalf("single-item aggregate failed: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"seccloud/internal/curve"
+	"seccloud/internal/pairing"
+)
+
+// BGLS implements Boneh–Gentry–Lynn–Shacham aggregate signatures
+// (EUROCRYPT 2003, the paper's reference [29]) on the same symmetric
+// pairing SecCloud uses, for the Table II comparison:
+//
+//	KeyGen:   sk = x ←$ Zq,  pk = x·P
+//	Sign:     σ = x·H(m) ∈ G1
+//	Verify:   ê(σ, P) = ê(H(m), pk)                      (2 pairings)
+//	AggVerify over n: ê(Σσ_i, P) = Π ê(H(m_i), pk_i)     (n+1 pairings)
+//
+// Security of the aggregate check requires all messages in one aggregate
+// to be distinct; Aggregate enforces this.
+type BGLS struct {
+	pp *pairing.Params
+}
+
+// NewBGLS builds the scheme over a pairing parameter set.
+func NewBGLS(pp *pairing.Params) *BGLS { return &BGLS{pp: pp} }
+
+const bglsHashDomain = "seccloud/bgls:H"
+
+// BGLSKey is one signer's key pair.
+type BGLSKey struct {
+	SK *big.Int
+	PK *curve.Point
+}
+
+// KeyGen samples a key pair.
+func (b *BGLS) KeyGen(random io.Reader) (*BGLSKey, error) {
+	x, err := b.pp.G1().Scalars().Rand(random)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: BGLS keygen: %w", err)
+	}
+	return &BGLSKey{SK: x, PK: b.pp.G1().BaseMult(x)}, nil
+}
+
+// Sign produces σ = sk·H(m).
+func (b *BGLS) Sign(key *BGLSKey, msg []byte) *curve.Point {
+	h := b.pp.G1().HashToPoint(bglsHashDomain, msg)
+	return b.pp.G1().ScalarMult(h, key.SK)
+}
+
+// Verify checks a single signature with two pairings.
+func (b *BGLS) Verify(pk *curve.Point, msg []byte, sig *curve.Point) error {
+	g := b.pp.G1()
+	if sig == nil || !g.InSubgroup(sig) {
+		return fmt.Errorf("baseline: BGLS signature outside G1: %w", ErrVerifyFailed)
+	}
+	lhs := b.pp.Pair(sig, g.Generator())
+	rhs := b.pp.Pair(g.HashToPoint(bglsHashDomain, msg), pk)
+	if !lhs.Equal(rhs) {
+		return ErrVerifyFailed
+	}
+	return nil
+}
+
+// Aggregate sums signatures into one G1 element, rejecting duplicate
+// messages (the BGLS security precondition).
+func (b *BGLS) Aggregate(msgs [][]byte, sigs []*curve.Point) (*curve.Point, error) {
+	if len(msgs) != len(sigs) {
+		return nil, fmt.Errorf("baseline: %d messages but %d signatures", len(msgs), len(sigs))
+	}
+	seen := make(map[string]struct{}, len(msgs))
+	g := b.pp.G1()
+	agg := g.Infinity()
+	for i, m := range msgs {
+		if _, dup := seen[string(m)]; dup {
+			return nil, fmt.Errorf("baseline: duplicate message in BGLS aggregate (index %d)", i)
+		}
+		seen[string(m)] = struct{}{}
+		agg = g.Add(agg, sigs[i])
+	}
+	return agg, nil
+}
+
+// AggregateVerify checks an aggregate signature over (pk_i, m_i) pairs
+// with n+1 pairings (shared final exponentiation via PairProd).
+func (b *BGLS) AggregateVerify(pks []*curve.Point, msgs [][]byte, agg *curve.Point) error {
+	if len(pks) != len(msgs) {
+		return fmt.Errorf("baseline: %d keys but %d messages", len(pks), len(msgs))
+	}
+	g := b.pp.G1()
+	if agg == nil || !g.InSubgroup(agg) {
+		return fmt.Errorf("baseline: aggregate outside G1: %w", ErrVerifyFailed)
+	}
+	// ê(agg, −P) · Π ê(H(m_i), pk_i) == 1
+	ps := make([]*curve.Point, 0, len(pks)+1)
+	qs := make([]*curve.Point, 0, len(pks)+1)
+	ps = append(ps, agg)
+	qs = append(qs, g.Neg(g.Generator()))
+	for i := range pks {
+		ps = append(ps, g.HashToPoint(bglsHashDomain, msgs[i]))
+		qs = append(qs, pks[i])
+	}
+	prod, err := b.pp.PairProd(ps, qs)
+	if err != nil {
+		return fmt.Errorf("baseline: BGLS aggregate pairing: %w", err)
+	}
+	if !prod.IsOne() {
+		return ErrVerifyFailed
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"seccloud/internal/funcs"
+	"seccloud/internal/wire"
+)
+
+// CheatPolicy is the server-side Byzantine behaviour hook, realizing the
+// adversarial models of §III-B. The honest policy is the identity on all
+// three hooks. Policies are driven by deterministic seeded PRNGs so
+// experiments are reproducible.
+//
+// Policies need not be safe for concurrent use; the simulation issues
+// requests to one server sequentially.
+type CheatPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// OnStore runs at upload: it may alter the stored payload or return
+	// keep=false to "delete" it (the storage-cheating model — the server
+	// keeps only the small signature and fabricates random data when read).
+	OnStore(pos uint64, data []byte, sig wire.BlockSig) (stored []byte, keep bool)
+	// RedirectPosition runs per block read during computation and
+	// challenge answering: it may divert the read to a different position
+	// (the PCS event of eq. 12 — "uses different x̃ ∉ X").
+	RedirectPosition(taskIdx int, pos uint64) uint64
+	// OnResult runs per sub-task: it may skip the honest computation and
+	// return a guess (the FCS event of eq. 10). honest is lazy so a full
+	// cheater saves the compute cost, exactly the paper's rational-cheater
+	// motivation.
+	OnResult(taskIdx int, task wire.TaskSpec, honest func() ([]byte, error)) ([]byte, error)
+}
+
+// Honest is the identity policy.
+type Honest struct{}
+
+var _ CheatPolicy = Honest{}
+
+// Name implements CheatPolicy.
+func (Honest) Name() string { return "honest" }
+
+// OnStore stores faithfully.
+func (Honest) OnStore(_ uint64, data []byte, _ wire.BlockSig) ([]byte, bool) { return data, true }
+
+// RedirectPosition reads faithfully.
+func (Honest) RedirectPosition(_ int, pos uint64) uint64 { return pos }
+
+// OnResult computes faithfully.
+func (Honest) OnResult(_ int, _ wire.TaskSpec, honest func() ([]byte, error)) ([]byte, error) {
+	return honest()
+}
+
+// StorageCheater deletes each stored payload with probability
+// 1 − KeepFraction, modelling the semi-honest "delete rarely accessed
+// data" server. The kept fraction is exactly the paper's Storage Secure
+// Confidence: SSC = |X'|/|X|.
+type StorageCheater struct {
+	// KeepFraction is the probability a block's payload survives.
+	KeepFraction float64
+	// Rng drives the deletion choices.
+	Rng *rand.Rand
+}
+
+var _ CheatPolicy = (*StorageCheater)(nil)
+
+// Name implements CheatPolicy.
+func (c *StorageCheater) Name() string {
+	return fmt.Sprintf("storage-cheater(ssc=%.2f)", c.KeepFraction)
+}
+
+// OnStore drops the payload with probability 1 − KeepFraction.
+func (c *StorageCheater) OnStore(_ uint64, data []byte, _ wire.BlockSig) ([]byte, bool) {
+	if c.Rng.Float64() < c.KeepFraction {
+		return data, true
+	}
+	return nil, false
+}
+
+// RedirectPosition reads faithfully.
+func (c *StorageCheater) RedirectPosition(_ int, pos uint64) uint64 { return pos }
+
+// OnResult computes faithfully (over whatever data survived).
+func (c *StorageCheater) OnResult(_ int, _ wire.TaskSpec, honest func() ([]byte, error)) ([]byte, error) {
+	return honest()
+}
+
+// ComputationCheater computes each sub-task honestly only with probability
+// CSC and guesses the rest — the computation-cheating model (1) of §III-B:
+// "computes F' ⊂ F and returns a random number instead, but claims to have
+// completed all the computations". Guesses are drawn uniformly from the
+// function's result range when it is small (|R| known), which is the best
+// possible guessing strategy and matches the 1/R success term in eq. 10.
+type ComputationCheater struct {
+	// CSC is the Computing Secure Confidence |F'|/|F|.
+	CSC float64
+	// Rng drives which sub-tasks are skipped and the guessed values.
+	Rng *rand.Rand
+	// Registry resolves function ranges; nil means funcs.NewRegistry().
+	Registry *funcs.Registry
+}
+
+var _ CheatPolicy = (*ComputationCheater)(nil)
+
+// Name implements CheatPolicy.
+func (c *ComputationCheater) Name() string {
+	return fmt.Sprintf("computation-cheater(csc=%.2f)", c.CSC)
+}
+
+// OnStore stores faithfully.
+func (c *ComputationCheater) OnStore(_ uint64, data []byte, _ wire.BlockSig) ([]byte, bool) {
+	return data, true
+}
+
+// RedirectPosition reads faithfully.
+func (c *ComputationCheater) RedirectPosition(_ int, pos uint64) uint64 { return pos }
+
+// OnResult skips the computation with probability 1 − CSC and guesses.
+func (c *ComputationCheater) OnResult(_ int, task wire.TaskSpec, honest func() ([]byte, error)) ([]byte, error) {
+	if c.Rng.Float64() < c.CSC {
+		return honest()
+	}
+	return c.guess(task)
+}
+
+// guess draws a plausible result without computing.
+func (c *ComputationCheater) guess(task wire.TaskSpec) ([]byte, error) {
+	reg := c.Registry
+	if reg == nil {
+		reg = funcs.NewRegistry()
+	}
+	spec := funcs.Spec{Name: task.FuncName, Arg: task.Arg}
+	r, err := reg.RangeSize(spec)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil && r.IsInt64() && r.Int64() > 0 {
+		// Small known range: uniform guess over [0, R) encoded like the
+		// honest int64 results.
+		v := c.Rng.Int63n(r.Int64())
+		var out [8]byte
+		binary.BigEndian.PutUint64(out[:], uint64(v))
+		return out[:], nil
+	}
+	// Unbounded range: a random value (success probability ~ 0).
+	var out [8]byte
+	binary.BigEndian.PutUint64(out[:], c.Rng.Uint64())
+	return out[:], nil
+}
+
+// PositionCheater diverts a fraction of block reads to a different stored
+// position — computation-cheating model (2): "chooses x ∈ X' ⊂ X to
+// compute correctly and uses different x̃ ∉ X". The honest fraction is the
+// paper's SSC in eq. 12. DatasetSize bounds the diversion target.
+type PositionCheater struct {
+	// HonestFraction is the probability a read goes to the true position.
+	HonestFraction float64
+	// DatasetSize is the number of addressable positions.
+	DatasetSize uint64
+	// Rng drives the diversions.
+	Rng *rand.Rand
+
+	seedOnce sync.Once
+	memoSeed int64
+}
+
+var _ CheatPolicy = (*PositionCheater)(nil)
+
+// Name implements CheatPolicy.
+func (c *PositionCheater) Name() string {
+	return fmt.Sprintf("position-cheater(ssc=%.2f)", c.HonestFraction)
+}
+
+// OnStore stores faithfully.
+func (c *PositionCheater) OnStore(_ uint64, data []byte, _ wire.BlockSig) ([]byte, bool) {
+	return data, true
+}
+
+// RedirectPosition diverts with probability 1 − HonestFraction. The
+// diversion is deterministic per (taskIdx, pos) so compute and challenge
+// answering observe the same substitution.
+func (c *PositionCheater) RedirectPosition(taskIdx int, pos uint64) uint64 {
+	if c.DatasetSize < 2 {
+		return pos
+	}
+	// Deterministic per-read coin: hash of (taskIdx, pos) seeded by Rng's
+	// initial draw would lose determinism across calls, so derive a local
+	// PRNG per read instead.
+	local := rand.New(rand.NewSource(int64(pos)<<20 ^ int64(taskIdx) ^ c.seed()))
+	if local.Float64() < c.HonestFraction {
+		return pos
+	}
+	shift := 1 + local.Int63n(int64(c.DatasetSize-1))
+	return (pos + uint64(shift)) % c.DatasetSize
+}
+
+// seed memoizes one draw from Rng so different cheater instances diverge;
+// set-once so concurrent reads through the server are safe.
+func (c *PositionCheater) seed() int64 {
+	c.seedOnce.Do(func() {
+		c.memoSeed = c.Rng.Int63() | 1
+	})
+	return c.memoSeed
+}
+
+// OnResult computes faithfully (on the possibly-diverted inputs).
+func (c *PositionCheater) OnResult(_ int, _ wire.TaskSpec, honest func() ([]byte, error)) ([]byte, error) {
+	return honest()
+}
+
+// Composite chains several policies: OnStore and OnResult apply in order,
+// RedirectPosition composes left to right. It models an adversary running
+// multiple strategies at once (e.g. half CSC and half SSC as in the
+// paper's Figure 4 discussion).
+type Composite struct {
+	// Policies apply in order.
+	Policies []CheatPolicy
+}
+
+var _ CheatPolicy = (*Composite)(nil)
+
+// Name implements CheatPolicy.
+func (c *Composite) Name() string {
+	name := "composite("
+	for i, p := range c.Policies {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	return name + ")"
+}
+
+// OnStore applies each policy in order; a block deleted by any stays deleted.
+func (c *Composite) OnStore(pos uint64, data []byte, sig wire.BlockSig) ([]byte, bool) {
+	cur, keep := data, true
+	for _, p := range c.Policies {
+		if !keep {
+			return nil, false
+		}
+		cur, keep = p.OnStore(pos, cur, sig)
+	}
+	return cur, keep
+}
+
+// RedirectPosition composes the diversions.
+func (c *Composite) RedirectPosition(taskIdx int, pos uint64) uint64 {
+	for _, p := range c.Policies {
+		pos = p.RedirectPosition(taskIdx, pos)
+	}
+	return pos
+}
+
+// OnResult lets each policy wrap the previous evaluation.
+func (c *Composite) OnResult(taskIdx int, task wire.TaskSpec, honest func() ([]byte, error)) ([]byte, error) {
+	eval := honest
+	for _, p := range c.Policies {
+		prev := eval
+		pp := p
+		eval = func() ([]byte, error) { return pp.OnResult(taskIdx, task, prev) }
+	}
+	return eval()
+}
+
+// ColdDataCheater is the paper's rational semi-honest server made
+// concrete: "the cheating servers might delete rarely access data files to
+// reduce the storage cost". Given an access trace (e.g. a Zipf-skewed one
+// from package workload), it deletes exactly the blocks that were never
+// accessed, keeping the hot set intact.
+type ColdDataCheater struct {
+	// Hot is the set of positions observed in the access trace; all other
+	// stored payloads are deleted.
+	Hot map[uint64]struct{}
+}
+
+var _ CheatPolicy = (*ColdDataCheater)(nil)
+
+// NewColdDataCheater derives the hot set from an access trace.
+func NewColdDataCheater(trace []uint64) *ColdDataCheater {
+	hot := make(map[uint64]struct{}, len(trace))
+	for _, pos := range trace {
+		hot[pos] = struct{}{}
+	}
+	return &ColdDataCheater{Hot: hot}
+}
+
+// Name implements CheatPolicy.
+func (c *ColdDataCheater) Name() string {
+	return fmt.Sprintf("cold-data-cheater(hot=%d)", len(c.Hot))
+}
+
+// OnStore keeps hot payloads and deletes cold ones.
+func (c *ColdDataCheater) OnStore(pos uint64, data []byte, _ wire.BlockSig) ([]byte, bool) {
+	if _, hot := c.Hot[pos]; hot {
+		return data, true
+	}
+	return nil, false
+}
+
+// RedirectPosition reads faithfully.
+func (c *ColdDataCheater) RedirectPosition(_ int, pos uint64) uint64 { return pos }
+
+// OnResult computes faithfully (over whatever data survived).
+func (c *ColdDataCheater) OnResult(_ int, _ wire.TaskSpec, honest func() ([]byte, error)) ([]byte, error) {
+	return honest()
+}

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"seccloud/internal/dvs"
+	"seccloud/internal/funcs"
+	"seccloud/internal/ibc"
+	"seccloud/internal/merkle"
+	"seccloud/internal/netsim"
+	"seccloud/internal/wire"
+)
+
+// CheckKind labels the individual checks of Algorithm 1.
+type CheckKind int
+
+// The checks, in protocol order.
+const (
+	// CheckWarrant covers warrant validation before any sampling.
+	CheckWarrant CheckKind = iota + 1
+	// CheckRootSig covers the server's signature on the commitment root.
+	CheckRootSig
+	// CheckResponse covers structural validity of the challenge response.
+	CheckResponse
+	// CheckSignature is Algorithm 1's IsSignatureWrong: the designated
+	// block signature binding data to its claimed position (eq. 7).
+	CheckSignature
+	// CheckComputation is IsComputingWrong: recomputing y_i = f_i(x_{p_i}).
+	CheckComputation
+	// CheckRoot is IsRootWrong: Merkle root reconstruction (eq. 6).
+	CheckRoot
+)
+
+// String renders the check name.
+func (k CheckKind) String() string {
+	switch k {
+	case CheckWarrant:
+		return "warrant"
+	case CheckRootSig:
+		return "root-signature"
+	case CheckResponse:
+		return "response"
+	case CheckSignature:
+		return "block-signature"
+	case CheckComputation:
+		return "computation"
+	case CheckRoot:
+		return "merkle-root"
+	default:
+		return fmt.Sprintf("check(%d)", int(k))
+	}
+}
+
+// AuditFailure records one detected cheating instance.
+type AuditFailure struct {
+	Index  uint64
+	Check  CheckKind
+	Detail string
+}
+
+// AuditReport is the outcome of one audit run: the paper's Algorithm 1
+// return value enriched with per-check attribution and traffic stats.
+type AuditReport struct {
+	JobID      string
+	SampleSize int
+	Sampled    []uint64
+	Failures   []AuditFailure
+	// SigChecksBatched reports whether block signatures were verified with
+	// the §VI batch equation (2 pairings) instead of per-item.
+	SigChecksBatched bool
+	// Elapsed is the wall-clock audit duration on the DA side.
+	Elapsed time.Duration
+}
+
+// Valid reports the Algorithm 1 retValue: true iff no check failed.
+func (r *AuditReport) Valid() bool { return len(r.Failures) == 0 }
+
+// JobDelegation is what the cloud user hands the DA for auditing (§V-D):
+// the job {F, P}, the claimed results Y, the commitment root and its
+// signature, and the delegation warrant.
+type JobDelegation struct {
+	UserID   string
+	ServerID string
+	JobID    string
+	Tasks    []wire.TaskSpec
+	Results  [][]byte
+	Root     []byte
+	RootSig  wire.IBSig
+	Warrant  wire.Warrant
+}
+
+// AuditConfig shapes one audit run.
+type AuditConfig struct {
+	// SampleSize is the number of sampled sub-tasks t; it is clamped to
+	// the job size (sampling is without replacement, t ≤ |X|, eq. 2).
+	SampleSize int
+	// Rng drives the sample choice; nil derives a time-seeded PRNG.
+	Rng *rand.Rand
+	// BatchSignatures enables the §VI aggregate verification for the
+	// per-item block-signature checks, with individual fallback to
+	// attribute failures.
+	BatchSignatures bool
+}
+
+// Agency is the Designated Agency (DA): the third-party auditor holding
+// its own identity key, to which users delegate storage and computation
+// auditing.
+type Agency struct {
+	key    *ibc.PrivateKey
+	scheme *dvs.Scheme
+	reg    *funcs.Registry
+	random io.Reader
+	clock  func() time.Time
+}
+
+// NewAgency builds the DA from its extracted identity key.
+func NewAgency(sp *ibc.SystemParams, key *ibc.PrivateKey, random io.Reader) *Agency {
+	return &Agency{
+		key:    key,
+		scheme: dvs.NewScheme(sp),
+		reg:    funcs.NewRegistry(),
+		random: random,
+		clock:  time.Now,
+	}
+}
+
+// ID returns the agency's identity.
+func (a *Agency) ID() string { return a.key.ID }
+
+// WithClock overrides the time source (tests).
+func (a *Agency) WithClock(clock func() time.Time) *Agency {
+	a.clock = clock
+	return a
+}
+
+// AcceptDelegation validates a delegation before any network audit: the
+// warrant must name this DA and be unexpired and correctly signed; the
+// commitment root must match the claimed results; and the root signature
+// must verify against the claimed server.
+func (a *Agency) AcceptDelegation(d *JobDelegation) error {
+	if err := VerifyWarrant(a.scheme, &d.Warrant, d.JobID, a.key.ID, a.clock()); err != nil {
+		return err
+	}
+	sig, err := DecodeIBSig(a.scheme.Params(), d.RootSig)
+	if err != nil {
+		return fmt.Errorf("core: root signature malformed: %w", err)
+	}
+	if err := a.scheme.PublicVerify(d.ServerID, rootSigMessage(d.JobID, d.Root), sig); err != nil {
+		return fmt.Errorf("core: root signature invalid: %w", err)
+	}
+	root, err := CommitmentRoot(d.Tasks, d.Results)
+	if err != nil {
+		return fmt.Errorf("core: rebuilding commitment root: %w", err)
+	}
+	if !bytes.Equal(root[:], d.Root) {
+		return fmt.Errorf("core: claimed results do not match the committed root")
+	}
+	return nil
+}
+
+// SampleIndices draws t distinct indices uniformly from [0, n) by a
+// partial Fisher–Yates shuffle — the Audit Challenge Step's random subset
+// S = {c_1, …, c_t}.
+func SampleIndices(rng *rand.Rand, n, t int) []uint64 {
+	if t > n {
+		t = n
+	}
+	if t <= 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]uint64, t)
+	for i := 0; i < t; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = uint64(idx[i])
+	}
+	return out
+}
+
+// AuditJob runs the full Probabilistic Sampling Cloud Computation Auditing
+// Protocol (Algorithm 1) against the server behind client. It returns a
+// report listing every detected failure; a report with no failures means
+// the server passed all sampled checks.
+func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfig) (*AuditReport, error) {
+	start := a.clock()
+	if err := a.AcceptDelegation(d); err != nil {
+		return nil, fmt.Errorf("core: delegation rejected: %w", err)
+	}
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(a.clock().UnixNano()))
+	}
+	sample := SampleIndices(rng, len(d.Tasks), cfg.SampleSize)
+	report := &AuditReport{
+		JobID:            d.JobID,
+		SampleSize:       len(sample),
+		Sampled:          sample,
+		SigChecksBatched: cfg.BatchSignatures,
+	}
+	if len(sample) == 0 {
+		report.Elapsed = a.clock().Sub(start)
+		return report, nil
+	}
+
+	resp, err := client.RoundTrip(&wire.ChallengeRequest{
+		JobID:   d.JobID,
+		Indices: sample,
+		Warrant: d.Warrant,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: challenge round trip: %w", err)
+	}
+	ch, ok := resp.(*wire.ChallengeResponse)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected challenge response %T", resp)
+	}
+	if ch.Error != "" {
+		// A server that cannot answer the challenge at all is treated as
+		// detected cheating (e.g. it lost the data it claims to store).
+		report.Failures = append(report.Failures, AuditFailure{
+			Check: CheckResponse, Detail: "server refused challenge: " + ch.Error,
+		})
+		report.Elapsed = a.clock().Sub(start)
+		return report, nil
+	}
+	if len(ch.Items) != len(sample) {
+		report.Failures = append(report.Failures, AuditFailure{
+			Check:  CheckResponse,
+			Detail: fmt.Sprintf("server answered %d of %d challenges", len(ch.Items), len(sample)),
+		})
+		report.Elapsed = a.clock().Sub(start)
+		return report, nil
+	}
+
+	a.checkItems(d, sample, ch.Items, cfg, report)
+	report.Elapsed = a.clock().Sub(start)
+	return report, nil
+}
+
+// checkItems runs the three per-sample checks of Algorithm 1 plus
+// structural validation, appending failures to the report.
+func (a *Agency) checkItems(
+	d *JobDelegation, sample []uint64, items []wire.ChallengeItem,
+	cfg AuditConfig, report *AuditReport,
+) {
+	type sigCheck struct {
+		index uint64
+		msg   []byte
+		des   *dvs.Designated
+	}
+	var sigChecks []sigCheck
+
+	for i, item := range items {
+		idx := sample[i]
+		if item.Index != idx {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: idx, Check: CheckResponse,
+				Detail: fmt.Sprintf("answer for index %d where %d was challenged", item.Index, idx),
+			})
+			continue
+		}
+		if idx >= uint64(len(d.Tasks)) {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: idx, Check: CheckResponse, Detail: "index out of range",
+			})
+			continue
+		}
+		task := d.Tasks[idx]
+		if !taskSpecEqual(task, item.Task) {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: idx, Check: CheckResponse,
+				Detail: "server answered with a different task spec than requested",
+			})
+			continue
+		}
+		if len(item.Blocks) != len(task.Positions) || len(item.Sigs) != len(task.Positions) {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: idx, Check: CheckResponse,
+				Detail: "wrong number of input blocks in answer",
+			})
+			continue
+		}
+
+		// Check 1 (IsSignatureWrong, eq. 7): each input block's designated
+		// signature must verify for its requested position. This is what
+		// catches both deleted/fabricated data and position diversion.
+		for k, pos := range task.Positions {
+			des, err := DecodeBlockSig(a.scheme.Params(), &item.Sigs[k], a.key.ID)
+			if err != nil {
+				report.Failures = append(report.Failures, AuditFailure{
+					Index: idx, Check: CheckSignature,
+					Detail: fmt.Sprintf("block %d: %v", pos, err),
+				})
+				continue
+			}
+			if des.SignerID != d.UserID {
+				report.Failures = append(report.Failures, AuditFailure{
+					Index: idx, Check: CheckSignature,
+					Detail: fmt.Sprintf("block %d signed by %q, want %q", pos, des.SignerID, d.UserID),
+				})
+				continue
+			}
+			msg := BlockMessage(pos, item.Blocks[k])
+			if cfg.BatchSignatures {
+				sigChecks = append(sigChecks, sigCheck{index: idx, msg: msg, des: des})
+			} else if err := a.scheme.Verify(des, msg, a.key); err != nil {
+				report.Failures = append(report.Failures, AuditFailure{
+					Index: idx, Check: CheckSignature,
+					Detail: fmt.Sprintf("block %d: %v", pos, err),
+				})
+			}
+		}
+
+		// Check 2 (IsComputingWrong): recompute y over the returned blocks.
+		want, err := a.reg.Eval(funcs.Spec{Name: task.FuncName, Arg: task.Arg}, item.Blocks)
+		switch {
+		case err != nil:
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: idx, Check: CheckComputation,
+				Detail: fmt.Sprintf("recomputation failed: %v", err),
+			})
+		case !bytes.Equal(want, item.Result):
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: idx, Check: CheckComputation,
+				Detail: "claimed result differs from recomputation",
+			})
+		case !bytes.Equal(item.Result, d.Results[idx]):
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: idx, Check: CheckComputation,
+				Detail: "challenge answer differs from result returned at compute time",
+			})
+		}
+
+		// Check 3 (IsRootWrong, eq. 6): reconstruct R* from the leaf and
+		// the sibling path; it must equal the committed root.
+		proof := &merkle.Proof{Index: int(idx), Steps: make([]merkle.ProofStep, len(item.ProofPath))}
+		badStep := false
+		for k, st := range item.ProofPath {
+			if len(st.Hash) != merkle.HashLen {
+				report.Failures = append(report.Failures, AuditFailure{
+					Index: idx, Check: CheckRoot,
+					Detail: fmt.Sprintf("proof step %d has %d-byte hash", k, len(st.Hash)),
+				})
+				badStep = true
+				break
+			}
+			copy(proof.Steps[k].Hash[:], st.Hash)
+			proof.Steps[k].Right = st.Right
+		}
+		if badStep {
+			continue
+		}
+		var pos uint64
+		if len(task.Positions) > 0 {
+			pos = task.Positions[0]
+		}
+		leaf := merkle.LeafData{Result: item.Result, Position: pos}
+		var committed [merkle.HashLen]byte
+		copy(committed[:], d.Root)
+		if err := merkle.VerifyProof(committed, leaf, proof); err != nil {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: idx, Check: CheckRoot, Detail: err.Error(),
+			})
+		}
+	}
+
+	// Batched signature verification (§VI): one aggregate check; on
+	// failure, fall back to individual verification to attribute blame.
+	if cfg.BatchSignatures && len(sigChecks) > 0 {
+		batch := make([]dvs.BatchItem, len(sigChecks))
+		for i, sc := range sigChecks {
+			batch[i] = dvs.NewBatchItem(sc.msg, sc.des)
+		}
+		if err := a.scheme.BatchVerifyRandomized(batch, a.key, a.random); err != nil {
+			for _, sc := range sigChecks {
+				if err := a.scheme.Verify(sc.des, sc.msg, a.key); err != nil {
+					report.Failures = append(report.Failures, AuditFailure{
+						Index: sc.index, Check: CheckSignature, Detail: err.Error(),
+					})
+				}
+			}
+		}
+	}
+}
+
+// taskSpecEqual compares task specs field by field.
+func taskSpecEqual(a, b wire.TaskSpec) bool {
+	if a.FuncName != b.FuncName || a.Arg != b.Arg || len(a.Positions) != len(b.Positions) {
+		return false
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StorageAuditReport is the outcome of a stored-data audit (Protocol II
+// verification, eq. 5/7, run by the DA over sampled positions).
+type StorageAuditReport struct {
+	UserID           string
+	Sampled          []uint64
+	Failures         []AuditFailure
+	SigChecksBatched bool
+}
+
+// Valid reports whether every sampled block verified.
+func (r *StorageAuditReport) Valid() bool { return len(r.Failures) == 0 }
+
+// StorageAuditConfig shapes a stored-data audit.
+type StorageAuditConfig struct {
+	// DatasetSize is the number of addressable positions |X|.
+	DatasetSize int
+	// SampleSize is the number of sampled positions t.
+	SampleSize int
+	// Rng drives the sample choice; nil derives a time-seeded PRNG.
+	Rng *rand.Rand
+	// BatchSignatures verifies all sampled signatures with the §VI
+	// aggregate equation (one pairing), falling back to individual
+	// verification to attribute failures.
+	BatchSignatures bool
+}
+
+// AuditStorage samples t positions out of the dataset and verifies the
+// designated signatures over the returned (position ‖ data) strings.
+func (a *Agency) AuditStorage(
+	client netsim.Client, userID string, warrant wire.Warrant, cfg StorageAuditConfig,
+) (*StorageAuditReport, error) {
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(a.clock().UnixNano()))
+	}
+	sample := SampleIndices(rng, cfg.DatasetSize, cfg.SampleSize)
+	report := &StorageAuditReport{
+		UserID:           userID,
+		Sampled:          sample,
+		SigChecksBatched: cfg.BatchSignatures,
+	}
+	if len(sample) == 0 {
+		return report, nil
+	}
+	resp, err := client.RoundTrip(&wire.StorageAuditRequest{
+		UserID:    userID,
+		Positions: sample,
+		Warrant:   warrant,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: storage audit round trip: %w", err)
+	}
+	sa, ok := resp.(*wire.StorageAuditResponse)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected storage audit response %T", resp)
+	}
+	if sa.Error != "" {
+		report.Failures = append(report.Failures, AuditFailure{
+			Check: CheckResponse, Detail: "server refused storage audit: " + sa.Error,
+		})
+		return report, nil
+	}
+	if len(sa.Blocks) != len(sample) || len(sa.Sigs) != len(sample) {
+		report.Failures = append(report.Failures, AuditFailure{
+			Check: CheckResponse, Detail: "wrong number of blocks in storage audit answer",
+		})
+		return report, nil
+	}
+
+	type sigCheck struct {
+		pos uint64
+		msg []byte
+		des *dvs.Designated
+	}
+	checks := make([]sigCheck, 0, len(sample))
+	for i, pos := range sample {
+		des, err := DecodeBlockSig(a.scheme.Params(), &sa.Sigs[i], a.key.ID)
+		if err != nil {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: pos, Check: CheckSignature, Detail: err.Error(),
+			})
+			continue
+		}
+		if des.SignerID != userID {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: pos, Check: CheckSignature,
+				Detail: fmt.Sprintf("block signed by %q, want %q", des.SignerID, userID),
+			})
+			continue
+		}
+		checks = append(checks, sigCheck{pos: pos, msg: BlockMessage(pos, sa.Blocks[i]), des: des})
+	}
+
+	verifyIndividually := func() {
+		for _, sc := range checks {
+			if err := a.scheme.Verify(sc.des, sc.msg, a.key); err != nil {
+				report.Failures = append(report.Failures, AuditFailure{
+					Index: sc.pos, Check: CheckSignature, Detail: err.Error(),
+				})
+			}
+		}
+	}
+	if !cfg.BatchSignatures || len(checks) == 0 {
+		verifyIndividually()
+		return report, nil
+	}
+	batch := make([]dvs.BatchItem, len(checks))
+	for i, sc := range checks {
+		batch[i] = dvs.NewBatchItem(sc.msg, sc.des)
+	}
+	if err := a.scheme.BatchVerifyRandomized(batch, a.key, a.random); err != nil {
+		// Fall back to per-item verification to locate the failures
+		// (the error-locating idea of the paper's reference [10]).
+		verifyIndividually()
+	}
+	return report, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"seccloud/internal/dvs"
+	"seccloud/internal/funcs"
+	"seccloud/internal/merkle"
+	"seccloud/internal/netsim"
+	"seccloud/internal/wire"
+)
+
+// MultiAuditReport is the outcome of auditing several delegations (e.g.
+// every sub-job of a CSP fan-out, possibly from different users) in one
+// pass with a single aggregate signature verification — §VI's "designated
+// verifiers can concurrently handle multiple sessions from different
+// users' verifying requests".
+type MultiAuditReport struct {
+	// Reports holds one per-delegation report, in input order.
+	Reports []*AuditReport
+	// BatchedSigItems is the total number of block signatures folded into
+	// the single cross-job aggregate check.
+	BatchedSigItems int
+	// Elapsed is the total DA-side duration.
+	Elapsed time.Duration
+}
+
+// Valid reports whether every delegation passed.
+func (m *MultiAuditReport) Valid() bool {
+	for _, r := range m.Reports {
+		if !r.Valid() {
+			return false
+		}
+	}
+	return true
+}
+
+// AuditJobs audits each delegation over its own client link but defers
+// every block-signature check into one cross-job randomized aggregate
+// verification (one pairing total). On aggregate failure it falls back to
+// per-item verification to attribute blame to the right job and index.
+//
+// clients[i] must reach the server for delegations[i].
+func (a *Agency) AuditJobs(
+	clients []netsim.Client, delegations []*JobDelegation, cfg AuditConfig,
+) (*MultiAuditReport, error) {
+	if len(clients) != len(delegations) {
+		return nil, fmt.Errorf("core: %d clients for %d delegations", len(clients), len(delegations))
+	}
+	start := a.clock()
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(a.clock().UnixNano()))
+	}
+
+	type deferredSig struct {
+		report *AuditReport
+		index  uint64
+		msg    []byte
+		des    *dvs.Designated
+	}
+	var deferred []deferredSig
+	out := &MultiAuditReport{Reports: make([]*AuditReport, len(delegations))}
+
+	for di, d := range delegations {
+		if err := a.AcceptDelegation(d); err != nil {
+			return nil, fmt.Errorf("core: delegation %d rejected: %w", di, err)
+		}
+		sample := SampleIndices(rng, len(d.Tasks), cfg.SampleSize)
+		report := &AuditReport{
+			JobID:            d.JobID,
+			SampleSize:       len(sample),
+			Sampled:          sample,
+			SigChecksBatched: true,
+		}
+		out.Reports[di] = report
+		if len(sample) == 0 {
+			continue
+		}
+		resp, err := clients[di].RoundTrip(&wire.ChallengeRequest{
+			JobID:   d.JobID,
+			Indices: sample,
+			Warrant: d.Warrant,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: challenge round trip for %s: %w", d.JobID, err)
+		}
+		ch, ok := resp.(*wire.ChallengeResponse)
+		if !ok {
+			return nil, fmt.Errorf("core: unexpected challenge response %T", resp)
+		}
+		if ch.Error != "" {
+			report.Failures = append(report.Failures, AuditFailure{
+				Check: CheckResponse, Detail: "server refused challenge: " + ch.Error,
+			})
+			continue
+		}
+		if len(ch.Items) != len(sample) {
+			report.Failures = append(report.Failures, AuditFailure{
+				Check:  CheckResponse,
+				Detail: fmt.Sprintf("server answered %d of %d challenges", len(ch.Items), len(sample)),
+			})
+			continue
+		}
+		// Structural, recomputation and Merkle checks run per job; the
+		// signature checks are harvested for the cross-job batch.
+		for i, item := range ch.Items {
+			idx := sample[i]
+			if item.Index != idx || idx >= uint64(len(d.Tasks)) {
+				report.Failures = append(report.Failures, AuditFailure{
+					Index: idx, Check: CheckResponse, Detail: "answer index mismatch",
+				})
+				continue
+			}
+			task := d.Tasks[idx]
+			if !taskSpecEqual(task, item.Task) ||
+				len(item.Blocks) != len(task.Positions) || len(item.Sigs) != len(task.Positions) {
+				report.Failures = append(report.Failures, AuditFailure{
+					Index: idx, Check: CheckResponse, Detail: "malformed answer",
+				})
+				continue
+			}
+			for k, pos := range task.Positions {
+				des, err := DecodeBlockSig(a.scheme.Params(), &item.Sigs[k], a.key.ID)
+				if err != nil || des.SignerID != d.UserID {
+					report.Failures = append(report.Failures, AuditFailure{
+						Index: idx, Check: CheckSignature,
+						Detail: fmt.Sprintf("block %d signature unusable", pos),
+					})
+					continue
+				}
+				deferred = append(deferred, deferredSig{
+					report: report, index: idx,
+					msg: BlockMessage(pos, item.Blocks[k]), des: des,
+				})
+			}
+			want, err := a.reg.Eval(funcs.Spec{Name: task.FuncName, Arg: task.Arg}, item.Blocks)
+			if err != nil || !bytes.Equal(want, item.Result) || !bytes.Equal(item.Result, d.Results[idx]) {
+				report.Failures = append(report.Failures, AuditFailure{
+					Index: idx, Check: CheckComputation,
+					Detail: "claimed result differs from recomputation",
+				})
+			}
+			proof := &merkle.Proof{Index: int(idx), Steps: make([]merkle.ProofStep, len(item.ProofPath))}
+			ok := true
+			for k, st := range item.ProofPath {
+				if len(st.Hash) != merkle.HashLen {
+					ok = false
+					break
+				}
+				copy(proof.Steps[k].Hash[:], st.Hash)
+				proof.Steps[k].Right = st.Right
+			}
+			var pos uint64
+			if len(task.Positions) > 0 {
+				pos = task.Positions[0]
+			}
+			var committed [merkle.HashLen]byte
+			copy(committed[:], d.Root)
+			if !ok || merkle.VerifyProof(committed,
+				merkle.LeafData{Result: item.Result, Position: pos}, proof) != nil {
+				report.Failures = append(report.Failures, AuditFailure{
+					Index: idx, Check: CheckRoot, Detail: "root reconstruction failed",
+				})
+			}
+		}
+	}
+
+	// One aggregate check across every job and user.
+	out.BatchedSigItems = len(deferred)
+	if len(deferred) > 0 {
+		batch := make([]dvs.BatchItem, len(deferred))
+		for i, ds := range deferred {
+			batch[i] = dvs.NewBatchItem(ds.msg, ds.des)
+		}
+		if err := a.scheme.BatchVerifyRandomized(batch, a.key, a.random); err != nil {
+			for _, ds := range deferred {
+				if err := a.scheme.Verify(ds.des, ds.msg, a.key); err != nil {
+					ds.report.Failures = append(ds.report.Failures, AuditFailure{
+						Index: ds.index, Check: CheckSignature, Detail: err.Error(),
+					})
+				}
+			}
+		}
+	}
+	out.Elapsed = a.clock().Sub(start)
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"seccloud/internal/netsim"
+	"seccloud/internal/wire"
+	"seccloud/internal/workload"
+)
+
+// CSP models the cloud service provider: a scheduler that fans a user's
+// batch job out across n cloud servers (§III-A: "CSP could divide such a
+// task into multiple sub-task and allow them parallelly executed across
+// hundreds of Cloud Computing servers"). It is transport-agnostic — each
+// server is reached through a netsim.Client, which may be loopback or TCP.
+type CSP struct {
+	clients []netsim.Client
+}
+
+// NewCSP builds a provider over the given server links.
+func NewCSP(clients []netsim.Client) (*CSP, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("core: CSP needs at least one server")
+	}
+	return &CSP{clients: clients}, nil
+}
+
+// NumServers returns the fleet size.
+func (c *CSP) NumServers() int { return len(c.clients) }
+
+// Client exposes the link to server i (for targeted audits).
+func (c *CSP) Client(i int) netsim.Client { return c.clients[i] }
+
+// ReplicateStore uploads a prepared store request to every server, the
+// replication model under which any server can execute any sub-task.
+func (c *CSP) ReplicateStore(user *User, req *wire.StoreRequest) error {
+	for i, cl := range c.clients {
+		if err := user.Store(cl, req); err != nil {
+			return fmt.Errorf("core: replicating to server %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SubJob is one server's slice of a distributed job, together with the
+// server's commitment response.
+type SubJob struct {
+	// ServerIdx is the index of the executing server in the CSP fleet.
+	ServerIdx int
+	// JobID is the sub-job identifier (derived from the parent job).
+	JobID string
+	// TaskIndices maps sub-job task order back to parent job indices.
+	TaskIndices []int
+	// Tasks are the sub-job's task specs.
+	Tasks []wire.TaskSpec
+	// Resp is the server's compute response (results + signed root).
+	Resp *wire.ComputeResponse
+}
+
+// RunJob splits the job round-robin across the fleet, submits every
+// sub-job, and verifies each server's commitment envelope via the user.
+// Servers with an empty assignment are skipped.
+func (c *CSP) RunJob(user *User, jobID string, job *workload.Job) ([]*SubJob, error) {
+	assign, err := workload.SplitRoundRobin(job.Len(), len(c.clients))
+	if err != nil {
+		return nil, fmt.Errorf("core: splitting job: %w", err)
+	}
+	allTasks := TasksToWire(job)
+	subs := make([]*SubJob, 0, len(c.clients))
+	for si, indices := range assign {
+		if len(indices) == 0 {
+			continue
+		}
+		sub := &SubJob{
+			ServerIdx:   si,
+			JobID:       fmt.Sprintf("%s/s%d", jobID, si),
+			TaskIndices: indices,
+			Tasks:       make([]wire.TaskSpec, len(indices)),
+		}
+		subJob := &workload.Job{Owner: job.Owner, SubTasks: make([]workload.SubTask, len(indices))}
+		for k, ti := range indices {
+			sub.Tasks[k] = allTasks[ti]
+			subJob.SubTasks[k] = job.SubTasks[ti]
+		}
+		resp, err := user.SubmitJob(c.clients[si], sub.JobID, subJob)
+		if err != nil {
+			return nil, fmt.Errorf("core: sub-job on server %d: %w", si, err)
+		}
+		sub.Resp = resp
+		subs = append(subs, sub)
+	}
+	return subs, nil
+}
+
+// Delegations converts the sub-jobs into one JobDelegation per server so
+// the DA can audit each independently. The warrant should be a wildcard
+// (empty JobID) or match each sub-job.
+func Delegations(user *User, subs []*SubJob, warrant wire.Warrant) []*JobDelegation {
+	out := make([]*JobDelegation, len(subs))
+	for i, sub := range subs {
+		out[i] = &JobDelegation{
+			UserID:   user.ID(),
+			ServerID: sub.Resp.ServerID,
+			JobID:    sub.JobID,
+			Tasks:    sub.Tasks,
+			Results:  sub.Resp.Results,
+			Root:     sub.Resp.Root,
+			RootSig:  sub.Resp.RootSig,
+			Warrant:  warrant,
+		}
+	}
+	return out
+}
+
+// MergeResults reassembles per-server sub-job results into parent-job
+// order. It errors if any parent index is missing or duplicated.
+func MergeResults(jobLen int, subs []*SubJob) ([][]byte, error) {
+	out := make([][]byte, jobLen)
+	seen := make([]bool, jobLen)
+	for _, sub := range subs {
+		if len(sub.Resp.Results) != len(sub.TaskIndices) {
+			return nil, fmt.Errorf("core: sub-job %s has %d results for %d tasks",
+				sub.JobID, len(sub.Resp.Results), len(sub.TaskIndices))
+		}
+		for k, ti := range sub.TaskIndices {
+			if ti < 0 || ti >= jobLen {
+				return nil, fmt.Errorf("core: sub-job %s references task %d of %d", sub.JobID, ti, jobLen)
+			}
+			if seen[ti] {
+				return nil, fmt.Errorf("core: task %d assigned twice", ti)
+			}
+			seen[ti] = true
+			out[ti] = sub.Resp.Results[k]
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("core: task %d unassigned", i)
+		}
+	}
+	return out, nil
+}
+
+// WildcardWarrant issues a warrant with an empty job binding, valid for
+// every sub-job of a distributed run until notAfter.
+func WildcardWarrant(user *User, delegateID string, notAfter time.Time) (wire.Warrant, error) {
+	return user.Delegate(delegateID, "", notAfter)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"seccloud/internal/dvs"
+	"seccloud/internal/funcs"
+	"seccloud/internal/workload"
+)
+
+// evidenceFixture runs an audit against an optionally-cheating server and
+// returns the delegation, report and a verifier-side scheme.
+func evidenceFixture(t *testing.T, policy CheatPolicy) (*system, *JobDelegation, *AuditReport, *dvs.Scheme) {
+	t.Helper()
+	sys := newSystem(t, policy)
+	gen := workload.NewGenerator(90)
+	ds := gen.GenDataset(sys.user.ID(), 6, 4)
+	sys.storeDataset(t, ds)
+	job := workload.UniformJob(sys.user.ID(), funcs.Spec{Name: "digest"}, 6)
+	d := sys.runJob(t, "evidence-job", job)
+	report, err := sys.agency.AuditJob(sys.clients[0], d, AuditConfig{
+		SampleSize: 3, Rng: mrand.New(mrand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, d, report, dvs.NewScheme(sys.sio.Params())
+}
+
+func TestEvidenceRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy CheatPolicy
+		valid  bool
+	}{
+		{"clean verdict", nil, true},
+		{"guilty verdict", &ComputationCheater{CSC: 0, Rng: mrand.New(mrand.NewSource(2))}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, d, report, scheme := evidenceFixture(t, tc.policy)
+			if report.Valid() != tc.valid {
+				t.Fatalf("report validity %v, want %v", report.Valid(), tc.valid)
+			}
+			ev, err := sys.agency.IssueEvidence(d, report)
+			if err != nil {
+				t.Fatalf("IssueEvidence: %v", err)
+			}
+			if ev.Valid != tc.valid || ev.JobID != "evidence-job" {
+				t.Fatalf("evidence fields wrong: %+v", ev)
+			}
+			// Anyone with the public parameters verifies it.
+			if err := VerifyEvidence(scheme, ev); err != nil {
+				t.Fatalf("VerifyEvidence: %v", err)
+			}
+			if !tc.valid && ev.FailureSummary == "" {
+				t.Fatal("guilty verdict with empty failure summary")
+			}
+		})
+	}
+}
+
+func TestEvidenceTamperingDetected(t *testing.T) {
+	sys, d, report, scheme := evidenceFixture(t,
+		&ComputationCheater{CSC: 0, Rng: mrand.New(mrand.NewSource(3))})
+	ev, err := sys.agency.IssueEvidence(d, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("flipped verdict", func(t *testing.T) {
+		bad := *ev
+		bad.Valid = true // the CSP tries to launder a guilty verdict
+		if err := VerifyEvidence(scheme, &bad); err == nil {
+			t.Fatal("flipped verdict accepted")
+		}
+	})
+	t.Run("swapped server", func(t *testing.T) {
+		bad := *ev
+		bad.ServerID = "cs:somebody-else" // blame-shifting
+		if err := VerifyEvidence(scheme, &bad); err == nil {
+			t.Fatal("blame-shifted verdict accepted")
+		}
+	})
+	t.Run("edited failures", func(t *testing.T) {
+		bad := *ev
+		bad.FailureSummary = ""
+		if err := VerifyEvidence(scheme, &bad); err == nil {
+			t.Fatal("scrubbed failure list accepted")
+		}
+	})
+	t.Run("edited sample", func(t *testing.T) {
+		bad := *ev
+		bad.Sampled = append([]uint64(nil), ev.Sampled...)
+		if len(bad.Sampled) > 0 {
+			bad.Sampled[0]++
+		}
+		if err := VerifyEvidence(scheme, &bad); err == nil {
+			t.Fatal("edited sample set accepted")
+		}
+	})
+	t.Run("forged auditor", func(t *testing.T) {
+		bad := *ev
+		bad.AuditorID = "da:fake-court"
+		if err := VerifyEvidence(scheme, &bad); err == nil {
+			t.Fatal("forged auditor identity accepted")
+		}
+	})
+	t.Run("nil evidence", func(t *testing.T) {
+		if err := VerifyEvidence(scheme, nil); err == nil {
+			t.Fatal("nil evidence accepted")
+		}
+		if _, err := sys.agency.IssueEvidence(d, nil); err == nil {
+			t.Fatal("nil report accepted")
+		}
+	})
+}
+
+func TestEvidenceSummaryCanonical(t *testing.T) {
+	a := summarizeFailures([]AuditFailure{
+		{Index: 5, Check: CheckComputation},
+		{Index: 1, Check: CheckSignature},
+	})
+	b := summarizeFailures([]AuditFailure{
+		{Index: 1, Check: CheckSignature},
+		{Index: 5, Check: CheckComputation},
+	})
+	if a != b {
+		t.Fatalf("summary order-dependent: %q vs %q", a, b)
+	}
+	if a == "" {
+		t.Fatal("summary empty for non-empty failures")
+	}
+}

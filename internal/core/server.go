@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"seccloud/internal/dvs"
+	"seccloud/internal/funcs"
+	"seccloud/internal/ibc"
+	"seccloud/internal/merkle"
+	"seccloud/internal/netsim"
+	"seccloud/internal/wire"
+)
+
+// rootSigMessage is the byte string the server signs to commit to a job's
+// Merkle root (Sig_CS(R) in Fig. 3), bound to the job identifier.
+func rootSigMessage(jobID string, root []byte) []byte {
+	return append([]byte("seccloud/root-commitment|"+jobID+"|"), root...)
+}
+
+// CommitmentLeaves builds the Merkle leaves v_i = H(y_i ‖ p_i) for a job's
+// tasks and results, using each task's first position as the paper's p_i.
+func CommitmentLeaves(tasks []wire.TaskSpec, results [][]byte) ([]merkle.LeafData, error) {
+	if len(tasks) != len(results) {
+		return nil, fmt.Errorf("core: %d tasks but %d results", len(tasks), len(results))
+	}
+	leaves := make([]merkle.LeafData, len(tasks))
+	for i := range tasks {
+		var pos uint64
+		if len(tasks[i].Positions) > 0 {
+			pos = tasks[i].Positions[0]
+		}
+		leaves[i] = merkle.LeafData{Result: results[i], Position: pos}
+	}
+	return leaves, nil
+}
+
+// CommitmentRoot builds the full commitment tree and returns its root.
+func CommitmentRoot(tasks []wire.TaskSpec, results [][]byte) ([merkle.HashLen]byte, error) {
+	leaves, err := CommitmentLeaves(tasks, results)
+	if err != nil {
+		return [merkle.HashLen]byte{}, err
+	}
+	tree, err := merkle.Build(leaves)
+	if err != nil {
+		return [merkle.HashLen]byte{}, err
+	}
+	return tree.Root(), nil
+}
+
+// storedBlock is one block of one user's outsourced data as the server
+// holds it. Data may be nil when a cheating policy "deleted" the payload
+// while keeping the (small) signature.
+type storedBlock struct {
+	data []byte
+	size int
+	sig  wire.BlockSig
+}
+
+// jobRecord remembers a committed computing job so challenges can be
+// answered later.
+type jobRecord struct {
+	userID  string
+	tasks   []wire.TaskSpec
+	results [][]byte
+	tree    *merkle.Tree
+}
+
+// ServerConfig shapes a cloud server.
+type ServerConfig struct {
+	// VerifyOnStore makes the server check designated signatures at upload
+	// time (the eq. 5 check from the CS side). Defaults to true via
+	// NewServer; a cheating or lazy server can disable it.
+	VerifyOnStore bool
+	// Policy is the cheating policy; nil means Honest.
+	Policy CheatPolicy
+	// Clock is the time source for warrant expiry; nil means time.Now.
+	Clock func() time.Time
+	// Random supplies randomness for the root signature and fabricated
+	// blocks; must be non-nil (crypto/rand.Reader in production).
+	Random io.Reader
+}
+
+// Server is one cloud computing/storage server (S_i in §III-A). It
+// implements netsim.Handler so it can be exposed over any transport.
+// All exported methods are safe for concurrent use.
+type Server struct {
+	id     string
+	key    *ibc.PrivateKey
+	scheme *dvs.Scheme
+	reg    *funcs.Registry
+	cfg    ServerConfig
+
+	mu      sync.Mutex
+	storage map[string]map[uint64]*storedBlock
+	jobs    map[string]*jobRecord
+	mutSeq  map[string]uint64 // per-user last applied mutation sequence
+}
+
+var _ netsim.Handler = (*Server)(nil)
+
+// NewServer builds a server from its extracted identity key.
+func NewServer(sp *ibc.SystemParams, key *ibc.PrivateKey, cfg ServerConfig) (*Server, error) {
+	if cfg.Random == nil {
+		return nil, fmt.Errorf("core: server %q needs a randomness source", key.ID)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = Honest{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Server{
+		id:      key.ID,
+		key:     key,
+		scheme:  dvs.NewScheme(sp),
+		reg:     funcs.NewRegistry(),
+		cfg:     cfg,
+		storage: make(map[string]map[uint64]*storedBlock),
+		jobs:    make(map[string]*jobRecord),
+		mutSeq:  make(map[string]uint64),
+	}, nil
+}
+
+// ID returns the server identity.
+func (s *Server) ID() string { return s.id }
+
+// PolicyName reports the active cheating policy (for experiment logs).
+func (s *Server) PolicyName() string { return s.cfg.Policy.Name() }
+
+// Handle dispatches one protocol message.
+func (s *Server) Handle(m wire.Message) wire.Message {
+	switch req := m.(type) {
+	case *wire.StoreRequest:
+		return s.handleStore(req)
+	case *wire.ComputeRequest:
+		return s.handleCompute(req)
+	case *wire.ChallengeRequest:
+		return s.handleChallenge(req)
+	case *wire.StorageAuditRequest:
+		return s.handleStorageAudit(req)
+	case *wire.UpdateRequest:
+		return s.handleUpdate(req)
+	case *wire.DeleteRequest:
+		return s.handleDelete(req)
+	default:
+		return &wire.ErrorResponse{Code: "bad_request", Msg: fmt.Sprintf("unsupported message %T", m)}
+	}
+}
+
+func (s *Server) handleStore(req *wire.StoreRequest) wire.Message {
+	if len(req.Positions) != len(req.Blocks) || len(req.Blocks) != len(req.Sigs) {
+		return &wire.StoreResponse{OK: false, Error: "mismatched store request lengths"}
+	}
+	// Verification happens outside the lock: it is the expensive part.
+	if s.cfg.VerifyOnStore {
+		for i := range req.Blocks {
+			d, err := DecodeBlockSig(s.scheme.Params(), &req.Sigs[i], s.id)
+			if err != nil {
+				return &wire.StoreResponse{OK: false, Error: fmt.Sprintf("block %d: %v", req.Positions[i], err)}
+			}
+			msg := BlockMessage(req.Positions[i], req.Blocks[i])
+			if err := s.scheme.Verify(d, msg, s.key); err != nil {
+				return &wire.StoreResponse{OK: false,
+					Error: fmt.Sprintf("block %d signature invalid: %v", req.Positions[i], err)}
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	userStore, ok := s.storage[req.UserID]
+	if !ok {
+		userStore = make(map[uint64]*storedBlock, len(req.Blocks))
+		s.storage[req.UserID] = userStore
+	}
+	for i := range req.Blocks {
+		pos := req.Positions[i]
+		data, keep := s.cfg.Policy.OnStore(pos, req.Blocks[i], req.Sigs[i])
+		sb := &storedBlock{size: len(req.Blocks[i]), sig: req.Sigs[i]}
+		if keep {
+			sb.data = data
+		}
+		userStore[pos] = sb
+	}
+	return &wire.StoreResponse{OK: true}
+}
+
+// readBlock fetches a stored block, fabricating random bytes when the
+// payload was deleted by a cheating policy — the paper's "the cloud could
+// simply reply the cloud users' storage query with a random number".
+func (s *Server) readBlock(userID string, pos uint64) (*storedBlock, []byte, error) {
+	s.mu.Lock()
+	sb, ok := s.storage[userID][pos]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("core: no block at position %d for user %q", pos, userID)
+	}
+	if sb.data != nil {
+		return sb, sb.data, nil
+	}
+	fab := make([]byte, sb.size)
+	if _, err := io.ReadFull(s.cfg.Random, fab); err != nil {
+		return nil, nil, fmt.Errorf("core: fabricating block: %w", err)
+	}
+	return sb, fab, nil
+}
+
+func (s *Server) handleCompute(req *wire.ComputeRequest) wire.Message {
+	results := make([][]byte, len(req.Tasks))
+	for i, task := range req.Tasks {
+		i, task := i, task
+		honest := func() ([]byte, error) {
+			blocks := make([][]byte, len(task.Positions))
+			for k, pos := range task.Positions {
+				actual := s.cfg.Policy.RedirectPosition(i, pos)
+				_, data, err := s.readBlock(req.UserID, actual)
+				if err != nil {
+					return nil, err
+				}
+				blocks[k] = data
+			}
+			return s.reg.Eval(funcs.Spec{Name: task.FuncName, Arg: task.Arg}, blocks)
+		}
+		y, err := s.cfg.Policy.OnResult(i, task, honest)
+		if err != nil {
+			return &wire.ComputeResponse{JobID: req.JobID, ServerID: s.id,
+				Error: fmt.Sprintf("task %d: %v", i, err)}
+		}
+		results[i] = y
+	}
+	leaves, err := CommitmentLeaves(req.Tasks, results)
+	if err != nil {
+		return &wire.ComputeResponse{JobID: req.JobID, ServerID: s.id, Error: err.Error()}
+	}
+	tree, err := merkle.Build(leaves)
+	if err != nil {
+		return &wire.ComputeResponse{JobID: req.JobID, ServerID: s.id, Error: err.Error()}
+	}
+	root := tree.Root()
+	sig, err := s.scheme.Sign(s.key, rootSigMessage(req.JobID, root[:]), s.cfg.Random)
+	if err != nil {
+		return &wire.ComputeResponse{JobID: req.JobID, ServerID: s.id, Error: err.Error()}
+	}
+	s.mu.Lock()
+	s.jobs[req.JobID] = &jobRecord{
+		userID:  req.UserID,
+		tasks:   req.Tasks,
+		results: results,
+		tree:    tree,
+	}
+	s.mu.Unlock()
+	return &wire.ComputeResponse{
+		JobID:    req.JobID,
+		ServerID: s.id,
+		Results:  results,
+		Root:     root[:],
+		RootSig:  EncodeIBSig(s.scheme.Params(), sig),
+	}
+}
+
+// checkWarrant verifies the delegation token ("it first verifies the
+// warrant to check whether it is expired", §V-D).
+func (s *Server) checkWarrant(w *wire.Warrant, jobID string) error {
+	return VerifyWarrant(s.scheme, w, jobID, "", s.cfg.Clock())
+}
+
+func (s *Server) handleChallenge(req *wire.ChallengeRequest) wire.Message {
+	if err := s.checkWarrant(&req.Warrant, req.JobID); err != nil {
+		return &wire.ChallengeResponse{JobID: req.JobID, Error: err.Error()}
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[req.JobID]
+	s.mu.Unlock()
+	if !ok {
+		return &wire.ChallengeResponse{JobID: req.JobID, Error: "unknown job"}
+	}
+	items := make([]wire.ChallengeItem, 0, len(req.Indices))
+	for _, idx := range req.Indices {
+		if idx >= uint64(len(job.tasks)) {
+			return &wire.ChallengeResponse{JobID: req.JobID,
+				Error: fmt.Sprintf("challenge index %d out of range", idx)}
+		}
+		task := job.tasks[idx]
+		item := wire.ChallengeItem{
+			Index:  idx,
+			Task:   task,
+			Blocks: make([][]byte, len(task.Positions)),
+			Sigs:   make([]wire.BlockSig, len(task.Positions)),
+			Result: job.results[idx],
+		}
+		for k, pos := range task.Positions {
+			actual := s.cfg.Policy.RedirectPosition(int(idx), pos)
+			sb, data, err := s.readBlock(job.userID, actual)
+			if err != nil {
+				return &wire.ChallengeResponse{JobID: req.JobID, Error: err.Error()}
+			}
+			item.Blocks[k] = data
+			item.Sigs[k] = sb.sig
+		}
+		proof, err := job.tree.Prove(int(idx))
+		if err != nil {
+			return &wire.ChallengeResponse{JobID: req.JobID, Error: err.Error()}
+		}
+		item.ProofPath = make([]wire.ProofStep, len(proof.Steps))
+		for k, st := range proof.Steps {
+			item.ProofPath[k] = wire.ProofStep{Hash: append([]byte(nil), st.Hash[:]...), Right: st.Right}
+		}
+		items = append(items, item)
+	}
+	return &wire.ChallengeResponse{JobID: req.JobID, Items: items}
+}
+
+func (s *Server) handleStorageAudit(req *wire.StorageAuditRequest) wire.Message {
+	if err := s.checkWarrant(&req.Warrant, ""); err != nil {
+		return &wire.StorageAuditResponse{Error: err.Error()}
+	}
+	resp := &wire.StorageAuditResponse{
+		Blocks: make([][]byte, len(req.Positions)),
+		Sigs:   make([]wire.BlockSig, len(req.Positions)),
+	}
+	for i, pos := range req.Positions {
+		sb, data, err := s.readBlock(req.UserID, pos)
+		if err != nil {
+			return &wire.StorageAuditResponse{Error: err.Error()}
+		}
+		resp.Blocks[i] = data
+		resp.Sigs[i] = sb.sig
+	}
+	return resp
+}
+
+// StoredBlockCount reports how many blocks the server holds for a user
+// (diagnostics for tests and experiments).
+func (s *Server) StoredBlockCount(userID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.storage[userID])
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"seccloud/internal/dvs"
+	"seccloud/internal/wire"
+)
+
+// VerifyWarrant checks a delegation warrant: the user's signature over the
+// warrant body, expiry against now, and — when non-empty — the expected
+// job and delegate bindings. Both the cloud server (before answering a
+// challenge) and the DA (before accepting a delegation) run this.
+func VerifyWarrant(scheme *dvs.Scheme, w *wire.Warrant, jobID, delegateID string, now time.Time) error {
+	if w == nil {
+		return fmt.Errorf("core: missing warrant")
+	}
+	if jobID != "" && w.JobID != "" && w.JobID != jobID {
+		return fmt.Errorf("core: warrant is for job %q, want %q", w.JobID, jobID)
+	}
+	if delegateID != "" && w.DelegateID != delegateID {
+		return fmt.Errorf("core: warrant delegates to %q, want %q", w.DelegateID, delegateID)
+	}
+	if now.Unix() > w.NotAfterUnix {
+		return fmt.Errorf("core: warrant expired at %s",
+			time.Unix(w.NotAfterUnix, 0).UTC().Format(time.RFC3339))
+	}
+	sig, err := DecodeIBSig(scheme.Params(), w.Sig)
+	if err != nil {
+		return fmt.Errorf("core: warrant signature malformed: %w", err)
+	}
+	if err := scheme.PublicVerify(w.UserID, w.Body(), sig); err != nil {
+		return fmt.Errorf("core: warrant signature invalid: %w", err)
+	}
+	return nil
+}

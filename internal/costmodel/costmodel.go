@@ -1,0 +1,172 @@
+// Package costmodel reproduces the paper's performance-evaluation
+// methodology (§VII-D): measure the primitive cryptographic operation
+// times on the local machine (Table I: T_pmul, T_pair), then evaluate
+// analytic operation-count models for each scheme (Table II: RSA, ECDSA,
+// BGLS, ours; Figure 5: ours vs. the Wang et al. auditing schemes [4][5])
+// at those measured costs — exactly what the paper did with MIRACL numbers
+// in Matlab, but reproducible on any host.
+//
+// It also implements the §VII-C "history learning process" for the cost
+// coefficients of the total-cost model as an exponentially weighted online
+// estimator.
+package costmodel
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"seccloud/internal/pairing"
+)
+
+// OpTimes are the measured primitive costs — the paper's Table I.
+type OpTimes struct {
+	// PointMul is the time for one G1 scalar multiplication (T_pmul).
+	PointMul time.Duration
+	// Pairing is the time for one pairing evaluation (T_pair).
+	Pairing time.Duration
+	// HashToPoint is the time for one H1 map-to-point evaluation.
+	HashToPoint time.Duration
+	// GTMul is the time for one GT multiplication (used by aggregation).
+	GTMul time.Duration
+}
+
+// Measure times the primitive operations over iters iterations each.
+// iters must be positive; a handful of iterations (5–20) gives stable
+// medians on an idle host.
+func Measure(pp *pairing.Params, iters int) (OpTimes, error) {
+	if iters <= 0 {
+		return OpTimes{}, fmt.Errorf("costmodel: iterations must be positive, got %d", iters)
+	}
+	g := pp.G1()
+	p1, _, err := g.RandPoint(rand.Reader)
+	if err != nil {
+		return OpTimes{}, fmt.Errorf("costmodel: sampling point: %w", err)
+	}
+	p2, _, err := g.RandPoint(rand.Reader)
+	if err != nil {
+		return OpTimes{}, fmt.Errorf("costmodel: sampling point: %w", err)
+	}
+	k, err := g.Scalars().Rand(rand.Reader)
+	if err != nil {
+		return OpTimes{}, fmt.Errorf("costmodel: sampling scalar: %w", err)
+	}
+
+	var out OpTimes
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		g.ScalarMult(p1, k)
+	}
+	out.PointMul = time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		pp.Pair(p1, p2)
+	}
+	out.Pairing = time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		g.HashToPoint("costmodel/measure", []byte{byte(i), byte(i >> 8)})
+	}
+	out.HashToPoint = time.Since(start) / time.Duration(iters)
+
+	e := pp.Pair(p1, p2)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		e = e.Mul(e)
+	}
+	out.GTMul = time.Since(start) / time.Duration(iters)
+	return out, nil
+}
+
+// PaperTableI returns the reference numbers the paper measured on an Intel
+// Core 2 Duo E6550 with MIRACL (Table I), for side-by-side reporting.
+func PaperTableI() OpTimes {
+	return OpTimes{
+		PointMul: 860 * time.Microsecond,
+		Pairing:  4140 * time.Microsecond,
+	}
+}
+
+// OpCount is an operation-count vector for one verification workload.
+type OpCount struct {
+	Pairings  int
+	PointMuls int
+	GTMuls    int
+}
+
+// Cost evaluates the vector at measured op times.
+func (c OpCount) Cost(t OpTimes) time.Duration {
+	return time.Duration(c.Pairings)*t.Pairing +
+		time.Duration(c.PointMuls)*t.PointMul +
+		time.Duration(c.GTMuls)*t.GTMul
+}
+
+// Add returns the component-wise sum.
+func (c OpCount) Add(o OpCount) OpCount {
+	return OpCount{
+		Pairings:  c.Pairings + o.Pairings,
+		PointMuls: c.PointMuls + o.PointMuls,
+		GTMuls:    c.GTMuls + o.GTMuls,
+	}
+}
+
+// --- Table II models ---------------------------------------------------------
+
+// Table II of the paper compares individual vs. batch verification cost
+// for batch size τ:
+//
+//	RSA:    τ·T_RSA          (no batch verification)
+//	ECDSA:  τ·T_ECDSA        (no batch verification)
+//	BGLS:   2τ·T_pair  vs  (τ+1)·T_pair
+//	Ours:   2τ·T_pair  vs  2·T_pair
+//
+// The pairing-based rows are modeled here; the RSA/ECDSA rows are measured
+// directly by package baseline (stdlib implementations).
+
+// OursIndividual is the paper's accounting for τ independent designated
+// verifications: 2 pairings each (one at designation, one at check).
+func OursIndividual(tau int) OpCount {
+	return OpCount{Pairings: 2 * tau, PointMuls: tau}
+}
+
+// OursBatch is the §VI aggregate verification: a constant 2 pairings
+// (aggregate-side and check-side) plus one point multiplication and one GT
+// multiplication per item for the aggregation itself.
+func OursBatch(tau int) OpCount {
+	return OpCount{Pairings: 2, PointMuls: tau, GTMuls: tau}
+}
+
+// BGLSIndividual is 2 pairings per signature.
+func BGLSIndividual(tau int) OpCount { return OpCount{Pairings: 2 * tau} }
+
+// BGLSBatch is the aggregate BGLS verification: τ+1 pairings.
+func BGLSBatch(tau int) OpCount { return OpCount{Pairings: tau + 1, GTMuls: tau} }
+
+// --- Figure 5 models ---------------------------------------------------------
+
+// Figure 5 plots DA-side verification cost against the number of cloud
+// users k (each contributing one auditing session): our batch verification
+// uses a constant number of pairings, while the public-auditing schemes of
+// Wang et al. [4] (INFOCOM'10, privacy-preserving public auditing) and [5]
+// (ESORICS'09, BLS+Merkle dynamic auditing) pay pairings per user.
+
+// Fig5Ours: one batch over all k users' signatures — 2 pairings total plus
+// per-user aggregation work.
+func Fig5Ours(users int) OpCount {
+	return OpCount{Pairings: 2, PointMuls: users, GTMuls: users}
+}
+
+// Fig5Wang09 models scheme [5]: each user's proof costs a 2-pairing BLS
+// check plus Merkle path point work; k users → 2k pairings.
+func Fig5Wang09(users int) OpCount {
+	return OpCount{Pairings: 2 * users, PointMuls: 2 * users}
+}
+
+// Fig5Wang10 models scheme [4]: the randomized masked check costs 2
+// pairings and additional masking multiplications per user; k users → 2k
+// pairings with a higher point-mul constant.
+func Fig5Wang10(users int) OpCount {
+	return OpCount{Pairings: 2 * users, PointMuls: 3 * users}
+}

@@ -1,0 +1,103 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"seccloud/internal/pairing"
+)
+
+func TestMeasureProducesPositiveTimes(t *testing.T) {
+	ops, err := Measure(pairing.InsecureTest256(), 3)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if ops.PointMul <= 0 || ops.Pairing <= 0 || ops.HashToPoint <= 0 || ops.GTMul <= 0 {
+		t.Fatalf("non-positive op times: %+v", ops)
+	}
+	// A pairing costs more than a GT multiplication on any sane host.
+	if ops.Pairing < ops.GTMul {
+		t.Fatalf("pairing (%v) cheaper than GT mul (%v)", ops.Pairing, ops.GTMul)
+	}
+}
+
+func TestMeasureRejectsBadIters(t *testing.T) {
+	if _, err := Measure(pairing.InsecureTest256(), 0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestPaperTableI(t *testing.T) {
+	ref := PaperTableI()
+	if ref.PointMul != 860*time.Microsecond || ref.Pairing != 4140*time.Microsecond {
+		t.Fatalf("paper reference drifted: %+v", ref)
+	}
+	// The published ratio T_pair/T_pmul ≈ 4.8.
+	ratio := float64(ref.Pairing) / float64(ref.PointMul)
+	if ratio < 4.5 || ratio > 5.0 {
+		t.Fatalf("paper ratio %v outside expected band", ratio)
+	}
+}
+
+func TestOpCountCostArithmetic(t *testing.T) {
+	ops := OpTimes{PointMul: time.Millisecond, Pairing: 4 * time.Millisecond, GTMul: time.Microsecond}
+	c := OpCount{Pairings: 2, PointMuls: 3, GTMuls: 5}
+	want := 2*4*time.Millisecond + 3*time.Millisecond + 5*time.Microsecond
+	if got := c.Cost(ops); got != want {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+	sum := c.Add(OpCount{Pairings: 1, PointMuls: 1, GTMuls: 1})
+	if sum != (OpCount{Pairings: 3, PointMuls: 4, GTMuls: 6}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	// The structural claims of Table II must hold for every batch size:
+	// ours-batch uses a constant pairing count; BGLS-batch grows linearly
+	// but beats BGLS-individual; ours-individual equals BGLS-individual in
+	// pairings (2τ).
+	for _, tau := range []int{1, 2, 8, 50, 500} {
+		oi, ob := OursIndividual(tau), OursBatch(tau)
+		bi, bb := BGLSIndividual(tau), BGLSBatch(tau)
+		if ob.Pairings != 2 {
+			t.Fatalf("τ=%d: ours-batch uses %d pairings, want constant 2", tau, ob.Pairings)
+		}
+		if oi.Pairings != 2*tau || bi.Pairings != 2*tau {
+			t.Fatalf("τ=%d: individual pairing counts %d/%d, want %d", tau, oi.Pairings, bi.Pairings, 2*tau)
+		}
+		if bb.Pairings != tau+1 {
+			t.Fatalf("τ=%d: BGLS-batch uses %d pairings, want τ+1", tau, bb.Pairings)
+		}
+		if tau > 1 && !(ob.Pairings < bb.Pairings && bb.Pairings < bi.Pairings) {
+			t.Fatalf("τ=%d: ordering ours-batch < BGLS-batch < individual violated", tau)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	// Ours must be constant in pairings; both comparators linear. At the
+	// paper's measured op times, the comparators' cost must exceed ours
+	// for every user count ≥ 1 and the gap must grow.
+	ops := PaperTableI()
+	prevGap := time.Duration(0)
+	for _, k := range []int{1, 10, 25, 50} {
+		ours := Fig5Ours(k).Cost(ops)
+		w09 := Fig5Wang09(k).Cost(ops)
+		w10 := Fig5Wang10(k).Cost(ops)
+		if Fig5Ours(k).Pairings != 2 {
+			t.Fatalf("k=%d: ours not constant in pairings", k)
+		}
+		if Fig5Wang09(k).Pairings != 2*k || Fig5Wang10(k).Pairings != 2*k {
+			t.Fatalf("k=%d: comparators not linear in pairings", k)
+		}
+		if w09 <= ours || w10 <= ours {
+			t.Fatalf("k=%d: comparator cheaper than ours (ours=%v w09=%v w10=%v)", k, ours, w09, w10)
+		}
+		gap := w09 - ours
+		if gap < prevGap {
+			t.Fatalf("k=%d: gap shrank (%v → %v); expected growing linear separation", k, prevGap, gap)
+		}
+		prevGap = gap
+	}
+}

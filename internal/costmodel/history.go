@@ -1,0 +1,137 @@
+package costmodel
+
+import (
+	"fmt"
+	"sync"
+
+	"seccloud/internal/sampling"
+)
+
+// HistoryLearner realizes the paper's one-sentence §VII-C remark — "we
+// evaluate them through a history learning process" — as an exponentially
+// weighted moving-average estimator over observed audits.
+//
+// Each completed audit contributes:
+//   - the measured transmission cost per sampled pair (→ C_trans),
+//   - the measured DA computation cost per audit (→ C_comp),
+//   - whether cheating was detected, and at what sample size, which feeds
+//     an EWMA estimate of the per-sample survival probability q.
+//
+// The loss term C_cheat cannot be observed from audits (it is the business
+// damage of an undetected cheat) and is supplied by the operator.
+//
+// Safe for concurrent use.
+type HistoryLearner struct {
+	mu sync.Mutex
+
+	// alpha is the EWMA weight of the newest observation.
+	alpha float64
+
+	cTransPerPair float64 // EWMA, cost units per sampled pair
+	cComp         float64 // EWMA, cost units per audit
+	qHat          float64 // EWMA of per-sample survival probability
+	observations  int
+}
+
+// NewHistoryLearner builds a learner with the given EWMA weight
+// α ∈ (0, 1]; a typical choice is 0.1 (slow adaptation) to 0.5 (fast).
+func NewHistoryLearner(alpha float64) (*HistoryLearner, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("costmodel: EWMA weight %v outside (0,1]", alpha)
+	}
+	return &HistoryLearner{alpha: alpha, qHat: 0.5}, nil
+}
+
+// Observation is one completed audit's measurable facts.
+type Observation struct {
+	// SampleSize is the t used.
+	SampleSize int
+	// TransBytes is the total challenge/response traffic.
+	TransBytes int64
+	// CompCost is the DA-side computation cost (any consistent unit,
+	// e.g. nanoseconds).
+	CompCost float64
+	// Detected reports whether the audit caught cheating.
+	Detected bool
+}
+
+// Observe folds one audit into the estimates.
+func (h *HistoryLearner) Observe(o Observation) error {
+	if o.SampleSize <= 0 {
+		return fmt.Errorf("costmodel: observation needs a positive sample size, got %d", o.SampleSize)
+	}
+	if o.TransBytes < 0 || o.CompCost < 0 {
+		return fmt.Errorf("costmodel: negative costs in observation %+v", o)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	perPair := float64(o.TransBytes) / float64(o.SampleSize)
+	// Per-sample survival: a detection at sample size t means the cheater
+	// survived < t samples; approximate the per-sample survival from the
+	// audit outcome (survived all t → q_obs^t = 1; caught → use the
+	// maximum-likelihood boundary estimate for a single Bernoulli-power
+	// observation).
+	var qObs float64
+	if o.Detected {
+		qObs = 0
+	} else {
+		qObs = 1
+	}
+
+	if h.observations == 0 {
+		h.cTransPerPair = perPair
+		h.cComp = o.CompCost
+		h.qHat = h.alpha*qObs + (1-h.alpha)*h.qHat
+	} else {
+		h.cTransPerPair = h.alpha*perPair + (1-h.alpha)*h.cTransPerPair
+		h.cComp = h.alpha*o.CompCost + (1-h.alpha)*h.cComp
+		h.qHat = h.alpha*qObs + (1-h.alpha)*h.qHat
+	}
+	h.observations++
+	return nil
+}
+
+// Estimates returns the current learned values.
+func (h *HistoryLearner) Estimates() (cTransPerPair, cComp, qHat float64, n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cTransPerPair, h.cComp, h.qHat, h.observations
+}
+
+// CostParams assembles sampling.CostParams from the learned estimates, the
+// operator-supplied cheat loss, and the coefficients a1–a3. The learned
+// q̂ is clamped into (qFloor, 1−qFloor) so the logarithms of Theorem 3
+// stay defined even after long all-honest or all-cheating streaks.
+func (h *HistoryLearner) CostParams(a1, a2, a3, cheatLoss float64) (sampling.CostParams, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.observations == 0 {
+		return sampling.CostParams{}, fmt.Errorf("costmodel: no observations yet")
+	}
+	const qFloor = 1e-6
+	q := h.qHat
+	if q < qFloor {
+		q = qFloor
+	}
+	if q > 1-qFloor {
+		q = 1 - qFloor
+	}
+	cp := sampling.CostParams{
+		A1: a1, A2: a2, A3: a3,
+		CTrans: h.cTransPerPair,
+		CComp:  h.cComp,
+		CCheat: cheatLoss,
+		Q:      q,
+	}
+	return cp, nil
+}
+
+// RecommendSampleSize runs Theorem 3 on the learned parameters.
+func (h *HistoryLearner) RecommendSampleSize(a1, a2, a3, cheatLoss float64) (int, error) {
+	cp, err := h.CostParams(a1, a2, a3, cheatLoss)
+	if err != nil {
+		return 0, err
+	}
+	return sampling.OptimalSampleSize(cp)
+}

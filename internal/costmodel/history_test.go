@@ -1,0 +1,161 @@
+package costmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewHistoryLearnerValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if _, err := NewHistoryLearner(alpha); err == nil {
+			t.Fatalf("alpha %v accepted", alpha)
+		}
+	}
+	if _, err := NewHistoryLearner(1); err != nil {
+		t.Fatalf("alpha 1 rejected: %v", err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	h, err := NewHistoryLearner(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Observe(Observation{SampleSize: 0}); err == nil {
+		t.Fatal("zero sample size accepted")
+	}
+	if err := h.Observe(Observation{SampleSize: 1, TransBytes: -1}); err == nil {
+		t.Fatal("negative bytes accepted")
+	}
+	if err := h.Observe(Observation{SampleSize: 1, CompCost: -1}); err == nil {
+		t.Fatal("negative compute cost accepted")
+	}
+}
+
+func TestLearnerConvergesOnStableCosts(t *testing.T) {
+	h, err := NewHistoryLearner(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable workload: 10 samples, 5000 bytes, comp cost 42; never caught.
+	for i := 0; i < 100; i++ {
+		if err := h.Observe(Observation{
+			SampleSize: 10, TransBytes: 5000, CompCost: 42, Detected: false,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trans, comp, q, n := h.Estimates()
+	if n != 100 {
+		t.Fatalf("observation count %d, want 100", n)
+	}
+	if math.Abs(trans-500) > 1e-9 {
+		t.Fatalf("learned C_trans/pair %v, want 500", trans)
+	}
+	if math.Abs(comp-42) > 1e-9 {
+		t.Fatalf("learned C_comp %v, want 42", comp)
+	}
+	// All-honest history drives q̂ toward 1.
+	if q < 0.99 {
+		t.Fatalf("q̂ = %v after all-honest history, want ≈1", q)
+	}
+}
+
+func TestLearnerTracksDetections(t *testing.T) {
+	h, err := NewHistoryLearner(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := h.Observe(Observation{
+			SampleSize: 5, TransBytes: 1000, CompCost: 10, Detected: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, q, _ := h.Estimates()
+	if q > 0.01 {
+		t.Fatalf("q̂ = %v after all-detected history, want ≈0", q)
+	}
+}
+
+func TestCostParamsRequiresObservations(t *testing.T) {
+	h, err := NewHistoryLearner(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CostParams(1, 1, 1, 1e6); err == nil {
+		t.Fatal("CostParams succeeded with no observations")
+	}
+	if _, err := h.RecommendSampleSize(1, 1, 1, 1e6); err == nil {
+		t.Fatal("RecommendSampleSize succeeded with no observations")
+	}
+}
+
+func TestRecommendSampleSizeEndToEnd(t *testing.T) {
+	h, err := NewHistoryLearner(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixed history: 60% of audits catch the cheater.
+	for i := 0; i < 50; i++ {
+		if err := h.Observe(Observation{
+			SampleSize: 8, TransBytes: 4000, CompCost: 20, Detected: i%5 < 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tStar, err := h.RecommendSampleSize(1, 1, 1, 1e9)
+	if err != nil {
+		t.Fatalf("RecommendSampleSize: %v", err)
+	}
+	if tStar <= 0 {
+		t.Fatalf("with huge cheat losses the recommendation must be positive, got %d", tStar)
+	}
+	// Tiny stakes → no auditing.
+	tZero, err := h.RecommendSampleSize(1, 1, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tZero != 0 {
+		t.Fatalf("with negligible losses the recommendation must be 0, got %d", tZero)
+	}
+}
+
+func TestLearnerClampsDegenerateQ(t *testing.T) {
+	// Even after an all-honest streak (q̂ → 1), Theorem 3 must stay
+	// numerically defined thanks to the clamp.
+	h, err := NewHistoryLearner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Observe(Observation{SampleSize: 1, TransBytes: 100, CompCost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RecommendSampleSize(1, 1, 1, 1e6); err != nil {
+		t.Fatalf("clamped recommendation failed: %v", err)
+	}
+}
+
+func TestLearnerConcurrentObserve(t *testing.T) {
+	h, err := NewHistoryLearner(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = h.Observe(Observation{SampleSize: 4, TransBytes: 800, CompCost: 2})
+			}
+		}()
+	}
+	wg.Wait()
+	_, _, _, n := h.Estimates()
+	if n != 800 {
+		t.Fatalf("observation count %d, want 800", n)
+	}
+}

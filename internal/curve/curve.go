@@ -1,0 +1,421 @@
+// Package curve implements the elliptic-curve group G1 used by SecCloud:
+// the order-q subgroup of the supersingular curve
+//
+//	E(Fp): y² = x³ + x,  p ≡ 3 (mod 4),  #E(Fp) = p + 1 = h·q.
+//
+// Because E is supersingular with embedding degree 2, the distortion map
+// φ(x, y) = (−x, i·y) sends G1 into E(Fp2) and turns the Tate pairing into
+// the symmetric bilinear map ê : G1 × G1 → GT that the paper assumes.
+//
+// Scalar multiplication uses Jacobian coordinates internally to avoid
+// modular inversions; the exported Point type is affine.
+package curve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"seccloud/internal/ff"
+	"seccloud/internal/ops"
+)
+
+// ErrInvalidPoint reports a point that is not on the curve or not in G1.
+var ErrInvalidPoint = errors.New("curve: invalid point")
+
+// Group describes the concrete curve subgroup. A Group is immutable after
+// construction and safe for concurrent use.
+type Group struct {
+	fp  *ff.Ctx
+	sf  *ff.ScalarField
+	p   *big.Int // field prime
+	q   *big.Int // subgroup order
+	h   *big.Int // cofactor, p + 1 = h·q
+	gen *Point   // generator of G1
+
+	counters *ops.Counters // expensive-op accounting, always on
+}
+
+// Point is an affine point on E(Fp), plus the point at infinity.
+// The zero value is the point at infinity.
+type Point struct {
+	X, Y *big.Int
+	Inf  bool
+}
+
+// NewGroup validates the supplied parameters and returns the group.
+// gen must be a point of exact order q.
+func NewGroup(p, q, h *big.Int, gen *Point) (*Group, error) {
+	fp, err := ff.NewCtx(p)
+	if err != nil {
+		return nil, fmt.Errorf("curve: building field context: %w", err)
+	}
+	sf, err := ff.NewScalarField(q)
+	if err != nil {
+		return nil, fmt.Errorf("curve: building scalar field: %w", err)
+	}
+	// Check p + 1 == h·q.
+	ord := new(big.Int).Mul(h, q)
+	pp1 := new(big.Int).Add(p, big.NewInt(1))
+	if ord.Cmp(pp1) != 0 {
+		return nil, errors.New("curve: parameters do not satisfy p+1 = h·q")
+	}
+	g := &Group{
+		fp: fp, sf: sf,
+		p:        new(big.Int).Set(p),
+		q:        new(big.Int).Set(q),
+		h:        new(big.Int).Set(h),
+		counters: new(ops.Counters),
+	}
+	if gen == nil || gen.Inf || !g.IsOnCurve(gen) {
+		return nil, fmt.Errorf("curve: generator: %w", ErrInvalidPoint)
+	}
+	if !g.ScalarMult(gen, q).Inf {
+		return nil, errors.New("curve: generator does not have order q")
+	}
+	g.gen = g.Copy(gen)
+	return g, nil
+}
+
+// FieldCtx returns the Fp arithmetic context shared with the pairing.
+func (g *Group) FieldCtx() *ff.Ctx { return g.fp }
+
+// Counters exposes the group's expensive-operation counters. All parties
+// constructed from the same parameter set share them; snapshot around a
+// single-threaded section to attribute counts to one party.
+func (g *Group) Counters() *ops.Counters { return g.counters }
+
+// Scalars returns the Zq helper shared with the protocol layers.
+func (g *Group) Scalars() *ff.ScalarField { return g.sf }
+
+// P returns a copy of the field prime.
+func (g *Group) P() *big.Int { return new(big.Int).Set(g.p) }
+
+// Q returns a copy of the subgroup order.
+func (g *Group) Q() *big.Int { return new(big.Int).Set(g.q) }
+
+// Cofactor returns a copy of h = (p+1)/q.
+func (g *Group) Cofactor() *big.Int { return new(big.Int).Set(g.h) }
+
+// Generator returns a copy of the group generator.
+func (g *Group) Generator() *Point { return g.Copy(g.gen) }
+
+// Infinity returns the point at infinity (group identity).
+func (g *Group) Infinity() *Point { return &Point{Inf: true} }
+
+// Copy returns a deep copy of pt.
+func (g *Group) Copy(pt *Point) *Point {
+	if pt.Inf {
+		return &Point{Inf: true}
+	}
+	return &Point{X: new(big.Int).Set(pt.X), Y: new(big.Int).Set(pt.Y)}
+}
+
+// Equal reports whether a and b are the same group element.
+func (g *Group) Equal(a, b *Point) bool {
+	if a.Inf || b.Inf {
+		return a.Inf == b.Inf
+	}
+	return a.X.Cmp(b.X) == 0 && a.Y.Cmp(b.Y) == 0
+}
+
+// IsOnCurve reports whether pt satisfies y² = x³ + x over Fp.
+func (g *Group) IsOnCurve(pt *Point) bool {
+	if pt.Inf {
+		return true
+	}
+	if pt.X == nil || pt.Y == nil || !g.fp.InField(pt.X) || !g.fp.InField(pt.Y) {
+		return false
+	}
+	lhs := new(big.Int).Mul(pt.Y, pt.Y)
+	lhs.Mod(lhs, g.p)
+	rhs := new(big.Int).Mul(pt.X, pt.X)
+	rhs.Mul(rhs, pt.X)
+	rhs.Add(rhs, pt.X)
+	rhs.Mod(rhs, g.p)
+	return lhs.Cmp(rhs) == 0
+}
+
+// InSubgroup reports whether pt is on the curve and has order dividing q.
+func (g *Group) InSubgroup(pt *Point) bool {
+	return g.IsOnCurve(pt) && g.ScalarMult(pt, g.q).Inf
+}
+
+// Neg returns −pt.
+func (g *Group) Neg(pt *Point) *Point {
+	if pt.Inf {
+		return &Point{Inf: true}
+	}
+	y := new(big.Int).Neg(pt.Y)
+	y.Mod(y, g.p)
+	return &Point{X: new(big.Int).Set(pt.X), Y: y}
+}
+
+// Add returns a + b using affine arithmetic.
+func (g *Group) Add(a, b *Point) *Point {
+	if a.Inf {
+		return g.Copy(b)
+	}
+	if b.Inf {
+		return g.Copy(a)
+	}
+	if a.X.Cmp(b.X) == 0 {
+		ysum := new(big.Int).Add(a.Y, b.Y)
+		ysum.Mod(ysum, g.p)
+		if ysum.Sign() == 0 {
+			return &Point{Inf: true}
+		}
+		return g.Double(a)
+	}
+	num := new(big.Int).Sub(b.Y, a.Y)
+	den := new(big.Int).Sub(b.X, a.X)
+	den.Mod(den, g.p)
+	den.ModInverse(den, g.p)
+	l := num.Mul(num, den)
+	l.Mod(l, g.p)
+	x3 := new(big.Int).Mul(l, l)
+	x3.Sub(x3, a.X)
+	x3.Sub(x3, b.X)
+	x3.Mod(x3, g.p)
+	y3 := new(big.Int).Sub(a.X, x3)
+	y3.Mul(y3, l)
+	y3.Sub(y3, a.Y)
+	y3.Mod(y3, g.p)
+	return &Point{X: x3, Y: y3}
+}
+
+// Double returns 2·a using affine arithmetic with the curve term a = 1:
+// λ = (3x² + 1) / 2y.
+func (g *Group) Double(a *Point) *Point {
+	if a.Inf || a.Y.Sign() == 0 {
+		return &Point{Inf: true}
+	}
+	num := new(big.Int).Mul(a.X, a.X)
+	num.Mul(num, big.NewInt(3))
+	num.Add(num, big.NewInt(1))
+	den := new(big.Int).Lsh(a.Y, 1)
+	den.ModInverse(den, g.p)
+	l := num.Mul(num, den)
+	l.Mod(l, g.p)
+	x3 := new(big.Int).Mul(l, l)
+	x3.Sub(x3, new(big.Int).Lsh(a.X, 1))
+	x3.Mod(x3, g.p)
+	y3 := new(big.Int).Sub(a.X, x3)
+	y3.Mul(y3, l)
+	y3.Sub(y3, a.Y)
+	y3.Mod(y3, g.p)
+	return &Point{X: x3, Y: y3}
+}
+
+// Sub returns a - b.
+func (g *Group) Sub(a, b *Point) *Point { return g.Add(a, g.Neg(b)) }
+
+// jacobian is an internal projective representation (x = X/Z², y = Y/Z³).
+type jacobian struct {
+	x, y, z *big.Int
+}
+
+func (g *Group) toJacobian(p *Point) *jacobian {
+	if p.Inf {
+		return &jacobian{x: big.NewInt(1), y: big.NewInt(1), z: new(big.Int)}
+	}
+	return &jacobian{
+		x: new(big.Int).Set(p.X),
+		y: new(big.Int).Set(p.Y),
+		z: big.NewInt(1),
+	}
+}
+
+func (g *Group) fromJacobian(j *jacobian) *Point {
+	if j.z.Sign() == 0 {
+		return &Point{Inf: true}
+	}
+	zinv := new(big.Int).ModInverse(j.z, g.p)
+	zinv2 := new(big.Int).Mul(zinv, zinv)
+	zinv2.Mod(zinv2, g.p)
+	x := new(big.Int).Mul(j.x, zinv2)
+	x.Mod(x, g.p)
+	zinv3 := zinv2.Mul(zinv2, zinv)
+	zinv3.Mod(zinv3, g.p)
+	y := new(big.Int).Mul(j.y, zinv3)
+	y.Mod(y, g.p)
+	return &Point{X: x, Y: y}
+}
+
+// jacDouble doubles in place: standard Jacobian doubling for y² = x³ + a·x
+// with a = 1 (M = 3X² + Z⁴).
+func (g *Group) jacDouble(j *jacobian) *jacobian {
+	if j.z.Sign() == 0 || j.y.Sign() == 0 {
+		return &jacobian{x: big.NewInt(1), y: big.NewInt(1), z: new(big.Int)}
+	}
+	p := g.p
+	yy := new(big.Int).Mul(j.y, j.y)
+	yy.Mod(yy, p)
+	s := new(big.Int).Mul(j.x, yy)
+	s.Lsh(s, 2)
+	s.Mod(s, p) // S = 4XY²
+	xx := new(big.Int).Mul(j.x, j.x)
+	xx.Mod(xx, p)
+	zz := new(big.Int).Mul(j.z, j.z)
+	zz.Mod(zz, p)
+	z4 := new(big.Int).Mul(zz, zz)
+	z4.Mod(z4, p)
+	m := new(big.Int).Mul(xx, big.NewInt(3))
+	m.Add(m, z4)
+	m.Mod(m, p) // M = 3X² + Z⁴ (a = 1)
+	x3 := new(big.Int).Mul(m, m)
+	x3.Sub(x3, new(big.Int).Lsh(s, 1))
+	x3.Mod(x3, p)
+	y4 := new(big.Int).Mul(yy, yy)
+	y4.Lsh(y4, 3)
+	y4.Mod(y4, p) // 8Y⁴
+	y3 := new(big.Int).Sub(s, x3)
+	y3.Mul(y3, m)
+	y3.Sub(y3, y4)
+	y3.Mod(y3, p)
+	z3 := new(big.Int).Mul(j.y, j.z)
+	z3.Lsh(z3, 1)
+	z3.Mod(z3, p)
+	return &jacobian{x: x3, y: y3, z: z3}
+}
+
+// jacAddMixed adds the affine point b to j (mixed addition).
+func (g *Group) jacAddMixed(j *jacobian, b *Point) *jacobian {
+	if b.Inf {
+		return j
+	}
+	if j.z.Sign() == 0 {
+		return g.toJacobian(b)
+	}
+	p := g.p
+	zz := new(big.Int).Mul(j.z, j.z)
+	zz.Mod(zz, p)
+	u2 := new(big.Int).Mul(b.X, zz)
+	u2.Mod(u2, p)
+	zzz := new(big.Int).Mul(zz, j.z)
+	zzz.Mod(zzz, p)
+	s2 := new(big.Int).Mul(b.Y, zzz)
+	s2.Mod(s2, p)
+	hh := new(big.Int).Sub(u2, j.x)
+	hh.Mod(hh, p)
+	r := new(big.Int).Sub(s2, j.y)
+	r.Mod(r, p)
+	if hh.Sign() == 0 {
+		if r.Sign() == 0 {
+			return g.jacDouble(j)
+		}
+		return &jacobian{x: big.NewInt(1), y: big.NewInt(1), z: new(big.Int)}
+	}
+	h2 := new(big.Int).Mul(hh, hh)
+	h2.Mod(h2, p)
+	h3 := new(big.Int).Mul(h2, hh)
+	h3.Mod(h3, p)
+	xh2 := new(big.Int).Mul(j.x, h2)
+	xh2.Mod(xh2, p)
+	x3 := new(big.Int).Mul(r, r)
+	x3.Sub(x3, h3)
+	x3.Sub(x3, new(big.Int).Lsh(xh2, 1))
+	x3.Mod(x3, p)
+	y3 := new(big.Int).Sub(xh2, x3)
+	y3.Mul(y3, r)
+	yh3 := new(big.Int).Mul(j.y, h3)
+	y3.Sub(y3, yh3)
+	y3.Mod(y3, p)
+	z3 := new(big.Int).Mul(j.z, hh)
+	z3.Mod(z3, p)
+	return &jacobian{x: x3, y: y3, z: z3}
+}
+
+// scalarMultWindow is the fixed-window width used by ScalarMult: the
+// accumulator absorbs w bits per iteration against a 2^w−1 entry table of
+// small odd multiples, cutting the number of mixed additions by ~w×
+// compared to binary double-and-add (see BenchmarkScalarMultAblation).
+const scalarMultWindow = 4
+
+// ScalarMult returns k·pt. Negative k is handled as (−k)·(−pt).
+func (g *Group) ScalarMult(pt *Point, k *big.Int) *Point {
+	if pt.Inf || k.Sign() == 0 {
+		return &Point{Inf: true}
+	}
+	g.counters.AddPointMul()
+	base := pt
+	kk := k
+	if k.Sign() < 0 {
+		base = g.Neg(pt)
+		kk = new(big.Int).Neg(k)
+	}
+	// Precompute 1·P … (2^w−1)·P as affine-free jacobian entries is
+	// overkill for mixed addition; instead keep the table affine by
+	// building it with the (cheap relative to the whole multiplication)
+	// affine Add.
+	table := make([]*Point, 1<<scalarMultWindow)
+	table[1] = base
+	for i := 2; i < len(table); i++ {
+		table[i] = g.Add(table[i-1], base)
+	}
+	acc := &jacobian{x: big.NewInt(1), y: big.NewInt(1), z: new(big.Int)}
+	bits := kk.BitLen()
+	// Round the starting index up to a window boundary.
+	start := ((bits + scalarMultWindow - 1) / scalarMultWindow) * scalarMultWindow
+	for i := start - scalarMultWindow; i >= 0; i -= scalarMultWindow {
+		for d := 0; d < scalarMultWindow; d++ {
+			acc = g.jacDouble(acc)
+		}
+		var win uint
+		for d := scalarMultWindow - 1; d >= 0; d-- {
+			win = win<<1 | uint(kk.Bit(i+d))
+		}
+		if win != 0 {
+			acc = g.jacAddMixed(acc, table[win])
+		}
+	}
+	return g.fromJacobian(acc)
+}
+
+// scalarMultBinary is the classic double-and-add ladder, kept for the
+// ablation benchmark and as a cross-check oracle in tests.
+func (g *Group) scalarMultBinary(pt *Point, k *big.Int) *Point {
+	if pt.Inf || k.Sign() == 0 {
+		return &Point{Inf: true}
+	}
+	base := pt
+	kk := k
+	if k.Sign() < 0 {
+		base = g.Neg(pt)
+		kk = new(big.Int).Neg(k)
+	}
+	acc := &jacobian{x: big.NewInt(1), y: big.NewInt(1), z: new(big.Int)}
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc = g.jacDouble(acc)
+		if kk.Bit(i) == 1 {
+			acc = g.jacAddMixed(acc, base)
+		}
+	}
+	return g.fromJacobian(acc)
+}
+
+// BaseMult returns k·G for the group generator G.
+func (g *Group) BaseMult(k *big.Int) *Point { return g.ScalarMult(g.gen, k) }
+
+// SumScalarMult returns Σ kᵢ·ptᵢ. Slices must have equal length.
+func (g *Group) SumScalarMult(pts []*Point, ks []*big.Int) (*Point, error) {
+	if len(pts) != len(ks) {
+		return nil, fmt.Errorf("curve: mismatched lengths %d vs %d", len(pts), len(ks))
+	}
+	acc := g.Infinity()
+	for i, pt := range pts {
+		acc = g.Add(acc, g.ScalarMult(pt, ks[i]))
+	}
+	return acc, nil
+}
+
+// RandPoint returns a uniformly random element of G1 together with the
+// discrete log k such that the point equals k·G (useful in tests).
+func (g *Group) RandPoint(r io.Reader) (*Point, *big.Int, error) {
+	k, err := g.sf.Rand(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("curve: random point: %w", err)
+	}
+	return g.BaseMult(k), k, nil
+}

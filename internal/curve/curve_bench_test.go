@@ -1,0 +1,96 @@
+package curve
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func benchGroup(b *testing.B) *Group {
+	b.Helper()
+	g, err := NewGroup(testP, testQ, testH, &Point{X: testGx, Y: testGy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkScalarMult(b *testing.B) {
+	g := benchGroup(b)
+	pt, _, err := g.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := g.Scalars().Rand(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMult(pt, k)
+	}
+}
+
+func BenchmarkAddAffine(b *testing.B) {
+	g := benchGroup(b)
+	p1, _, _ := g.RandPoint(rand.Reader)
+	p2, _, _ := g.RandPoint(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(p1, p2)
+	}
+}
+
+func BenchmarkHashToPoint(b *testing.B) {
+	g := benchGroup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HashToPoint("bench", []byte{byte(i), byte(i >> 8), byte(i >> 16)})
+	}
+}
+
+func BenchmarkInSubgroup(b *testing.B) {
+	g := benchGroup(b)
+	pt, _, _ := g.RandPoint(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.InSubgroup(pt) {
+			b.Fatal("valid point rejected")
+		}
+	}
+}
+
+func BenchmarkMarshalUnmarshal(b *testing.B) {
+	g := benchGroup(b)
+	pt, _, _ := g.RandPoint(rand.Reader)
+	enc := g.MarshalPoint(pt)
+	b.Run("marshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.MarshalPoint(pt)
+		}
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.UnmarshalPoint(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScalarMultAblation compares the windowed multiplier against the
+// binary double-and-add ladder it replaced.
+func BenchmarkScalarMultAblation(b *testing.B) {
+	g := benchGroup(b)
+	pt, _, _ := g.RandPoint(rand.Reader)
+	k, _ := g.Scalars().Rand(rand.Reader)
+	b.Run("windowed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.ScalarMult(pt, k)
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.scalarMultBinary(pt, k)
+		}
+	})
+}

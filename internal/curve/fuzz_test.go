@@ -1,0 +1,34 @@
+package curve
+
+import "testing"
+
+// FuzzUnmarshalPoint ensures attacker-controlled point encodings never
+// panic the decoder, and that anything accepted is genuinely on the curve
+// and re-encodes canonically.
+func FuzzUnmarshalPoint(f *testing.F) {
+	g, err := NewGroup(testP, testQ, testH, &Point{X: testGx, Y: testGy})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(g.MarshalPoint(g.Generator()))
+	f.Add(g.MarshalPoint(g.Infinity()))
+	f.Add([]byte{})
+	f.Add([]byte{0x04})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt, err := g.UnmarshalPoint(data)
+		if err != nil {
+			return
+		}
+		if !g.IsOnCurve(pt) {
+			t.Fatal("decoder accepted an off-curve point")
+		}
+		re := g.MarshalPoint(pt)
+		pt2, err := g.UnmarshalPoint(re)
+		if err != nil {
+			t.Fatalf("canonical re-encoding failed to decode: %v", err)
+		}
+		if !g.Equal(pt, pt2) {
+			t.Fatal("re-encoding drifted")
+		}
+	})
+}

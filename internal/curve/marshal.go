@@ -1,0 +1,65 @@
+package curve
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Point encoding: a single prefix byte followed by two fixed-width
+// big-endian coordinates. The prefix distinguishes the identity so that the
+// encoding is injective and fixed-size, which the wire layer relies on for
+// framing and byte accounting.
+const (
+	prefixInfinity byte = 0x00
+	prefixAffine   byte = 0x04 // matches the uncompressed SEC1 convention
+)
+
+// PointLen returns the byte length of an encoded point for this group.
+func (g *Group) PointLen() int {
+	fb := (g.p.BitLen() + 7) / 8
+	return 1 + 2*fb
+}
+
+// MarshalPoint encodes pt into the fixed-width format described above.
+func (g *Group) MarshalPoint(pt *Point) []byte {
+	fb := (g.p.BitLen() + 7) / 8
+	out := make([]byte, 1+2*fb)
+	if pt.Inf {
+		out[0] = prefixInfinity
+		return out
+	}
+	out[0] = prefixAffine
+	pt.X.FillBytes(out[1 : 1+fb])
+	pt.Y.FillBytes(out[1+fb:])
+	return out
+}
+
+// UnmarshalPoint decodes and validates a point produced by MarshalPoint.
+// The point is checked to be on the curve; subgroup membership is the
+// caller's choice via InSubgroup (it costs a scalar multiplication).
+func (g *Group) UnmarshalPoint(data []byte) (*Point, error) {
+	fb := (g.p.BitLen() + 7) / 8
+	if len(data) != 1+2*fb {
+		return nil, fmt.Errorf("curve: point encoding has %d bytes, want %d: %w",
+			len(data), 1+2*fb, ErrInvalidPoint)
+	}
+	switch data[0] {
+	case prefixInfinity:
+		for _, b := range data[1:] {
+			if b != 0 {
+				return nil, fmt.Errorf("curve: nonzero padding on infinity: %w", ErrInvalidPoint)
+			}
+		}
+		return &Point{Inf: true}, nil
+	case prefixAffine:
+		x := new(big.Int).SetBytes(data[1 : 1+fb])
+		y := new(big.Int).SetBytes(data[1+fb:])
+		pt := &Point{X: x, Y: y}
+		if !g.IsOnCurve(pt) {
+			return nil, fmt.Errorf("curve: decoded point off curve: %w", ErrInvalidPoint)
+		}
+		return pt, nil
+	default:
+		return nil, fmt.Errorf("curve: unknown point prefix %#x: %w", data[0], ErrInvalidPoint)
+	}
+}

@@ -1,0 +1,189 @@
+package dvs
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"testing"
+
+	"seccloud/internal/ibc"
+	"seccloud/internal/pairing"
+)
+
+// multiUserFixture builds k users with n signatures each, all designated to
+// the same cloud server — the §VI multi-user batch scenario.
+type multiUserFixture struct {
+	scheme *Scheme
+	cs     *ibc.PrivateKey
+	items  []BatchItem
+	msgs   [][]byte
+}
+
+func newMultiUserFixture(t *testing.T, users, sigsPerUser int) *multiUserFixture {
+	t.Helper()
+	sio, err := ibc.Setup(pairing.InsecureTest256(), rand.Reader)
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	scheme := NewScheme(sio.Params())
+	cs, err := sio.Extract("cs:batch-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &multiUserFixture{scheme: scheme, cs: cs}
+	for u := 0; u < users; u++ {
+		uk, err := sio.Extract(fmt.Sprintf("user:%d", u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < sigsPerUser; j++ {
+			msg := []byte(fmt.Sprintf("user %d block %d", u, j))
+			sigs, err := scheme.SignDesignated(uk, msg, rand.Reader, cs.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.msgs = append(f.msgs, msg)
+			f.items = append(f.items, NewBatchItem(msg, sigs[0]))
+		}
+	}
+	return f
+}
+
+func TestBatchVerifyAcceptsValid(t *testing.T) {
+	for _, shape := range []struct{ users, sigs int }{
+		{1, 1}, {1, 5}, {3, 2}, {4, 4},
+	} {
+		t.Run(fmt.Sprintf("%du_%ds", shape.users, shape.sigs), func(t *testing.T) {
+			f := newMultiUserFixture(t, shape.users, shape.sigs)
+			if err := f.scheme.BatchVerify(f.items, f.cs); err != nil {
+				t.Fatalf("BatchVerify: %v", err)
+			}
+			if err := f.scheme.BatchVerifyRandomized(f.items, f.cs, rand.Reader); err != nil {
+				t.Fatalf("BatchVerifyRandomized: %v", err)
+			}
+		})
+	}
+}
+
+func TestBatchVerifyEmptyIsValid(t *testing.T) {
+	f := newMultiUserFixture(t, 1, 1)
+	if err := f.scheme.BatchVerify(nil, f.cs); err != nil {
+		t.Fatalf("empty batch should verify: %v", err)
+	}
+}
+
+func TestBatchVerifyDetectsSingleBadItem(t *testing.T) {
+	f := newMultiUserFixture(t, 2, 3)
+	// Corrupt one message after signing.
+	bad := make([]BatchItem, len(f.items))
+	copy(bad, f.items)
+	tampered := []byte("tampered")
+	bad[2] = BatchItem{Msg: &tampered, Sig: bad[2].Sig}
+	if err := f.scheme.BatchVerify(bad, f.cs); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("got %v, want ErrVerifyFailed", err)
+	}
+	if err := f.scheme.BatchVerifyRandomized(bad, f.cs, rand.Reader); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("randomized: got %v, want ErrVerifyFailed", err)
+	}
+}
+
+func TestBatchVerifyRejectsWrongVerifier(t *testing.T) {
+	f := newMultiUserFixture(t, 1, 2)
+	sio, err := ibc.Setup(pairing.InsecureTest256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := sio.Extract("cs:batch-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same identity string but a different system: must fail the pairing.
+	if err := f.scheme.BatchVerify(f.items, other); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("got %v, want ErrVerifyFailed", err)
+	}
+}
+
+func TestBatchVerifyRejectsMisdesignatedItem(t *testing.T) {
+	f := newMultiUserFixture(t, 1, 2)
+	d := *f.items[0].Sig
+	d.VerifierID = "someone-else"
+	bad := []BatchItem{{Msg: f.items[0].Msg, Sig: &d}, f.items[1]}
+	if err := f.scheme.BatchVerify(bad, f.cs); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("got %v, want ErrVerifyFailed", err)
+	}
+}
+
+func TestPlainBatchFooledByCancellation(t *testing.T) {
+	// Known limitation of the paper's eq. 8 (documented in BatchVerify):
+	// multiply one Σ by ε and another by ε⁻¹ — the aggregate Σ_A is
+	// unchanged, so the plain batch check passes even though both items
+	// are individually invalid. The randomized variant must catch it.
+	f := newMultiUserFixture(t, 1, 2)
+	g := f.scheme.Params().G1()
+	eps := f.scheme.Params().Pairing().Pair(g.Generator(), g.Generator())
+
+	d0 := *f.items[0].Sig
+	d0.Sigma = d0.Sigma.Mul(eps)
+	d1 := *f.items[1].Sig
+	d1.Sigma = d1.Sigma.Mul(eps.Inv())
+	forged := []BatchItem{
+		{Msg: f.items[0].Msg, Sig: &d0},
+		{Msg: f.items[1].Msg, Sig: &d1},
+	}
+
+	// Individually invalid.
+	if err := f.scheme.Verify(&d0, *f.items[0].Msg, f.cs); err == nil {
+		t.Fatal("forged item 0 verified individually")
+	}
+	// Plain batch is fooled (reproducing the known limitation).
+	if err := f.scheme.BatchVerify(forged, f.cs); err != nil {
+		t.Fatalf("expected plain batch to be fooled by cancellation, got %v", err)
+	}
+	// Randomized batch detects it.
+	if err := f.scheme.BatchVerifyRandomized(forged, f.cs, rand.Reader); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("randomized batch missed cancellation attack: %v", err)
+	}
+}
+
+func TestBatchMatchesIndividual(t *testing.T) {
+	// Property: a batch passes iff every item passes individually (absent
+	// adversarial cancellation). Cross-check on several random batches.
+	f := newMultiUserFixture(t, 3, 3)
+	for i := range f.items {
+		if err := f.scheme.Verify(f.items[i].Sig, *f.items[i].Msg, f.cs); err != nil {
+			t.Fatalf("item %d individually invalid: %v", i, err)
+		}
+	}
+	if err := f.scheme.BatchVerify(f.items, f.cs); err != nil {
+		t.Fatalf("batch of individually valid items rejected: %v", err)
+	}
+}
+
+func TestAggregateSigma(t *testing.T) {
+	f := newMultiUserFixture(t, 2, 2)
+	agg, err := AggregateSigma(f.items)
+	if err != nil {
+		t.Fatalf("AggregateSigma: %v", err)
+	}
+	want := f.items[0].Sig.Sigma
+	for _, it := range f.items[1:] {
+		want = want.Mul(it.Sig.Sigma)
+	}
+	if !agg.Equal(want) {
+		t.Fatal("AggregateSigma mismatch")
+	}
+	if _, err := AggregateSigma(nil); err == nil {
+		t.Fatal("empty aggregation accepted")
+	}
+}
+
+func TestBatchVerifyIncompleteItem(t *testing.T) {
+	f := newMultiUserFixture(t, 1, 1)
+	items := []BatchItem{{Msg: nil, Sig: f.items[0].Sig}}
+	if err := f.scheme.BatchVerify(items, f.cs); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("got %v, want ErrVerifyFailed", err)
+	}
+	if err := f.scheme.BatchVerifyRandomized(f.items, f.cs, nil); err == nil {
+		t.Fatal("nil randomness accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Package dvs implements SecCloud's identity-based signature with
+// designated verification (§V-B) and its batch/aggregate verification
+// (§VI) — the paper's core cryptographic contribution.
+//
+// Signing (the underlying Cha–Cheon-style IBS):
+//
+//	r ←$ Zq*,  U = r·Q_ID,  h = H2(U ‖ m),  V = (r + h)·sk_ID.
+//
+// Designation: instead of revealing V (which anyone could verify against
+// Ppub), the signer publishes Σ = ê(V, Q_ver) for each designated verifier.
+// Only a holder of sk_ver can check (paper eq. 5 / 7):
+//
+//	Σ ?= ê(U + h·Q_ID, sk_ver),
+//
+// and — crucially for the privacy-cheating discouragement property — any
+// designated verifier can *simulate* valid-looking (U, Σ) transcripts with
+// its own key, so a transcript convinces nobody else (Jakobsson-style DV).
+//
+// Batch verification (paper eq. 8–9): for signatures {σ_ij} from users
+// {u_i} on messages {m_ij},
+//
+//	Σ_A = Π Σ_ij,  U_A = Σ (U_ij + h_ij·Q_IDi),  check ê(U_A, sk_ver) = Σ_A,
+//
+// reducing verification to a constant number of pairings.
+package dvs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"seccloud/internal/curve"
+	"seccloud/internal/ibc"
+	"seccloud/internal/pairing"
+)
+
+// ErrVerifyFailed reports a signature that did not verify.
+var ErrVerifyFailed = errors.New("dvs: signature verification failed")
+
+// Signature is the raw identity-based signature (U, V). V must be treated
+// as secret when designated verification is in use: publishing V makes the
+// signature publicly verifiable and voids the privacy property.
+type Signature struct {
+	U *curve.Point
+	V *curve.Point
+}
+
+// Designated is a designated-verifier signature (U, Σ) bound to one
+// verifier identity. It is what actually travels to the cloud.
+type Designated struct {
+	SignerID   string
+	VerifierID string
+	U          *curve.Point
+	Sigma      *pairing.GT
+}
+
+// Scheme binds the signature algorithms to a parameter set.
+type Scheme struct {
+	sp *ibc.SystemParams
+}
+
+// NewScheme returns a Scheme over the given system parameters.
+func NewScheme(sp *ibc.SystemParams) *Scheme { return &Scheme{sp: sp} }
+
+// Params returns the system parameters the scheme operates over.
+func (s *Scheme) Params() *ibc.SystemParams { return s.sp }
+
+// Sign produces the raw signature (U, V) on msg under sk.
+func (s *Scheme) Sign(sk *ibc.PrivateKey, msg []byte, random io.Reader) (*Signature, error) {
+	g := s.sp.G1()
+	r, err := g.Scalars().Rand(random)
+	if err != nil {
+		return nil, fmt.Errorf("dvs: sampling signature nonce: %w", err)
+	}
+	qid := s.sp.QID(sk.ID)
+	u := g.ScalarMult(qid, r)
+	h := s.sp.H2(g.MarshalPoint(u), msg)
+	rh := g.Scalars().Add(r, h)
+	v := g.ScalarMult(sk.SK, rh)
+	return &Signature{U: u, V: v}, nil
+}
+
+// PublicVerify checks the raw signature against the signer's identity and
+// the master public key: ê(V, P) ?= ê(U + h·Q_ID, Ppub). This is the
+// conventional (non-designated) verification path; it costs two pairings.
+func (s *Scheme) PublicVerify(signerID string, msg []byte, sig *Signature) error {
+	g := s.sp.G1()
+	if sig == nil || sig.U == nil || sig.V == nil {
+		return fmt.Errorf("dvs: incomplete signature: %w", ErrVerifyFailed)
+	}
+	if !g.InSubgroup(sig.U) || !g.InSubgroup(sig.V) {
+		return fmt.Errorf("dvs: signature outside G1: %w", ErrVerifyFailed)
+	}
+	h := s.sp.H2(g.MarshalPoint(sig.U), msg)
+	base := g.Add(sig.U, g.ScalarMult(s.sp.QID(signerID), h))
+	lhs := s.sp.Pairing().Pair(sig.V, g.Generator())
+	rhs := s.sp.Pairing().Pair(base, s.sp.MasterPublicKey())
+	if !lhs.Equal(rhs) {
+		return ErrVerifyFailed
+	}
+	return nil
+}
+
+// Designate transforms a raw signature into its designated-verifier form
+// for verifierID by computing Σ = ê(V, Q_verifier).
+func (s *Scheme) Designate(signerID string, sig *Signature, verifierID string) *Designated {
+	qv := s.sp.QID(verifierID)
+	return &Designated{
+		SignerID:   signerID,
+		VerifierID: verifierID,
+		U:          s.sp.G1().Copy(sig.U),
+		Sigma:      s.sp.Pairing().Pair(sig.V, qv),
+	}
+}
+
+// SignDesignated signs msg and designates it to each verifier in one call,
+// returning the designated signatures in verifier order. This is the
+// paper's flow where the user produces (U_i, Σ_i, Σ'_i) for CS and DA.
+func (s *Scheme) SignDesignated(
+	sk *ibc.PrivateKey, msg []byte, random io.Reader, verifierIDs ...string,
+) ([]*Designated, error) {
+	sig, err := s.Sign(sk, msg, random)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Designated, 0, len(verifierIDs))
+	for _, vid := range verifierIDs {
+		out = append(out, s.Designate(sk.ID, sig, vid))
+	}
+	return out, nil
+}
+
+// Verify checks a designated signature with the verifier's private key
+// (paper eq. 5 / 7): Σ ?= ê(U + H2(U‖m)·Q_ID, sk_ver). One pairing.
+func (s *Scheme) Verify(d *Designated, msg []byte, verifierSK *ibc.PrivateKey) error {
+	if d == nil || d.U == nil || d.Sigma == nil {
+		return fmt.Errorf("dvs: incomplete designated signature: %w", ErrVerifyFailed)
+	}
+	if verifierSK.ID != d.VerifierID {
+		return fmt.Errorf("dvs: signature designated to %q, verifier is %q: %w",
+			d.VerifierID, verifierSK.ID, ErrVerifyFailed)
+	}
+	g := s.sp.G1()
+	if !g.InSubgroup(d.U) {
+		return fmt.Errorf("dvs: U outside G1: %w", ErrVerifyFailed)
+	}
+	h := s.sp.H2(g.MarshalPoint(d.U), msg)
+	base := g.Add(d.U, g.ScalarMult(s.sp.QID(d.SignerID), h))
+	want := s.sp.Pairing().Pair(base, verifierSK.SK)
+	if !want.Equal(d.Sigma) {
+		return ErrVerifyFailed
+	}
+	return nil
+}
+
+// Simulate lets a designated verifier forge a transcript that verifies
+// under its own key and is distributed identically to a real signature.
+// This realizes the privacy property of Definition 2: because the verifier
+// can produce such transcripts itself, a (possibly compromised) cloud
+// server cannot use stored signatures to convince third parties — e.g. a
+// buyer of illegally sold data — of their authenticity.
+func (s *Scheme) Simulate(
+	signerID string, msg []byte, verifierSK *ibc.PrivateKey, random io.Reader,
+) (*Designated, error) {
+	g := s.sp.G1()
+	// U' = r'·Q_ID for random r' matches the real distribution of U.
+	r, err := g.Scalars().Rand(random)
+	if err != nil {
+		return nil, fmt.Errorf("dvs: sampling simulation nonce: %w", err)
+	}
+	qid := s.sp.QID(signerID)
+	u := g.ScalarMult(qid, r)
+	h := s.sp.H2(g.MarshalPoint(u), msg)
+	base := g.Add(u, g.ScalarMult(qid, h))
+	return &Designated{
+		SignerID:   signerID,
+		VerifierID: verifierSK.ID,
+		U:          u,
+		Sigma:      s.sp.Pairing().Pair(base, verifierSK.SK),
+	}, nil
+}

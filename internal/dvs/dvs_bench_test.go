@@ -1,0 +1,123 @@
+package dvs
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"seccloud/internal/ibc"
+	"seccloud/internal/pairing"
+)
+
+// benchScheme sets up a scheme with one signer and one verifier.
+func benchScheme(b *testing.B) (*Scheme, *ibc.PrivateKey, *ibc.PrivateKey) {
+	b.Helper()
+	sio, err := ibc.Setup(pairing.InsecureTest256(), rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer, err := sio.Extract("user:bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	verifier, err := sio.Extract("da:bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewScheme(sio.Params()), signer, verifier
+}
+
+func BenchmarkSign(b *testing.B) {
+	scheme, signer, _ := benchScheme(b)
+	msg := []byte("benchmark message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.Sign(signer, msg, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignDesignated(b *testing.B) {
+	scheme, signer, verifier := benchScheme(b)
+	msg := []byte("benchmark message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.SignDesignated(signer, msg, rand.Reader, verifier.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyDesignated(b *testing.B) {
+	scheme, signer, verifier := benchScheme(b)
+	msg := []byte("benchmark message")
+	ds, err := scheme.SignDesignated(signer, msg, rand.Reader, verifier.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := scheme.Verify(ds[0], msg, verifier); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublicVerify(b *testing.B) {
+	scheme, signer, _ := benchScheme(b)
+	msg := []byte("benchmark message")
+	sig, err := scheme.Sign(signer, msg, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := scheme.PublicVerify(signer.ID, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchVerify(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		for _, randomized := range []bool{false, true} {
+			name := fmt.Sprintf("n=%d/randomized=%v", n, randomized)
+			b.Run(name, func(b *testing.B) {
+				scheme, signer, verifier := benchScheme(b)
+				items := make([]BatchItem, n)
+				for i := 0; i < n; i++ {
+					msg := []byte(fmt.Sprintf("batch message %d", i))
+					ds, err := scheme.SignDesignated(signer, msg, rand.Reader, verifier.ID)
+					if err != nil {
+						b.Fatal(err)
+					}
+					items[i] = NewBatchItem(msg, ds[0])
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					if randomized {
+						err = scheme.BatchVerifyRandomized(items, verifier, rand.Reader)
+					} else {
+						err = scheme.BatchVerify(items, verifier)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	scheme, signer, verifier := benchScheme(b)
+	msg := []byte("simulated message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.Simulate(signer.ID, msg, verifier, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package dvs
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"seccloud/internal/ibc"
+	"seccloud/internal/pairing"
+)
+
+// TestTableIIPairingCountsMeasured verifies the paper's Table II claim on
+// *measured* operation counts, not just the analytic model: individual
+// verification of τ designated signatures runs τ Miller loops on the
+// verifier side, while batch verification runs exactly one pairing
+// regardless of τ.
+func TestTableIIPairingCountsMeasured(t *testing.T) {
+	pp := pairing.InsecureTest256()
+	sio, err := ibc.Setup(pp, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := NewScheme(sio.Params())
+	verifier, err := sio.Extract("da:count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := sio.Extract("user:count")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const tau = 12
+	msgs := make([][]byte, tau)
+	sigs := make([]*Designated, tau)
+	for i := 0; i < tau; i++ {
+		msgs[i] = []byte(fmt.Sprintf("count message %d", i))
+		ds, err := scheme.SignDesignated(signer, msgs[i], rand.Reader, verifier.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = ds[0]
+	}
+	counters := pp.G1().Counters()
+
+	// Warm the QID cache so hashing doesn't differ between the passes.
+	_ = sio.Params().QID(signer.ID)
+
+	before := counters.Snapshot()
+	for i := 0; i < tau; i++ {
+		if err := scheme.Verify(sigs[i], msgs[i], verifier); err != nil {
+			t.Fatal(err)
+		}
+	}
+	indiv := counters.Snapshot().Sub(before)
+	if indiv.MillerLoops != tau {
+		t.Fatalf("individual verification ran %d Miller loops, want %d", indiv.MillerLoops, tau)
+	}
+
+	items := make([]BatchItem, tau)
+	for i := range items {
+		items[i] = NewBatchItem(msgs[i], sigs[i])
+	}
+	before = counters.Snapshot()
+	if err := scheme.BatchVerify(items, verifier); err != nil {
+		t.Fatal(err)
+	}
+	batch := counters.Snapshot().Sub(before)
+	if batch.MillerLoops != 1 {
+		t.Fatalf("batch verification ran %d Miller loops, want 1", batch.MillerLoops)
+	}
+	if batch.HashToPoints != 0 {
+		t.Fatalf("batch verification hashed %d identities; QID cache not effective", batch.HashToPoints)
+	}
+	// The linear work is point multiplications: τ for the h·Q_ID terms
+	// plus τ subgroup checks.
+	if batch.PointMuls < tau || batch.PointMuls > 3*tau {
+		t.Fatalf("batch point-mul count %d outside expected [τ, 3τ]", batch.PointMuls)
+	}
+}
+
+// TestFig5ConstantPairingsMeasured is the Figure 5 claim on live counts:
+// one multi-user batch costs the same single verifier-side pairing whether
+// it covers 2 users or 20.
+func TestFig5ConstantPairingsMeasured(t *testing.T) {
+	pp := pairing.InsecureTest256()
+	sio, err := ibc.Setup(pp, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := NewScheme(sio.Params())
+	verifier, err := sio.Extract("da:fig5count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkBatch := func(users int) []BatchItem {
+		items := make([]BatchItem, users)
+		for i := 0; i < users; i++ {
+			uk, err := sio.Extract(fmt.Sprintf("user:f5c-%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte(fmt.Sprintf("session %d", i))
+			ds, err := scheme.SignDesignated(uk, msg, rand.Reader, verifier.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			items[i] = NewBatchItem(msg, ds[0])
+		}
+		return items
+	}
+	counters := pp.G1().Counters()
+	for _, users := range []int{2, 8, 20} {
+		items := mkBatch(users)
+		before := counters.Snapshot()
+		if err := scheme.BatchVerify(items, verifier); err != nil {
+			t.Fatal(err)
+		}
+		delta := counters.Snapshot().Sub(before)
+		if delta.MillerLoops != 1 {
+			t.Fatalf("users=%d: %d Miller loops, want 1", users, delta.MillerLoops)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package epoch simulates SecCloud deployments over time under the
+// paper's mobile-adversary model (§III-B, following HAIL [17]): "our
+// adversary controls at most b servers for any given epoch". Each epoch,
+// the adversary (re)selects which servers it corrupts and with what
+// strategy; the user keeps submitting jobs through the CSP; the DA audits
+// with a configurable per-epoch sampling budget.
+//
+// The simulation measures what the paper's analysis promises but never
+// plots: how quickly a sampling auditor detects corruption, how many
+// wrong results slip through before detection, and how the audit budget
+// trades off against exposure.
+package epoch
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"seccloud/internal/core"
+	"seccloud/internal/funcs"
+	"seccloud/internal/ibc"
+	"seccloud/internal/netsim"
+	"seccloud/internal/pairing"
+	"seccloud/internal/wire"
+	"seccloud/internal/workload"
+)
+
+// Config shapes a simulation run.
+type Config struct {
+	// Servers is the fleet size n.
+	Servers int
+	// Corrupted is the adversary's per-epoch budget b (b < n).
+	Corrupted int
+	// Epochs is the number of simulated epochs.
+	Epochs int
+	// BlocksPerUser is the outsourced dataset size.
+	BlocksPerUser int
+	// JobsPerEpoch is how many computing jobs run per epoch.
+	JobsPerEpoch int
+	// SampleSize is the DA's per-sub-job audit budget t (0 = no audits,
+	// pure exposure measurement).
+	SampleSize int
+	// CheaterCSC is the corrupted servers' computing confidence (they
+	// guess the remaining fraction).
+	CheaterCSC float64
+	// Seed drives server selection, workloads and sampling.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Servers <= 0 || c.Corrupted < 0 || c.Corrupted >= c.Servers {
+		return fmt.Errorf("epoch: need 0 ≤ corrupted < servers, got %d/%d", c.Corrupted, c.Servers)
+	}
+	if c.Epochs <= 0 || c.BlocksPerUser <= 0 || c.JobsPerEpoch <= 0 {
+		return fmt.Errorf("epoch: epochs, blocks and jobs must be positive")
+	}
+	if c.SampleSize < 0 {
+		return fmt.Errorf("epoch: negative sample size %d", c.SampleSize)
+	}
+	if c.CheaterCSC < 0 || c.CheaterCSC > 1 {
+		return fmt.Errorf("epoch: cheater CSC %v outside [0,1]", c.CheaterCSC)
+	}
+	return nil
+}
+
+// EpochStats summarizes one epoch.
+type EpochStats struct {
+	// Epoch is the 1-based epoch number.
+	Epoch int
+	// CorruptedServers are the adversary's picks this epoch.
+	CorruptedServers []int
+	// JobsRun is the number of sub-jobs executed.
+	JobsRun int
+	// AuditsRun is the number of sub-job audits executed.
+	AuditsRun int
+	// Detections is the number of audits that flagged cheating.
+	Detections int
+	// FlaggedServers are the server indices flagged by audits.
+	FlaggedServers []int
+	// CorruptResultsAccepted counts wrong sub-task results that reached
+	// the user without their sub-job being flagged this epoch (exposure).
+	CorruptResultsAccepted int
+}
+
+// Result is the whole simulation outcome.
+type Result struct {
+	Config Config
+	Epochs []EpochStats
+	// FirstDetectionEpoch is the first epoch with a detection (0 = never).
+	FirstDetectionEpoch int
+	// TotalExposure sums CorruptResultsAccepted over all epochs.
+	TotalExposure int
+	// FalseFlags counts audits that flagged a server the adversary did
+	// not control that epoch (must be zero: the scheme has no false
+	// positives against honest servers).
+	FalseFlags int
+}
+
+// switchablePolicy lets the simulation flip a server between honest and
+// cheating across epochs without rebuilding server state.
+type switchablePolicy struct {
+	active core.CheatPolicy
+	honest core.Honest
+	on     bool
+}
+
+func (s *switchablePolicy) Name() string {
+	if s.on {
+		return "epoch:" + s.active.Name()
+	}
+	return "epoch:honest"
+}
+
+func (s *switchablePolicy) OnStore(pos uint64, data []byte, sig wire.BlockSig) ([]byte, bool) {
+	if s.on {
+		return s.active.OnStore(pos, data, sig)
+	}
+	return s.honest.OnStore(pos, data, sig)
+}
+
+func (s *switchablePolicy) RedirectPosition(taskIdx int, pos uint64) uint64 {
+	if s.on {
+		return s.active.RedirectPosition(taskIdx, pos)
+	}
+	return pos
+}
+
+func (s *switchablePolicy) OnResult(taskIdx int, task wire.TaskSpec, honest func() ([]byte, error)) ([]byte, error) {
+	if s.on {
+		return s.active.OnResult(taskIdx, task, honest)
+	}
+	return honest()
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := mrand.New(mrand.NewSource(cfg.Seed))
+
+	sio, err := ibc.Setup(pairing.InsecureTest256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	sp := sio.Params()
+	userKey, err := sio.Extract("user:epoch")
+	if err != nil {
+		return nil, err
+	}
+	daKey, err := sio.Extract("da:epoch")
+	if err != nil {
+		return nil, err
+	}
+	user := core.NewUser(sp, userKey, rand.Reader)
+	agency := core.NewAgency(sp, daKey, rand.Reader)
+
+	policies := make([]*switchablePolicy, cfg.Servers)
+	clients := make([]netsim.Client, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		policies[i] = &switchablePolicy{
+			active: &core.ComputationCheater{
+				CSC: cfg.CheaterCSC,
+				Rng: mrand.New(mrand.NewSource(cfg.Seed + int64(i) + 1)),
+			},
+		}
+		key, err := sio.Extract(fmt.Sprintf("cs:epoch-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		srv, err := core.NewServer(sp, key, core.ServerConfig{
+			Policy: policies[i],
+			Random: rand.Reader,
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = netsim.NewLoopback(srv, netsim.LinkConfig{})
+	}
+	csp, err := core.NewCSP(clients)
+	if err != nil {
+		return nil, err
+	}
+
+	// Outsource once; data persists across epochs.
+	gen := workload.NewGenerator(cfg.Seed)
+	ds := gen.GenDataset(user.ID(), cfg.BlocksPerUser, 8)
+	verifiers := make([]string, 0, cfg.Servers+1)
+	for i := 0; i < cfg.Servers; i++ {
+		verifiers = append(verifiers, fmt.Sprintf("cs:epoch-%d", i))
+	}
+	verifiers = append(verifiers, agency.ID())
+	storeReq, err := user.PrepareStore(ds, verifiers...)
+	if err != nil {
+		return nil, err
+	}
+	if err := csp.ReplicateStore(user, storeReq); err != nil {
+		return nil, err
+	}
+	warrant, err := core.WildcardWarrant(user, agency.ID(), time.Now().Add(24*time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	reg := funcs.NewRegistry()
+
+	result := &Result{Config: cfg}
+	for ep := 1; ep <= cfg.Epochs; ep++ {
+		stats := EpochStats{Epoch: ep}
+
+		// The mobile adversary re-picks its b servers.
+		picks := core.SampleIndices(rng, cfg.Servers, cfg.Corrupted)
+		corrupted := make(map[int]bool, len(picks))
+		for _, p := range picks {
+			stats.CorruptedServers = append(stats.CorruptedServers, int(p))
+			corrupted[int(p)] = true
+		}
+		for i, pol := range policies {
+			pol.on = corrupted[i]
+		}
+
+		for j := 0; j < cfg.JobsPerEpoch; j++ {
+			jobID := fmt.Sprintf("epoch-%d-job-%d", ep, j)
+			job := workload.UniformJob(user.ID(), funcs.Spec{Name: "digest"}, cfg.BlocksPerUser)
+			subs, err := csp.RunJob(user, jobID, job)
+			if err != nil {
+				return nil, fmt.Errorf("epoch %d job %d: %w", ep, j, err)
+			}
+			stats.JobsRun += len(subs)
+
+			flagged := make(map[int]bool)
+			if cfg.SampleSize > 0 {
+				for i, d := range core.Delegations(user, subs, warrant) {
+					report, err := agency.AuditJob(csp.Client(subs[i].ServerIdx), d, core.AuditConfig{
+						SampleSize:      cfg.SampleSize,
+						Rng:             mrand.New(mrand.NewSource(rng.Int63())),
+						BatchSignatures: true,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("epoch %d audit: %w", ep, err)
+					}
+					stats.AuditsRun++
+					if !report.Valid() {
+						stats.Detections++
+						sIdx := subs[i].ServerIdx
+						flagged[sIdx] = true
+						stats.FlaggedServers = append(stats.FlaggedServers, sIdx)
+						if !corrupted[sIdx] {
+							result.FalseFlags++
+						}
+					}
+				}
+			}
+
+			// Exposure: wrong results from unflagged sub-jobs reach the user.
+			for _, sub := range subs {
+				if flagged[sub.ServerIdx] {
+					continue // user drops flagged results (Return Step)
+				}
+				for k, ti := range sub.TaskIndices {
+					want, err := reg.Eval(funcs.Spec{Name: "digest"}, [][]byte{ds.Blocks[ti]})
+					if err != nil {
+						return nil, err
+					}
+					if string(want) != string(sub.Resp.Results[k]) {
+						stats.CorruptResultsAccepted++
+					}
+				}
+			}
+		}
+		if stats.Detections > 0 && result.FirstDetectionEpoch == 0 {
+			result.FirstDetectionEpoch = ep
+		}
+		result.TotalExposure += stats.CorruptResultsAccepted
+		result.Epochs = append(result.Epochs, stats)
+	}
+	return result, nil
+}

@@ -1,0 +1,137 @@
+package epoch
+
+import "testing"
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Servers: 3, Corrupted: 3, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1},
+		{Servers: 3, Corrupted: -1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1},
+		{Servers: 3, Corrupted: 1, Epochs: 0, BlocksPerUser: 2, JobsPerEpoch: 1},
+		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, SampleSize: -1},
+		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, CheaterCSC: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestHonestFleetNeverFlagged(t *testing.T) {
+	// b = 0: no corruption, audits must stay silent and exposure zero.
+	res, err := Run(Config{
+		Servers: 3, Corrupted: 0, Epochs: 2, BlocksPerUser: 6,
+		JobsPerEpoch: 1, SampleSize: 2, CheaterCSC: 0, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FirstDetectionEpoch != 0 {
+		t.Fatalf("honest fleet flagged in epoch %d", res.FirstDetectionEpoch)
+	}
+	if res.TotalExposure != 0 || res.FalseFlags != 0 {
+		t.Fatalf("honest fleet produced exposure %d / false flags %d",
+			res.TotalExposure, res.FalseFlags)
+	}
+}
+
+func TestFullCheaterDetectedImmediately(t *testing.T) {
+	// One fully-cheating server on unguessable digests with a meaningful
+	// sample: detection must happen in epoch 1, with no false flags.
+	res, err := Run(Config{
+		Servers: 3, Corrupted: 1, Epochs: 2, BlocksPerUser: 9,
+		JobsPerEpoch: 1, SampleSize: 3, CheaterCSC: 0, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FirstDetectionEpoch != 1 {
+		t.Fatalf("first detection in epoch %d, want 1", res.FirstDetectionEpoch)
+	}
+	if res.FalseFlags != 0 {
+		t.Fatalf("audits false-flagged honest servers %d times", res.FalseFlags)
+	}
+	// Every epoch's flagged set must be inside the corrupted set.
+	for _, ep := range res.Epochs {
+		corrupted := map[int]bool{}
+		for _, c := range ep.CorruptedServers {
+			corrupted[c] = true
+		}
+		for _, f := range ep.FlaggedServers {
+			if !corrupted[f] {
+				t.Fatalf("epoch %d flagged honest server %d", ep.Epoch, f)
+			}
+		}
+	}
+}
+
+func TestNoAuditsMeansExposure(t *testing.T) {
+	// SampleSize = 0: the cheater's wrong results reach the user.
+	res, err := Run(Config{
+		Servers: 2, Corrupted: 1, Epochs: 1, BlocksPerUser: 8,
+		JobsPerEpoch: 1, SampleSize: 0, CheaterCSC: 0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TotalExposure == 0 {
+		t.Fatal("full cheater with no audits produced zero exposure")
+	}
+	if res.FirstDetectionEpoch != 0 {
+		t.Fatal("detections recorded without any audits")
+	}
+}
+
+func TestAuditingReducesExposure(t *testing.T) {
+	// Same seed and adversary: a sampled audit regime must expose the
+	// user to no more corrupt results than running blind.
+	base := Config{
+		Servers: 3, Corrupted: 1, Epochs: 2, BlocksPerUser: 9,
+		JobsPerEpoch: 1, CheaterCSC: 0, Seed: 4,
+	}
+	blind := base
+	blind.SampleSize = 0
+	audited := base
+	audited.SampleSize = 3
+
+	resBlind, err := Run(blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resAudited, err := Run(audited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAudited.TotalExposure > resBlind.TotalExposure {
+		t.Fatalf("auditing increased exposure: %d > %d",
+			resAudited.TotalExposure, resBlind.TotalExposure)
+	}
+	if resAudited.FirstDetectionEpoch == 0 {
+		t.Fatal("audited run never detected the cheater")
+	}
+}
+
+func TestEpochStatsShape(t *testing.T) {
+	res, err := Run(Config{
+		Servers: 4, Corrupted: 2, Epochs: 3, BlocksPerUser: 8,
+		JobsPerEpoch: 2, SampleSize: 2, CheaterCSC: 0.5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("got %d epoch stats, want 3", len(res.Epochs))
+	}
+	for _, ep := range res.Epochs {
+		if len(ep.CorruptedServers) != 2 {
+			t.Fatalf("epoch %d has %d corrupted servers, want 2", ep.Epoch, len(ep.CorruptedServers))
+		}
+		if ep.JobsRun != 2*4 { // 2 jobs × 4 sub-jobs (all servers get a slice)
+			t.Fatalf("epoch %d ran %d sub-jobs, want 8", ep.Epoch, ep.JobsRun)
+		}
+		if ep.AuditsRun != ep.JobsRun {
+			t.Fatalf("epoch %d audited %d of %d sub-jobs", ep.Epoch, ep.AuditsRun, ep.JobsRun)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package erasure implements systematic Reed–Solomon erasure coding over
+// GF(2⁸), the retrievability substrate motivated by the proofs-of-
+// retrievability line of work the paper cites (Juels–Kaliski [11],
+// Shacham–Waters [12]): SecCloud's storage audits *detect* deletion; an
+// erasure-coded dataset additionally lets the user *recover* up to m
+// deleted blocks from any k survivors.
+//
+// Construction: each data block is a shard; byte position j across the k
+// data shards defines a polynomial p_j of degree < k with p_j(i) = shard
+// i's byte. Parity shard e stores p_j(k+e). Any k of the k+m shards
+// reconstruct every p_j by Lagrange interpolation and therefore all
+// shards. The field is GF(2⁸) with the AES polynomial x⁸+x⁴+x³+x+1.
+package erasure
+
+import "fmt"
+
+// gfPoly is the reduction polynomial (0x11B, the AES field).
+const gfPoly = 0x11B
+
+// gfTables holds the log/antilog tables for fast multiplication.
+// Built once per Coder; 768 bytes, no package-level mutable state.
+type gfTables struct {
+	exp [512]byte // doubled so mul can skip a mod 255
+	log [256]byte
+}
+
+func newGFTables() *gfTables {
+	t := &gfTables{}
+	// The element x (= 2) is NOT primitive for 0x11B; the standard
+	// generator is x+1 (= 3), whose powers enumerate all of GF(256)*.
+	x := 1
+	for i := 0; i < 255; i++ {
+		t.exp[i] = byte(x)
+		t.log[x] = byte(i)
+		x2 := x << 1
+		if x2&0x100 != 0 {
+			x2 ^= gfPoly
+		}
+		x = x2 ^ x // x ← 3·x
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	return t
+}
+
+// mul multiplies in GF(256).
+func (t *gfTables) mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return t.exp[int(t.log[a])+int(t.log[b])]
+}
+
+// inv returns a⁻¹; a must be nonzero.
+func (t *gfTables) inv(a byte) (byte, error) {
+	if a == 0 {
+		return 0, fmt.Errorf("erasure: inverse of zero in GF(256)")
+	}
+	return t.exp[255-int(t.log[a])], nil
+}
+
+// div returns a/b; b must be nonzero.
+func (t *gfTables) div(a, b byte) (byte, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	return t.exp[int(t.log[a])+255-int(t.log[b])], nil
+}

@@ -1,0 +1,195 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common errors.
+var (
+	// ErrTooManyErasures reports more missing shards than parity can cover.
+	ErrTooManyErasures = errors.New("erasure: too many missing shards")
+	// ErrShardShape reports shards of inconsistent length or count.
+	ErrShardShape = errors.New("erasure: inconsistent shard shape")
+)
+
+// Coder is a systematic Reed–Solomon erasure coder with k data shards and
+// m parity shards (k + m ≤ 256, the GF(2⁸) evaluation-point budget).
+// Immutable after construction and safe for concurrent use.
+type Coder struct {
+	k, m int
+	gf   *gfTables
+}
+
+// NewCoder validates the geometry and builds the coder.
+func NewCoder(dataShards, parityShards int) (*Coder, error) {
+	if dataShards <= 0 || parityShards <= 0 {
+		return nil, fmt.Errorf("erasure: shard counts must be positive, got k=%d m=%d",
+			dataShards, parityShards)
+	}
+	if dataShards+parityShards > 256 {
+		return nil, fmt.Errorf("erasure: k+m = %d exceeds the GF(256) limit of 256",
+			dataShards+parityShards)
+	}
+	return &Coder{k: dataShards, m: parityShards, gf: newGFTables()}, nil
+}
+
+// DataShards returns k.
+func (c *Coder) DataShards() int { return c.k }
+
+// ParityShards returns m.
+func (c *Coder) ParityShards() int { return c.m }
+
+// TotalShards returns k + m.
+func (c *Coder) TotalShards() int { return c.k + c.m }
+
+// Encode computes the m parity shards for k equal-length data shards.
+func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("erasure: got %d data shards, want %d: %w",
+			len(data), c.k, ErrShardShape)
+	}
+	size := len(data[0])
+	for i, d := range data {
+		if len(d) != size {
+			return nil, fmt.Errorf("erasure: shard %d has %d bytes, want %d: %w",
+				i, len(d), size, ErrShardShape)
+		}
+	}
+	parity := make([][]byte, c.m)
+	for e := range parity {
+		parity[e] = make([]byte, size)
+	}
+	// For each byte column, evaluate the degree-<k interpolating
+	// polynomial through (i, data[i][col]) at the parity points k..k+m-1.
+	xs := make([]byte, c.k)
+	for i := range xs {
+		xs[i] = byte(i)
+	}
+	for col := 0; col < size; col++ {
+		ys := make([]byte, c.k)
+		for i := range ys {
+			ys[i] = data[i][col]
+		}
+		for e := 0; e < c.m; e++ {
+			v, err := c.lagrangeAt(xs, ys, byte(c.k+e))
+			if err != nil {
+				return nil, err
+			}
+			parity[e][col] = v
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct fills in nil entries of shards (length k+m: data shards
+// first, then parity) from any k surviving shards. Present shards are
+// left untouched; reconstructed shards are newly allocated.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("erasure: got %d shards, want %d: %w",
+			len(shards), c.k+c.m, ErrShardShape)
+	}
+	present := make([]int, 0, c.k)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("erasure: shard %d has %d bytes, want %d: %w",
+				i, len(s), size, ErrShardShape)
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.k {
+		return fmt.Errorf("erasure: only %d of %d shards present: %w",
+			len(present), c.k, ErrTooManyErasures)
+	}
+	missing := make([]int, 0, c.m)
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	// Interpolate through the first k present shards.
+	basis := present[:c.k]
+	xs := make([]byte, c.k)
+	for i, idx := range basis {
+		xs[i] = byte(idx)
+	}
+	recovered := make([][]byte, len(missing))
+	for i := range recovered {
+		recovered[i] = make([]byte, size)
+	}
+	ys := make([]byte, c.k)
+	for col := 0; col < size; col++ {
+		for i, idx := range basis {
+			ys[i] = shards[idx][col]
+		}
+		for mi, idx := range missing {
+			v, err := c.lagrangeAt(xs, ys, byte(idx))
+			if err != nil {
+				return err
+			}
+			recovered[mi][col] = v
+		}
+	}
+	for mi, idx := range missing {
+		shards[idx] = recovered[mi]
+	}
+	return nil
+}
+
+// Verify recomputes parity from the data shards and reports whether every
+// shard is consistent (useful after reconstruction or as an audit aid).
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.k+c.m {
+		return false, fmt.Errorf("erasure: got %d shards, want %d: %w",
+			len(shards), c.k+c.m, ErrShardShape)
+	}
+	for i, s := range shards {
+		if s == nil {
+			return false, fmt.Errorf("erasure: shard %d missing: %w", i, ErrShardShape)
+		}
+	}
+	parity, err := c.Encode(shards[:c.k])
+	if err != nil {
+		return false, err
+	}
+	for e := 0; e < c.m; e++ {
+		if string(parity[e]) != string(shards[c.k+e]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// lagrangeAt evaluates the interpolating polynomial through (xs, ys) at x.
+func (c *Coder) lagrangeAt(xs, ys []byte, x byte) (byte, error) {
+	var acc byte
+	for i := range xs {
+		if ys[i] == 0 {
+			continue
+		}
+		num, den := byte(1), byte(1)
+		for j := range xs {
+			if j == i {
+				continue
+			}
+			num = c.gf.mul(num, x^xs[j])     // (x − x_j); subtraction is XOR
+			den = c.gf.mul(den, xs[i]^xs[j]) // (x_i − x_j)
+		}
+		frac, err := c.gf.div(num, den)
+		if err != nil {
+			return 0, err
+		}
+		acc ^= c.gf.mul(ys[i], frac)
+	}
+	return acc, nil
+}

@@ -1,0 +1,270 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCoderValidation(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {200, 57}} {
+		if _, err := NewCoder(tc[0], tc[1]); err == nil {
+			t.Fatalf("NewCoder(%d,%d) accepted", tc[0], tc[1])
+		}
+	}
+	c, err := NewCoder(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DataShards() != 4 || c.ParityShards() != 2 || c.TotalShards() != 6 {
+		t.Fatalf("geometry accessors wrong: %d/%d/%d",
+			c.DataShards(), c.ParityShards(), c.TotalShards())
+	}
+}
+
+func TestGFFieldLaws(t *testing.T) {
+	gf := newGFTables()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := byte(rng.Intn(256))
+		b := byte(rng.Intn(256))
+		c := byte(rng.Intn(256))
+		if gf.mul(a, b) != gf.mul(b, a) {
+			t.Fatal("mul not commutative")
+		}
+		if gf.mul(gf.mul(a, b), c) != gf.mul(a, gf.mul(b, c)) {
+			t.Fatal("mul not associative")
+		}
+		// Distributivity over XOR (field addition).
+		if gf.mul(a, b^c) != gf.mul(a, b)^gf.mul(a, c) {
+			t.Fatal("distributivity fails")
+		}
+		if a != 0 {
+			inv, err := gf.inv(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gf.mul(a, inv) != 1 {
+				t.Fatal("inverse fails")
+			}
+		}
+	}
+	if _, err := gf.inv(0); err == nil {
+		t.Fatal("inv(0) accepted")
+	}
+	if _, err := gf.div(1, 0); err == nil {
+		t.Fatal("div by zero accepted")
+	}
+	if q, err := gf.div(0, 7); err != nil || q != 0 {
+		t.Fatalf("0/7 = %d, %v", q, err)
+	}
+}
+
+func makeShards(rng *rand.Rand, k, size int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+func TestEncodeReconstructRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, geo := range [][2]int{{1, 1}, {4, 2}, {10, 4}, {16, 16}} {
+		k, m := geo[0], geo[1]
+		c, err := NewCoder(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := makeShards(rng, k, 64)
+		parity, err := c.Encode(data)
+		if err != nil {
+			t.Fatalf("Encode(%d,%d): %v", k, m, err)
+		}
+		if len(parity) != m {
+			t.Fatalf("got %d parity shards, want %d", len(parity), m)
+		}
+		all := append(append([][]byte{}, data...), parity...)
+		ok, err := c.Verify(all)
+		if err != nil || !ok {
+			t.Fatalf("Verify(%d,%d) = %v, %v", k, m, ok, err)
+		}
+
+		// Erase exactly m shards at random positions and reconstruct.
+		shards := make([][]byte, len(all))
+		copy(shards, all)
+		perm := rng.Perm(k + m)
+		for _, idx := range perm[:m] {
+			shards[idx] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("Reconstruct(%d,%d): %v", k, m, err)
+		}
+		for i := range all {
+			if !bytes.Equal(all[i], shards[i]) {
+				t.Fatalf("shard %d not recovered correctly (k=%d m=%d)", i, k, m)
+			}
+		}
+	}
+}
+
+func TestReconstructTooManyErasures(t *testing.T) {
+	c, err := NewCoder(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	data := makeShards(rng, 4, 16)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[0], shards[2], shards[4] = nil, nil, nil // 3 erasures > m=2
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooManyErasures) {
+		t.Fatalf("got %v, want ErrTooManyErasures", err)
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	c, err := NewCoder(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode([][]byte{{1}, {2}}); !errors.Is(err, ErrShardShape) {
+		t.Fatalf("wrong shard count accepted: %v", err)
+	}
+	if _, err := c.Encode([][]byte{{1, 2}, {3}, {4, 5}}); !errors.Is(err, ErrShardShape) {
+		t.Fatalf("ragged shards accepted: %v", err)
+	}
+	if err := c.Reconstruct(make([][]byte, 4)); !errors.Is(err, ErrShardShape) {
+		t.Fatalf("wrong reconstruct count accepted: %v", err)
+	}
+	if _, err := c.Verify(make([][]byte, 5)); err == nil {
+		t.Fatal("verify with nil shards accepted")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c, err := NewCoder(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	data := makeShards(rng, 4, 32)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([][]byte{}, data...), parity...)
+	all[1] = append([]byte(nil), all[1]...)
+	all[1][7] ^= 0x55
+	ok, err := c.Verify(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("corrupted shard passed verification")
+	}
+}
+
+func TestQuickAnyKSurvivorsRecover(t *testing.T) {
+	// Property: for random data, any random erasure pattern of ≤ m shards
+	// is fully recoverable.
+	c, err := NewCoder(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := makeShards(rng, 6, 24)
+		parity, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		all := append(append([][]byte{}, data...), parity...)
+		shards := make([][]byte, len(all))
+		copy(shards, all)
+		erasures := 1 + rng.Intn(3)
+		for _, idx := range rng.Perm(9)[:erasures] {
+			shards[idx] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range all {
+			if !bytes.Equal(all[i], shards[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatalf("recovery property violated: %v", err)
+	}
+}
+
+func TestReconstructNoOpWhenComplete(t *testing.T) {
+	c, err := NewCoder(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := makeShards(rng, 3, 8)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([][]byte{}, data...), parity...)
+	if err := c.Reconstruct(all); err != nil {
+		t.Fatalf("complete reconstruct errored: %v", err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, geo := range [][2]int{{10, 4}, {32, 8}} {
+		k, m := geo[0], geo[1]
+		b.Run(fmt.Sprintf("k=%d,m=%d", k, m), func(b *testing.B) {
+			c, err := NewCoder(k, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := makeShards(rand.New(rand.NewSource(1)), k, 1024)
+			b.SetBytes(int64(k * 1024))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	c, err := NewCoder(10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := makeShards(rng, 10, 1024)
+	parity, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := append(append([][]byte{}, data...), parity...)
+	b.SetBytes(10 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(all))
+		copy(shards, all)
+		shards[0], shards[5], shards[11], shards[13] = nil, nil, nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math"
+	mrand "math/rand"
+	"time"
+
+	"seccloud/internal/core"
+	"seccloud/internal/funcs"
+	"seccloud/internal/ibc"
+	"seccloud/internal/netsim"
+	"seccloud/internal/pairing"
+	"seccloud/internal/sampling"
+	"seccloud/internal/workload"
+)
+
+// DetectionRow compares the analytic cheat-survival probability of
+// eq. 10/12 against the empirical escape rate of a live cheating server
+// audited by Algorithm 1.
+type DetectionRow struct {
+	Strategy string
+	CSC      float64 // honest-computation fraction (FCS experiments)
+	SSC      float64 // honest-position/storage fraction (PCS experiments)
+	R        float64 // guessing range of the audited function
+	T        int     // sample size
+	Analytic float64 // predicted survival probability
+	Empiric  float64 // observed survival rate over the trials
+	Trials   int
+}
+
+// DetectionConfig shapes the Monte-Carlo experiment.
+type DetectionConfig struct {
+	// Blocks is the dataset/job size n.
+	Blocks int
+	// Trials is the number of independent audits per row.
+	Trials int
+	// SampleSizes are the t values to test.
+	SampleSizes []int
+	// Seed drives all pseudo-randomness.
+	Seed int64
+}
+
+// Detection runs live computation-cheating servers at several CSC levels
+// and measures how often Algorithm 1 fails to catch them, against eq. 10.
+// It uses the "parity" function (R = 2, the paper's hardest guessing
+// case) so guessed results sometimes collide with the truth.
+func Detection(pp *pairing.Params, cfg DetectionConfig) ([]DetectionRow, error) {
+	if cfg.Blocks <= 0 || cfg.Trials <= 0 || len(cfg.SampleSizes) == 0 {
+		return nil, fmt.Errorf("experiments: bad detection config %+v", cfg)
+	}
+	sio, err := ibc.Setup(pp, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	sp := sio.Params()
+	userKey, err := sio.Extract("user:mc")
+	if err != nil {
+		return nil, err
+	}
+	daKey, err := sio.Extract("da:mc")
+	if err != nil {
+		return nil, err
+	}
+	user := core.NewUser(sp, userKey, rand.Reader)
+	agency := core.NewAgency(sp, daKey, rand.Reader)
+	rng := mrand.New(mrand.NewSource(cfg.Seed))
+
+	var rows []DetectionRow
+	for _, csc := range []float64{0.5, 0.75, 0.9} {
+		srvKey, err := sio.Extract(fmt.Sprintf("cs:mc-%v", csc))
+		if err != nil {
+			return nil, err
+		}
+		policy := &core.ComputationCheater{CSC: csc, Rng: mrand.New(mrand.NewSource(cfg.Seed + 1))}
+		srv, err := core.NewServer(sp, srvKey, core.ServerConfig{
+			Policy: policy,
+			Random: rand.Reader,
+		})
+		if err != nil {
+			return nil, err
+		}
+		client := netsim.NewLoopback(srv, netsim.LinkConfig{})
+
+		ds := workload.NewGenerator(cfg.Seed).GenDataset(user.ID(), cfg.Blocks, 8)
+		req, err := user.PrepareStore(ds, srv.ID(), agency.ID())
+		if err != nil {
+			return nil, err
+		}
+		if err := user.Store(client, req); err != nil {
+			return nil, err
+		}
+		warrant, err := user.Delegate(agency.ID(), "", time.Now().Add(24*time.Hour))
+		if err != nil {
+			return nil, err
+		}
+
+		job := workload.UniformJob(user.ID(), funcs.Spec{Name: "parity"}, cfg.Blocks)
+		for _, t := range cfg.SampleSizes {
+			escaped := 0
+			for trial := 0; trial < cfg.Trials; trial++ {
+				jobID := fmt.Sprintf("mc-%v-%d-%d", csc, t, trial)
+				resp, err := user.SubmitJob(client, jobID, job)
+				if err != nil {
+					return nil, err
+				}
+				d := &core.JobDelegation{
+					UserID:   user.ID(),
+					ServerID: resp.ServerID,
+					JobID:    jobID,
+					Tasks:    core.TasksToWire(job),
+					Results:  resp.Results,
+					Root:     resp.Root,
+					RootSig:  resp.RootSig,
+					Warrant:  warrant,
+				}
+				report, err := agency.AuditJob(client, d, core.AuditConfig{
+					SampleSize: t,
+					Rng:        mrand.New(mrand.NewSource(rng.Int63())),
+				})
+				if err != nil {
+					return nil, err
+				}
+				if report.Valid() {
+					escaped++
+				}
+			}
+			analytic, err := sampling.ProbFCS(sampling.Params{CSC: csc, SSC: 1, R: 2}, t)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, DetectionRow{
+				Strategy: "computation-cheat (guess, R=2)",
+				CSC:      csc, SSC: 1, R: 2, T: t,
+				Analytic: analytic,
+				Empiric:  float64(escaped) / float64(cfg.Trials),
+				Trials:   cfg.Trials,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// OptimalTRow is one point of the Theorem 3 sweep.
+type OptimalTRow struct {
+	Q         float64
+	CheatLoss float64
+	TClosed   int
+	TBrute    int
+	CostAtT   float64
+}
+
+// OptimalT sweeps cheat-survival probabilities and stakes, validating the
+// closed form (eq. 18) against brute-force minimization of eq. 17.
+func OptimalT() ([]OptimalTRow, error) {
+	var rows []OptimalTRow
+	for _, q := range []float64{0.3, 0.5, 0.75, 0.9} {
+		for _, loss := range []float64{1e3, 1e6, 1e9} {
+			cp := sampling.CostParams{
+				A1: 1, A2: 1, A3: 1,
+				CTrans: 100, CComp: 10, CCheat: loss, Q: q,
+			}
+			closed, err := sampling.OptimalSampleSize(cp)
+			if err != nil {
+				return nil, err
+			}
+			brute, err := sampling.OptimalSampleSizeBrute(cp, 5000)
+			if err != nil {
+				return nil, err
+			}
+			cost, err := sampling.TotalCost(cp, closed)
+			if err != nil {
+				return nil, err
+			}
+			if diff := closed - brute; diff < -1 || diff > 1 {
+				return nil, fmt.Errorf("experiments: closed form t=%d far from brute t=%d at q=%v loss=%v",
+					closed, brute, q, loss)
+			}
+			rows = append(rows, OptimalTRow{
+				Q: q, CheatLoss: loss, TClosed: closed, TBrute: brute,
+				CostAtT: math.Round(cost),
+			})
+		}
+	}
+	return rows, nil
+}

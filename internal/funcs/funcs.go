@@ -1,0 +1,355 @@
+// Package funcs implements the computable function library for SecCloud's
+// computation service: the paper models a computing request as a set
+// F = {f_1, …, f_n} of functions ("data sum, data average, data maximum, or
+// other complicated computations") applied to data blocks at positions
+// P = {p_1, …, p_n}, producing results y_i = f_i(x_{p_i}).
+//
+// Data blocks are fixed-format binary encodings of int64 vectors (see
+// package workload). Each function takes the blocks at a subtask's position
+// vector and returns a deterministic byte-encoded result.
+//
+// Every function also reports its result range size |R|, which drives the
+// paper's guessing-attack analysis (eq. 10: a cheater guessing f(x) without
+// computing succeeds with probability 1/|R|). Small-range functions such as
+// Parity (|R| = 2) exist specifically to reproduce the R = 2 line of
+// Figure 4 empirically.
+package funcs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Common errors.
+var (
+	ErrUnknownFunc = errors.New("funcs: unknown function")
+	ErrBadBlock    = errors.New("funcs: malformed data block")
+	ErrArity       = errors.New("funcs: wrong number of input blocks")
+)
+
+// Spec names a function and an optional integer argument; it is what
+// travels inside compute requests.
+type Spec struct {
+	Name string
+	Arg  int64
+}
+
+// String renders the spec for logs and reports.
+func (s Spec) String() string {
+	if s.Arg != 0 {
+		return fmt.Sprintf("%s(%d)", s.Name, s.Arg)
+	}
+	return s.Name
+}
+
+// Func is a deterministic computation over one or more data blocks.
+type Func interface {
+	// Name returns the registry name of the function.
+	Name() string
+	// Arity returns how many input blocks the function consumes.
+	Arity() int
+	// Eval computes the result over the decoded int64 vectors.
+	Eval(arg int64, vecs [][]int64) ([]byte, error)
+	// RangeSize returns the size |R| of the plausible result range, or nil
+	// when the range is effectively unbounded (a cheater cannot guess).
+	RangeSize(arg int64) *big.Int
+}
+
+// DecodeBlock parses a data block into its int64 vector. Blocks are
+// big-endian int64 sequences; length must be a multiple of 8.
+func DecodeBlock(block []byte) ([]int64, error) {
+	if len(block)%8 != 0 {
+		return nil, fmt.Errorf("funcs: block length %d not a multiple of 8: %w",
+			len(block), ErrBadBlock)
+	}
+	vec := make([]int64, len(block)/8)
+	for i := range vec {
+		vec[i] = int64(binary.BigEndian.Uint64(block[i*8:]))
+	}
+	return vec, nil
+}
+
+// EncodeBlock is the inverse of DecodeBlock.
+func EncodeBlock(vec []int64) []byte {
+	out := make([]byte, 8*len(vec))
+	for i, v := range vec {
+		binary.BigEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+// encodeInt64 encodes a scalar result.
+func encodeInt64(v int64) []byte {
+	var out [8]byte
+	binary.BigEndian.PutUint64(out[:], uint64(v))
+	return out[:]
+}
+
+// DecodeInt64Result parses a scalar result produced by the int64-valued
+// functions, for callers that want the numeric value back.
+func DecodeInt64Result(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("funcs: result length %d, want 8: %w", len(b), ErrBadBlock)
+	}
+	return int64(binary.BigEndian.Uint64(b)), nil
+}
+
+// --- concrete functions -------------------------------------------------
+
+type sumFunc struct{}
+
+func (sumFunc) Name() string             { return "sum" }
+func (sumFunc) Arity() int               { return 1 }
+func (sumFunc) RangeSize(int64) *big.Int { return nil }
+func (sumFunc) Eval(_ int64, vecs [][]int64) ([]byte, error) {
+	var acc int64
+	for _, v := range vecs[0] {
+		acc += v
+	}
+	return encodeInt64(acc), nil
+}
+
+type meanFunc struct{}
+
+func (meanFunc) Name() string             { return "mean" }
+func (meanFunc) Arity() int               { return 1 }
+func (meanFunc) RangeSize(int64) *big.Int { return nil }
+func (meanFunc) Eval(_ int64, vecs [][]int64) ([]byte, error) {
+	if len(vecs[0]) == 0 {
+		return encodeInt64(0), nil
+	}
+	var acc int64
+	for _, v := range vecs[0] {
+		acc += v
+	}
+	return encodeInt64(acc / int64(len(vecs[0]))), nil
+}
+
+type maxFunc struct{}
+
+func (maxFunc) Name() string             { return "max" }
+func (maxFunc) Arity() int               { return 1 }
+func (maxFunc) RangeSize(int64) *big.Int { return nil }
+func (maxFunc) Eval(_ int64, vecs [][]int64) ([]byte, error) {
+	if len(vecs[0]) == 0 {
+		return nil, fmt.Errorf("funcs: max of empty vector: %w", ErrBadBlock)
+	}
+	m := vecs[0][0]
+	for _, v := range vecs[0][1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return encodeInt64(m), nil
+}
+
+type minFunc struct{}
+
+func (minFunc) Name() string             { return "min" }
+func (minFunc) Arity() int               { return 1 }
+func (minFunc) RangeSize(int64) *big.Int { return nil }
+func (minFunc) Eval(_ int64, vecs [][]int64) ([]byte, error) {
+	if len(vecs[0]) == 0 {
+		return nil, fmt.Errorf("funcs: min of empty vector: %w", ErrBadBlock)
+	}
+	m := vecs[0][0]
+	for _, v := range vecs[0][1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return encodeInt64(m), nil
+}
+
+type dotFunc struct{}
+
+func (dotFunc) Name() string             { return "dot" }
+func (dotFunc) Arity() int               { return 2 }
+func (dotFunc) RangeSize(int64) *big.Int { return nil }
+func (dotFunc) Eval(_ int64, vecs [][]int64) ([]byte, error) {
+	a, b := vecs[0], vecs[1]
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("funcs: dot of unequal lengths %d/%d: %w",
+			len(a), len(b), ErrBadBlock)
+	}
+	var acc int64
+	for i := range a {
+		acc += a[i] * b[i]
+	}
+	return encodeInt64(acc), nil
+}
+
+// polyFunc evaluates Σ x_i·t^i mod 2^63 at t = arg, a Horner pass — the
+// paper's "other complicated computations based on these functions".
+type polyFunc struct{}
+
+func (polyFunc) Name() string             { return "polyeval" }
+func (polyFunc) Arity() int               { return 1 }
+func (polyFunc) RangeSize(int64) *big.Int { return nil }
+func (polyFunc) Eval(arg int64, vecs [][]int64) ([]byte, error) {
+	var acc int64
+	for i := len(vecs[0]) - 1; i >= 0; i-- {
+		acc = acc*arg + vecs[0][i]
+	}
+	return encodeInt64(acc), nil
+}
+
+// parityFunc has |R| = 2: the smallest possible guessing range, matching
+// the paper's R = 2 worst case in Figure 4.
+type parityFunc struct{}
+
+func (parityFunc) Name() string             { return "parity" }
+func (parityFunc) Arity() int               { return 1 }
+func (parityFunc) RangeSize(int64) *big.Int { return big.NewInt(2) }
+func (parityFunc) Eval(_ int64, vecs [][]int64) ([]byte, error) {
+	var acc int64
+	for _, v := range vecs[0] {
+		acc ^= v
+	}
+	return encodeInt64(acc & 1), nil
+}
+
+// modFunc reduces the block sum mod arg, giving a tunable range |R| = arg.
+type modFunc struct{}
+
+func (modFunc) Name() string { return "summod" }
+func (modFunc) Arity() int   { return 1 }
+func (modFunc) RangeSize(arg int64) *big.Int {
+	if arg <= 0 {
+		return big.NewInt(1)
+	}
+	return big.NewInt(arg)
+}
+func (modFunc) Eval(arg int64, vecs [][]int64) ([]byte, error) {
+	if arg <= 0 {
+		return nil, fmt.Errorf("funcs: summod needs a positive modulus, got %d", arg)
+	}
+	var acc int64
+	for _, v := range vecs[0] {
+		acc = ((acc+v)%arg + arg) % arg
+	}
+	return encodeInt64(acc), nil
+}
+
+// digestFunc returns SHA-256 of the raw block: a stand-in for expensive
+// opaque computations with an unguessable result.
+type digestFunc struct{}
+
+func (digestFunc) Name() string             { return "digest" }
+func (digestFunc) Arity() int               { return 1 }
+func (digestFunc) RangeSize(int64) *big.Int { return nil }
+func (digestFunc) Eval(_ int64, vecs [][]int64) ([]byte, error) {
+	h := sha256.Sum256(EncodeBlock(vecs[0]))
+	return h[:], nil
+}
+
+// varianceFunc computes the population variance (integer-truncated).
+type varianceFunc struct{}
+
+func (varianceFunc) Name() string             { return "variance" }
+func (varianceFunc) Arity() int               { return 1 }
+func (varianceFunc) RangeSize(int64) *big.Int { return nil }
+func (varianceFunc) Eval(_ int64, vecs [][]int64) ([]byte, error) {
+	v := vecs[0]
+	if len(v) == 0 {
+		return encodeInt64(0), nil
+	}
+	var sum float64
+	for _, x := range v {
+		sum += float64(x)
+	}
+	mean := sum / float64(len(v))
+	var acc float64
+	for _, x := range v {
+		d := float64(x) - mean
+		acc += d * d
+	}
+	res := acc / float64(len(v))
+	if res > math.MaxInt64 {
+		res = math.MaxInt64
+	}
+	return encodeInt64(int64(res)), nil
+}
+
+// --- registry -------------------------------------------------------------
+
+// Registry maps function names to implementations. The zero value is not
+// usable; construct with NewRegistry, which installs the standard library
+// of functions.
+type Registry struct {
+	byName map[string]Func
+}
+
+// NewRegistry returns a registry preloaded with the standard functions:
+// sum, mean, max, min, dot, polyeval, parity, summod, digest, variance.
+func NewRegistry() *Registry {
+	r := &Registry{byName: make(map[string]Func, 10)}
+	for _, f := range []Func{
+		sumFunc{}, meanFunc{}, maxFunc{}, minFunc{}, dotFunc{},
+		polyFunc{}, parityFunc{}, modFunc{}, digestFunc{}, varianceFunc{},
+	} {
+		r.byName[f.Name()] = f
+	}
+	return r
+}
+
+// Register adds a custom function; it returns an error on duplicate names.
+func (r *Registry) Register(f Func) error {
+	if _, dup := r.byName[f.Name()]; dup {
+		return fmt.Errorf("funcs: duplicate registration of %q", f.Name())
+	}
+	r.byName[f.Name()] = f
+	return nil
+}
+
+// Lookup resolves a spec's function.
+func (r *Registry) Lookup(name string) (Func, error) {
+	f, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("funcs: %q: %w", name, ErrUnknownFunc)
+	}
+	return f, nil
+}
+
+// Names returns the registered function names (unordered).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Eval resolves and applies spec to the given raw blocks.
+func (r *Registry) Eval(spec Spec, blocks [][]byte) ([]byte, error) {
+	f, err := r.Lookup(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) != f.Arity() {
+		return nil, fmt.Errorf("funcs: %s wants %d blocks, got %d: %w",
+			spec.Name, f.Arity(), len(blocks), ErrArity)
+	}
+	vecs := make([][]int64, len(blocks))
+	for i, b := range blocks {
+		vec, err := DecodeBlock(b)
+		if err != nil {
+			return nil, fmt.Errorf("funcs: decoding input %d of %s: %w", i, spec.Name, err)
+		}
+		vecs[i] = vec
+	}
+	return f.Eval(spec.Arg, vecs)
+}
+
+// RangeSize reports |R| for a spec (nil means unbounded).
+func (r *Registry) RangeSize(spec Spec) (*big.Int, error) {
+	f, err := r.Lookup(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	return f.RangeSize(spec.Arg), nil
+}

@@ -1,0 +1,218 @@
+package funcs
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockRoundtrip(t *testing.T) {
+	f := func(vec []int64) bool {
+		dec, err := DecodeBlock(EncodeBlock(vec))
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(vec) {
+			return false
+		}
+		for i := range vec {
+			if dec[i] != vec[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatalf("roundtrip property: %v", err)
+	}
+}
+
+func TestDecodeBlockRejectsBadLength(t *testing.T) {
+	if _, err := DecodeBlock(make([]byte, 7)); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("got %v, want ErrBadBlock", err)
+	}
+}
+
+func block(vals ...int64) []byte { return EncodeBlock(vals) }
+
+func evalInt(t *testing.T, r *Registry, spec Spec, blocks ...[]byte) int64 {
+	t.Helper()
+	out, err := r.Eval(spec, blocks)
+	if err != nil {
+		t.Fatalf("Eval(%v): %v", spec, err)
+	}
+	v, err := DecodeInt64Result(out)
+	if err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	return v
+}
+
+func TestArithmeticFunctions(t *testing.T) {
+	r := NewRegistry()
+	b := block(3, -1, 10, 4)
+	cases := []struct {
+		spec Spec
+		want int64
+	}{
+		{Spec{Name: "sum"}, 16},
+		{Spec{Name: "mean"}, 4},
+		{Spec{Name: "max"}, 10},
+		{Spec{Name: "min"}, -1},
+		{Spec{Name: "parity"}, (3 ^ -1 ^ 10 ^ 4) & 1},
+		{Spec{Name: "summod", Arg: 7}, ((16 % 7) + 7) % 7},
+		// polyeval at t=2: 3 + (−1)·2 + 10·4 + 4·8 = 73
+		{Spec{Name: "polyeval", Arg: 2}, 73},
+	}
+	for _, tc := range cases {
+		if got := evalInt(t, r, tc.spec, b); got != tc.want {
+			t.Fatalf("%v = %d, want %d", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	r := NewRegistry()
+	a := block(1, 2, 3)
+	b := block(4, 5, 6)
+	if got := evalInt(t, r, Spec{Name: "dot"}, a, b); got != 32 {
+		t.Fatalf("dot = %d, want 32", got)
+	}
+	// Mismatched lengths.
+	if _, err := r.Eval(Spec{Name: "dot"}, [][]byte{a, block(1)}); err == nil {
+		t.Fatal("dot of unequal vectors accepted")
+	}
+	// Wrong arity.
+	if _, err := r.Eval(Spec{Name: "dot"}, [][]byte{a}); !errors.Is(err, ErrArity) {
+		t.Fatalf("got %v, want ErrArity", err)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	r := NewRegistry()
+	// Values 2, 4, 4, 4, 5, 5, 7, 9: classic example with variance 4.
+	b := block(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := evalInt(t, r, Spec{Name: "variance"}, b); got != 4 {
+		t.Fatalf("variance = %d, want 4", got)
+	}
+}
+
+func TestDigestDeterministicAndWide(t *testing.T) {
+	r := NewRegistry()
+	b := block(1, 2, 3)
+	d1, err := r.Eval(Spec{Name: "digest"}, [][]byte{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Eval(Spec{Name: "digest"}, [][]byte{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Fatal("digest not deterministic")
+	}
+	if len(d1) != 32 {
+		t.Fatalf("digest length %d, want 32", len(d1))
+	}
+}
+
+func TestEmptyVectorEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	empty := block()
+	if got := evalInt(t, r, Spec{Name: "sum"}, empty); got != 0 {
+		t.Fatalf("sum of empty = %d", got)
+	}
+	if got := evalInt(t, r, Spec{Name: "mean"}, empty); got != 0 {
+		t.Fatalf("mean of empty = %d", got)
+	}
+	if _, err := r.Eval(Spec{Name: "max"}, [][]byte{empty}); err == nil {
+		t.Fatal("max of empty accepted")
+	}
+	if _, err := r.Eval(Spec{Name: "min"}, [][]byte{empty}); err == nil {
+		t.Fatal("min of empty accepted")
+	}
+}
+
+func TestSummodValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Eval(Spec{Name: "summod", Arg: 0}, [][]byte{block(1)}); err == nil {
+		t.Fatal("summod with zero modulus accepted")
+	}
+	// Result always in [0, arg).
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		vals := make([]int64, 1+rng.Intn(8))
+		for j := range vals {
+			vals[j] = rng.Int63() - rng.Int63()
+		}
+		got := evalInt(t, r, Spec{Name: "summod", Arg: 11}, EncodeBlock(vals))
+		if got < 0 || got >= 11 {
+			t.Fatalf("summod out of range: %d", got)
+		}
+	}
+}
+
+func TestRangeSizes(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		spec Spec
+		want *big.Int // nil = unbounded
+	}{
+		{Spec{Name: "parity"}, big.NewInt(2)},
+		{Spec{Name: "summod", Arg: 100}, big.NewInt(100)},
+		{Spec{Name: "sum"}, nil},
+		{Spec{Name: "digest"}, nil},
+	}
+	for _, tc := range cases {
+		got, err := r.RangeSize(tc.spec)
+		if err != nil {
+			t.Fatalf("RangeSize(%v): %v", tc.spec, err)
+		}
+		switch {
+		case tc.want == nil && got != nil:
+			t.Fatalf("%v: expected unbounded range, got %v", tc.spec, got)
+		case tc.want != nil && (got == nil || got.Cmp(tc.want) != 0):
+			t.Fatalf("%v: range %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestRegistryLookupAndRegister(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Lookup("nope"); !errors.Is(err, ErrUnknownFunc) {
+		t.Fatalf("got %v, want ErrUnknownFunc", err)
+	}
+	if len(r.Names()) != 10 {
+		t.Fatalf("expected 10 standard functions, got %d: %v", len(r.Names()), r.Names())
+	}
+	if err := r.Register(sumFunc{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := r.Eval(Spec{Name: "ghost"}, nil); !errors.Is(err, ErrUnknownFunc) {
+		t.Fatalf("got %v, want ErrUnknownFunc", err)
+	}
+}
+
+func TestEvalRejectsMalformedBlock(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Eval(Spec{Name: "sum"}, [][]byte{make([]byte, 5)}); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("got %v, want ErrBadBlock", err)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if got := (Spec{Name: "summod", Arg: 7}).String(); got != "summod(7)" {
+		t.Fatalf("Spec.String = %q", got)
+	}
+	if got := (Spec{Name: "sum"}).String(); got != "sum" {
+		t.Fatalf("Spec.String = %q", got)
+	}
+}
+
+func TestDecodeInt64ResultValidation(t *testing.T) {
+	if _, err := DecodeInt64Result(make([]byte, 4)); err == nil {
+		t.Fatal("short result accepted")
+	}
+}

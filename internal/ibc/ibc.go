@@ -1,0 +1,162 @@
+// Package ibc implements the identity-based key infrastructure from
+// SecCloud §V-A ("System initialization"): a System Initialization Operator
+// (SIO) holding a master secret s, system-wide public parameters
+//
+//	params = (G1, GT, q, ê, P, Ppub = s·P, H, H1, H2),
+//
+// and the Extract operation issuing per-identity secret keys
+// sk_ID = s·Q_ID with Q_ID = H1(ID).
+//
+// In the paper the SIO role is played by a government agency or trusted
+// third party, and registration happens offline; here it is an in-process
+// object so tests and simulations can stand up complete systems cheaply.
+package ibc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"seccloud/internal/curve"
+	"seccloud/internal/pairing"
+)
+
+// Domain-separation tags for the three hash functions of the paper.
+const (
+	domainH1 = "seccloud/H1:id->G1"
+	domainH2 = "seccloud/H2:sig->Zq"
+	domainH  = "seccloud/H:any->Zq"
+)
+
+// ErrUnknownIdentity reports a lookup for an identity that never registered.
+var ErrUnknownIdentity = errors.New("ibc: unknown identity")
+
+// SystemParams is the public parameter set distributed to every party.
+// Immutable after Setup and safe for concurrent use.
+type SystemParams struct {
+	pp   *pairing.Params
+	ppub *curve.Point // Ppub = s·P
+
+	// qidCache memoizes Q_ID = H1(ID): hash-to-point costs a square root
+	// plus a cofactor multiplication, and verification workloads hit the
+	// same identities over and over. Entries are immutable points; the
+	// cache grows with the number of distinct identities seen, which is
+	// bounded by the deployment's registered parties.
+	qidCache sync.Map // string → *curve.Point
+}
+
+// Pairing returns the underlying pairing context.
+func (sp *SystemParams) Pairing() *pairing.Params { return sp.pp }
+
+// G1 returns the curve group.
+func (sp *SystemParams) G1() *curve.Group { return sp.pp.G1() }
+
+// MasterPublicKey returns a copy of Ppub.
+func (sp *SystemParams) MasterPublicKey() *curve.Point {
+	return sp.pp.G1().Copy(sp.ppub)
+}
+
+// QID computes the identity public key Q_ID = H1(ID) ∈ G1, memoizing the
+// map-to-point work per identity.
+func (sp *SystemParams) QID(id string) *curve.Point {
+	if cached, ok := sp.qidCache.Load(id); ok {
+		pt, ok := cached.(*curve.Point)
+		if !ok {
+			// Unreachable: only this method stores into the cache.
+			return sp.pp.G1().HashToPoint(domainH1, []byte(id))
+		}
+		return sp.pp.G1().Copy(pt)
+	}
+	pt := sp.pp.G1().HashToPoint(domainH1, []byte(id))
+	sp.qidCache.Store(id, sp.pp.G1().Copy(pt))
+	return pt
+}
+
+// H2 is the paper's H2 : {0,1}* → Zq*, used as h_i = H2(U_i ‖ m_i).
+func (sp *SystemParams) H2(parts ...[]byte) *big.Int {
+	return sp.pp.G1().Scalars().HashToNonZeroScalar(domainH2, parts...)
+}
+
+// H is the paper's generic H : {0,1}* → Zq.
+func (sp *SystemParams) H(parts ...[]byte) *big.Int {
+	return sp.pp.G1().Scalars().HashToScalar(domainH, parts...)
+}
+
+// PrivateKey is an extracted identity secret key sk_ID = s·Q_ID.
+type PrivateKey struct {
+	ID string
+	SK *curve.Point
+}
+
+// SIO is the System Initialization Operator: the trusted authority holding
+// the master secret. Safe for concurrent Extract calls.
+type SIO struct {
+	params *SystemParams
+	s      *big.Int
+}
+
+// Setup generates a fresh master secret and system parameters over the
+// supplied pairing parameter set.
+func Setup(pp *pairing.Params, random io.Reader) (*SIO, error) {
+	s, err := pp.G1().Scalars().Rand(random)
+	if err != nil {
+		return nil, fmt.Errorf("ibc: generating master secret: %w", err)
+	}
+	return newSIO(pp, s), nil
+}
+
+// SetupDeterministic builds a system from a fixed master secret; intended
+// for reproducible tests and simulations only.
+func SetupDeterministic(pp *pairing.Params, s *big.Int) (*SIO, error) {
+	sr := new(big.Int).Mod(s, pp.G1().Q())
+	if sr.Sign() == 0 {
+		return nil, errors.New("ibc: master secret must be nonzero mod q")
+	}
+	return newSIO(pp, sr), nil
+}
+
+func newSIO(pp *pairing.Params, s *big.Int) *SIO {
+	ppub := pp.G1().BaseMult(s)
+	return &SIO{
+		params: &SystemParams{pp: pp, ppub: ppub},
+		s:      s,
+	}
+}
+
+// Params returns the public system parameters.
+func (sio *SIO) Params() *SystemParams { return sio.params }
+
+// Extract issues the identity secret key sk_ID = s·H1(ID). It corresponds
+// to the paper's registration step (eq. 4); delivery is assumed to happen
+// over a secure channel.
+func (sio *SIO) Extract(id string) (*PrivateKey, error) {
+	if id == "" {
+		return nil, errors.New("ibc: empty identity")
+	}
+	q := sio.params.QID(id)
+	return &PrivateKey{
+		ID: id,
+		SK: sio.params.pp.G1().ScalarMult(q, sio.s),
+	}, nil
+}
+
+// Validate checks that a private key matches its claimed identity using the
+// pairing equation ê(sk_ID, P) = ê(Q_ID, Ppub). Parties run this upon
+// receiving their key from the SIO.
+func (sp *SystemParams) Validate(k *PrivateKey) error {
+	if k == nil || k.SK == nil || k.SK.Inf {
+		return errors.New("ibc: nil or identity private key")
+	}
+	g := sp.pp.G1()
+	if !g.InSubgroup(k.SK) {
+		return fmt.Errorf("ibc: private key for %q not in G1", k.ID)
+	}
+	lhs := sp.pp.Pair(k.SK, g.Generator())
+	rhs := sp.pp.Pair(sp.QID(k.ID), sp.ppub)
+	if !lhs.Equal(rhs) {
+		return fmt.Errorf("ibc: private key does not match identity %q", k.ID)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package ibc
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"seccloud/internal/pairing"
+)
+
+func testSIO(t *testing.T) *SIO {
+	t.Helper()
+	sio, err := Setup(pairing.InsecureTest256(), rand.Reader)
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	return sio
+}
+
+func TestSetupProducesValidParams(t *testing.T) {
+	sio := testSIO(t)
+	sp := sio.Params()
+	if sp.MasterPublicKey().Inf {
+		t.Fatal("Ppub is the identity")
+	}
+	if !sp.G1().InSubgroup(sp.MasterPublicKey()) {
+		t.Fatal("Ppub outside G1")
+	}
+}
+
+func TestSetupDeterministic(t *testing.T) {
+	pp := pairing.InsecureTest256()
+	s1, err := SetupDeterministic(pp, big.NewInt(42))
+	if err != nil {
+		t.Fatalf("SetupDeterministic: %v", err)
+	}
+	s2, err := SetupDeterministic(pp, big.NewInt(42))
+	if err != nil {
+		t.Fatalf("SetupDeterministic: %v", err)
+	}
+	if !pp.G1().Equal(s1.Params().MasterPublicKey(), s2.Params().MasterPublicKey()) {
+		t.Fatal("same seed produced different Ppub")
+	}
+	if _, err := SetupDeterministic(pp, big.NewInt(0)); err == nil {
+		t.Fatal("zero master secret accepted")
+	}
+	// Secrets are reduced mod q: s and s+q give the same system.
+	q := pp.G1().Q()
+	s3, err := SetupDeterministic(pp, new(big.Int).Add(big.NewInt(42), q))
+	if err != nil {
+		t.Fatalf("SetupDeterministic: %v", err)
+	}
+	if !pp.G1().Equal(s1.Params().MasterPublicKey(), s3.Params().MasterPublicKey()) {
+		t.Fatal("master secret not reduced mod q")
+	}
+}
+
+func TestExtractAndValidate(t *testing.T) {
+	sio := testSIO(t)
+	sp := sio.Params()
+	for _, id := range []string{"alice@example.com", "cloud-server-1", "DA"} {
+		sk, err := sio.Extract(id)
+		if err != nil {
+			t.Fatalf("Extract(%q): %v", id, err)
+		}
+		if sk.ID != id {
+			t.Fatalf("key ID %q, want %q", sk.ID, id)
+		}
+		if err := sp.Validate(sk); err != nil {
+			t.Fatalf("Validate(%q): %v", id, err)
+		}
+	}
+}
+
+func TestExtractRejectsEmptyIdentity(t *testing.T) {
+	sio := testSIO(t)
+	if _, err := sio.Extract(""); err == nil {
+		t.Fatal("empty identity accepted")
+	}
+}
+
+func TestValidateRejectsMismatchedKey(t *testing.T) {
+	sio := testSIO(t)
+	sp := sio.Params()
+	alice, err := sio.Extract("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claiming alice's key belongs to bob must fail.
+	forged := &PrivateKey{ID: "bob", SK: alice.SK}
+	if err := sp.Validate(forged); err == nil {
+		t.Fatal("mismatched key accepted")
+	}
+	// Nil / identity keys must fail.
+	if err := sp.Validate(nil); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	if err := sp.Validate(&PrivateKey{ID: "x", SK: sp.G1().Infinity()}); err == nil {
+		t.Fatal("identity-point key accepted")
+	}
+}
+
+func TestValidateRejectsKeyFromOtherSystem(t *testing.T) {
+	sio1 := testSIO(t)
+	sio2 := testSIO(t)
+	k, err := sio2.Extract("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sio1.Params().Validate(k); err == nil {
+		t.Fatal("key from a different master secret accepted")
+	}
+}
+
+func TestQIDDeterministicAndDistinct(t *testing.T) {
+	sp := testSIO(t).Params()
+	a1 := sp.QID("alice")
+	a2 := sp.QID("alice")
+	b := sp.QID("bob")
+	if !sp.G1().Equal(a1, a2) {
+		t.Fatal("QID not deterministic")
+	}
+	if sp.G1().Equal(a1, b) {
+		t.Fatal("QID collision between distinct identities")
+	}
+	if !sp.G1().InSubgroup(a1) {
+		t.Fatal("QID outside G1")
+	}
+}
+
+func TestHashesAreDomainSeparated(t *testing.T) {
+	sp := testSIO(t).Params()
+	msg := []byte("message")
+	if sp.H(msg).Cmp(sp.H2(msg)) == 0 {
+		t.Fatal("H and H2 agree on the same input; domains not separated")
+	}
+	if sp.H2(msg).Sign() == 0 {
+		t.Fatal("H2 returned zero")
+	}
+}
+
+func TestExtractLinear(t *testing.T) {
+	// sk_ID = s·Q_ID implies ê(sk_a, Q_b) == ê(Q_a, sk_b) for any two
+	// identities: both equal ê(Q_a, Q_b)^s. This "key agreement" identity
+	// (Sakai–Ohgishi–Kasahara) is a strong correctness check of Extract.
+	sio := testSIO(t)
+	sp := sio.Params()
+	ka, err := sio.Extract("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := sio.Extract("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := sp.Pairing().Pair(ka.SK, sp.QID("b"))
+	rhs := sp.Pairing().Pair(sp.QID("a"), kb.SK)
+	if !lhs.Equal(rhs) {
+		t.Fatal("SOK identity fails; Extract is not s-linear")
+	}
+}
+
+func TestQIDCacheConcurrent(t *testing.T) {
+	// Hammer the memoized QID from many goroutines; every result must be
+	// the same point, and returned copies must not alias cache internals.
+	sp := testSIO(t).Params()
+	want := sp.QID("user:hot")
+	done := make(chan *struct{ ok bool }, 16)
+	for w := 0; w < 16; w++ {
+		go func() {
+			ok := true
+			for i := 0; i < 50; i++ {
+				pt := sp.QID("user:hot")
+				if !sp.G1().Equal(pt, want) {
+					ok = false
+				}
+				// Mutate the returned copy; must not poison the cache.
+				if !pt.Inf {
+					pt.X.SetInt64(1)
+				}
+			}
+			done <- &struct{ ok bool }{ok}
+		}()
+	}
+	for w := 0; w < 16; w++ {
+		if r := <-done; !r.ok {
+			t.Fatal("QID cache returned inconsistent points")
+		}
+	}
+	if !sp.G1().Equal(sp.QID("user:hot"), want) {
+		t.Fatal("cache poisoned by mutated copy")
+	}
+}

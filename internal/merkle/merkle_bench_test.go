@@ -1,0 +1,71 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchLeaves(n int) []LeafData {
+	leaves := make([]LeafData, n)
+	for i := range leaves {
+		leaves[i] = LeafData{
+			Result:   []byte(fmt.Sprintf("result-%d-with-some-payload-bytes", i)),
+			Position: uint64(i),
+		}
+	}
+	return leaves
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			leaves := benchLeaves(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(leaves); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tree, err := Build(benchLeaves(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Prove(i % n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVerifyProof(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			leaves := benchLeaves(n)
+			tree, err := Build(leaves)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proof, err := tree.Prove(n / 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			root := tree.Root()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := VerifyProof(root, leaves[n/2], proof); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"seccloud/internal/wire"
+)
+
+// TCPServer serves a Handler over real sockets with the wire framing.
+// Connections are handled concurrently; Close stops the listener and waits
+// for in-flight connections to drain.
+type TCPServer struct {
+	handler  Handler
+	listener net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewTCPServer starts listening on addr (e.g. "127.0.0.1:0") and serving
+// handler in background goroutines.
+func NewTCPServer(addr string, handler Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{
+		handler:  handler,
+		listener: ln,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		req, _, err := wire.ReadMessage(conn)
+		if err != nil {
+			return // peer closed or protocol error; drop the connection
+		}
+		resp := s.handler.Handle(req)
+		if _, err := wire.WriteMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the listener, closes live connections, and waits for the
+// serving goroutines to exit.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// TCPClient is a Client over one TCP connection. Round trips are
+// serialized with a mutex: the protocol is strictly request/response.
+type TCPClient struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	stats  Stats
+	closed bool
+}
+
+var _ Client = (*TCPClient)(nil)
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn}, nil
+}
+
+// RoundTrip sends m and waits for the reply.
+func (c *TCPClient) RoundTrip(m wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("netsim: client closed")
+	}
+	sent, err := wire.WriteMessage(c.conn, m)
+	if err != nil {
+		return nil, err
+	}
+	resp, recvd, err := wire.ReadMessage(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.record(sent, recvd, 0)
+	return resp, nil
+}
+
+// Stats returns the link counters.
+func (c *TCPClient) Stats() StatsSnapshot { return c.stats.Snapshot() }
+
+// Close closes the underlying connection.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

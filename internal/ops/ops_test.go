@@ -1,0 +1,56 @@
+package ops
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	var c Counters
+	c.AddPointMul()
+	c.AddPointMul()
+	c.AddMillerLoop()
+	c.AddFinalExp()
+	c.AddHashToPoint()
+	s := c.Snapshot()
+	if s.PointMuls != 2 || s.MillerLoops != 1 || s.FinalExps != 1 || s.HashToPoints != 1 {
+		t.Fatalf("snapshot wrong: %+v", s)
+	}
+	if s.Pairings() != 1 {
+		t.Fatalf("Pairings() = %d, want 1", s.Pairings())
+	}
+	c.Reset()
+	if got := c.Snapshot(); got != (Snapshot{}) {
+		t.Fatalf("reset left %+v", got)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	a := Snapshot{PointMuls: 10, MillerLoops: 5, FinalExps: 3, HashToPoints: 2}
+	b := Snapshot{PointMuls: 4, MillerLoops: 1, FinalExps: 1, HashToPoints: 0}
+	d := a.Sub(b)
+	want := Snapshot{PointMuls: 6, MillerLoops: 4, FinalExps: 2, HashToPoints: 2}
+	if d != want {
+		t.Fatalf("Sub = %+v, want %+v", d, want)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddPointMul()
+				c.AddMillerLoop()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.PointMuls != 8000 || s.MillerLoops != 8000 {
+		t.Fatalf("lost increments: %+v", s)
+	}
+}

@@ -1,0 +1,87 @@
+package pairing
+
+import (
+	"fmt"
+	"math/big"
+
+	"seccloud/internal/ff"
+)
+
+// GT is an element of the order-q target group inside Fp2*. Values are
+// immutable: every operation returns a fresh element.
+type GT struct {
+	pp *Params
+	v  *ff.Fp2
+}
+
+// One returns the identity of GT.
+func (pp *Params) One() *GT {
+	return &GT{pp: pp, v: pp.g1.FieldCtx().Fp2One()}
+}
+
+// IsOne reports whether g is the identity.
+func (g *GT) IsOne() bool { return g.pp.g1.FieldCtx().Fp2IsOne(g.v) }
+
+// Equal reports whether g and h are the same element.
+func (g *GT) Equal(h *GT) bool { return g.pp.g1.FieldCtx().Fp2Equal(g.v, h.v) }
+
+// Mul returns g·h.
+func (g *GT) Mul(h *GT) *GT {
+	return &GT{pp: g.pp, v: g.pp.g1.FieldCtx().Fp2Mul(g.v, h.v)}
+}
+
+// Inv returns g⁻¹. GT elements have order q, so the inverse is g^(q−1);
+// for unitary Fp2 elements this is just conjugation, which is cheap.
+func (g *GT) Inv() *GT {
+	return &GT{pp: g.pp, v: g.pp.g1.FieldCtx().Fp2Conj(g.v)}
+}
+
+// Exp returns g^k with the exponent reduced mod q.
+func (g *GT) Exp(k *big.Int) *GT {
+	fp := g.pp.g1.FieldCtx()
+	kq := new(big.Int).Mod(k, g.pp.q)
+	return &GT{pp: g.pp, v: fp.Fp2Exp(g.v, kq)}
+}
+
+// Marshal encodes g as two fixed-width big-endian field coordinates.
+func (g *GT) Marshal() []byte {
+	fb := (g.pp.p.BitLen() + 7) / 8
+	out := make([]byte, 2*fb)
+	g.v.A.FillBytes(out[:fb])
+	g.v.B.FillBytes(out[fb:])
+	return out
+}
+
+// GTLen returns the byte length of an encoded GT element.
+func (pp *Params) GTLen() int {
+	fb := (pp.p.BitLen() + 7) / 8
+	return 2 * fb
+}
+
+// UnmarshalGT decodes an element produced by GT.Marshal and checks that it
+// lies in the order-q subgroup (rejecting arbitrary Fp2 values).
+func (pp *Params) UnmarshalGT(data []byte) (*GT, error) {
+	fb := (pp.p.BitLen() + 7) / 8
+	if len(data) != 2*fb {
+		return nil, fmt.Errorf("pairing: GT encoding has %d bytes, want %d", len(data), 2*fb)
+	}
+	fp := pp.g1.FieldCtx()
+	a := new(big.Int).SetBytes(data[:fb])
+	b := new(big.Int).SetBytes(data[fb:])
+	if !fp.InField(a) || !fp.InField(b) {
+		return nil, fmt.Errorf("pairing: GT coordinates out of field range")
+	}
+	v := &ff.Fp2{A: a, B: b}
+	if fp.Fp2IsZero(v) {
+		return nil, fmt.Errorf("pairing: GT element is zero")
+	}
+	if !fp.Fp2IsOne(fp.Fp2Exp(v, pp.q)) {
+		return nil, fmt.Errorf("pairing: element not in order-q subgroup")
+	}
+	return &GT{pp: pp, v: v}, nil
+}
+
+// String renders g for debugging.
+func (g *GT) String() string {
+	return g.pp.g1.FieldCtx().Fp2String(g.v)
+}

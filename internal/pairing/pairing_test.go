@@ -1,0 +1,240 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"seccloud/internal/curve"
+)
+
+func testParams(t *testing.T) *Params {
+	t.Helper()
+	return InsecureTest256()
+}
+
+func randScalar(t *testing.T, pp *Params) *big.Int {
+	t.Helper()
+	k, err := pp.G1().Scalars().Rand(rand.Reader)
+	if err != nil {
+		t.Fatalf("sampling scalar: %v", err)
+	}
+	return k
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SS512", "ss512", "InsecureTest256", "test256"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestBilinearity(t *testing.T) {
+	pp := testParams(t)
+	g := pp.G1()
+	gen := g.Generator()
+	base := pp.Pair(gen, gen)
+	if base.IsOne() {
+		t.Fatal("pairing degenerate on generator")
+	}
+	for i := 0; i < 10; i++ {
+		a := randScalar(t, pp)
+		b := randScalar(t, pp)
+		pa := g.BaseMult(a)
+		qb := g.BaseMult(b)
+		// ê(aP, bP) == ê(P,P)^(ab)
+		lhs := pp.Pair(pa, qb)
+		ab := new(big.Int).Mul(a, b)
+		if !lhs.Equal(base.Exp(ab)) {
+			t.Fatal("bilinearity fails")
+		}
+		// ê(aP, Q)·ê(bP, Q) == ê((a+b)P, Q)
+		q := g.BaseMult(randScalar(t, pp))
+		prod := pp.Pair(pa, q).Mul(pp.Pair(g.BaseMult(b), q))
+		sum := pp.Pair(g.BaseMult(new(big.Int).Add(a, b)), q)
+		if !prod.Equal(sum) {
+			t.Fatal("additivity in first argument fails")
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	pp := testParams(t)
+	g := pp.G1()
+	for i := 0; i < 5; i++ {
+		p, _, _ := g.RandPoint(rand.Reader)
+		q, _, _ := g.RandPoint(rand.Reader)
+		if !pp.Pair(p, q).Equal(pp.Pair(q, p)) {
+			t.Fatal("pairing not symmetric")
+		}
+	}
+}
+
+func TestPairWithSelf(t *testing.T) {
+	// ê(P, P) must be well-defined and non-degenerate: the distortion map
+	// guarantees φ(P) is independent of P.
+	pp := testParams(t)
+	p, _, _ := pp.G1().RandPoint(rand.Reader)
+	e := pp.Pair(p, p)
+	if e.IsOne() {
+		t.Fatal("self-pairing degenerate")
+	}
+}
+
+func TestPairIdentityCases(t *testing.T) {
+	pp := testParams(t)
+	g := pp.G1()
+	p, _, _ := g.RandPoint(rand.Reader)
+	if !pp.Pair(g.Infinity(), p).IsOne() {
+		t.Fatal("ê(O, P) should be 1")
+	}
+	if !pp.Pair(p, g.Infinity()).IsOne() {
+		t.Fatal("ê(P, O) should be 1")
+	}
+}
+
+func TestPairNegation(t *testing.T) {
+	pp := testParams(t)
+	g := pp.G1()
+	p, _, _ := g.RandPoint(rand.Reader)
+	q, _, _ := g.RandPoint(rand.Reader)
+	e := pp.Pair(p, q)
+	en := pp.Pair(g.Neg(p), q)
+	if !e.Mul(en).IsOne() {
+		t.Fatal("ê(−P, Q) is not the inverse of ê(P, Q)")
+	}
+	if !en.Equal(e.Inv()) {
+		t.Fatal("Inv() disagrees with pairing of negated point")
+	}
+}
+
+func TestGTOrder(t *testing.T) {
+	pp := testParams(t)
+	g := pp.G1()
+	p, _, _ := g.RandPoint(rand.Reader)
+	q, _, _ := g.RandPoint(rand.Reader)
+	e := pp.Pair(p, q)
+	if !e.Exp(pp.G1().Q()).IsOne() {
+		t.Fatal("GT element does not have order dividing q")
+	}
+	// Exponent reduction: e^(q+3) == e^3.
+	q3 := new(big.Int).Add(g.Q(), big.NewInt(3))
+	if !e.Exp(q3).Equal(e.Exp(big.NewInt(3))) {
+		t.Fatal("exponents not reduced mod q")
+	}
+}
+
+func TestPairProdMatchesProduct(t *testing.T) {
+	pp := testParams(t)
+	g := pp.G1()
+	rng := mrand.New(mrand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		n := 1 + rng.Intn(6)
+		ps := make([]*curve.Point, n)
+		qs := make([]*curve.Point, n)
+		want := pp.One()
+		for i := 0; i < n; i++ {
+			ps[i], _, _ = g.RandPoint(rand.Reader)
+			qs[i], _, _ = g.RandPoint(rand.Reader)
+			want = want.Mul(pp.Pair(ps[i], qs[i]))
+		}
+		got, err := pp.PairProd(ps, qs)
+		if err != nil {
+			t.Fatalf("PairProd: %v", err)
+		}
+		if !got.Equal(want) {
+			t.Fatal("PairProd disagrees with explicit product")
+		}
+	}
+	if _, err := pp.PairProd(make([]*curve.Point, 2), make([]*curve.Point, 3)); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestPairProdSkipsInfinity(t *testing.T) {
+	pp := testParams(t)
+	g := pp.G1()
+	p, _, _ := g.RandPoint(rand.Reader)
+	q, _, _ := g.RandPoint(rand.Reader)
+	got, err := pp.PairProd(
+		[]*curve.Point{p, g.Infinity()},
+		[]*curve.Point{q, p},
+	)
+	if err != nil {
+		t.Fatalf("PairProd: %v", err)
+	}
+	if !got.Equal(pp.Pair(p, q)) {
+		t.Fatal("infinity pair should contribute identity")
+	}
+}
+
+func TestGTMarshalRoundtrip(t *testing.T) {
+	pp := testParams(t)
+	g := pp.G1()
+	p, _, _ := g.RandPoint(rand.Reader)
+	q, _, _ := g.RandPoint(rand.Reader)
+	e := pp.Pair(p, q)
+	enc := e.Marshal()
+	if len(enc) != pp.GTLen() {
+		t.Fatalf("GT encoding length %d, want %d", len(enc), pp.GTLen())
+	}
+	dec, err := pp.UnmarshalGT(enc)
+	if err != nil {
+		t.Fatalf("UnmarshalGT: %v", err)
+	}
+	if !dec.Equal(e) {
+		t.Fatal("GT roundtrip mismatch")
+	}
+}
+
+func TestUnmarshalGTRejectsBadElements(t *testing.T) {
+	pp := testParams(t)
+	// Wrong length.
+	if _, err := pp.UnmarshalGT(make([]byte, 3)); err == nil {
+		t.Fatal("short GT encoding accepted")
+	}
+	// All-zero (the zero element of Fp2, not in GT).
+	if _, err := pp.UnmarshalGT(make([]byte, pp.GTLen())); err == nil {
+		t.Fatal("zero GT element accepted")
+	}
+	// An Fp2 element outside the order-q subgroup: 2 + 0i has huge order.
+	fb := pp.GTLen() / 2
+	buf := make([]byte, pp.GTLen())
+	buf[fb-1] = 2
+	if _, err := pp.UnmarshalGT(buf); err == nil {
+		t.Fatal("non-subgroup GT element accepted")
+	}
+}
+
+func TestSS512ParametersValid(t *testing.T) {
+	// mustParams already validates (p+1 = h·q, generator order); also
+	// confirm the bit lengths the paper's Table I setting implies.
+	pp := SS512()
+	if got := pp.G1().P().BitLen(); got != 512 {
+		t.Fatalf("SS512 field size %d bits, want 512", got)
+	}
+	if got := pp.G1().Q().BitLen(); got != 160 {
+		t.Fatalf("SS512 group order %d bits, want 160", got)
+	}
+	if !pp.G1().P().ProbablyPrime(32) || !pp.G1().Q().ProbablyPrime(32) {
+		t.Fatal("SS512 parameters not prime")
+	}
+}
+
+func TestSS512BilinearOnce(t *testing.T) {
+	// One full-size sanity check; kept to a single iteration for speed.
+	pp := SS512()
+	g := pp.G1()
+	a := big.NewInt(1234567)
+	b := big.NewInt(7654321)
+	lhs := pp.Pair(g.BaseMult(a), g.BaseMult(b))
+	rhs := pp.Pair(g.Generator(), g.Generator()).Exp(new(big.Int).Mul(a, b))
+	if !lhs.Equal(rhs) {
+		t.Fatal("SS512 bilinearity fails")
+	}
+}

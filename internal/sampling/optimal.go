@@ -1,0 +1,95 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostParams are the inputs of the total-cost model (eq. 17):
+//
+//	C_total(t) = a1·t·C_trans + a2·C_comp + a3·C_cheat·q^t
+//
+// where q is the per-audit probability of undetected cheating. Following
+// the paper, the computation term is a constant offset (it does not affect
+// the optimizing t; see eq. 19).
+type CostParams struct {
+	// A1, A2, A3 are the cost coefficients of eq. 17.
+	A1, A2, A3 float64
+	// CTrans is the transmission cost per sampled message-signature pair.
+	CTrans float64
+	// CComp is the computational cost term.
+	CComp float64
+	// CCheat is the loss caused by an undetected cheating attack.
+	CCheat float64
+	// Q is the probability of successful cheating per sample survival,
+	// q ∈ (0, 1).
+	Q float64
+}
+
+func (c *CostParams) validate() error {
+	if c.A1 <= 0 || c.A3 <= 0 || c.A2 < 0 {
+		return fmt.Errorf("sampling: coefficients must be positive (a1=%v a2=%v a3=%v)", c.A1, c.A2, c.A3)
+	}
+	if c.CTrans <= 0 || c.CCheat <= 0 || c.CComp < 0 {
+		return fmt.Errorf("sampling: costs must be positive (trans=%v comp=%v cheat=%v)",
+			c.CTrans, c.CComp, c.CCheat)
+	}
+	if c.Q <= 0 || c.Q >= 1 {
+		return fmt.Errorf("sampling: cheat probability q=%v outside (0,1)", c.Q)
+	}
+	return nil
+}
+
+// TotalCost evaluates eq. 17 at sample size t.
+func TotalCost(c CostParams, t int) (float64, error) {
+	if err := c.validate(); err != nil {
+		return 0, err
+	}
+	if t < 0 {
+		return 0, fmt.Errorf("sampling: negative sample size %d", t)
+	}
+	return c.A1*float64(t)*c.CTrans + c.A2*c.CComp + c.A3*c.CCheat*math.Pow(c.Q, float64(t)), nil
+}
+
+// OptimalSampleSize implements Theorem 3 (eq. 18):
+//
+//	t* = ⌈ ln( −a1·C_trans / (a3·C_cheat·ln q) ) / ln q ⌉
+//
+// clamped to t* ≥ 0. When the detection stakes are so low that even t = 0
+// minimizes cost (the logarithm's argument exceeds 1), it returns 0.
+func OptimalSampleSize(c CostParams) (int, error) {
+	if err := c.validate(); err != nil {
+		return 0, err
+	}
+	lnq := math.Log(c.Q) // negative
+	arg := -c.A1 * c.CTrans / (c.A3 * c.CCheat * lnq)
+	if arg >= 1 {
+		// Marginal transmission cost already exceeds the maximal marginal
+		// detection benefit: auditing is not worth a single sample.
+		return 0, nil
+	}
+	t := math.Ceil(math.Log(arg) / lnq)
+	if t < 0 {
+		t = 0
+	}
+	return int(t), nil
+}
+
+// OptimalSampleSizeBrute finds argmin C_total by scanning t ∈ [0, tMax];
+// used in tests and benches to validate the closed form.
+func OptimalSampleSizeBrute(c CostParams, tMax int) (int, error) {
+	if err := c.validate(); err != nil {
+		return 0, err
+	}
+	best, bestCost := 0, math.Inf(1)
+	for t := 0; t <= tMax; t++ {
+		cost, err := TotalCost(c, t)
+		if err != nil {
+			return 0, err
+		}
+		if cost < bestCost {
+			best, bestCost = t, cost
+		}
+	}
+	return best, nil
+}

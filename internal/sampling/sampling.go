@@ -1,0 +1,211 @@
+// Package sampling implements SecCloud's uncheatability analysis (§VII-A)
+// and the cost-optimal sample sizing of §VII-C:
+//
+//   - Pr[FCS] = (CSC + (1−CSC)/R)^t             (eq. 10)  — cheating by
+//     guessing function results;
+//   - Pr[PCS] = (SSC + (1−SSC)·Pr[SigForge])^t  (eq. 12)  — cheating with
+//     wrong-position data;
+//   - Pr[cheat] = Pr[FCS] + Pr[PCS]             (eq. 14, union bound);
+//   - the required sample size t(CSC, SSC, R, ε) surface of Figure 4;
+//   - the optimal sample size t* minimizing C_total (Theorem 3, eq. 17–18).
+//
+// The paper's spot values are reproduced exactly by this package (and
+// pinned in its tests): ε = 10⁻⁴ with CSC = SSC = 0.5 needs t = 33 at
+// R = 2 and t = 15 as R → ∞.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultSigForge is the default signature-forgery probability: the paper
+// treats it as "very small"; 2⁻⁸⁰ matches the SS512 security level.
+const DefaultSigForge = 1.0 / (1 << 40) / (1 << 40)
+
+// MaxSampleSize bounds the search for required sample sizes; parameters
+// demanding more than this are reported as errors rather than looping.
+const MaxSampleSize = 1 << 24
+
+// ErrUnreachable reports target probabilities that no sample size attains
+// (e.g. a fully honest-looking base of 1.0).
+var ErrUnreachable = errors.New("sampling: target probability unreachable")
+
+// Params bundles the adversary/system parameters of the analysis.
+type Params struct {
+	// CSC is the Computing Secure Confidence |F'|/|F| ∈ [0, 1].
+	CSC float64
+	// SSC is the Storage Secure Confidence |X'|/|X| ∈ [0, 1].
+	SSC float64
+	// R is the result-range size |R| ≥ 1; math.Inf(1) models unguessable
+	// functions (the paper's R → ∞ case).
+	R float64
+	// SigForge is Pr[SigForge]; zero means DefaultSigForge.
+	SigForge float64
+}
+
+// validate normalizes and checks the parameters.
+func (p *Params) validate() error {
+	if p.CSC < 0 || p.CSC > 1 {
+		return fmt.Errorf("sampling: CSC %v outside [0,1]", p.CSC)
+	}
+	if p.SSC < 0 || p.SSC > 1 {
+		return fmt.Errorf("sampling: SSC %v outside [0,1]", p.SSC)
+	}
+	if !(p.R >= 1) { // also rejects NaN
+		return fmt.Errorf("sampling: range size R %v must be ≥ 1", p.R)
+	}
+	if p.SigForge < 0 || p.SigForge > 1 {
+		return fmt.Errorf("sampling: Pr[SigForge] %v outside [0,1]", p.SigForge)
+	}
+	return nil
+}
+
+func (p *Params) sigForge() float64 {
+	if p.SigForge == 0 {
+		return DefaultSigForge
+	}
+	return p.SigForge
+}
+
+// fcsBase is the per-sample survival probability of the guessing cheater.
+func (p *Params) fcsBase() float64 {
+	if math.IsInf(p.R, 1) {
+		return p.CSC
+	}
+	return p.CSC + (1-p.CSC)/p.R
+}
+
+// pcsBase is the per-sample survival probability of the position cheater.
+func (p *Params) pcsBase() float64 {
+	return p.SSC + (1-p.SSC)*p.sigForge()
+}
+
+// ProbFCS evaluates eq. 10 for sample size t.
+func ProbFCS(p Params, t int) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if t < 0 {
+		return 0, fmt.Errorf("sampling: negative sample size %d", t)
+	}
+	return math.Pow(p.fcsBase(), float64(t)), nil
+}
+
+// ProbPCS evaluates eq. 12 for sample size t.
+func ProbPCS(p Params, t int) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if t < 0 {
+		return 0, fmt.Errorf("sampling: negative sample size %d", t)
+	}
+	return math.Pow(p.pcsBase(), float64(t)), nil
+}
+
+// ProbCheatSuccess evaluates the union bound of eq. 14, clamped to 1.
+func ProbCheatSuccess(p Params, t int) (float64, error) {
+	fcs, err := ProbFCS(p, t)
+	if err != nil {
+		return 0, err
+	}
+	pcs, err := ProbPCS(p, t)
+	if err != nil {
+		return 0, err
+	}
+	return math.Min(1, fcs+pcs), nil
+}
+
+// RequiredSampleSize returns the smallest t with
+// Pr[cheat success] ≤ epsilon (Definition 1 / Figure 4). A cheater that is
+// actually honest (both bases ≥ 1 up to forgery noise) makes the target
+// unreachable and returns ErrUnreachable — matching the paper's t < |X|
+// framing that sampling only defends against actual cheating.
+func RequiredSampleSize(p Params, epsilon float64) (int, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("sampling: epsilon %v outside (0,1)", epsilon)
+	}
+	a, b := p.fcsBase(), p.pcsBase()
+	if a >= 1 || b >= 1 {
+		// Either term alone keeps the union bound at 1 for every t: the
+		// "cheater" is fully honest on that axis and can never be caught
+		// there.
+		return 0, ErrUnreachable
+	}
+	at := func(t int) (float64, error) { return ProbCheatSuccess(p, t) }
+	// Exponentially grow an upper bracket, then binary-search the minimal
+	// t. Probability is strictly decreasing in t (both bases < 1), so the
+	// search is well-defined.
+	hi := 1
+	for {
+		prob, err := at(hi)
+		if err != nil {
+			return 0, err
+		}
+		if prob <= epsilon {
+			break
+		}
+		if hi >= MaxSampleSize {
+			return 0, fmt.Errorf("sampling: no t ≤ %d reaches ε = %v: %w",
+				MaxSampleSize, epsilon, ErrUnreachable)
+		}
+		hi *= 2
+		if hi > MaxSampleSize {
+			hi = MaxSampleSize
+		}
+	}
+	lo := 1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		prob, err := at(mid)
+		if err != nil {
+			return 0, err
+		}
+		if prob <= epsilon {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// SurfacePoint is one cell of the Figure 4 surface.
+type SurfacePoint struct {
+	SSC float64
+	CSC float64
+	// T is the required sample size, or -1 where unreachable (fully
+	// honest corner).
+	T int
+}
+
+// Fig4Surface computes the required-sample-size surface over an
+// (SSC, CSC) grid with the given step, reproducing Figure 4.
+func Fig4Surface(r float64, epsilon, step float64) ([]SurfacePoint, error) {
+	if step <= 0 || step > 1 {
+		return nil, fmt.Errorf("sampling: grid step %v outside (0,1]", step)
+	}
+	cells := int(math.Round(1/step)) + 1
+	out := make([]SurfacePoint, 0, cells*cells)
+	for si := 0; si < cells; si++ {
+		ssc := math.Min(float64(si)*step, 1)
+		for ci := 0; ci < cells; ci++ {
+			csc := math.Min(float64(ci)*step, 1)
+			p := Params{CSC: csc, SSC: ssc, R: r}
+			t, err := RequiredSampleSize(p, epsilon)
+			if errors.Is(err, ErrUnreachable) {
+				out = append(out, SurfacePoint{SSC: ssc, CSC: csc, T: -1})
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SurfacePoint{SSC: ssc, CSC: csc, T: t})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperSpotValues(t *testing.T) {
+	// §VII-A: "When we consider such a situation that the cloud server has
+	// computing with half CSC and half SSC of the task, the range of the
+	// domain is R = 2, we need at least 33 samples to ensure the
+	// probability of successful cheating to be below ε = 0.0001."
+	t33, err := RequiredSampleSize(Params{CSC: 0.5, SSC: 0.5, R: 2}, 1e-4)
+	if err != nil {
+		t.Fatalf("RequiredSampleSize(R=2): %v", err)
+	}
+	if t33 != 33 {
+		t.Fatalf("R=2 spot value: got t=%d, want 33", t33)
+	}
+	// "When R is large enough … we only need 15 samples."
+	t15, err := RequiredSampleSize(Params{CSC: 0.5, SSC: 0.5, R: math.Inf(1)}, 1e-4)
+	if err != nil {
+		t.Fatalf("RequiredSampleSize(R→∞): %v", err)
+	}
+	if t15 != 15 {
+		t.Fatalf("R→∞ spot value: got t=%d, want 15", t15)
+	}
+}
+
+func TestProbFormulas(t *testing.T) {
+	p := Params{CSC: 0.5, SSC: 0.25, R: 2, SigForge: 0}
+	fcs, err := ProbFCS(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0.5 + 0.5/2)^3 = 0.75^3
+	if want := math.Pow(0.75, 3); math.Abs(fcs-want) > 1e-12 {
+		t.Fatalf("ProbFCS = %v, want %v", fcs, want)
+	}
+	pcs, err := ProbPCS(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0.25 + 0.75·ε)^3 ≈ 0.25^3 for negligible forgery.
+	if want := math.Pow(0.25, 3); math.Abs(pcs-want) > 1e-9 {
+		t.Fatalf("ProbPCS = %v, want ≈%v", pcs, want)
+	}
+	total, err := ProbCheatSuccess(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-(fcs+pcs)) > 1e-15 {
+		t.Fatal("union bound not the sum")
+	}
+	// t = 0: certain success (clamped to 1).
+	total0, err := ProbCheatSuccess(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total0 != 1 {
+		t.Fatalf("zero samples should give probability 1, got %v", total0)
+	}
+}
+
+func TestProbMonotoneDecreasingInT(t *testing.T) {
+	p := Params{CSC: 0.7, SSC: 0.6, R: 10}
+	prev := math.Inf(1)
+	for _, tt := range []int{1, 2, 4, 8, 16, 32, 64} {
+		prob, err := ProbCheatSuccess(p, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prob > prev {
+			t.Fatalf("probability increased from %v to %v at t=%d", prev, prob, tt)
+		}
+		prev = prob
+	}
+}
+
+func TestRequiredSampleSizeIsMinimal(t *testing.T) {
+	// Property: the returned t satisfies ε, and t−1 does not.
+	f := func(cscQ, sscQ uint8, rQ uint16) bool {
+		p := Params{
+			CSC: float64(cscQ%95) / 100, // keep away from 1.0
+			SSC: float64(sscQ%95) / 100,
+			R:   2 + float64(rQ%1000),
+		}
+		tNeed, err := RequiredSampleSize(p, 1e-4)
+		if err != nil {
+			return false
+		}
+		at, err := ProbCheatSuccess(p, tNeed)
+		if err != nil || at > 1e-4 {
+			return false
+		}
+		if tNeed == 1 {
+			return true
+		}
+		before, err := ProbCheatSuccess(p, tNeed-1)
+		return err == nil && before > 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("minimality violated: %v", err)
+	}
+}
+
+func TestRequiredSampleSizeMonotoneInConfidence(t *testing.T) {
+	// Higher confidence (closer to honest) must never need FEWER samples.
+	prev := 0
+	for _, csc := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95} {
+		n, err := RequiredSampleSize(Params{CSC: csc, SSC: csc, R: 2}, 1e-4)
+		if err != nil {
+			t.Fatalf("csc=%v: %v", csc, err)
+		}
+		if n < prev {
+			t.Fatalf("required t dropped from %d to %d as confidence rose to %v", prev, n, csc)
+		}
+		prev = n
+	}
+}
+
+func TestRequiredSampleSizeUnreachable(t *testing.T) {
+	// A fully honest server (CSC = SSC = 1) can never be "caught".
+	_, err := RequiredSampleSize(Params{CSC: 1, SSC: 1, R: 2}, 1e-4)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("got %v, want ErrUnreachable", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{CSC: -0.1, SSC: 0, R: 2},
+		{CSC: 1.1, SSC: 0, R: 2},
+		{CSC: 0, SSC: -1, R: 2},
+		{CSC: 0, SSC: 0, R: 0.5},
+		{CSC: 0, SSC: 0, R: math.NaN()},
+		{CSC: 0, SSC: 0, R: 2, SigForge: 2},
+	}
+	for _, p := range bad {
+		if _, err := ProbCheatSuccess(p, 1); err == nil {
+			t.Fatalf("params %+v accepted", p)
+		}
+	}
+	if _, err := ProbFCS(Params{R: 2}, -1); err == nil {
+		t.Fatal("negative t accepted")
+	}
+	if _, err := RequiredSampleSize(Params{R: 2}, 0); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+	if _, err := RequiredSampleSize(Params{R: 2}, 1); err == nil {
+		t.Fatal("epsilon 1 accepted")
+	}
+}
+
+func TestFig4Surface(t *testing.T) {
+	pts, err := Fig4Surface(2, 1e-4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5x5 grid (0, .25, .5, .75, 1.0).
+	if len(pts) != 25 {
+		t.Fatalf("grid has %d points, want 25", len(pts))
+	}
+	var corner SurfacePoint
+	found := false
+	for _, pt := range pts {
+		if pt.SSC == 0.5 && pt.CSC == 0.5 {
+			corner = pt
+			found = true
+		}
+		// Sample size grows toward the honest corner (or is unreachable).
+		if pt.SSC == 1.0 && pt.CSC == 1.0 && pt.T != -1 {
+			t.Fatal("fully honest corner should be unreachable")
+		}
+	}
+	if !found || corner.T != 33 {
+		t.Fatalf("center cell t=%d, want the paper's 33", corner.T)
+	}
+	if _, err := Fig4Surface(2, 1e-4, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestOptimalSampleSizeMatchesBruteForce(t *testing.T) {
+	cases := []CostParams{
+		{A1: 1, A2: 1, A3: 1, CTrans: 1, CComp: 5, CCheat: 1e6, Q: 0.75},
+		{A1: 1, A2: 1, A3: 1, CTrans: 10, CComp: 5, CCheat: 1e4, Q: 0.5},
+		{A1: 2, A2: 1, A3: 3, CTrans: 0.5, CComp: 0, CCheat: 1e8, Q: 0.9},
+		{A1: 1, A2: 0, A3: 1, CTrans: 100, CComp: 0, CCheat: 1e3, Q: 0.3},
+	}
+	for _, c := range cases {
+		closed, err := OptimalSampleSize(c)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		brute, err := OptimalSampleSizeBrute(c, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The ceiling in eq. 18 can land one step off the integer optimum;
+		// accept t* within one step of the brute-force argmin.
+		if diff := closed - brute; diff < -1 || diff > 1 {
+			cc, _ := TotalCost(c, closed)
+			cb, _ := TotalCost(c, brute)
+			t.Fatalf("%+v: closed form t=%d (cost %v) vs brute t=%d (cost %v)", c, closed, cc, brute, cb)
+		}
+	}
+}
+
+func TestOptimalSampleSizeZeroWhenAuditingUneconomic(t *testing.T) {
+	// Tiny stakes, expensive transmission: do not audit at all.
+	c := CostParams{A1: 1, A2: 1, A3: 1, CTrans: 1e9, CComp: 0, CCheat: 1, Q: 0.5}
+	got, err := OptimalSampleSize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("expected t*=0, got %d", got)
+	}
+}
+
+func TestTotalCostShape(t *testing.T) {
+	c := CostParams{A1: 1, A2: 1, A3: 1, CTrans: 1, CComp: 5, CCheat: 1e6, Q: 0.75}
+	tStar, err := OptimalSampleSize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costAt := func(tt int) float64 {
+		v, err := TotalCost(c, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Convexity around the optimum.
+	if costAt(tStar) > costAt(tStar+5) || costAt(tStar) > costAt(maxInt(0, tStar-5)) {
+		t.Fatalf("cost at t*=%d not a local minimum", tStar)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	bad := []CostParams{
+		{A1: 0, A3: 1, CTrans: 1, CCheat: 1, Q: 0.5},
+		{A1: 1, A3: 1, CTrans: 0, CCheat: 1, Q: 0.5},
+		{A1: 1, A3: 1, CTrans: 1, CCheat: 1, Q: 0},
+		{A1: 1, A3: 1, CTrans: 1, CCheat: 1, Q: 1},
+	}
+	for _, c := range bad {
+		if _, err := OptimalSampleSize(c); err == nil {
+			t.Fatalf("params %+v accepted", c)
+		}
+		if _, err := TotalCost(c, 1); err == nil {
+			t.Fatalf("TotalCost accepted %+v", c)
+		}
+	}
+	good := CostParams{A1: 1, A2: 1, A3: 1, CTrans: 1, CComp: 1, CCheat: 1, Q: 0.5}
+	if _, err := TotalCost(good, -1); err == nil {
+		t.Fatal("negative t accepted")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode ensures the frame decoder never panics or over-allocates on
+// attacker-controlled bytes; any parse outcome is fine, crashing is not.
+func FuzzDecode(f *testing.F) {
+	// Seed with every valid message kind plus junk.
+	for _, m := range sampleMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err == nil && msg == nil {
+			t.Fatal("nil message without error")
+		}
+	})
+}
+
+// FuzzReadMessage covers the length-prefixed stream reader, including
+// hostile length prefixes.
+func FuzzReadMessage(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := WriteMessage(&buf, &StoreResponse{OK: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, n, err := ReadMessage(bytes.NewReader(data))
+		if err == nil && n <= 0 {
+			t.Fatal("successful read consumed no bytes")
+		}
+		if n > len(data)+4 {
+			t.Fatalf("claimed to consume %d of %d bytes", n, len(data))
+		}
+	})
+}
+
+// FuzzRoundtrip: anything we can decode must re-encode and decode to the
+// same kind (weak idempotence; exact equality needs typed comparison).
+func FuzzRoundtrip(f *testing.F) {
+	for _, m := range sampleMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		msg2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if msg.Kind() != msg2.Kind() {
+			t.Fatalf("kind drifted: %q → %q", msg.Kind(), msg2.Kind())
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func benchChallengeResponse(items, blockLen int) *ChallengeResponse {
+	resp := &ChallengeResponse{JobID: "bench"}
+	for i := 0; i < items; i++ {
+		resp.Items = append(resp.Items, ChallengeItem{
+			Index:  uint64(i),
+			Task:   TaskSpec{FuncName: "sum", Positions: []uint64{uint64(i)}},
+			Blocks: [][]byte{bytes.Repeat([]byte{byte(i)}, blockLen)},
+			Sigs: []BlockSig{{
+				SignerID: "user:bench",
+				U:        bytes.Repeat([]byte{1}, 65),
+				Sigma:    map[string][]byte{"da": bytes.Repeat([]byte{2}, 128)},
+			}},
+			Result: bytes.Repeat([]byte{3}, 8),
+			ProofPath: []ProofStep{
+				{Hash: bytes.Repeat([]byte{4}, 32), Right: true},
+				{Hash: bytes.Repeat([]byte{5}, 32)},
+			},
+		})
+	}
+	return resp
+}
+
+func BenchmarkEncodeChallengeResponse(b *testing.B) {
+	for _, items := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			msg := benchChallengeResponse(items, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Encode(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeChallengeResponse(b *testing.B) {
+	for _, items := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			data, err := Encode(benchChallengeResponse(items, 1024))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWriteReadRoundtrip(b *testing.B) {
+	msg := benchChallengeResponse(8, 1024)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := WriteMessage(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ReadMessage(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func sampleMessages() []Message {
+	return []Message{
+		&StoreRequest{
+			UserID:    "alice",
+			Positions: []uint64{0, 1},
+			Blocks:    [][]byte{{1, 2}, {3, 4}},
+			Sigs: []BlockSig{
+				{SignerID: "alice", U: []byte{9}, Sigma: map[string][]byte{"cs": {8}, "da": {7}}},
+				{SignerID: "alice", U: []byte{6}, Sigma: map[string][]byte{"cs": {5}}},
+			},
+		},
+		&StoreResponse{OK: true},
+		&StoreResponse{OK: false, Error: "nope"},
+		&StorageAuditRequest{UserID: "alice", Positions: []uint64{3},
+			Warrant: Warrant{UserID: "alice", DelegateID: "da", NotAfterUnix: 99,
+				Sig: IBSig{U: []byte{1}, V: []byte{2}}}},
+		&StorageAuditResponse{Blocks: [][]byte{{1}}, Sigs: []BlockSig{{SignerID: "a"}}},
+		&ComputeRequest{UserID: "alice", JobID: "j1",
+			Tasks: []TaskSpec{{FuncName: "sum", Arg: 3, Positions: []uint64{0, 1}}}},
+		&ComputeResponse{JobID: "j1", ServerID: "cs", Results: [][]byte{{1}},
+			Root: []byte{4}, RootSig: IBSig{U: []byte{1}, V: []byte{2}}},
+		&ChallengeRequest{JobID: "j1", Indices: []uint64{2},
+			Warrant: Warrant{UserID: "alice"}},
+		&ChallengeResponse{JobID: "j1", Items: []ChallengeItem{{
+			Index:     2,
+			Task:      TaskSpec{FuncName: "sum", Positions: []uint64{2}},
+			Blocks:    [][]byte{{1, 2}},
+			Sigs:      []BlockSig{{SignerID: "alice"}},
+			Result:    []byte{9},
+			ProofPath: []ProofStep{{Hash: bytes.Repeat([]byte{7}, 32), Right: true}},
+		}}},
+		&UpdateRequest{UserID: "alice", Position: 4, Seq: 2, Block: []byte{1, 2},
+			Sig:  BlockSig{SignerID: "alice", U: []byte{3}, Sigma: map[string][]byte{"cs": {4}}},
+			Auth: IBSig{U: []byte{5}, V: []byte{6}}},
+		&DeleteRequest{UserID: "alice", Position: 4, Seq: 3,
+			Auth: IBSig{U: []byte{7}, V: []byte{8}}},
+		&ErrorResponse{Code: "bad", Msg: "oops"},
+	}
+}
+
+func TestMutationAuthBodies(t *testing.T) {
+	up := &UpdateRequest{UserID: "u", Position: 1, Seq: 2, Block: []byte{9}}
+	del := &DeleteRequest{UserID: "u", Position: 1, Seq: 2}
+	// Update and delete authorizations must never collide, and every
+	// field must be bound.
+	if bytes.Equal(up.UpdateAuthBody(), del.DeleteAuthBody()) {
+		t.Fatal("update and delete auth bodies collide")
+	}
+	up2 := *up
+	up2.Seq = 3
+	if bytes.Equal(up.UpdateAuthBody(), up2.UpdateAuthBody()) {
+		t.Fatal("sequence number not bound in auth body")
+	}
+	up3 := *up
+	up3.Block = []byte{8}
+	if bytes.Equal(up.UpdateAuthBody(), up3.UpdateAuthBody()) {
+		t.Fatal("block content not bound in auth body")
+	}
+	up4 := *up
+	up4.Position = 2
+	if bytes.Equal(up.UpdateAuthBody(), up4.UpdateAuthBody()) {
+		t.Fatal("position not bound in auth body")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", m.Kind(), err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", m.Kind(), err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%s roundtrip mismatch:\nsent %#v\ngot  %#v", m.Kind(), m, got)
+		}
+	}
+}
+
+func TestKindsAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range sampleMessages() {
+		if seen[m.Kind()] {
+			continue // duplicates of the same type in the sample list are fine
+		}
+		seen[m.Kind()] = true
+	}
+	if len(seen) != len(factories) {
+		t.Fatalf("sample covers %d kinds, factories has %d — keep them in sync", len(seen), len(factories))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob at all")); err == nil {
+		t.Fatal("garbage frame accepted")
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	// Forge a frame with an unknown kind by re-encoding one.
+	m := &StoreResponse{OK: true}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupting the kind string reliably requires crafting a frame; build
+	// one directly through the encoder path instead.
+	bad := frameWithKind(t, "mystery")
+	if _, err := Decode(bad); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("got %v, want ErrUnknownKind", err)
+	}
+	_ = data
+}
+
+// frameWithKind builds an encoded frame with an arbitrary kind tag.
+func frameWithKind(t *testing.T, kind string) []byte {
+	t.Helper()
+	// Reuse Encode's internals by temporarily registering nothing: craft
+	// the frame by hand with the same gob layout.
+	var buf bytes.Buffer
+	type f struct {
+		Kind string
+		Body []byte
+	}
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(f{Kind: kind, Body: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteReadMessage(t *testing.T) {
+	var buf bytes.Buffer
+	var totalWritten int
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		n, err := WriteMessage(&buf, m)
+		if err != nil {
+			t.Fatalf("WriteMessage(%s): %v", m.Kind(), err)
+		}
+		if n <= 4 {
+			t.Fatalf("implausible frame size %d", n)
+		}
+		totalWritten += n
+	}
+	if totalWritten != buf.Len() {
+		t.Fatalf("reported %d bytes, buffer has %d", totalWritten, buf.Len())
+	}
+	var totalRead int
+	for _, want := range msgs {
+		got, n, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("ReadMessage: %v", err)
+		}
+		totalRead += n
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("stream roundtrip mismatch for %s", want.Kind())
+		}
+	}
+	if totalRead != totalWritten {
+		t.Fatalf("read %d bytes of %d written", totalRead, totalWritten)
+	}
+	if _, _, err := ReadMessage(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF on drained stream, got %v", err)
+	}
+}
+
+func TestReadMessageRejectsHugeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // ~4 GiB advertised
+	if _, _, err := ReadMessage(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadMessageTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteMessage(&buf, &StoreResponse{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	if _, _, err := ReadMessage(trunc); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestWarrantBodyBindsAllFields(t *testing.T) {
+	base := Warrant{UserID: "u", DelegateID: "d", JobID: "j", NotAfterUnix: 10}
+	variants := []Warrant{
+		{UserID: "x", DelegateID: "d", JobID: "j", NotAfterUnix: 10},
+		{UserID: "u", DelegateID: "x", JobID: "j", NotAfterUnix: 10},
+		{UserID: "u", DelegateID: "d", JobID: "x", NotAfterUnix: 10},
+		{UserID: "u", DelegateID: "d", JobID: "j", NotAfterUnix: 11},
+	}
+	for i, v := range variants {
+		if bytes.Equal(base.Body(), v.Body()) {
+			t.Fatalf("variant %d has same body as base; field not bound", i)
+		}
+	}
+}

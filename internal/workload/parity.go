@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"fmt"
+
+	"seccloud/internal/erasure"
+)
+
+// WithParity extends a dataset with m Reed–Solomon parity blocks appended
+// after the k data blocks, turning detection-only storage audits into a
+// recoverable archive: any k surviving blocks reconstruct the rest (the
+// proofs-of-retrievability idea of the paper's references [11][12]).
+// All blocks must have equal length (GenDataset guarantees this).
+func WithParity(ds *Dataset, parityShards int) (*Dataset, *erasure.Coder, error) {
+	if ds.NumBlocks() == 0 {
+		return nil, nil, fmt.Errorf("workload: empty dataset cannot be parity-coded")
+	}
+	coder, err := erasure.NewCoder(ds.NumBlocks(), parityShards)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: building coder: %w", err)
+	}
+	parity, err := coder.Encode(ds.Blocks)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: encoding parity: %w", err)
+	}
+	out := &Dataset{
+		Owner:  ds.Owner,
+		Blocks: make([][]byte, 0, ds.NumBlocks()+parityShards),
+	}
+	out.Blocks = append(out.Blocks, ds.Blocks...)
+	out.Blocks = append(out.Blocks, parity...)
+	return out, coder, nil
+}
+
+// RecoverDataset reconstructs missing blocks in place: blocks must have
+// length k+m with nil entries marking losses (e.g. positions whose
+// storage-audit signature checks failed). At most m losses are
+// recoverable.
+func RecoverDataset(coder *erasure.Coder, blocks [][]byte) error {
+	if len(blocks) != coder.TotalShards() {
+		return fmt.Errorf("workload: got %d blocks, coder wants %d", len(blocks), coder.TotalShards())
+	}
+	if err := coder.Reconstruct(blocks); err != nil {
+		return fmt.Errorf("workload: reconstructing dataset: %w", err)
+	}
+	return nil
+}

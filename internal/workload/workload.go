@@ -1,0 +1,183 @@
+// Package workload generates reproducible datasets and computing jobs for
+// the SecCloud simulations and benchmarks: the data files a cloud user
+// outsources (D = {m_1, …, m_n}), the batch-processing jobs a CSP splits
+// into sub-tasks (the paper's MapReduce/Hadoop motivation, §III-A), and the
+// Zipf-skewed access patterns that motivate the "delete rarely accessed
+// data" storage-cheating strategy (§III-B).
+//
+// Everything is driven by a seeded PRNG so experiments are replayable; no
+// global randomness is used.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seccloud/internal/funcs"
+)
+
+// Dataset is an ordered collection of data blocks owned by one user.
+type Dataset struct {
+	Owner  string
+	Blocks [][]byte
+}
+
+// NumBlocks returns the number of blocks.
+func (d *Dataset) NumBlocks() int { return len(d.Blocks) }
+
+// Generator produces datasets and jobs from a deterministic seed.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator with the given seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// GenDataset builds numBlocks blocks of valuesPerBlock int64 entries each,
+// with values drawn uniformly from [0, 1000). The small value range keeps
+// arithmetic results human-checkable in examples while exercising the same
+// code paths as arbitrary data.
+func (g *Generator) GenDataset(owner string, numBlocks, valuesPerBlock int) *Dataset {
+	blocks := make([][]byte, numBlocks)
+	for i := range blocks {
+		vec := make([]int64, valuesPerBlock)
+		for j := range vec {
+			vec[j] = int64(g.rng.Intn(1000))
+		}
+		blocks[i] = funcs.EncodeBlock(vec)
+	}
+	return &Dataset{Owner: owner, Blocks: blocks}
+}
+
+// SubTask is one (function, position-vector) pair — the paper's f_i with
+// its position vector p_i.
+type SubTask struct {
+	Spec      funcs.Spec
+	Positions []uint64
+}
+
+// Job is a computing service request F = {f_1, …, f_n} with positions
+// P = {p_1, …, p_n}.
+type Job struct {
+	Owner    string
+	SubTasks []SubTask
+}
+
+// Len returns the number of sub-tasks.
+func (j *Job) Len() int { return len(j.SubTasks) }
+
+// JobConfig shapes generated jobs.
+type JobConfig struct {
+	// NumSubTasks is the number of sub-tasks n.
+	NumSubTasks int
+	// Specs is the pool of function specs to draw from; a zero-value pool
+	// defaults to the full standard mix.
+	Specs []funcs.Spec
+	// DatasetSize is the number of blocks addressable by positions.
+	DatasetSize int
+}
+
+// DefaultSpecPool is a representative mix of cheap aggregations and
+// heavier computations.
+func DefaultSpecPool() []funcs.Spec {
+	return []funcs.Spec{
+		{Name: "sum"}, {Name: "mean"}, {Name: "max"}, {Name: "min"},
+		{Name: "polyeval", Arg: 3}, {Name: "variance"}, {Name: "digest"},
+	}
+}
+
+// GenJob draws a job according to cfg. Two-block functions (dot) receive
+// two distinct positions; all others one.
+func (g *Generator) GenJob(owner string, cfg JobConfig) (*Job, error) {
+	if cfg.NumSubTasks <= 0 {
+		return nil, fmt.Errorf("workload: job needs at least one sub-task, got %d", cfg.NumSubTasks)
+	}
+	if cfg.DatasetSize <= 0 {
+		return nil, fmt.Errorf("workload: dataset size must be positive, got %d", cfg.DatasetSize)
+	}
+	pool := cfg.Specs
+	if len(pool) == 0 {
+		pool = DefaultSpecPool()
+	}
+	reg := funcs.NewRegistry()
+	tasks := make([]SubTask, cfg.NumSubTasks)
+	for i := range tasks {
+		spec := pool[g.rng.Intn(len(pool))]
+		f, err := reg.Lookup(spec.Name)
+		if err != nil {
+			return nil, fmt.Errorf("workload: spec pool: %w", err)
+		}
+		positions := make([]uint64, f.Arity())
+		for k := range positions {
+			positions[k] = uint64(g.rng.Intn(cfg.DatasetSize))
+		}
+		tasks[i] = SubTask{Spec: spec, Positions: positions}
+	}
+	return &Job{Owner: owner, SubTasks: tasks}, nil
+}
+
+// UniformJob builds a job applying one spec to every block position in
+// order — the shape used by the paper-style experiments where n sub-tasks
+// cover n blocks.
+func UniformJob(owner string, spec funcs.Spec, datasetSize int) *Job {
+	tasks := make([]SubTask, datasetSize)
+	for i := range tasks {
+		tasks[i] = SubTask{Spec: spec, Positions: []uint64{uint64(i)}}
+	}
+	return &Job{Owner: owner, SubTasks: tasks}
+}
+
+// ZipfAccess returns accessCount block indices drawn from a Zipf
+// distribution with exponent s over [0, datasetSize): a heavy-tailed
+// pattern where most blocks are "rarely accessed" — exactly the blocks a
+// semi-honest cheating server is tempted to delete.
+func (g *Generator) ZipfAccess(datasetSize int, accessCount int, s float64) ([]uint64, error) {
+	if datasetSize <= 0 {
+		return nil, fmt.Errorf("workload: dataset size must be positive, got %d", datasetSize)
+	}
+	if s <= 1.0 {
+		return nil, fmt.Errorf("workload: zipf exponent must exceed 1, got %v", s)
+	}
+	z := rand.NewZipf(g.rng, s, 1, uint64(datasetSize-1))
+	if z == nil {
+		return nil, fmt.Errorf("workload: invalid zipf parameters (size=%d s=%v)", datasetSize, s)
+	}
+	out := make([]uint64, accessCount)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out, nil
+}
+
+// ColdFraction computes which fraction of blocks received zero accesses in
+// a trace — the pool a rational storage cheater deletes first.
+func ColdFraction(datasetSize int, trace []uint64) float64 {
+	touched := make(map[uint64]struct{}, len(trace))
+	for _, idx := range trace {
+		touched[idx] = struct{}{}
+	}
+	return 1 - float64(len(touched))/float64(datasetSize)
+}
+
+// SplitRoundRobin partitions a job's sub-task indices across numServers
+// servers the way a CSP scheduler would fan out a MapReduce-style batch:
+// sub-task i goes to server i mod numServers. It returns one index slice
+// per server; empty assignments are preserved so callers can keep a
+// stable server indexing.
+func SplitRoundRobin(jobLen, numServers int) ([][]int, error) {
+	if numServers <= 0 {
+		return nil, fmt.Errorf("workload: need at least one server, got %d", numServers)
+	}
+	out := make([][]int, numServers)
+	per := int(math.Ceil(float64(jobLen) / float64(numServers)))
+	for i := range out {
+		out[i] = make([]int, 0, per)
+	}
+	for i := 0; i < jobLen; i++ {
+		out[i%numServers] = append(out[i%numServers], i)
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"testing"
+
+	"seccloud/internal/funcs"
+)
+
+func TestGenDatasetDeterministic(t *testing.T) {
+	a := NewGenerator(7).GenDataset("alice", 5, 8)
+	b := NewGenerator(7).GenDataset("alice", 5, 8)
+	if a.NumBlocks() != 5 || b.NumBlocks() != 5 {
+		t.Fatalf("block counts %d/%d, want 5", a.NumBlocks(), b.NumBlocks())
+	}
+	for i := range a.Blocks {
+		if len(a.Blocks[i]) != 64 {
+			t.Fatalf("block %d has %d bytes, want 64", i, len(a.Blocks[i]))
+		}
+		if string(a.Blocks[i]) != string(b.Blocks[i]) {
+			t.Fatalf("same seed produced different block %d", i)
+		}
+	}
+	c := NewGenerator(8).GenDataset("alice", 5, 8)
+	same := true
+	for i := range a.Blocks {
+		if string(a.Blocks[i]) != string(c.Blocks[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestGenDatasetBlocksDecode(t *testing.T) {
+	ds := NewGenerator(1).GenDataset("alice", 3, 4)
+	for i, b := range ds.Blocks {
+		vec, err := funcs.DecodeBlock(b)
+		if err != nil {
+			t.Fatalf("block %d does not decode: %v", i, err)
+		}
+		for _, v := range vec {
+			if v < 0 || v >= 1000 {
+				t.Fatalf("block %d value %d outside [0,1000)", i, v)
+			}
+		}
+	}
+}
+
+func TestGenJobShapes(t *testing.T) {
+	g := NewGenerator(2)
+	job, err := g.GenJob("alice", JobConfig{NumSubTasks: 20, DatasetSize: 10})
+	if err != nil {
+		t.Fatalf("GenJob: %v", err)
+	}
+	if job.Len() != 20 {
+		t.Fatalf("job has %d sub-tasks, want 20", job.Len())
+	}
+	reg := funcs.NewRegistry()
+	for i, st := range job.SubTasks {
+		f, err := reg.Lookup(st.Spec.Name)
+		if err != nil {
+			t.Fatalf("sub-task %d uses unknown func %q", i, st.Spec.Name)
+		}
+		if len(st.Positions) != f.Arity() {
+			t.Fatalf("sub-task %d has %d positions for arity-%d func", i, len(st.Positions), f.Arity())
+		}
+		for _, p := range st.Positions {
+			if p >= 10 {
+				t.Fatalf("sub-task %d position %d out of range", i, p)
+			}
+		}
+	}
+}
+
+func TestGenJobValidation(t *testing.T) {
+	g := NewGenerator(3)
+	if _, err := g.GenJob("a", JobConfig{NumSubTasks: 0, DatasetSize: 5}); err == nil {
+		t.Fatal("zero sub-tasks accepted")
+	}
+	if _, err := g.GenJob("a", JobConfig{NumSubTasks: 5, DatasetSize: 0}); err == nil {
+		t.Fatal("zero dataset accepted")
+	}
+	if _, err := g.GenJob("a", JobConfig{
+		NumSubTasks: 1, DatasetSize: 5, Specs: []funcs.Spec{{Name: "ghost"}},
+	}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestUniformJob(t *testing.T) {
+	job := UniformJob("alice", funcs.Spec{Name: "sum"}, 7)
+	if job.Len() != 7 {
+		t.Fatalf("job has %d tasks, want 7", job.Len())
+	}
+	for i, st := range job.SubTasks {
+		if st.Spec.Name != "sum" || len(st.Positions) != 1 || st.Positions[0] != uint64(i) {
+			t.Fatalf("task %d malformed: %+v", i, st)
+		}
+	}
+}
+
+func TestZipfAccessSkewed(t *testing.T) {
+	g := NewGenerator(4)
+	trace, err := g.ZipfAccess(1000, 5000, 1.5)
+	if err != nil {
+		t.Fatalf("ZipfAccess: %v", err)
+	}
+	if len(trace) != 5000 {
+		t.Fatalf("trace length %d, want 5000", len(trace))
+	}
+	counts := make(map[uint64]int)
+	for _, idx := range trace {
+		if idx >= 1000 {
+			t.Fatalf("access %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	// Heavy head: block 0 must dominate any mid-range block.
+	if counts[0] < 100 {
+		t.Fatalf("zipf head only %d accesses; not skewed", counts[0])
+	}
+	// Cold tail: a large fraction of blocks never touched.
+	cold := ColdFraction(1000, trace)
+	if cold < 0.3 {
+		t.Fatalf("cold fraction %v; expected a heavy tail of untouched blocks", cold)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	g := NewGenerator(5)
+	if _, err := g.ZipfAccess(0, 10, 1.5); err == nil {
+		t.Fatal("zero dataset accepted")
+	}
+	if _, err := g.ZipfAccess(10, 10, 1.0); err == nil {
+		t.Fatal("s=1 accepted")
+	}
+}
+
+func TestColdFraction(t *testing.T) {
+	if got := ColdFraction(4, []uint64{0, 0, 1}); got != 0.5 {
+		t.Fatalf("ColdFraction = %v, want 0.5", got)
+	}
+	if got := ColdFraction(2, []uint64{0, 1}); got != 0 {
+		t.Fatalf("ColdFraction = %v, want 0", got)
+	}
+}
+
+func TestSplitRoundRobin(t *testing.T) {
+	parts, err := SplitRoundRobin(10, 3)
+	if err != nil {
+		t.Fatalf("SplitRoundRobin: %v", err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts, want 3", len(parts))
+	}
+	seen := make([]bool, 10)
+	for s, part := range parts {
+		for _, idx := range part {
+			if idx%3 != s {
+				t.Fatalf("index %d landed on server %d", idx, s)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d assigned twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d unassigned", i)
+		}
+	}
+	// More servers than tasks: empty assignments preserved.
+	parts, err = SplitRoundRobin(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 5 || len(parts[3]) != 0 {
+		t.Fatalf("uneven split wrong: %v", parts)
+	}
+	if _, err := SplitRoundRobin(5, 0); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+}
+
+func TestWithParityAndRecover(t *testing.T) {
+	g := NewGenerator(9)
+	ds := g.GenDataset("alice", 6, 4)
+	coded, coder, err := WithParity(ds, 3)
+	if err != nil {
+		t.Fatalf("WithParity: %v", err)
+	}
+	if coded.NumBlocks() != 9 {
+		t.Fatalf("coded blocks = %d, want 9", coded.NumBlocks())
+	}
+	// Data prefix is untouched.
+	for i := 0; i < 6; i++ {
+		if string(coded.Blocks[i]) != string(ds.Blocks[i]) {
+			t.Fatalf("data block %d modified by coding", i)
+		}
+	}
+	// Knock out 3 blocks (the max) and recover.
+	shards := make([][]byte, 9)
+	copy(shards, coded.Blocks)
+	shards[0], shards[5], shards[7] = nil, nil, nil
+	if err := RecoverDataset(coder, shards); err != nil {
+		t.Fatalf("RecoverDataset: %v", err)
+	}
+	for i := range coded.Blocks {
+		if string(shards[i]) != string(coded.Blocks[i]) {
+			t.Fatalf("block %d not recovered", i)
+		}
+	}
+	// Too many losses fail loudly.
+	shards2 := make([][]byte, 9)
+	copy(shards2, coded.Blocks)
+	shards2[0], shards2[1], shards2[2], shards2[3] = nil, nil, nil, nil
+	if err := RecoverDataset(coder, shards2); err == nil {
+		t.Fatal("4 losses with 3 parity blocks recovered")
+	}
+	// Shape errors.
+	if err := RecoverDataset(coder, shards2[:4]); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	if _, _, err := WithParity(&Dataset{Owner: "x"}, 2); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
