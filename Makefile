@@ -1,0 +1,31 @@
+# SecCloud build/verify targets.
+#
+# `make check` is the tier-1 gate with the race detector wired in:
+# vet + build + race-enabled tests across every package.
+
+GO ?= go
+
+.PHONY: check build test race vet fuzz bench
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz pass over the wire codec (the corruption injector's attack
+# surface); extend -fuzztime locally for deeper runs.
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 10s
+	$(GO) test ./internal/wire -fuzz FuzzReadMessage -fuzztime 10s
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

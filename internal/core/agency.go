@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"seccloud/internal/ibc"
 	"seccloud/internal/merkle"
 	"seccloud/internal/netsim"
+	"seccloud/internal/sampling"
 	"seccloud/internal/wire"
 )
 
@@ -62,13 +64,77 @@ type AuditFailure struct {
 	Detail string
 }
 
+// RoundOutcome classifies one challenge round of an audit. The taxonomy
+// is the heart of fault-aware auditing: only BadProof implicates the
+// server; NetworkFault and Timeout implicate the link and must never be
+// converted into cheating evidence.
+type RoundOutcome int
+
+// The round outcomes.
+const (
+	// RoundOK: the round completed and every check passed.
+	RoundOK RoundOutcome = iota + 1
+	// RoundNetworkFault: the round was lost to a transport failure even
+	// after retries; its indices carry no information about the server.
+	RoundNetworkFault
+	// RoundTimeout: the round exceeded its deadline; like NetworkFault,
+	// non-accusatory.
+	RoundTimeout
+	// RoundBadProof: the round completed and a cryptographic or protocol
+	// check failed — this is the only accusatory outcome.
+	RoundBadProof
+)
+
+// String renders the outcome.
+func (o RoundOutcome) String() string {
+	switch o {
+	case RoundOK:
+		return "ok"
+	case RoundNetworkFault:
+		return "network-fault"
+	case RoundTimeout:
+		return "timeout"
+	case RoundBadProof:
+		return "bad-proof"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Accusatory reports whether the outcome implicates the server.
+func (o RoundOutcome) Accusatory() bool { return o == RoundBadProof }
+
+// RoundRecord is the evidence-trail entry for one challenge round.
+type RoundRecord struct {
+	// Indices are the sampled indices challenged in this round.
+	Indices []uint64
+	// Attempts is how many round trips were tried (≥ 1).
+	Attempts int
+	// Outcome classifies the round.
+	Outcome RoundOutcome
+	// Detail carries the transport error for lost rounds.
+	Detail string
+}
+
 // AuditReport is the outcome of one audit run: the paper's Algorithm 1
-// return value enriched with per-check attribution and traffic stats.
+// return value enriched with per-check attribution, per-round fault
+// accounting, and traffic stats.
 type AuditReport struct {
 	JobID      string
 	SampleSize int
 	Sampled    []uint64
 	Failures   []AuditFailure
+	// Rounds is the per-round evidence trail (one entry per challenge
+	// round trip group; a single round covers the whole sample unless
+	// AuditConfig.Rounds splits it).
+	Rounds []RoundRecord
+	// EffectiveSampleSize is the number of sampled indices whose
+	// challenge round actually completed (k ≤ t). Rounds lost to the
+	// network shrink the effective sample instead of framing the server.
+	EffectiveSampleSize int
+	// AchievedConfidence is 1 − Pr[cheat success] (eq. 14) recomputed for
+	// the effective sample when AuditConfig.Analysis is set; 0 otherwise.
+	AchievedConfidence float64
 	// SigChecksBatched reports whether block signatures were verified with
 	// the §VI batch equation (2 pairings) instead of per-item.
 	SigChecksBatched bool
@@ -77,7 +143,23 @@ type AuditReport struct {
 }
 
 // Valid reports the Algorithm 1 retValue: true iff no check failed.
+// Rounds lost to the network do NOT count as failures: an honest server
+// behind a lossy link stays valid.
 func (r *AuditReport) Valid() bool { return len(r.Failures) == 0 }
+
+// Degraded reports whether network faults shrank the effective sample.
+func (r *AuditReport) Degraded() bool { return r.EffectiveSampleSize < r.SampleSize }
+
+// NetworkFaultRounds counts rounds lost to transport faults or timeouts.
+func (r *AuditReport) NetworkFaultRounds() int {
+	n := 0
+	for _, rr := range r.Rounds {
+		if rr.Outcome == RoundNetworkFault || rr.Outcome == RoundTimeout {
+			n++
+		}
+	}
+	return n
+}
 
 // JobDelegation is what the cloud user hands the DA for auditing (§V-D):
 // the job {F, P}, the claimed results Y, the commitment root and its
@@ -104,6 +186,82 @@ type AuditConfig struct {
 	// per-item block-signature checks, with individual fallback to
 	// attribute failures.
 	BatchSignatures bool
+	// Rounds splits the sample across this many challenge round trips so
+	// a transport fault costs one round, not the whole audit; ≤ 1 sends a
+	// single challenge (the paper's shape).
+	Rounds int
+	// Retry retries rounds that fail with transport-class errors; nil
+	// means a single attempt per round.
+	Retry *netsim.Retrier
+	// RoundTimeout bounds each round-trip attempt; 0 means no deadline.
+	RoundTimeout time.Duration
+	// Analysis, when set, recomputes the achieved detection confidence
+	// (1 − eq. 14) for the effective sample after network-fault
+	// degradation.
+	Analysis *sampling.Params
+}
+
+// splitRounds chunks the sample into ≈equal contiguous rounds.
+func splitRounds(sample []uint64, rounds int) [][]uint64 {
+	if rounds <= 1 || len(sample) <= 1 {
+		return [][]uint64{sample}
+	}
+	if rounds > len(sample) {
+		rounds = len(sample)
+	}
+	out := make([][]uint64, 0, rounds)
+	per := (len(sample) + rounds - 1) / rounds
+	for start := 0; start < len(sample); start += per {
+		end := start + per
+		if end > len(sample) {
+			end = len(sample)
+		}
+		out = append(out, sample[start:end])
+	}
+	return out
+}
+
+// roundTrip performs one (possibly retried, possibly deadlined) challenge
+// round trip and reports how many attempts it took.
+func roundTrip(client netsim.Client, retry *netsim.Retrier, timeout time.Duration, req wire.Message) (wire.Message, int, error) {
+	attempts := 0
+	op := func(ctx context.Context) (wire.Message, error) {
+		attempts++
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		return client.RoundTripContext(ctx, req)
+	}
+	if retry == nil {
+		resp, err := op(context.Background())
+		return resp, attempts, err
+	}
+	var resp wire.Message
+	err := retry.Do(context.Background(), func(ctx context.Context) error {
+		var err error
+		resp, err = op(ctx)
+		return err
+	})
+	if err != nil {
+		return nil, attempts, err
+	}
+	return resp, attempts, nil
+}
+
+// classifyTransport maps a failed round trip to its outcome. Terminal
+// (non-transport) errors return ok=false: they abort the audit rather
+// than degrade it.
+func classifyTransport(err error) (RoundOutcome, bool) {
+	switch {
+	case netsim.IsTimeout(err):
+		return RoundTimeout, true
+	case netsim.IsRetryable(err):
+		return RoundNetworkFault, true
+	default:
+		return 0, false
+	}
 }
 
 // Agency is the Designated Agency (DA): the third-party auditor holding
@@ -189,6 +347,15 @@ func SampleIndices(rng *rand.Rand, n, t int) []uint64 {
 // Protocol (Algorithm 1) against the server behind client. It returns a
 // report listing every detected failure; a report with no failures means
 // the server passed all sampled checks.
+//
+// Fault awareness: the sample is split into cfg.Rounds challenge rounds;
+// each round is retried under cfg.Retry and bounded by cfg.RoundTimeout.
+// A round that still fails with a transport-class error is recorded as
+// NetworkFault (or Timeout) and its indices leave the effective sample —
+// they produce NO cheating evidence, because a lost message says nothing
+// about the server. Only cryptographic/protocol check failures on rounds
+// that actually completed become Failures. An audit where every round is
+// lost returns a valid-but-empty report with EffectiveSampleSize 0.
 func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfig) (*AuditReport, error) {
 	start := a.clock()
 	if err := a.AcceptDelegation(d); err != nil {
@@ -210,37 +377,66 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 		return report, nil
 	}
 
-	resp, err := client.RoundTrip(&wire.ChallengeRequest{
-		JobID:   d.JobID,
-		Indices: sample,
-		Warrant: d.Warrant,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: challenge round trip: %w", err)
-	}
-	ch, ok := resp.(*wire.ChallengeResponse)
-	if !ok {
-		return nil, fmt.Errorf("core: unexpected challenge response %T", resp)
-	}
-	if ch.Error != "" {
-		// A server that cannot answer the challenge at all is treated as
-		// detected cheating (e.g. it lost the data it claims to store).
-		report.Failures = append(report.Failures, AuditFailure{
-			Check: CheckResponse, Detail: "server refused challenge: " + ch.Error,
+	var effective []uint64
+	var items []wire.ChallengeItem
+	for _, chunk := range splitRounds(sample, cfg.Rounds) {
+		rec := RoundRecord{Indices: append([]uint64(nil), chunk...)}
+		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.ChallengeRequest{
+			JobID:   d.JobID,
+			Indices: chunk,
+			Warrant: d.Warrant,
 		})
-		report.Elapsed = a.clock().Sub(start)
-		return report, nil
+		rec.Attempts = attempts
+		if err != nil {
+			outcome, transport := classifyTransport(err)
+			if !transport {
+				return nil, fmt.Errorf("core: challenge round trip: %w", err)
+			}
+			rec.Outcome = outcome
+			rec.Detail = err.Error()
+			report.Rounds = append(report.Rounds, rec)
+			continue
+		}
+		ch, ok := resp.(*wire.ChallengeResponse)
+		badProof := func(detail string) {
+			rec.Outcome = RoundBadProof
+			rec.Detail = detail
+			report.Failures = append(report.Failures, AuditFailure{Check: CheckResponse, Detail: detail})
+			report.Rounds = append(report.Rounds, rec)
+		}
+		switch {
+		case !ok:
+			badProof(fmt.Sprintf("unexpected challenge response %T", resp))
+		case ch.Error != "":
+			// A server that decodes our challenge but cannot answer it is
+			// treated as detected cheating (e.g. it lost the data it
+			// claims to store). This is a *protocol-level* refusal, not a
+			// transport fault: the round trip itself completed.
+			badProof("server refused challenge: " + ch.Error)
+		case len(ch.Items) != len(chunk):
+			badProof(fmt.Sprintf("server answered %d of %d challenges", len(ch.Items), len(chunk)))
+		default:
+			rec.Outcome = RoundOK
+			report.Rounds = append(report.Rounds, rec)
+			effective = append(effective, chunk...)
+			items = append(items, ch.Items...)
+		}
 	}
-	if len(ch.Items) != len(sample) {
-		report.Failures = append(report.Failures, AuditFailure{
-			Check:  CheckResponse,
-			Detail: fmt.Sprintf("server answered %d of %d challenges", len(ch.Items), len(sample)),
-		})
-		report.Elapsed = a.clock().Sub(start)
-		return report, nil
-	}
+	report.EffectiveSampleSize = len(effective)
 
-	a.checkItems(d, sample, ch.Items, cfg, report)
+	preCheck := len(report.Failures)
+	if len(items) > 0 {
+		a.checkItems(d, effective, items, cfg, report)
+	}
+	// Downgrade tentatively-OK rounds whose indices drew check failures.
+	downgradeRounds(report.Rounds, report.Failures[preCheck:])
+	if cfg.Analysis != nil {
+		conf, err := sampling.DetectionConfidence(*cfg.Analysis, report.EffectiveSampleSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: recomputing detection confidence: %w", err)
+		}
+		report.AchievedConfidence = conf
+	}
 	report.Elapsed = a.clock().Sub(start)
 	return report, nil
 }
@@ -411,10 +607,32 @@ type StorageAuditReport struct {
 	Sampled          []uint64
 	Failures         []AuditFailure
 	SigChecksBatched bool
+	// Rounds is the per-round evidence trail.
+	Rounds []RoundRecord
+	// EffectiveSampleSize counts positions whose round completed (k ≤ t).
+	EffectiveSampleSize int
+	// AchievedConfidence is 1 − Pr[cheat success] for the effective
+	// sample when Analysis is set; 0 otherwise.
+	AchievedConfidence float64
 }
 
-// Valid reports whether every sampled block verified.
+// Valid reports whether every sampled block verified. Rounds lost to the
+// network are not failures.
 func (r *StorageAuditReport) Valid() bool { return len(r.Failures) == 0 }
+
+// Degraded reports whether network faults shrank the effective sample.
+func (r *StorageAuditReport) Degraded() bool { return r.EffectiveSampleSize < len(r.Sampled) }
+
+// NetworkFaultRounds counts rounds lost to transport faults or timeouts.
+func (r *StorageAuditReport) NetworkFaultRounds() int {
+	n := 0
+	for _, rr := range r.Rounds {
+		if rr.Outcome == RoundNetworkFault || rr.Outcome == RoundTimeout {
+			n++
+		}
+	}
+	return n
+}
 
 // StorageAuditConfig shapes a stored-data audit.
 type StorageAuditConfig struct {
@@ -428,10 +646,20 @@ type StorageAuditConfig struct {
 	// aggregate equation (one pairing), falling back to individual
 	// verification to attribute failures.
 	BatchSignatures bool
+	// Rounds splits the sample across challenge round trips (≤ 1 = one).
+	Rounds int
+	// Retry retries transport-failed rounds; nil means one attempt.
+	Retry *netsim.Retrier
+	// RoundTimeout bounds each round-trip attempt; 0 means no deadline.
+	RoundTimeout time.Duration
+	// Analysis recomputes achieved confidence for the effective sample.
+	Analysis *sampling.Params
 }
 
 // AuditStorage samples t positions out of the dataset and verifies the
-// designated signatures over the returned (position ‖ data) strings.
+// designated signatures over the returned (position ‖ data) strings. It
+// applies the same fault-aware round machinery as AuditJob: transport
+// failures shrink the effective sample, they never accuse the server.
 func (a *Agency) AuditStorage(
 	client netsim.Client, userID string, warrant wire.Warrant, cfg StorageAuditConfig,
 ) (*StorageAuditReport, error) {
@@ -448,29 +676,57 @@ func (a *Agency) AuditStorage(
 	if len(sample) == 0 {
 		return report, nil
 	}
-	resp, err := client.RoundTrip(&wire.StorageAuditRequest{
-		UserID:    userID,
-		Positions: sample,
-		Warrant:   warrant,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: storage audit round trip: %w", err)
-	}
-	sa, ok := resp.(*wire.StorageAuditResponse)
-	if !ok {
-		return nil, fmt.Errorf("core: unexpected storage audit response %T", resp)
-	}
-	if sa.Error != "" {
-		report.Failures = append(report.Failures, AuditFailure{
-			Check: CheckResponse, Detail: "server refused storage audit: " + sa.Error,
+
+	var positions []uint64
+	var blocks [][]byte
+	var sigs []wire.BlockSig
+	for _, chunk := range splitRounds(sample, cfg.Rounds) {
+		rec := RoundRecord{Indices: append([]uint64(nil), chunk...)}
+		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.StorageAuditRequest{
+			UserID:    userID,
+			Positions: chunk,
+			Warrant:   warrant,
 		})
-		return report, nil
+		rec.Attempts = attempts
+		if err != nil {
+			outcome, transport := classifyTransport(err)
+			if !transport {
+				return nil, fmt.Errorf("core: storage audit round trip: %w", err)
+			}
+			rec.Outcome = outcome
+			rec.Detail = err.Error()
+			report.Rounds = append(report.Rounds, rec)
+			continue
+		}
+		sa, ok := resp.(*wire.StorageAuditResponse)
+		badProof := func(detail string) {
+			rec.Outcome = RoundBadProof
+			rec.Detail = detail
+			report.Failures = append(report.Failures, AuditFailure{Check: CheckResponse, Detail: detail})
+			report.Rounds = append(report.Rounds, rec)
+		}
+		switch {
+		case !ok:
+			badProof(fmt.Sprintf("unexpected storage audit response %T", resp))
+		case sa.Error != "":
+			badProof("server refused storage audit: " + sa.Error)
+		case len(sa.Blocks) != len(chunk) || len(sa.Sigs) != len(chunk):
+			badProof("wrong number of blocks in storage audit answer")
+		default:
+			rec.Outcome = RoundOK
+			report.Rounds = append(report.Rounds, rec)
+			positions = append(positions, chunk...)
+			blocks = append(blocks, sa.Blocks...)
+			sigs = append(sigs, sa.Sigs...)
+		}
 	}
-	if len(sa.Blocks) != len(sample) || len(sa.Sigs) != len(sample) {
-		report.Failures = append(report.Failures, AuditFailure{
-			Check: CheckResponse, Detail: "wrong number of blocks in storage audit answer",
-		})
-		return report, nil
+	report.EffectiveSampleSize = len(positions)
+	if cfg.Analysis != nil {
+		conf, err := sampling.DetectionConfidence(*cfg.Analysis, report.EffectiveSampleSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: recomputing detection confidence: %w", err)
+		}
+		report.AchievedConfidence = conf
 	}
 
 	type sigCheck struct {
@@ -478,9 +734,10 @@ func (a *Agency) AuditStorage(
 		msg []byte
 		des *dvs.Designated
 	}
-	checks := make([]sigCheck, 0, len(sample))
-	for i, pos := range sample {
-		des, err := DecodeBlockSig(a.scheme.Params(), &sa.Sigs[i], a.key.ID)
+	preCheck := len(report.Failures)
+	checks := make([]sigCheck, 0, len(positions))
+	for i, pos := range positions {
+		des, err := DecodeBlockSig(a.scheme.Params(), &sigs[i], a.key.ID)
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
 				Index: pos, Check: CheckSignature, Detail: err.Error(),
@@ -494,7 +751,7 @@ func (a *Agency) AuditStorage(
 			})
 			continue
 		}
-		checks = append(checks, sigCheck{pos: pos, msg: BlockMessage(pos, sa.Blocks[i]), des: des})
+		checks = append(checks, sigCheck{pos: pos, msg: BlockMessage(pos, blocks[i]), des: des})
 	}
 
 	verifyIndividually := func() {
@@ -508,16 +765,40 @@ func (a *Agency) AuditStorage(
 	}
 	if !cfg.BatchSignatures || len(checks) == 0 {
 		verifyIndividually()
-		return report, nil
+	} else {
+		batch := make([]dvs.BatchItem, len(checks))
+		for i, sc := range checks {
+			batch[i] = dvs.NewBatchItem(sc.msg, sc.des)
+		}
+		if err := a.scheme.BatchVerifyRandomized(batch, a.key, a.random); err != nil {
+			// Fall back to per-item verification to locate the failures
+			// (the error-locating idea of the paper's reference [10]).
+			verifyIndividually()
+		}
 	}
-	batch := make([]dvs.BatchItem, len(checks))
-	for i, sc := range checks {
-		batch[i] = dvs.NewBatchItem(sc.msg, sc.des)
-	}
-	if err := a.scheme.BatchVerifyRandomized(batch, a.key, a.random); err != nil {
-		// Fall back to per-item verification to locate the failures
-		// (the error-locating idea of the paper's reference [10]).
-		verifyIndividually()
-	}
+	downgradeRounds(report.Rounds, report.Failures[preCheck:])
 	return report, nil
+}
+
+// downgradeRounds marks OK rounds whose indices drew per-item failures as
+// BadProof, keeping the evidence trail consistent with the failure list.
+func downgradeRounds(rounds []RoundRecord, failures []AuditFailure) {
+	if len(failures) == 0 {
+		return
+	}
+	failed := make(map[uint64]bool, len(failures))
+	for _, f := range failures {
+		failed[f.Index] = true
+	}
+	for ri := range rounds {
+		if rounds[ri].Outcome != RoundOK {
+			continue
+		}
+		for _, idx := range rounds[ri].Indices {
+			if failed[idx] {
+				rounds[ri].Outcome = RoundBadProof
+				break
+			}
+		}
+	}
 }

@@ -25,6 +25,16 @@ import (
 // not the designated form.
 
 // Evidence is a signed audit verdict.
+//
+// Fault awareness: the verdict distinguishes "the server cheated"
+// (Valid=false, FailureSummary non-empty — cryptographic/protocol check
+// failures only) from "the network degraded the audit"
+// (EffectiveSampleSize < len(Sampled), NetworkFaultRounds > 0). Transport
+// failures can shrink the sample the verdict covers, but they can never
+// flip Valid to false: an honest CS behind a lossy link is not framed,
+// and a cheating CS cannot hide behind fake timeouts because the rounds
+// that DID complete still expose it with the eq. 10/12 probability for
+// the effective sample size.
 type Evidence struct {
 	AuditorID string
 	JobID     string
@@ -35,7 +45,13 @@ type Evidence struct {
 	// FailureSummary is a compact, canonical rendering of the failures
 	// (check kinds and indices only — details may contain free text).
 	FailureSummary string
-	Sig            wire.IBSig
+	// EffectiveSampleSize is how many sampled challenges actually
+	// completed; the verdict's detection confidence derives from this,
+	// not from len(Sampled).
+	EffectiveSampleSize int
+	// NetworkFaultRounds counts challenge rounds lost to the transport.
+	NetworkFaultRounds int
+	Sig                wire.IBSig
 }
 
 // evidenceBody is the byte string the verdict signature covers.
@@ -57,6 +73,10 @@ func evidenceBody(e *Evidence) []byte {
 	}
 	b.WriteString("|failures=")
 	b.WriteString(e.FailureSummary)
+	b.WriteString("|effective=")
+	b.WriteString(fmt.Sprintf("%d", e.EffectiveSampleSize))
+	b.WriteString("|netfaults=")
+	b.WriteString(fmt.Sprintf("%d", e.NetworkFaultRounds))
 	b.WriteString("|sampled=")
 	buf := make([]byte, 8)
 	for _, idx := range e.Sampled {
@@ -83,13 +103,15 @@ func (a *Agency) IssueEvidence(d *JobDelegation, report *AuditReport) (*Evidence
 		return nil, fmt.Errorf("core: nil audit report")
 	}
 	e := &Evidence{
-		AuditorID:      a.key.ID,
-		JobID:          report.JobID,
-		UserID:         d.UserID,
-		ServerID:       d.ServerID,
-		Sampled:        append([]uint64(nil), report.Sampled...),
-		Valid:          report.Valid(),
-		FailureSummary: summarizeFailures(report.Failures),
+		AuditorID:           a.key.ID,
+		JobID:               report.JobID,
+		UserID:              d.UserID,
+		ServerID:            d.ServerID,
+		Sampled:             append([]uint64(nil), report.Sampled...),
+		Valid:               report.Valid(),
+		FailureSummary:      summarizeFailures(report.Failures),
+		EffectiveSampleSize: report.EffectiveSampleSize,
+		NetworkFaultRounds:  report.NetworkFaultRounds(),
 	}
 	sig, err := a.scheme.Sign(a.key, evidenceBody(e), a.random)
 	if err != nil {

@@ -12,8 +12,10 @@
 package epoch
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
+	"math"
 	mrand "math/rand"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"seccloud/internal/ibc"
 	"seccloud/internal/netsim"
 	"seccloud/internal/pairing"
+	"seccloud/internal/sampling"
 	"seccloud/internal/wire"
 	"seccloud/internal/workload"
 )
@@ -46,6 +49,34 @@ type Config struct {
 	CheaterCSC float64
 	// Seed drives server selection, workloads and sampling.
 	Seed int64
+
+	// FaultDrop is the per-message-leg drop probability on every server
+	// link (the network-failure adversary).
+	FaultDrop float64
+	// FaultCorrupt is the per-leg frame-corruption probability.
+	FaultCorrupt float64
+	// FaultDelay, when non-zero, is extra modeled latency charged to
+	// every message leg.
+	FaultDelay time.Duration
+	// RetryAttempts is the per-message retry budget when faults are on;
+	// 0 picks a default sized to survive the configured loss rate.
+	RetryAttempts int
+}
+
+// faultsEnabled reports whether the network-failure adversary is active.
+func (c *Config) faultsEnabled() bool {
+	return c.FaultDrop > 0 || c.FaultCorrupt > 0 || c.FaultDelay > 0
+}
+
+// retryAttempts sizes the retry budget.
+func (c *Config) retryAttempts() int {
+	if c.RetryAttempts > 0 {
+		return c.RetryAttempts
+	}
+	if !c.faultsEnabled() {
+		return 1
+	}
+	return 8
 }
 
 func (c *Config) validate() error {
@@ -60,6 +91,13 @@ func (c *Config) validate() error {
 	}
 	if c.CheaterCSC < 0 || c.CheaterCSC > 1 {
 		return fmt.Errorf("epoch: cheater CSC %v outside [0,1]", c.CheaterCSC)
+	}
+	if c.FaultDrop < 0 || c.FaultDrop > 1 || c.FaultCorrupt < 0 || c.FaultCorrupt > 1 {
+		return fmt.Errorf("epoch: fault rates must be in [0,1], got drop=%v corrupt=%v",
+			c.FaultDrop, c.FaultCorrupt)
+	}
+	if c.FaultDelay < 0 {
+		return fmt.Errorf("epoch: negative fault delay %v", c.FaultDelay)
 	}
 	return nil
 }
@@ -81,6 +119,15 @@ type EpochStats struct {
 	// CorruptResultsAccepted counts wrong sub-task results that reached
 	// the user without their sub-job being flagged this epoch (exposure).
 	CorruptResultsAccepted int
+	// JobsFailed counts sub-jobs the CSP could not complete even after
+	// retries (lost to the network-failure adversary).
+	JobsFailed int
+	// NetworkFaultRounds counts audit challenge rounds lost to transport
+	// faults (recorded, never converted into cheating evidence).
+	NetworkFaultRounds int
+	// DegradedAudits counts audits whose effective sample was smaller
+	// than planned because of network faults.
+	DegradedAudits int
 }
 
 // Result is the whole simulation outcome.
@@ -93,8 +140,25 @@ type Result struct {
 	TotalExposure int
 	// FalseFlags counts audits that flagged a server the adversary did
 	// not control that epoch (must be zero: the scheme has no false
-	// positives against honest servers).
+	// positives against honest servers — including under network faults).
 	FalseFlags int
+	// AuditsRun totals audits across epochs.
+	AuditsRun int
+	// DegradedAudits totals audits with a shrunken effective sample.
+	DegradedAudits int
+	// NetworkFaultRounds totals challenge rounds lost to the transport.
+	NetworkFaultRounds int
+	// JobsFailed totals sub-jobs lost to the network.
+	JobsFailed int
+}
+
+// AuditSuccessRate is the fraction of audits that completed their full
+// planned sample despite the fault injector (1.0 when no audits ran).
+func (r *Result) AuditSuccessRate() float64 {
+	if r.AuditsRun == 0 {
+		return 1
+	}
+	return 1 - float64(r.DegradedAudits)/float64(r.AuditsRun)
 }
 
 // switchablePolicy lets the simulation flip a server between honest and
@@ -156,8 +220,19 @@ func Run(cfg Config) (*Result, error) {
 	user := core.NewUser(sp, userKey, rand.Reader)
 	agency := core.NewAgency(sp, daKey, rand.Reader)
 
+	// The retry machinery runs on a virtual clock: backoff is decided but
+	// never slept, so lossy-link simulations stay fast and deterministic.
+	noSleep := func(context.Context, time.Duration) error { return nil }
+	newRetrier := func(seed int64) *netsim.Retrier {
+		r := netsim.NewRetrier(seed)
+		r.MaxAttempts = cfg.retryAttempts()
+		r.Sleep = noSleep
+		return r
+	}
+
 	policies := make([]*switchablePolicy, cfg.Servers)
 	clients := make([]netsim.Client, cfg.Servers)
+	cspClients := make([]netsim.Client, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
 		policies[i] = &switchablePolicy{
 			active: &core.ComputationCheater{
@@ -176,9 +251,27 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		clients[i] = netsim.NewLoopback(srv, netsim.LinkConfig{})
+		lb := netsim.NewLoopback(srv, netsim.LinkConfig{})
+		if cfg.faultsEnabled() {
+			delayRate := 0.0
+			if cfg.FaultDelay > 0 {
+				delayRate = 1
+			}
+			lb = lb.WithFaults(netsim.FaultConfig{
+				Seed:        cfg.Seed + 1000 + int64(i),
+				DropRate:    cfg.FaultDrop,
+				CorruptRate: cfg.FaultCorrupt,
+				DelayRate:   delayRate,
+				Delay:       cfg.FaultDelay,
+			})
+		}
+		clients[i] = lb
+		// The CSP's store/compute path survives the lossy link through a
+		// transparent retry decorator; the DA's audit path instead uses
+		// its own fault-aware round machinery on the raw link.
+		cspClients[i] = netsim.NewRetryClient(lb, newRetrier(cfg.Seed+2000+int64(i)))
 	}
-	csp, err := core.NewCSP(clients)
+	csp, err := core.NewCSP(cspClients)
 	if err != nil {
 		return nil, err
 	}
@@ -224,22 +317,49 @@ func Run(cfg Config) (*Result, error) {
 			job := workload.UniformJob(user.ID(), funcs.Spec{Name: "digest"}, cfg.BlocksPerUser)
 			subs, err := csp.RunJob(user, jobID, job)
 			if err != nil {
+				if cfg.faultsEnabled() {
+					// The network ate the job even after retries; record
+					// the loss and keep the simulation running.
+					stats.JobsFailed++
+					continue
+				}
 				return nil, fmt.Errorf("epoch %d job %d: %w", ep, j, err)
 			}
 			stats.JobsRun += len(subs)
 
 			flagged := make(map[int]bool)
 			if cfg.SampleSize > 0 {
+				auditCfg := core.AuditConfig{
+					SampleSize:      cfg.SampleSize,
+					BatchSignatures: true,
+				}
+				if cfg.faultsEnabled() {
+					// The DA splits the sample across rounds and retries
+					// each a few times; rounds still lost degrade the
+					// effective sample instead of aborting the audit. The
+					// smaller budget (vs. the CSP's) makes degradation
+					// observable in fault sweeps.
+					auditCfg.Rounds = 3
+					auditCfg.Analysis = &sampling.Params{CSC: cfg.CheaterCSC, SSC: 0, R: math.Inf(1)}
+				}
 				for i, d := range core.Delegations(user, subs, warrant) {
-					report, err := agency.AuditJob(csp.Client(subs[i].ServerIdx), d, core.AuditConfig{
-						SampleSize:      cfg.SampleSize,
-						Rng:             mrand.New(mrand.NewSource(rng.Int63())),
-						BatchSignatures: true,
-					})
+					auditCfg.Rng = mrand.New(mrand.NewSource(rng.Int63()))
+					if cfg.faultsEnabled() {
+						r := newRetrier(rng.Int63())
+						r.MaxAttempts = 3
+						auditCfg.Retry = r
+					}
+					// Audits run on the raw faulty link so the agency's
+					// own fault-aware machinery is what gets exercised.
+					report, err := agency.AuditJob(clients[subs[i].ServerIdx], d, auditCfg)
 					if err != nil {
 						return nil, fmt.Errorf("epoch %d audit: %w", ep, err)
 					}
 					stats.AuditsRun++
+					stats.NetworkFaultRounds += report.NetworkFaultRounds()
+					if report.Degraded() {
+						stats.DegradedAudits++
+					}
 					if !report.Valid() {
 						stats.Detections++
 						sIdx := subs[i].ServerIdx
@@ -272,6 +392,10 @@ func Run(cfg Config) (*Result, error) {
 			result.FirstDetectionEpoch = ep
 		}
 		result.TotalExposure += stats.CorruptResultsAccepted
+		result.AuditsRun += stats.AuditsRun
+		result.DegradedAudits += stats.DegradedAudits
+		result.NetworkFaultRounds += stats.NetworkFaultRounds
+		result.JobsFailed += stats.JobsFailed
 		result.Epochs = append(result.Epochs, stats)
 	}
 	return result, nil

@@ -1,0 +1,201 @@
+// Network-failure adversary. CheatPolicy (internal/core) models Byzantine
+// *computation* faults; FaultConfig is its transport-layer twin: a
+// deterministic, seeded injector that drops, delays, duplicates, corrupts
+// and disconnects individual messages. The two together let experiments
+// separate "the server is cheating" from "the network is lossy" — the
+// distinction the DA's evidence trail must preserve.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultKind labels one injected fault.
+type FaultKind int
+
+// The injectable fault classes.
+const (
+	// FaultDrop loses the message entirely (the peer never sees it).
+	FaultDrop FaultKind = iota + 1
+	// FaultDelay adds extra latency to the message.
+	FaultDelay
+	// FaultDuplicate delivers the message twice (a retransmit the peer
+	// cannot distinguish from a fresh request).
+	FaultDuplicate
+	// FaultCorrupt flips bytes in the encoded frame.
+	FaultCorrupt
+	// FaultDisconnect tears the connection down mid-exchange.
+	FaultDisconnect
+)
+
+// String renders the fault class.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDisconnect:
+		return "disconnect"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// FaultError reports a round trip lost to an injected (or real) network
+// fault. It is retryable: the failure says nothing about the peer's
+// honesty, only about the link.
+type FaultError struct {
+	// Kind is the fault class.
+	Kind FaultKind
+	// Op names the message leg ("request", "response", …).
+	Op string
+	// Err is the underlying error, if the fault surfaced through one.
+	Err error
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("netsim: %s fault on %s: %v", e.Kind, e.Op, e.Err)
+	}
+	return fmt.Sprintf("netsim: %s fault on %s", e.Kind, e.Op)
+}
+
+// Unwrap exposes the underlying error.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// FaultConfig parameterizes the injector. All rates are probabilities in
+// [0, 1] evaluated independently per message leg; the zero value injects
+// nothing. Seed makes every decision deterministic, so a failing run
+// replays exactly.
+type FaultConfig struct {
+	// Seed drives the injector's PRNG; 0 means seed 1 (still deterministic).
+	Seed int64
+	// DropRate loses a message leg entirely.
+	DropRate float64
+	// DelayRate adds Delay to a message leg's latency.
+	DelayRate float64
+	// Delay is the extra latency charged per delayed leg.
+	Delay time.Duration
+	// DuplicateRate delivers a request leg twice.
+	DuplicateRate float64
+	// CorruptRate flips a byte in the encoded frame.
+	CorruptRate float64
+	// DisconnectRate tears down the connection on a leg.
+	DisconnectRate float64
+}
+
+// enabled reports whether any fault can fire.
+func (fc FaultConfig) enabled() bool {
+	return fc.DropRate > 0 || fc.DelayRate > 0 || fc.DuplicateRate > 0 ||
+		fc.CorruptRate > 0 || fc.DisconnectRate > 0
+}
+
+// FaultCounts tallies injected faults by class.
+type FaultCounts struct {
+	Drops       int64
+	Delays      int64
+	Duplicates  int64
+	Corruptions int64
+	Disconnects int64
+}
+
+// Total sums all injected faults.
+func (c FaultCounts) Total() int64 {
+	return c.Drops + c.Delays + c.Duplicates + c.Corruptions + c.Disconnects
+}
+
+// legPlan is the injector's decision for one message leg.
+type legPlan struct {
+	drop       bool
+	delay      time.Duration
+	duplicate  bool
+	corrupt    bool
+	disconnect bool
+}
+
+// faultInjector applies a FaultConfig with a private, mutex-guarded PRNG
+// so concurrent round trips stay deterministic in aggregate.
+type faultInjector struct {
+	cfg FaultConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts FaultCounts
+}
+
+// newFaultInjector builds an injector; nil when the config is inert so
+// the fault-free fast path stays allocation- and lock-free.
+func newFaultInjector(cfg FaultConfig) *faultInjector {
+	if !cfg.enabled() {
+		return nil
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &faultInjector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// plan draws the fault decisions for one leg. allowDuplicate limits
+// duplication to request legs (a duplicated response has no observer).
+func (f *faultInjector) plan(allowDuplicate bool) legPlan {
+	if f == nil {
+		return legPlan{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var p legPlan
+	if f.cfg.DisconnectRate > 0 && f.rng.Float64() < f.cfg.DisconnectRate {
+		p.disconnect = true
+		f.counts.Disconnects++
+		return p
+	}
+	if f.cfg.DropRate > 0 && f.rng.Float64() < f.cfg.DropRate {
+		p.drop = true
+		f.counts.Drops++
+		return p
+	}
+	if f.cfg.CorruptRate > 0 && f.rng.Float64() < f.cfg.CorruptRate {
+		p.corrupt = true
+		f.counts.Corruptions++
+	}
+	if allowDuplicate && f.cfg.DuplicateRate > 0 && f.rng.Float64() < f.cfg.DuplicateRate {
+		p.duplicate = true
+		f.counts.Duplicates++
+	}
+	if f.cfg.DelayRate > 0 && f.rng.Float64() < f.cfg.DelayRate {
+		p.delay = f.cfg.Delay
+		f.counts.Delays++
+	}
+	return p
+}
+
+// corruptFrame flips one byte of data in place at a PRNG-chosen offset.
+func (f *faultInjector) corruptFrame(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	f.mu.Lock()
+	off := f.rng.Intn(len(data))
+	f.mu.Unlock()
+	data[off] ^= 0xff
+}
+
+// snapshot copies the fault counters.
+func (f *faultInjector) snapshot() FaultCounts {
+	if f == nil {
+		return FaultCounts{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}

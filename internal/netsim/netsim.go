@@ -18,6 +18,7 @@
 package netsim
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -39,8 +40,13 @@ func (f HandlerFunc) Handle(m wire.Message) wire.Message { return f(m) }
 
 // Client performs request/response round trips against one peer.
 type Client interface {
-	// RoundTrip sends m and waits for the peer's reply.
+	// RoundTrip sends m and waits for the peer's reply (background
+	// context; no deadline beyond the transport's own).
 	RoundTrip(m wire.Message) (wire.Message, error)
+	// RoundTripContext is RoundTrip with cancellation and a per-request
+	// deadline taken from ctx. Failures are classified by the package's
+	// error taxonomy: transport-class errors satisfy IsRetryable.
+	RoundTripContext(ctx context.Context, m wire.Message) (wire.Message, error)
 	// Stats returns a snapshot of the link's traffic counters.
 	Stats() StatsSnapshot
 	// Close releases the client's resources.
@@ -76,6 +82,8 @@ type StatsSnapshot struct {
 	// SimLatency is the total modeled network time (loopback only; zero
 	// for TCP, where latency is real).
 	SimLatency time.Duration
+	// Faults counts injected network faults on this link.
+	Faults FaultCounts
 }
 
 // TotalBytes is the sum of both directions.
@@ -111,11 +119,14 @@ func (s *Stats) Reset() {
 
 // Loopback is the in-process transport. It encodes every message through
 // the real wire codec (so malformed messages fail exactly as they would on
-// a socket) and charges the link model to a virtual clock.
+// a socket) and charges the link model to a virtual clock. With a
+// FaultConfig attached (WithFaults) it additionally injects seeded,
+// deterministic network faults on both message legs.
 type Loopback struct {
 	handler Handler
 	link    LinkConfig
 	stats   Stats
+	faults  *faultInjector
 }
 
 var _ Client = (*Loopback)(nil)
@@ -125,37 +136,107 @@ func NewLoopback(handler Handler, link LinkConfig) *Loopback {
 	return &Loopback{handler: handler, link: link}
 }
 
+// WithFaults attaches a fault injector to the link and returns l.
+func (l *Loopback) WithFaults(fc FaultConfig) *Loopback {
+	l.faults = newFaultInjector(fc)
+	return l
+}
+
 // RoundTrip encodes m, delivers it to the handler, and encodes the reply.
 func (l *Loopback) RoundTrip(m wire.Message) (wire.Message, error) {
+	return l.RoundTripContext(context.Background(), m)
+}
+
+// RoundTripContext is RoundTrip with cancellation and deadline handling.
+// The loopback's latency is virtual: a ctx deadline is enforced against
+// the *modeled* latency of this call (link RTT + transfer + injected
+// delay), so deadline behaviour is deterministic and test-friendly.
+func (l *Loopback) RoundTripContext(ctx context.Context, m wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, transportErr("roundtrip", err)
+	}
 	reqBytes, err := wire.Encode(m)
 	if err != nil {
 		return nil, err
 	}
+	var lat time.Duration
+
+	// Request leg.
+	reqPlan := l.faults.plan(true)
+	lat += reqPlan.delay
+	if reqPlan.disconnect {
+		return nil, &FaultError{Kind: FaultDisconnect, Op: "request"}
+	}
+	if reqPlan.drop {
+		l.stats.record(len(reqBytes), 0, lat)
+		return nil, &FaultError{Kind: FaultDrop, Op: "request"}
+	}
+	if reqPlan.corrupt {
+		reqBytes = append([]byte(nil), reqBytes...)
+		l.faults.corruptFrame(reqBytes)
+	}
 	// Decode on the "server side" to faithfully model (de)serialization.
 	req, err := wire.Decode(reqBytes)
 	if err != nil {
-		return nil, err
+		l.stats.record(len(reqBytes), 0, lat)
+		return nil, &FaultError{Kind: FaultCorrupt, Op: "request", Err: err}
 	}
 	resp := l.handler.Handle(req)
+	if reqPlan.duplicate {
+		// A retransmit the server cannot tell from a fresh request: the
+		// handler runs again and the extra answer is discarded, exactly
+		// what a duplicated datagram does to a stateless responder.
+		_ = l.handler.Handle(req)
+	}
+
+	// Response leg.
 	respBytes, err := wire.Encode(resp)
 	if err != nil {
 		return nil, err
 	}
+	respPlan := l.faults.plan(false)
+	lat += respPlan.delay
+	if respPlan.disconnect {
+		l.stats.record(len(reqBytes), 0, lat)
+		return nil, &FaultError{Kind: FaultDisconnect, Op: "response"}
+	}
+	if respPlan.drop {
+		l.stats.record(len(reqBytes), 0, lat)
+		return nil, &FaultError{Kind: FaultDrop, Op: "response"}
+	}
+	if respPlan.corrupt {
+		respBytes = append([]byte(nil), respBytes...)
+		l.faults.corruptFrame(respBytes)
+	}
 	resp2, err := wire.Decode(respBytes)
 	if err != nil {
-		return nil, err
+		l.stats.record(len(reqBytes), len(respBytes), lat)
+		return nil, &FaultError{Kind: FaultCorrupt, Op: "response", Err: err}
 	}
-	lat := l.link.RTT
+	lat += l.link.RTT
 	if l.link.BytesPerSecond > 0 {
 		transfer := float64(len(reqBytes)+len(respBytes)) / l.link.BytesPerSecond
 		lat += time.Duration(transfer * float64(time.Second))
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		// Virtual time vs. the caller's budget: if the modeled latency of
+		// this call exceeds the remaining real budget, the reply would
+		// have arrived too late.
+		if remaining := time.Until(deadline); lat > remaining {
+			l.stats.record(len(reqBytes), len(respBytes), lat)
+			return nil, &TransportError{Op: "roundtrip", Timeout: true, Err: context.DeadlineExceeded}
+		}
 	}
 	l.stats.record(len(reqBytes), len(respBytes), lat)
 	return resp2, nil
 }
 
 // Stats returns the link counters.
-func (l *Loopback) Stats() StatsSnapshot { return l.stats.Snapshot() }
+func (l *Loopback) Stats() StatsSnapshot {
+	snap := l.stats.Snapshot()
+	snap.Faults = l.faults.snapshot()
+	return snap
+}
 
 // Close is a no-op for the loopback transport.
 func (l *Loopback) Close() error { return nil }

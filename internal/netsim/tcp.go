@@ -1,30 +1,83 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"seccloud/internal/wire"
 )
 
+// TCPServerConfig shapes the socket server's robustness behaviour. The
+// zero value picks conservative defaults.
+type TCPServerConfig struct {
+	// ReadTimeout bounds the wait for the next request on a connection;
+	// a stalled or silent peer is disconnected after this long. Zero
+	// means DefaultReadTimeout; negative disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write. Zero means
+	// DefaultWriteTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections; surplus dials are
+	// accepted and immediately closed. Zero means unlimited.
+	MaxConns int
+}
+
+// Default socket deadlines.
+const (
+	DefaultReadTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+)
+
+func (c TCPServerConfig) readTimeout() time.Duration {
+	if c.ReadTimeout == 0 {
+		return DefaultReadTimeout
+	}
+	if c.ReadTimeout < 0 {
+		return 0
+	}
+	return c.ReadTimeout
+}
+
+func (c TCPServerConfig) writeTimeout() time.Duration {
+	if c.WriteTimeout == 0 {
+		return DefaultWriteTimeout
+	}
+	if c.WriteTimeout < 0 {
+		return 0
+	}
+	return c.WriteTimeout
+}
+
 // TCPServer serves a Handler over real sockets with the wire framing.
-// Connections are handled concurrently; Close stops the listener and waits
-// for in-flight connections to drain.
+// Connections are handled concurrently under per-message read/write
+// deadlines; Close tears connections down immediately, Shutdown drains
+// in-flight requests first. Both join every per-connection goroutine
+// before returning.
 type TCPServer struct {
 	handler  Handler
 	listener net.Listener
+	cfg      TCPServerConfig
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	conns    map[net.Conn]struct{}
+	refused  int64
+	wg       sync.WaitGroup
 }
 
 // NewTCPServer starts listening on addr (e.g. "127.0.0.1:0") and serving
-// handler in background goroutines.
+// handler in background goroutines with default robustness settings.
 func NewTCPServer(addr string, handler Handler) (*TCPServer, error) {
+	return NewTCPServerConfig(addr, handler, TCPServerConfig{})
+}
+
+// NewTCPServerConfig is NewTCPServer with explicit robustness settings.
+func NewTCPServerConfig(addr string, handler Handler, cfg TCPServerConfig) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: listen %s: %w", addr, err)
@@ -32,6 +85,7 @@ func NewTCPServer(addr string, handler Handler) (*TCPServer, error) {
 	s := &TCPServer{
 		handler:  handler,
 		listener: ln,
+		cfg:      cfg,
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -42,6 +96,13 @@ func NewTCPServer(addr string, handler Handler) (*TCPServer, error) {
 // Addr returns the bound listen address.
 func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
 
+// RefusedConns reports how many dials the MaxConns guard turned away.
+func (s *TCPServer) RefusedConns() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refused
+}
+
 func (s *TCPServer) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -50,14 +111,20 @@ func (s *TCPServer) acceptLoop() {
 			return // listener closed
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.refused++
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }
@@ -70,15 +137,76 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
+	readTimeout := s.cfg.readTimeout()
+	writeTimeout := s.cfg.writeTimeout()
 	for {
+		if s.stopping() {
+			return
+		}
+		if readTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(readTimeout))
+		}
 		req, _, err := wire.ReadMessage(conn)
 		if err != nil {
-			return // peer closed or protocol error; drop the connection
+			return // peer closed, stalled past deadline, or sent garbage
 		}
 		resp := s.handler.Handle(req)
+		if writeTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
 		if _, err := wire.WriteMessage(conn, resp); err != nil {
 			return
 		}
+	}
+}
+
+func (s *TCPServer) stopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || s.draining
+}
+
+// Shutdown gracefully stops the server: it refuses new connections,
+// unblocks idle readers, lets in-flight requests finish their response
+// writes, and joins every goroutine. If ctx expires first, remaining
+// connections are torn down hard (as Close does) before returning
+// ctx.Err().
+func (s *TCPServer) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	err := s.listener.Close()
+	// Idle connections are parked in ReadMessage; an immediate read
+	// deadline unblocks them. A connection mid-Handle is unaffected: its
+	// response write has its own deadline and completes the drain.
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.closed = true
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
 	}
 }
 
@@ -100,47 +228,170 @@ func (s *TCPServer) Close() error {
 	return err
 }
 
+// TCPClientConfig shapes a TCP client's robustness behaviour.
+type TCPClientConfig struct {
+	// Timeout bounds each round trip when the caller's context carries no
+	// deadline; zero means no per-call deadline.
+	Timeout time.Duration
+	// Redial re-establishes the connection on the next round trip after a
+	// transport failure broke it.
+	Redial bool
+	// Faults injects deterministic client-side network faults.
+	Faults FaultConfig
+}
+
 // TCPClient is a Client over one TCP connection. Round trips are
 // serialized with a mutex: the protocol is strictly request/response.
 type TCPClient struct {
+	addr string
+	cfg  TCPClientConfig
+
 	mu     sync.Mutex
 	conn   net.Conn
-	stats  Stats
+	broken bool
 	closed bool
+	stats  Stats
+	faults *faultInjector
 }
 
 var _ Client = (*TCPClient)(nil)
 
-// DialTCP connects to a TCPServer.
+// DialTCP connects to a TCPServer with default client settings.
 func DialTCP(addr string) (*TCPClient, error) {
+	return DialTCPConfig(addr, TCPClientConfig{})
+}
+
+// DialTCPConfig is DialTCP with explicit robustness settings.
+func DialTCPConfig(addr string, cfg TCPClientConfig) (*TCPClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("netsim: dial %s: %w", addr, err)
+		return nil, &TransportError{Op: "dial", Err: fmt.Errorf("netsim: dial %s: %w", addr, err)}
 	}
-	return &TCPClient{conn: conn}, nil
+	return &TCPClient{
+		addr:   addr,
+		cfg:    cfg,
+		conn:   conn,
+		faults: newFaultInjector(cfg.Faults),
+	}, nil
 }
 
 // RoundTrip sends m and waits for the reply.
 func (c *TCPClient) RoundTrip(m wire.Message) (wire.Message, error) {
+	return c.RoundTripContext(context.Background(), m)
+}
+
+// RoundTripContext sends m and waits for the reply under the context's
+// deadline (or the configured Timeout). Transport failures mark the
+// connection broken; with Redial enabled the next call reconnects.
+func (c *TCPClient) RoundTripContext(ctx context.Context, m wire.Message) (wire.Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, errors.New("netsim: client closed")
 	}
-	sent, err := wire.WriteMessage(c.conn, m)
+	if err := ctx.Err(); err != nil {
+		return nil, transportErr("roundtrip", err)
+	}
+	if c.broken {
+		if !c.cfg.Redial {
+			return nil, &TransportError{Op: "roundtrip", Err: errors.New("netsim: connection broken (redial disabled)")}
+		}
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, &TransportError{Op: "dial", Err: err}
+		}
+		c.conn = conn
+		c.broken = false
+	}
+
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline && c.cfg.Timeout > 0 {
+		deadline, hasDeadline = time.Now().Add(c.cfg.Timeout), true
+	}
+	if hasDeadline {
+		_ = c.conn.SetDeadline(deadline)
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+
+	plan := c.faults.plan(true)
+	if plan.disconnect {
+		c.breakConn()
+		return nil, &FaultError{Kind: FaultDisconnect, Op: "request"}
+	}
+	if plan.drop {
+		// A lost request: nothing reaches the server, the caller's wait
+		// is the timeout it would have burned on a silent socket.
+		return nil, &FaultError{Kind: FaultDrop, Op: "request"}
+	}
+	if plan.delay > 0 {
+		t := time.NewTimer(plan.delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, transportErr("roundtrip", ctx.Err())
+		case <-t.C:
+		}
+	}
+
+	data, err := wire.Encode(m)
 	if err != nil {
 		return nil, err
 	}
+	if plan.corrupt {
+		data = append([]byte(nil), data...)
+		c.faults.corruptFrame(data)
+	}
+	writes := 1
+	if plan.duplicate {
+		writes = 2
+	}
+	var sent int
+	for i := 0; i < writes; i++ {
+		n, err := wire.WriteFrame(c.conn, data)
+		sent += n
+		if err != nil {
+			c.breakConn()
+			return nil, transportErr("write", err)
+		}
+	}
+
 	resp, recvd, err := wire.ReadMessage(c.conn)
 	if err != nil {
-		return nil, err
+		// Includes the corrupted-request case: the server fails to decode
+		// and drops the connection, so the read returns an error.
+		c.breakConn()
+		if plan.corrupt {
+			return nil, &FaultError{Kind: FaultCorrupt, Op: "request", Err: err}
+		}
+		return nil, transportErr("read", err)
+	}
+	if plan.duplicate {
+		// Drain the duplicate's response to keep the stream in sync.
+		if _, _, err := wire.ReadMessage(c.conn); err != nil {
+			c.breakConn()
+			return nil, transportErr("read", err)
+		}
 	}
 	c.stats.record(sent, recvd, 0)
 	return resp, nil
 }
 
+// breakConn closes the live connection and marks it for redial. Callers
+// must hold c.mu.
+func (c *TCPClient) breakConn() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	c.broken = true
+}
+
 // Stats returns the link counters.
-func (c *TCPClient) Stats() StatsSnapshot { return c.stats.Snapshot() }
+func (c *TCPClient) Stats() StatsSnapshot {
+	snap := c.stats.Snapshot()
+	snap.Faults = c.faults.snapshot()
+	return snap
+}
 
 // Close closes the underlying connection.
 func (c *TCPClient) Close() error {
@@ -150,5 +401,8 @@ func (c *TCPClient) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.broken {
+		return nil
+	}
 	return c.conn.Close()
 }

@@ -174,6 +174,21 @@ func RequiredSampleSize(p Params, epsilon float64) (int, error) {
 	return lo, nil
 }
 
+// DetectionConfidence returns 1 − Pr[cheat success] for sample size t —
+// the confidence the auditor actually achieved. Audits degraded by
+// network faults call this with the *effective* sample size k ≤ t to
+// requote eq. 10/12/14 for the challenges that really completed: partial
+// sampling weakens the bound but never invalidates it, because each
+// completed challenge is an independent Bernoulli trial regardless of how
+// many of its siblings the network ate.
+func DetectionConfidence(p Params, t int) (float64, error) {
+	cheat, err := ProbCheatSuccess(p, t)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - cheat, nil
+}
+
 // SurfacePoint is one cell of the Figure 4 surface.
 type SurfacePoint struct {
 	SSC float64

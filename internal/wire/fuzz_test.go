@@ -19,6 +19,19 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("garbage"))
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Corrupted frames: every valid encoding with single-byte flips at a
+	// spread of offsets — the exact damage the fault injector inflicts.
+	for _, m := range sampleMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, off := range []int{0, 1, len(data) / 2, len(data) - 1} {
+			bad := append([]byte(nil), data...)
+			bad[off] ^= 0xff
+			f.Add(bad)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Decode(data)
 		if err == nil && msg == nil {
@@ -37,6 +50,15 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00})
 	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	// Corrupted stream frames: valid frame with body damage, a truncated
+	// frame, and a frame whose prefix overstates the body.
+	full := append([]byte(nil), buf.Bytes()...)
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+	f.Add(full[:len(full)-2])
+	overlong := append([]byte{0x00, 0x00, 0x01, 0x00}, full[4:]...)
+	f.Add(overlong)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, n, err := ReadMessage(bytes.NewReader(data))
 		if err == nil && n <= 0 {

@@ -17,6 +17,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -24,10 +25,16 @@ import (
 // from memory-exhaustion via forged length prefixes.
 const MaxFrameLen = 64 << 20
 
-// Common errors.
+// Common errors. ErrCorrupt and ErrTruncated are the typed taxonomy the
+// transports rely on: both mark frame-level damage (retryable — the bytes,
+// not the peer's logic, failed), as opposed to protocol-level errors.
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum length")
 	ErrUnknownKind   = errors.New("wire: unknown message kind")
+	// ErrCorrupt marks a frame whose bytes do not parse as a message.
+	ErrCorrupt = errors.New("wire: corrupted frame")
+	// ErrTruncated marks a stream that ended mid-frame.
+	ErrTruncated = errors.New("wire: truncated frame")
 )
 
 // Message is any protocol message.
@@ -232,9 +239,16 @@ func (*ErrorResponse) Kind() string { return "error" }
 
 // --- codec -------------------------------------------------------------------
 
-// frame is the on-wire envelope.
+// frame is the on-wire envelope. Sum is a CRC32 over Body: gob detects
+// most structural damage, but a flipped byte inside a payload field can
+// decode cleanly into *altered content* — which downstream crypto checks
+// would then blame on the peer. The checksum turns silent payload
+// corruption into a typed, retryable ErrCorrupt at the codec boundary,
+// preserving the NetworkFault-vs-BadProof distinction the audit trail
+// depends on.
 type frame struct {
 	Kind string
+	Sum  uint32
 	Body []byte
 }
 
@@ -260,25 +274,40 @@ func Encode(m Message) ([]byte, error) {
 		return nil, fmt.Errorf("wire: encoding %s body: %w", m.Kind(), err)
 	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(frame{Kind: m.Kind(), Body: body.Bytes()}); err != nil {
+	f := frame{Kind: m.Kind(), Sum: crc32.ChecksumIEEE(body.Bytes()), Body: body.Bytes()}
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
 		return nil, fmt.Errorf("wire: encoding %s frame: %w", m.Kind(), err)
 	}
 	return buf.Bytes(), nil
 }
 
-// Decode parses a frame produced by Encode.
-func Decode(data []byte) (Message, error) {
+// Decode parses a frame produced by Encode. Damaged bytes — whether from
+// a hostile peer or a corrupting link — yield a typed error wrapping
+// ErrCorrupt; Decode never panics, even on inputs that trip the gob
+// decoder's internal invariants.
+func Decode(data []byte) (m Message, err error) {
+	// gob's decoder has historically panicked on certain malformed
+	// streams; a corrupting transport must surface a typed error instead.
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("wire: decode panic on malformed frame (%v): %w", r, ErrCorrupt)
+		}
+	}()
 	var f frame
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
-		return nil, fmt.Errorf("wire: decoding frame: %w", err)
+	if derr := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); derr != nil {
+		return nil, fmt.Errorf("wire: decoding frame (%v): %w", derr, ErrCorrupt)
+	}
+	if sum := crc32.ChecksumIEEE(f.Body); sum != f.Sum {
+		return nil, fmt.Errorf("wire: frame checksum mismatch (got %08x, want %08x): %w",
+			sum, f.Sum, ErrCorrupt)
 	}
 	mk, ok := factories[f.Kind]
 	if !ok {
 		return nil, fmt.Errorf("wire: kind %q: %w", f.Kind, ErrUnknownKind)
 	}
-	m := mk()
-	if err := gob.NewDecoder(bytes.NewReader(f.Body)).Decode(m); err != nil {
-		return nil, fmt.Errorf("wire: decoding %s body: %w", f.Kind, err)
+	m = mk()
+	if derr := gob.NewDecoder(bytes.NewReader(f.Body)).Decode(m); derr != nil {
+		return nil, fmt.Errorf("wire: decoding %s body (%v): %w", f.Kind, derr, ErrCorrupt)
 	}
 	return m, nil
 }
@@ -293,6 +322,13 @@ func WriteMessage(w io.Writer, m Message) (int, error) {
 	if len(data) > MaxFrameLen {
 		return 0, fmt.Errorf("wire: %s frame is %d bytes: %w", m.Kind(), len(data), ErrFrameTooLarge)
 	}
+	return WriteFrame(w, data)
+}
+
+// WriteFrame writes pre-encoded frame bytes with the length prefix. It
+// exists so transports (and fault injectors) can put exact — possibly
+// deliberately damaged — bytes on the wire.
+func WriteFrame(w io.Writer, data []byte) (int, error) {
 	var prefix [4]byte
 	prefix[0] = byte(len(data) >> 24)
 	prefix[1] = byte(len(data) >> 16)
@@ -309,11 +345,16 @@ func WriteMessage(w io.Writer, m Message) (int, error) {
 }
 
 // ReadMessage reads one length-prefixed frame; it returns the message and
-// total bytes consumed.
+// total bytes consumed. A stream that ends cleanly before any prefix byte
+// returns io.EOF untouched; a stream that dies mid-frame returns a typed
+// error wrapping ErrTruncated.
 func ReadMessage(r io.Reader) (Message, int, error) {
 	var prefix [4]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
-		return nil, 0, fmt.Errorf("wire: reading frame prefix: %w", err)
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("wire: reading frame prefix (%v): %w", err, ErrTruncated)
 	}
 	n := int(prefix[0])<<24 | int(prefix[1])<<16 | int(prefix[2])<<8 | int(prefix[3])
 	if n > MaxFrameLen {
@@ -321,7 +362,7 @@ func ReadMessage(r io.Reader) (Message, int, error) {
 	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(r, data); err != nil {
-		return nil, 4, fmt.Errorf("wire: reading frame body: %w", err)
+		return nil, 4, fmt.Errorf("wire: reading frame body (%v): %w", err, ErrTruncated)
 	}
 	m, err := Decode(data)
 	if err != nil {

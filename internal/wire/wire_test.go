@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"hash/crc32"
 	"io"
 	"reflect"
 	"testing"
@@ -133,10 +134,12 @@ func frameWithKind(t *testing.T, kind string) []byte {
 	var buf bytes.Buffer
 	type f struct {
 		Kind string
+		Sum  uint32
 		Body []byte
 	}
+	body := []byte{1}
 	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(f{Kind: kind, Body: []byte{1}}); err != nil {
+	if err := enc.Encode(f{Kind: kind, Sum: crc32.ChecksumIEEE(body), Body: body}); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -175,6 +178,86 @@ func TestWriteReadMessage(t *testing.T) {
 	}
 	if _, _, err := ReadMessage(&buf); !errors.Is(err, io.EOF) {
 		t.Fatalf("expected EOF on drained stream, got %v", err)
+	}
+}
+
+func TestDecodeCorruptedFrameTypedError(t *testing.T) {
+	// Flipping any single byte of a valid frame must yield ErrCorrupt (or,
+	// for the kind tag, ErrUnknownKind) — never a panic or a misparse into
+	// a different valid message.
+	for _, m := range sampleMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(data); off++ {
+			bad := append([]byte(nil), data...)
+			bad[off] ^= 0xff
+			got, err := Decode(bad)
+			if err == nil {
+				// A flip that lands in slack space can legitimately still
+				// decode; it must at least decode to the same kind.
+				if got.Kind() != m.Kind() {
+					t.Fatalf("%s: flip at %d misparsed into %s", m.Kind(), off, got.Kind())
+				}
+				continue
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrUnknownKind) {
+				t.Fatalf("%s: flip at %d gave untyped error %v", m.Kind(), off, err)
+			}
+		}
+	}
+}
+
+func TestDecodeGarbageIsErrCorrupt(t *testing.T) {
+	if _, err := Decode([]byte("not gob at all")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty frame: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadMessagePartialPrefixIsErrTruncated(t *testing.T) {
+	// A stream that dies mid-length-prefix is truncation, not clean EOF.
+	if _, _, err := ReadMessage(bytes.NewReader([]byte{0x00, 0x01})); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+}
+
+func TestReadMessageTruncatedBodyIsErrTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteMessage(&buf, &StoreResponse{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	if _, _, err := ReadMessage(trunc); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+}
+
+func TestWriteFrameMatchesWriteMessage(t *testing.T) {
+	m := &ChallengeRequest{JobID: "j", Indices: []uint64{1, 2}}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaFrame, viaMessage bytes.Buffer
+	if _, err := WriteFrame(&viaFrame, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteMessage(&viaMessage, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaFrame.Bytes(), viaMessage.Bytes()) {
+		t.Fatal("WriteFrame and WriteMessage produce different byte streams")
+	}
+	got, _, err := ReadMessage(&viaFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("WriteFrame output failed to round-trip")
 	}
 }
 
