@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz bench
+.PHONY: check build test race vet fuzz bench bench-audit
 
 check: vet build race
 
@@ -29,3 +29,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Audit-pipeline benchmarks: worker-pool scaling on a latent link, the
+# O(t) sampler's allocations, and the fixed-argument pairing cache.
+# Refreshes BENCH_parallel_audit.json via the seccloud-bench harness.
+bench-audit:
+	$(GO) test -run '^$$' -bench 'BenchmarkAuditPipeline|BenchmarkSampleIndices' -benchmem -benchtime 3x ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkPairPrecomp' -benchmem ./internal/pairing
+	$(GO) test -run '^$$' -bench 'BenchmarkVerifyDesignated' -benchmem ./internal/dvs
+	$(GO) run ./cmd/seccloud-bench -exp parallel-audit -params test256 -json BENCH_parallel_audit.json

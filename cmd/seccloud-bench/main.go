@@ -10,8 +10,10 @@
 //	seccloud-bench -exp fig5               # verify cost vs users
 //	seccloud-bench -exp detection          # Monte-Carlo vs eq. 10
 //	seccloud-bench -exp optimal-t          # Theorem 3 sweep
+//	seccloud-bench -exp parallel-audit     # audit pipeline scaling vs workers
 //	seccloud-bench -params ss512           # use the full-size pairing
 //	seccloud-bench -csv                    # machine-readable output
+//	seccloud-bench -exp parallel-audit -json BENCH_parallel_audit.json
 package main
 
 import (
@@ -27,11 +29,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|all")
 	params := flag.String("params", "ss512", "pairing parameter set: ss512|test256")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	iters := flag.Int("iters", 10, "calibration iterations for op timing")
 	trials := flag.Int("trials", 200, "Monte-Carlo trials per detection row")
+	workers := flag.Int("workers", 8, "max worker-pool size for the parallel-audit experiment")
+	jsonOut := flag.String("json", "", "also write parallel-audit results to this JSON file")
 	flag.Parse()
 
 	pp, err := pairing.ByName(*params)
@@ -39,7 +43,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "seccloud-bench:", err)
 		os.Exit(1)
 	}
-	r := &runner{pp: pp, csv: *csv, iters: *iters, trials: *trials}
+	r := &runner{pp: pp, csv: *csv, iters: *iters, trials: *trials,
+		workers: *workers, jsonOut: *jsonOut}
 
 	var runErr error
 	switch *exp {
@@ -59,9 +64,12 @@ func main() {
 		runErr = r.traffic()
 	case "epochs":
 		runErr = r.epochs()
+	case "parallel-audit":
+		runErr = r.parallelAudit()
 	case "all":
 		for _, f := range []func() error{
 			r.table1, r.table2, r.fig4, r.fig5, r.detection, r.optimalT, r.traffic, r.epochs,
+			r.parallelAudit,
 		} {
 			if runErr = f(); runErr != nil {
 				break
@@ -77,10 +85,12 @@ func main() {
 }
 
 type runner struct {
-	pp     *pairing.Params
-	csv    bool
-	iters  int
-	trials int
+	pp      *pairing.Params
+	csv     bool
+	iters   int
+	trials  int
+	workers int
+	jsonOut string
 }
 
 func ms(d time.Duration) string {

@@ -9,6 +9,7 @@
 //	seccloud-sim -sweep                        # exposure vs audit budget
 //	seccloud-sim -fault-drop 0.3               # audit under a lossy network
 //	seccloud-sim -fault-sweep                  # audit success rate vs loss rate
+//	seccloud-sim -workers 8                    # parallel audit verification
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		samples      = flag.Int("samples", 3, "audit sample size t per sub-job")
 		csc          = flag.Float64("csc", 0.3, "cheater computing confidence")
 		seed         = flag.Int64("seed", 1, "simulation seed (also drives fault injection)")
+		workers      = flag.Int("workers", 1, "audit/hashing worker pool size (1 = sequential; outcomes never depend on this)")
 		sweep        = flag.Bool("sweep", false, "sweep audit budget t = 0..8 and report exposure")
 		faultDrop    = flag.Float64("fault-drop", 0, "per-message-leg drop probability [0,1]")
 		faultCorrupt = flag.Float64("fault-corrupt", 0, "per-leg frame corruption probability [0,1]")
@@ -47,6 +49,7 @@ func main() {
 		SampleSize:    *samples,
 		CheaterCSC:    *csc,
 		Seed:          *seed,
+		Workers:       *workers,
 		FaultDrop:     *faultDrop,
 		FaultCorrupt:  *faultCorrupt,
 		FaultDelay:    *faultDelay,

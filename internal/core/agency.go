@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand"
@@ -199,6 +200,13 @@ type AuditConfig struct {
 	// (1 − eq. 14) for the effective sample after network-fault
 	// degradation.
 	Analysis *sampling.Params
+	// Workers bounds the audit's verification concurrency: challenge
+	// rounds fly in parallel and the per-index checks of each completed
+	// round fan out across the same pool, so round trips overlap with
+	// CPU-side verification. ≤ 1 (or 0) runs sequentially; 0 falls back to
+	// the Agency-level default set by WithWorkers. The worker count never
+	// changes report contents — only how fast they are produced.
+	Workers int
 }
 
 // splitRounds chunks the sample into ≈equal contiguous rounds.
@@ -268,18 +276,25 @@ func classifyTransport(err error) (RoundOutcome, bool) {
 // its own identity key, to which users delegate storage and computation
 // auditing.
 type Agency struct {
-	key    *ibc.PrivateKey
-	scheme *dvs.Scheme
-	reg    *funcs.Registry
-	random io.Reader
-	clock  func() time.Time
+	key     *ibc.PrivateKey
+	scheme  *dvs.Scheme
+	reg     *funcs.Registry
+	random  io.Reader
+	clock   func() time.Time
+	workers int
 }
 
-// NewAgency builds the DA from its extracted identity key.
+// NewAgency builds the DA from its extracted identity key. The pairing
+// cache for the agency's own verification key is warmed immediately: every
+// designated verification this agency ever runs pairs against sk_DA
+// (eq. 5/7), so the one-time Miller-loop setup happens here instead of on
+// the first audit's hot path.
 func NewAgency(sp *ibc.SystemParams, key *ibc.PrivateKey, random io.Reader) *Agency {
+	scheme := dvs.NewScheme(sp)
+	scheme.PrecomputeVerifier(key)
 	return &Agency{
 		key:    key,
-		scheme: dvs.NewScheme(sp),
+		scheme: scheme,
 		reg:    funcs.NewRegistry(),
 		random: random,
 		clock:  time.Now,
@@ -293,6 +308,42 @@ func (a *Agency) ID() string { return a.key.ID }
 func (a *Agency) WithClock(clock func() time.Time) *Agency {
 	a.clock = clock
 	return a
+}
+
+// WithWorkers sets the default verification concurrency used when an audit
+// config leaves Workers at 0. ≤ 1 keeps audits sequential.
+func (a *Agency) WithWorkers(workers int) *Agency {
+	a.workers = workers
+	return a
+}
+
+// auditPool resolves the effective worker pool for one audit run.
+func (a *Agency) auditPool(cfgWorkers int) *pool {
+	if cfgWorkers == 0 {
+		cfgWorkers = a.workers
+	}
+	return newPool(cfgWorkers)
+}
+
+// challengeRNG returns the RNG that draws the challenge set S, preferring
+// an explicit override (deterministic tests, seeded simulations).
+//
+// The default seed comes from the agency's randomness source — crypto/rand
+// in production — NOT from the clock. The eq. 10/12 sampling game assumes
+// the server cannot predict S: a server that knows the challenge set ahead
+// of time cheats only outside it and is never caught. A clock-seeded
+// math/rand breaks that twice over: timestamps are guessable to within a
+// few plausible nanoseconds, and under an injected fake clock two audits
+// seeded in the same instant draw *identical* challenge sets.
+func (a *Agency) challengeRNG(override *rand.Rand) (*rand.Rand, error) {
+	if override != nil {
+		return override, nil
+	}
+	var seed [8]byte
+	if _, err := io.ReadFull(a.random, seed[:]); err != nil {
+		return nil, fmt.Errorf("core: seeding challenge rng: %w", err)
+	}
+	return rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(seed[:])))), nil
 }
 
 // AcceptDelegation validates a delegation before any network audit: the
@@ -310,7 +361,7 @@ func (a *Agency) AcceptDelegation(d *JobDelegation) error {
 	if err := a.scheme.PublicVerify(d.ServerID, rootSigMessage(d.JobID, d.Root), sig); err != nil {
 		return fmt.Errorf("core: root signature invalid: %w", err)
 	}
-	root, err := CommitmentRoot(d.Tasks, d.Results)
+	root, err := CommitmentRootParallel(d.Tasks, d.Results, a.workers)
 	if err != nil {
 		return fmt.Errorf("core: rebuilding commitment root: %w", err)
 	}
@@ -323,6 +374,13 @@ func (a *Agency) AcceptDelegation(d *JobDelegation) error {
 // SampleIndices draws t distinct indices uniformly from [0, n) by a
 // partial Fisher–Yates shuffle — the Audit Challenge Step's random subset
 // S = {c_1, …, c_t}.
+//
+// The shuffle runs over a sparse map holding only the positions a swap has
+// actually touched (an untouched position i implicitly holds i), so a
+// t-of-n challenge costs O(t) memory instead of materializing an O(n)
+// scratch slice — for a million-block job the dense version burned 8 MB of
+// garbage per challenge round. The draw sequence is identical to the dense
+// shuffle for the same rng.
 func SampleIndices(rng *rand.Rand, n, t int) []uint64 {
 	if t > n {
 		t = n
@@ -330,15 +388,19 @@ func SampleIndices(rng *rand.Rand, n, t int) []uint64 {
 	if t <= 0 {
 		return nil
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	swapped := make(map[int]int, 2*t)
+	at := func(i int) int {
+		if v, ok := swapped[i]; ok {
+			return v
+		}
+		return i
 	}
 	out := make([]uint64, t)
 	for i := 0; i < t; i++ {
 		j := i + rng.Intn(n-i)
-		idx[i], idx[j] = idx[j], idx[i]
-		out[i] = uint64(idx[i])
+		vi, vj := at(i), at(j)
+		swapped[i], swapped[j] = vj, vi
+		out[i] = uint64(vj)
 	}
 	return out
 }
@@ -356,14 +418,21 @@ func SampleIndices(rng *rand.Rand, n, t int) []uint64 {
 // about the server. Only cryptographic/protocol check failures on rounds
 // that actually completed become Failures. An audit where every round is
 // lost returns a valid-but-empty report with EffectiveSampleSize 0.
+//
+// Pipelining: with cfg.Workers > 1 the rounds fly concurrently and each
+// completed round's per-index checks fan out across the same pool, so the
+// DA verifies one round's proofs while later rounds are still in flight.
+// All randomness is drawn before the fan-out and every task writes only
+// its own slot; the report is then assembled sequentially in round order,
+// so its contents are bit-identical for every worker count.
 func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfig) (*AuditReport, error) {
 	start := a.clock()
 	if err := a.AcceptDelegation(d); err != nil {
 		return nil, fmt.Errorf("core: delegation rejected: %w", err)
 	}
-	rng := cfg.Rng
-	if rng == nil {
-		rng = rand.New(rand.NewSource(a.clock().UnixNano()))
+	rng, err := a.challengeRNG(cfg.Rng)
+	if err != nil {
+		return nil, err
 	}
 	sample := SampleIndices(rng, len(d.Tasks), cfg.SampleSize)
 	report := &AuditReport{
@@ -377,32 +446,42 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 		return report, nil
 	}
 
-	var effective []uint64
-	var items []wire.ChallengeItem
-	for _, chunk := range splitRounds(sample, cfg.Rounds) {
-		rec := RoundRecord{Indices: append([]uint64(nil), chunk...)}
+	type roundResult struct {
+		rec       RoundRecord
+		ok        bool          // round completed with outcome OK
+		respFail  *AuditFailure // round-level structural failure
+		fails     []AuditFailure
+		sigChecks []sigCheck
+		err       error // terminal (non-transport) error
+	}
+	chunks := splitRounds(sample, cfg.Rounds)
+	results := make([]roundResult, len(chunks))
+	p := a.auditPool(cfg.Workers)
+	p.forEach(len(chunks), func(ri int) {
+		chunk := chunks[ri]
+		rr := &results[ri]
+		rr.rec = RoundRecord{Indices: append([]uint64(nil), chunk...)}
 		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.ChallengeRequest{
 			JobID:   d.JobID,
 			Indices: chunk,
 			Warrant: d.Warrant,
 		})
-		rec.Attempts = attempts
+		rr.rec.Attempts = attempts
 		if err != nil {
 			outcome, transport := classifyTransport(err)
 			if !transport {
-				return nil, fmt.Errorf("core: challenge round trip: %w", err)
+				rr.err = fmt.Errorf("core: challenge round trip: %w", err)
+				return
 			}
-			rec.Outcome = outcome
-			rec.Detail = err.Error()
-			report.Rounds = append(report.Rounds, rec)
-			continue
+			rr.rec.Outcome = outcome
+			rr.rec.Detail = err.Error()
+			return
 		}
 		ch, ok := resp.(*wire.ChallengeResponse)
 		badProof := func(detail string) {
-			rec.Outcome = RoundBadProof
-			rec.Detail = detail
-			report.Failures = append(report.Failures, AuditFailure{Check: CheckResponse, Detail: detail})
-			report.Rounds = append(report.Rounds, rec)
+			rr.rec.Outcome = RoundBadProof
+			rr.rec.Detail = detail
+			rr.respFail = &AuditFailure{Check: CheckResponse, Detail: detail}
 		}
 		switch {
 		case !ok:
@@ -416,17 +495,53 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 		case len(ch.Items) != len(chunk):
 			badProof(fmt.Sprintf("server answered %d of %d challenges", len(ch.Items), len(chunk)))
 		default:
-			rec.Outcome = RoundOK
-			report.Rounds = append(report.Rounds, rec)
-			effective = append(effective, chunk...)
-			items = append(items, ch.Items...)
+			rr.rec.Outcome = RoundOK
+			rr.ok = true
+			itemFails := make([][]AuditFailure, len(ch.Items))
+			itemSigs := make([][]sigCheck, len(ch.Items))
+			p.forEach(len(ch.Items), func(i int) {
+				itemFails[i], itemSigs[i] = a.checkItem(d, chunk[i], ch.Items[i], cfg.BatchSignatures)
+			})
+			for i := range ch.Items {
+				rr.fails = append(rr.fails, itemFails[i]...)
+				rr.sigChecks = append(rr.sigChecks, itemSigs[i]...)
+			}
+		}
+	})
+
+	// Sequential assembly in round order: identical report for any pool.
+	for ri := range results {
+		if results[ri].err != nil {
+			return nil, results[ri].err
+		}
+	}
+	var effective []uint64
+	for ri := range results {
+		rr := &results[ri]
+		if rr.respFail != nil {
+			report.Failures = append(report.Failures, *rr.respFail)
+		}
+		report.Rounds = append(report.Rounds, rr.rec)
+		if rr.ok {
+			effective = append(effective, chunks[ri]...)
 		}
 	}
 	report.EffectiveSampleSize = len(effective)
 
 	preCheck := len(report.Failures)
-	if len(items) > 0 {
-		a.checkItems(d, effective, items, cfg, report)
+	var sigChecks []sigCheck
+	for ri := range results {
+		report.Failures = append(report.Failures, results[ri].fails...)
+		sigChecks = append(sigChecks, results[ri].sigChecks...)
+	}
+	// Batched signature verification (§VI): one aggregate check; on
+	// failure, fall back to individual verification to attribute blame.
+	for i, err := range a.verifySigBatch(sigChecks, true, p) {
+		if err != nil {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: sigChecks[i].index, Check: CheckSignature, Detail: err.Error(),
+			})
+		}
 	}
 	// Downgrade tentatively-OK rounds whose indices drew check failures.
 	downgradeRounds(report.Rounds, report.Failures[preCheck:])
@@ -441,150 +556,117 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 	return report, nil
 }
 
-// checkItems runs the three per-sample checks of Algorithm 1 plus
-// structural validation, appending failures to the report.
-func (a *Agency) checkItems(
-	d *JobDelegation, sample []uint64, items []wire.ChallengeItem,
-	cfg AuditConfig, report *AuditReport,
-) {
-	type sigCheck struct {
-		index uint64
-		msg   []byte
-		des   *dvs.Designated
+// checkItem runs the three per-sample checks of Algorithm 1 plus
+// structural validation for one challenged index, returning its failures
+// in check order. With batchSigs set, block-signature verifications that
+// pass the structural stage are deferred as sigChecks for an aggregate
+// §VI verification instead of being paired individually. checkItem shares
+// no state with other items, so calls may run concurrently.
+func (a *Agency) checkItem(
+	d *JobDelegation, idx uint64, item wire.ChallengeItem, batchSigs bool,
+) (fails []AuditFailure, sigChecks []sigCheck) {
+	if item.Index != idx {
+		return []AuditFailure{{
+			Index: idx, Check: CheckResponse,
+			Detail: fmt.Sprintf("answer for index %d where %d was challenged", item.Index, idx),
+		}}, nil
 	}
-	var sigChecks []sigCheck
+	if idx >= uint64(len(d.Tasks)) {
+		return []AuditFailure{{
+			Index: idx, Check: CheckResponse, Detail: "index out of range",
+		}}, nil
+	}
+	task := d.Tasks[idx]
+	if !taskSpecEqual(task, item.Task) {
+		return []AuditFailure{{
+			Index: idx, Check: CheckResponse,
+			Detail: "server answered with a different task spec than requested",
+		}}, nil
+	}
+	if len(item.Blocks) != len(task.Positions) || len(item.Sigs) != len(task.Positions) {
+		return []AuditFailure{{
+			Index: idx, Check: CheckResponse,
+			Detail: "wrong number of input blocks in answer",
+		}}, nil
+	}
 
-	for i, item := range items {
-		idx := sample[i]
-		if item.Index != idx {
-			report.Failures = append(report.Failures, AuditFailure{
-				Index: idx, Check: CheckResponse,
-				Detail: fmt.Sprintf("answer for index %d where %d was challenged", item.Index, idx),
+	// Check 1 (IsSignatureWrong, eq. 7): each input block's designated
+	// signature must verify for its requested position. This is what
+	// catches both deleted/fabricated data and position diversion.
+	for k, pos := range task.Positions {
+		des, err := DecodeBlockSig(a.scheme.Params(), &item.Sigs[k], a.key.ID)
+		if err != nil {
+			fails = append(fails, AuditFailure{
+				Index: idx, Check: CheckSignature,
+				Detail: fmt.Sprintf("block %d: %v", pos, err),
 			})
 			continue
 		}
-		if idx >= uint64(len(d.Tasks)) {
-			report.Failures = append(report.Failures, AuditFailure{
-				Index: idx, Check: CheckResponse, Detail: "index out of range",
+		if des.SignerID != d.UserID {
+			fails = append(fails, AuditFailure{
+				Index: idx, Check: CheckSignature,
+				Detail: fmt.Sprintf("block %d signed by %q, want %q", pos, des.SignerID, d.UserID),
 			})
 			continue
 		}
-		task := d.Tasks[idx]
-		if !taskSpecEqual(task, item.Task) {
-			report.Failures = append(report.Failures, AuditFailure{
-				Index: idx, Check: CheckResponse,
-				Detail: "server answered with a different task spec than requested",
-			})
-			continue
-		}
-		if len(item.Blocks) != len(task.Positions) || len(item.Sigs) != len(task.Positions) {
-			report.Failures = append(report.Failures, AuditFailure{
-				Index: idx, Check: CheckResponse,
-				Detail: "wrong number of input blocks in answer",
-			})
-			continue
-		}
-
-		// Check 1 (IsSignatureWrong, eq. 7): each input block's designated
-		// signature must verify for its requested position. This is what
-		// catches both deleted/fabricated data and position diversion.
-		for k, pos := range task.Positions {
-			des, err := DecodeBlockSig(a.scheme.Params(), &item.Sigs[k], a.key.ID)
-			if err != nil {
-				report.Failures = append(report.Failures, AuditFailure{
-					Index: idx, Check: CheckSignature,
-					Detail: fmt.Sprintf("block %d: %v", pos, err),
-				})
-				continue
-			}
-			if des.SignerID != d.UserID {
-				report.Failures = append(report.Failures, AuditFailure{
-					Index: idx, Check: CheckSignature,
-					Detail: fmt.Sprintf("block %d signed by %q, want %q", pos, des.SignerID, d.UserID),
-				})
-				continue
-			}
-			msg := BlockMessage(pos, item.Blocks[k])
-			if cfg.BatchSignatures {
-				sigChecks = append(sigChecks, sigCheck{index: idx, msg: msg, des: des})
-			} else if err := a.scheme.Verify(des, msg, a.key); err != nil {
-				report.Failures = append(report.Failures, AuditFailure{
-					Index: idx, Check: CheckSignature,
-					Detail: fmt.Sprintf("block %d: %v", pos, err),
-				})
-			}
-		}
-
-		// Check 2 (IsComputingWrong): recompute y over the returned blocks.
-		want, err := a.reg.Eval(funcs.Spec{Name: task.FuncName, Arg: task.Arg}, item.Blocks)
-		switch {
-		case err != nil:
-			report.Failures = append(report.Failures, AuditFailure{
-				Index: idx, Check: CheckComputation,
-				Detail: fmt.Sprintf("recomputation failed: %v", err),
-			})
-		case !bytes.Equal(want, item.Result):
-			report.Failures = append(report.Failures, AuditFailure{
-				Index: idx, Check: CheckComputation,
-				Detail: "claimed result differs from recomputation",
-			})
-		case !bytes.Equal(item.Result, d.Results[idx]):
-			report.Failures = append(report.Failures, AuditFailure{
-				Index: idx, Check: CheckComputation,
-				Detail: "challenge answer differs from result returned at compute time",
-			})
-		}
-
-		// Check 3 (IsRootWrong, eq. 6): reconstruct R* from the leaf and
-		// the sibling path; it must equal the committed root.
-		proof := &merkle.Proof{Index: int(idx), Steps: make([]merkle.ProofStep, len(item.ProofPath))}
-		badStep := false
-		for k, st := range item.ProofPath {
-			if len(st.Hash) != merkle.HashLen {
-				report.Failures = append(report.Failures, AuditFailure{
-					Index: idx, Check: CheckRoot,
-					Detail: fmt.Sprintf("proof step %d has %d-byte hash", k, len(st.Hash)),
-				})
-				badStep = true
-				break
-			}
-			copy(proof.Steps[k].Hash[:], st.Hash)
-			proof.Steps[k].Right = st.Right
-		}
-		if badStep {
-			continue
-		}
-		var pos uint64
-		if len(task.Positions) > 0 {
-			pos = task.Positions[0]
-		}
-		leaf := merkle.LeafData{Result: item.Result, Position: pos}
-		var committed [merkle.HashLen]byte
-		copy(committed[:], d.Root)
-		if err := merkle.VerifyProof(committed, leaf, proof); err != nil {
-			report.Failures = append(report.Failures, AuditFailure{
-				Index: idx, Check: CheckRoot, Detail: err.Error(),
+		msg := BlockMessage(pos, item.Blocks[k])
+		if batchSigs {
+			sigChecks = append(sigChecks, sigCheck{index: idx, msg: msg, des: des})
+		} else if err := a.scheme.Verify(des, msg, a.key); err != nil {
+			fails = append(fails, AuditFailure{
+				Index: idx, Check: CheckSignature,
+				Detail: fmt.Sprintf("block %d: %v", pos, err),
 			})
 		}
 	}
 
-	// Batched signature verification (§VI): one aggregate check; on
-	// failure, fall back to individual verification to attribute blame.
-	if cfg.BatchSignatures && len(sigChecks) > 0 {
-		batch := make([]dvs.BatchItem, len(sigChecks))
-		for i, sc := range sigChecks {
-			batch[i] = dvs.NewBatchItem(sc.msg, sc.des)
-		}
-		if err := a.scheme.BatchVerifyRandomized(batch, a.key, a.random); err != nil {
-			for _, sc := range sigChecks {
-				if err := a.scheme.Verify(sc.des, sc.msg, a.key); err != nil {
-					report.Failures = append(report.Failures, AuditFailure{
-						Index: sc.index, Check: CheckSignature, Detail: err.Error(),
-					})
-				}
-			}
-		}
+	// Check 2 (IsComputingWrong): recompute y over the returned blocks.
+	want, err := a.reg.Eval(funcs.Spec{Name: task.FuncName, Arg: task.Arg}, item.Blocks)
+	switch {
+	case err != nil:
+		fails = append(fails, AuditFailure{
+			Index: idx, Check: CheckComputation,
+			Detail: fmt.Sprintf("recomputation failed: %v", err),
+		})
+	case !bytes.Equal(want, item.Result):
+		fails = append(fails, AuditFailure{
+			Index: idx, Check: CheckComputation,
+			Detail: "claimed result differs from recomputation",
+		})
+	case !bytes.Equal(item.Result, d.Results[idx]):
+		fails = append(fails, AuditFailure{
+			Index: idx, Check: CheckComputation,
+			Detail: "challenge answer differs from result returned at compute time",
+		})
 	}
+
+	// Check 3 (IsRootWrong, eq. 6): reconstruct R* from the leaf and
+	// the sibling path; it must equal the committed root.
+	proof := &merkle.Proof{Index: int(idx), Steps: make([]merkle.ProofStep, len(item.ProofPath))}
+	for k, st := range item.ProofPath {
+		if len(st.Hash) != merkle.HashLen {
+			fails = append(fails, AuditFailure{
+				Index: idx, Check: CheckRoot,
+				Detail: fmt.Sprintf("proof step %d has %d-byte hash", k, len(st.Hash)),
+			})
+			return fails, sigChecks
+		}
+		copy(proof.Steps[k].Hash[:], st.Hash)
+		proof.Steps[k].Right = st.Right
+	}
+	var pos uint64
+	if len(task.Positions) > 0 {
+		pos = task.Positions[0]
+	}
+	leaf := merkle.LeafData{Result: item.Result, Position: pos}
+	var committed [merkle.HashLen]byte
+	copy(committed[:], d.Root)
+	if err := merkle.VerifyProof(committed, leaf, proof); err != nil {
+		fails = append(fails, AuditFailure{
+			Index: idx, Check: CheckRoot, Detail: err.Error(),
+		})
+	}
+	return fails, sigChecks
 }
 
 // taskSpecEqual compares task specs field by field.
@@ -654,6 +736,9 @@ type StorageAuditConfig struct {
 	RoundTimeout time.Duration
 	// Analysis recomputes achieved confidence for the effective sample.
 	Analysis *sampling.Params
+	// Workers bounds the audit's verification concurrency, exactly as
+	// AuditConfig.Workers does for computation audits.
+	Workers int
 }
 
 // AuditStorage samples t positions out of the dataset and verifies the
@@ -663,9 +748,9 @@ type StorageAuditConfig struct {
 func (a *Agency) AuditStorage(
 	client netsim.Client, userID string, warrant wire.Warrant, cfg StorageAuditConfig,
 ) (*StorageAuditReport, error) {
-	rng := cfg.Rng
-	if rng == nil {
-		rng = rand.New(rand.NewSource(a.clock().UnixNano()))
+	rng, err := a.challengeRNG(cfg.Rng)
+	if err != nil {
+		return nil, err
 	}
 	sample := SampleIndices(rng, cfg.DatasetSize, cfg.SampleSize)
 	report := &StorageAuditReport{
@@ -677,33 +762,42 @@ func (a *Agency) AuditStorage(
 		return report, nil
 	}
 
-	var positions []uint64
-	var blocks [][]byte
-	var sigs []wire.BlockSig
-	for _, chunk := range splitRounds(sample, cfg.Rounds) {
-		rec := RoundRecord{Indices: append([]uint64(nil), chunk...)}
+	type roundResult struct {
+		rec      RoundRecord
+		ok       bool
+		respFail *AuditFailure
+		blocks   [][]byte
+		sigs     []wire.BlockSig
+		err      error
+	}
+	chunks := splitRounds(sample, cfg.Rounds)
+	results := make([]roundResult, len(chunks))
+	p := a.auditPool(cfg.Workers)
+	p.forEach(len(chunks), func(ri int) {
+		chunk := chunks[ri]
+		rr := &results[ri]
+		rr.rec = RoundRecord{Indices: append([]uint64(nil), chunk...)}
 		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.StorageAuditRequest{
 			UserID:    userID,
 			Positions: chunk,
 			Warrant:   warrant,
 		})
-		rec.Attempts = attempts
+		rr.rec.Attempts = attempts
 		if err != nil {
 			outcome, transport := classifyTransport(err)
 			if !transport {
-				return nil, fmt.Errorf("core: storage audit round trip: %w", err)
+				rr.err = fmt.Errorf("core: storage audit round trip: %w", err)
+				return
 			}
-			rec.Outcome = outcome
-			rec.Detail = err.Error()
-			report.Rounds = append(report.Rounds, rec)
-			continue
+			rr.rec.Outcome = outcome
+			rr.rec.Detail = err.Error()
+			return
 		}
 		sa, ok := resp.(*wire.StorageAuditResponse)
 		badProof := func(detail string) {
-			rec.Outcome = RoundBadProof
-			rec.Detail = detail
-			report.Failures = append(report.Failures, AuditFailure{Check: CheckResponse, Detail: detail})
-			report.Rounds = append(report.Rounds, rec)
+			rr.rec.Outcome = RoundBadProof
+			rr.rec.Detail = detail
+			rr.respFail = &AuditFailure{Check: CheckResponse, Detail: detail}
 		}
 		switch {
 		case !ok:
@@ -713,11 +807,32 @@ func (a *Agency) AuditStorage(
 		case len(sa.Blocks) != len(chunk) || len(sa.Sigs) != len(chunk):
 			badProof("wrong number of blocks in storage audit answer")
 		default:
-			rec.Outcome = RoundOK
-			report.Rounds = append(report.Rounds, rec)
-			positions = append(positions, chunk...)
-			blocks = append(blocks, sa.Blocks...)
-			sigs = append(sigs, sa.Sigs...)
+			rr.rec.Outcome = RoundOK
+			rr.ok = true
+			rr.blocks = sa.Blocks
+			rr.sigs = sa.Sigs
+		}
+	})
+
+	// Sequential assembly in round order (see AuditJob).
+	for ri := range results {
+		if results[ri].err != nil {
+			return nil, results[ri].err
+		}
+	}
+	var positions []uint64
+	var blocks [][]byte
+	var sigs []wire.BlockSig
+	for ri := range results {
+		rr := &results[ri]
+		if rr.respFail != nil {
+			report.Failures = append(report.Failures, *rr.respFail)
+		}
+		report.Rounds = append(report.Rounds, rr.rec)
+		if rr.ok {
+			positions = append(positions, chunks[ri]...)
+			blocks = append(blocks, rr.blocks...)
+			sigs = append(sigs, rr.sigs...)
 		}
 	}
 	report.EffectiveSampleSize = len(positions)
@@ -729,11 +844,6 @@ func (a *Agency) AuditStorage(
 		report.AchievedConfidence = conf
 	}
 
-	type sigCheck struct {
-		pos uint64
-		msg []byte
-		des *dvs.Designated
-	}
 	preCheck := len(report.Failures)
 	checks := make([]sigCheck, 0, len(positions))
 	for i, pos := range positions {
@@ -751,29 +861,13 @@ func (a *Agency) AuditStorage(
 			})
 			continue
 		}
-		checks = append(checks, sigCheck{pos: pos, msg: BlockMessage(pos, blocks[i]), des: des})
+		checks = append(checks, sigCheck{index: pos, msg: BlockMessage(pos, blocks[i]), des: des})
 	}
-
-	verifyIndividually := func() {
-		for _, sc := range checks {
-			if err := a.scheme.Verify(sc.des, sc.msg, a.key); err != nil {
-				report.Failures = append(report.Failures, AuditFailure{
-					Index: sc.pos, Check: CheckSignature, Detail: err.Error(),
-				})
-			}
-		}
-	}
-	if !cfg.BatchSignatures || len(checks) == 0 {
-		verifyIndividually()
-	} else {
-		batch := make([]dvs.BatchItem, len(checks))
-		for i, sc := range checks {
-			batch[i] = dvs.NewBatchItem(sc.msg, sc.des)
-		}
-		if err := a.scheme.BatchVerifyRandomized(batch, a.key, a.random); err != nil {
-			// Fall back to per-item verification to locate the failures
-			// (the error-locating idea of the paper's reference [10]).
-			verifyIndividually()
+	for i, err := range a.verifySigBatch(checks, cfg.BatchSignatures, p) {
+		if err != nil {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: checks[i].index, Check: CheckSignature, Detail: err.Error(),
+			})
 		}
 	}
 	downgradeRounds(report.Rounds, report.Failures[preCheck:])

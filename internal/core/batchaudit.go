@@ -1,14 +1,9 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
-	"math/rand"
 	"time"
 
-	"seccloud/internal/dvs"
-	"seccloud/internal/funcs"
-	"seccloud/internal/merkle"
 	"seccloud/internal/netsim"
 	"seccloud/internal/wire"
 )
@@ -43,6 +38,12 @@ func (m *MultiAuditReport) Valid() bool {
 // verification (one pairing total). On aggregate failure it falls back to
 // per-item verification to attribute blame to the right job and index.
 //
+// With cfg.Workers > 1 the per-delegation challenges fly concurrently and
+// each response's per-index checks fan out across the same pool. Every
+// delegation's challenge set is drawn from the shared RNG *before* the
+// fan-out, in input order, and reports are assembled sequentially, so the
+// outcome is identical for every worker count.
+//
 // clients[i] must reach the server for delegations[i].
 func (a *Agency) AuditJobs(
 	clients []netsim.Client, delegations []*JobDelegation, cfg AuditConfig,
@@ -51,34 +52,37 @@ func (a *Agency) AuditJobs(
 		return nil, fmt.Errorf("core: %d clients for %d delegations", len(clients), len(delegations))
 	}
 	start := a.clock()
-	rng := cfg.Rng
-	if rng == nil {
-		rng = rand.New(rand.NewSource(a.clock().UnixNano()))
+	rng, err := a.challengeRNG(cfg.Rng)
+	if err != nil {
+		return nil, err
 	}
-
-	type deferredSig struct {
-		report *AuditReport
-		index  uint64
-		msg    []byte
-		des    *dvs.Designated
-	}
-	var deferred []deferredSig
-	out := &MultiAuditReport{Reports: make([]*AuditReport, len(delegations))}
-
+	samples := make([][]uint64, len(delegations))
 	for di, d := range delegations {
 		if err := a.AcceptDelegation(d); err != nil {
 			return nil, fmt.Errorf("core: delegation %d rejected: %w", di, err)
 		}
-		sample := SampleIndices(rng, len(d.Tasks), cfg.SampleSize)
+		samples[di] = SampleIndices(rng, len(d.Tasks), cfg.SampleSize)
+	}
+
+	type jobResult struct {
+		report    *AuditReport
+		sigChecks []sigCheck
+		err       error
+	}
+	results := make([]jobResult, len(delegations))
+	p := a.auditPool(cfg.Workers)
+	p.forEach(len(delegations), func(di int) {
+		d := delegations[di]
+		sample := samples[di]
 		report := &AuditReport{
 			JobID:            d.JobID,
 			SampleSize:       len(sample),
 			Sampled:          sample,
 			SigChecksBatched: true,
 		}
-		out.Reports[di] = report
+		results[di].report = report
 		if len(sample) == 0 {
-			continue
+			return
 		}
 		resp, err := clients[di].RoundTrip(&wire.ChallengeRequest{
 			JobID:   d.JobID,
@@ -86,104 +90,64 @@ func (a *Agency) AuditJobs(
 			Warrant: d.Warrant,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: challenge round trip for %s: %w", d.JobID, err)
+			results[di].err = fmt.Errorf("core: challenge round trip for %s: %w", d.JobID, err)
+			return
 		}
 		ch, ok := resp.(*wire.ChallengeResponse)
 		if !ok {
-			return nil, fmt.Errorf("core: unexpected challenge response %T", resp)
+			results[di].err = fmt.Errorf("core: unexpected challenge response %T", resp)
+			return
 		}
 		if ch.Error != "" {
 			report.Failures = append(report.Failures, AuditFailure{
 				Check: CheckResponse, Detail: "server refused challenge: " + ch.Error,
 			})
-			continue
+			return
 		}
 		if len(ch.Items) != len(sample) {
 			report.Failures = append(report.Failures, AuditFailure{
 				Check:  CheckResponse,
 				Detail: fmt.Sprintf("server answered %d of %d challenges", len(ch.Items), len(sample)),
 			})
-			continue
+			return
 		}
-		// Structural, recomputation and Merkle checks run per job; the
+		// Structural, recomputation and Merkle checks run per item; the
 		// signature checks are harvested for the cross-job batch.
-		for i, item := range ch.Items {
-			idx := sample[i]
-			if item.Index != idx || idx >= uint64(len(d.Tasks)) {
-				report.Failures = append(report.Failures, AuditFailure{
-					Index: idx, Check: CheckResponse, Detail: "answer index mismatch",
-				})
-				continue
-			}
-			task := d.Tasks[idx]
-			if !taskSpecEqual(task, item.Task) ||
-				len(item.Blocks) != len(task.Positions) || len(item.Sigs) != len(task.Positions) {
-				report.Failures = append(report.Failures, AuditFailure{
-					Index: idx, Check: CheckResponse, Detail: "malformed answer",
-				})
-				continue
-			}
-			for k, pos := range task.Positions {
-				des, err := DecodeBlockSig(a.scheme.Params(), &item.Sigs[k], a.key.ID)
-				if err != nil || des.SignerID != d.UserID {
-					report.Failures = append(report.Failures, AuditFailure{
-						Index: idx, Check: CheckSignature,
-						Detail: fmt.Sprintf("block %d signature unusable", pos),
-					})
-					continue
-				}
-				deferred = append(deferred, deferredSig{
-					report: report, index: idx,
-					msg: BlockMessage(pos, item.Blocks[k]), des: des,
-				})
-			}
-			want, err := a.reg.Eval(funcs.Spec{Name: task.FuncName, Arg: task.Arg}, item.Blocks)
-			if err != nil || !bytes.Equal(want, item.Result) || !bytes.Equal(item.Result, d.Results[idx]) {
-				report.Failures = append(report.Failures, AuditFailure{
-					Index: idx, Check: CheckComputation,
-					Detail: "claimed result differs from recomputation",
-				})
-			}
-			proof := &merkle.Proof{Index: int(idx), Steps: make([]merkle.ProofStep, len(item.ProofPath))}
-			ok := true
-			for k, st := range item.ProofPath {
-				if len(st.Hash) != merkle.HashLen {
-					ok = false
-					break
-				}
-				copy(proof.Steps[k].Hash[:], st.Hash)
-				proof.Steps[k].Right = st.Right
-			}
-			var pos uint64
-			if len(task.Positions) > 0 {
-				pos = task.Positions[0]
-			}
-			var committed [merkle.HashLen]byte
-			copy(committed[:], d.Root)
-			if !ok || merkle.VerifyProof(committed,
-				merkle.LeafData{Result: item.Result, Position: pos}, proof) != nil {
-				report.Failures = append(report.Failures, AuditFailure{
-					Index: idx, Check: CheckRoot, Detail: "root reconstruction failed",
-				})
-			}
+		itemFails := make([][]AuditFailure, len(ch.Items))
+		itemSigs := make([][]sigCheck, len(ch.Items))
+		p.forEach(len(ch.Items), func(i int) {
+			itemFails[i], itemSigs[i] = a.checkItem(d, sample[i], ch.Items[i], true)
+		})
+		for i := range ch.Items {
+			report.Failures = append(report.Failures, itemFails[i]...)
+			results[di].sigChecks = append(results[di].sigChecks, itemSigs[i]...)
 		}
+	})
+
+	out := &MultiAuditReport{Reports: make([]*AuditReport, len(delegations))}
+	for di := range results {
+		if results[di].err != nil {
+			return nil, results[di].err
+		}
+		out.Reports[di] = results[di].report
 	}
 
-	// One aggregate check across every job and user.
-	out.BatchedSigItems = len(deferred)
-	if len(deferred) > 0 {
-		batch := make([]dvs.BatchItem, len(deferred))
-		for i, ds := range deferred {
-			batch[i] = dvs.NewBatchItem(ds.msg, ds.des)
+	// One aggregate check across every job and user; owners maps each
+	// deferred check back to the report its failure belongs to.
+	var deferred []sigCheck
+	var owners []*AuditReport
+	for di := range results {
+		for _, sc := range results[di].sigChecks {
+			deferred = append(deferred, sc)
+			owners = append(owners, results[di].report)
 		}
-		if err := a.scheme.BatchVerifyRandomized(batch, a.key, a.random); err != nil {
-			for _, ds := range deferred {
-				if err := a.scheme.Verify(ds.des, ds.msg, a.key); err != nil {
-					ds.report.Failures = append(ds.report.Failures, AuditFailure{
-						Index: ds.index, Check: CheckSignature, Detail: err.Error(),
-					})
-				}
-			}
+	}
+	out.BatchedSigItems = len(deferred)
+	for i, err := range a.verifySigBatch(deferred, true, p) {
+		if err != nil {
+			owners[i].Failures = append(owners[i].Failures, AuditFailure{
+				Index: deferred[i].index, Check: CheckSignature, Detail: err.Error(),
+			})
 		}
 	}
 	out.Elapsed = a.clock().Sub(start)

@@ -1,0 +1,58 @@
+package core
+
+import "sync"
+
+// pool is the bounded worker pool behind the parallel audit pipeline. It
+// fans independent tasks — challenge rounds, per-index checks — across at
+// most `workers` goroutines beyond the caller's own, so network round
+// trips overlap with CPU-side verification instead of alternating with it.
+//
+// The scheduling rule is "spawn if a slot is free, otherwise run inline in
+// the submitting goroutine". Inline execution makes nested forEach calls
+// (a round task fanning out its per-item checks) deadlock-free by
+// construction: a task that cannot get a slot still makes progress on the
+// goroutine that already has one.
+//
+// Callers are responsible for determinism: tasks write only to their own
+// indexed slots and all shared state (reports, samples, RNG draws) is
+// read or assembled sequentially outside the pool.
+type pool struct {
+	sem chan struct{} // nil = sequential
+}
+
+// newPool builds a pool running at most `workers` tasks concurrently
+// (including the submitting goroutine). workers <= 1 yields a sequential
+// pool whose forEach degenerates to a plain loop.
+func newPool(workers int) *pool {
+	if workers <= 1 {
+		return &pool{}
+	}
+	return &pool{sem: make(chan struct{}, workers-1)}
+}
+
+// forEach runs fn(0) … fn(n-1) across the pool and waits for all of them.
+// Tasks must not touch shared state without their own synchronization;
+// writes to distinct indexed slots need none.
+func (p *pool) forEach(n int, fn func(i int)) {
+	if p.sem == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}

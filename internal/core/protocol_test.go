@@ -26,7 +26,7 @@ type system struct {
 
 // newSystem stands up one user, one DA, and n servers with the given
 // per-server policies (nil → honest).
-func newSystem(t *testing.T, policies ...CheatPolicy) *system {
+func newSystem(t testing.TB, policies ...CheatPolicy) *system {
 	t.Helper()
 	sio, err := ibc.Setup(pairing.InsecureTest256(), rand.Reader)
 	if err != nil {
@@ -67,7 +67,7 @@ func newSystem(t *testing.T, policies ...CheatPolicy) *system {
 
 // storeDataset signs and uploads a dataset to server 0 (and returns the
 // request for reuse).
-func (s *system) storeDataset(t *testing.T, ds *workload.Dataset) *wire.StoreRequest {
+func (s *system) storeDataset(t testing.TB, ds *workload.Dataset) *wire.StoreRequest {
 	t.Helper()
 	req, err := s.user.PrepareStore(ds, s.servers[0].ID(), s.agency.ID())
 	if err != nil {
@@ -80,7 +80,7 @@ func (s *system) storeDataset(t *testing.T, ds *workload.Dataset) *wire.StoreReq
 }
 
 // runJob submits a job to server 0 and returns the delegation for the DA.
-func (s *system) runJob(t *testing.T, jobID string, job *workload.Job) *JobDelegation {
+func (s *system) runJob(t testing.TB, jobID string, job *workload.Job) *JobDelegation {
 	t.Helper()
 	resp, err := s.user.SubmitJob(s.clients[0], jobID, job)
 	if err != nil {

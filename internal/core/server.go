@@ -39,11 +39,17 @@ func CommitmentLeaves(tasks []wire.TaskSpec, results [][]byte) ([]merkle.LeafDat
 
 // CommitmentRoot builds the full commitment tree and returns its root.
 func CommitmentRoot(tasks []wire.TaskSpec, results [][]byte) ([merkle.HashLen]byte, error) {
+	return CommitmentRootParallel(tasks, results, 1)
+}
+
+// CommitmentRootParallel is CommitmentRoot with a bounded parallel tree
+// build; the root is bit-identical for every worker count.
+func CommitmentRootParallel(tasks []wire.TaskSpec, results [][]byte, workers int) ([merkle.HashLen]byte, error) {
 	leaves, err := CommitmentLeaves(tasks, results)
 	if err != nil {
 		return [merkle.HashLen]byte{}, err
 	}
-	tree, err := merkle.Build(leaves)
+	tree, err := merkle.BuildParallel(leaves, workers)
 	if err != nil {
 		return [merkle.HashLen]byte{}, err
 	}
@@ -81,6 +87,11 @@ type ServerConfig struct {
 	// Random supplies randomness for the root signature and fabricated
 	// blocks; must be non-nil (crypto/rand.Reader in production).
 	Random io.Reader
+	// Workers bounds the server's verification and commitment
+	// concurrency: store-time signature checks fan out and Merkle trees
+	// build in parallel chunks. ≤ 1 runs sequentially; results are
+	// identical either way.
+	Workers int
 }
 
 // Server is one cloud computing/storage server (S_i in §III-A). It
@@ -155,16 +166,24 @@ func (s *Server) handleStore(req *wire.StoreRequest) wire.Message {
 		return &wire.StoreResponse{OK: false, Error: "mismatched store request lengths"}
 	}
 	// Verification happens outside the lock: it is the expensive part.
+	// Blocks fan out across the worker pool; the first failure by block
+	// order wins, so the response does not depend on scheduling.
 	if s.cfg.VerifyOnStore {
-		for i := range req.Blocks {
+		verifyErrs := make([]string, len(req.Blocks))
+		newPool(s.cfg.Workers).forEach(len(req.Blocks), func(i int) {
 			d, err := DecodeBlockSig(s.scheme.Params(), &req.Sigs[i], s.id)
 			if err != nil {
-				return &wire.StoreResponse{OK: false, Error: fmt.Sprintf("block %d: %v", req.Positions[i], err)}
+				verifyErrs[i] = fmt.Sprintf("block %d: %v", req.Positions[i], err)
+				return
 			}
 			msg := BlockMessage(req.Positions[i], req.Blocks[i])
 			if err := s.scheme.Verify(d, msg, s.key); err != nil {
-				return &wire.StoreResponse{OK: false,
-					Error: fmt.Sprintf("block %d signature invalid: %v", req.Positions[i], err)}
+				verifyErrs[i] = fmt.Sprintf("block %d signature invalid: %v", req.Positions[i], err)
+			}
+		})
+		for _, e := range verifyErrs {
+			if e != "" {
+				return &wire.StoreResponse{OK: false, Error: e}
 			}
 		}
 	}
@@ -234,7 +253,7 @@ func (s *Server) handleCompute(req *wire.ComputeRequest) wire.Message {
 	if err != nil {
 		return &wire.ComputeResponse{JobID: req.JobID, ServerID: s.id, Error: err.Error()}
 	}
-	tree, err := merkle.Build(leaves)
+	tree, err := merkle.BuildParallel(leaves, s.cfg.Workers)
 	if err != nil {
 		return &wire.ComputeResponse{JobID: req.JobID, ServerID: s.id, Error: err.Error()}
 	}

@@ -1,0 +1,41 @@
+package core
+
+import "seccloud/internal/dvs"
+
+// sigCheck is one pending block-signature verification: the designated
+// signature des must verify over msg, and a failure is attributed to the
+// sampled index. All three audit paths (AuditJob, AuditStorage, AuditJobs)
+// assemble their signature work into this one shape so the batch-versus-
+// individual decision lives in exactly one place.
+type sigCheck struct {
+	index uint64
+	msg   []byte
+	des   *dvs.Designated
+}
+
+// verifySigBatch verifies the pending checks and returns one error slot
+// per check, aligned with the input (nil = verified). With batched set, it
+// first runs the §VI randomized aggregate equation — one pairing for the
+// whole set — and only on aggregate failure falls back to individual
+// verification to attribute blame (the error-locating idea of the paper's
+// reference [10]). The individual pass fans out across the pool; results
+// land in their own slots, so output order is independent of scheduling.
+func (a *Agency) verifySigBatch(checks []sigCheck, batched bool, p *pool) []error {
+	errs := make([]error, len(checks))
+	if len(checks) == 0 {
+		return errs
+	}
+	if batched {
+		batch := make([]dvs.BatchItem, len(checks))
+		for i, sc := range checks {
+			batch[i] = dvs.NewBatchItem(sc.msg, sc.des)
+		}
+		if a.scheme.BatchVerifyRandomized(batch, a.key, a.random) == nil {
+			return errs
+		}
+	}
+	p.forEach(len(checks), func(i int) {
+		errs[i] = a.scheme.Verify(checks[i].des, checks[i].msg, a.key)
+	})
+	return errs
+}

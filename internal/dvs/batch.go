@@ -92,7 +92,7 @@ func (s *Scheme) batchVerify(items []BatchItem, verifierSK *ibc.PrivateKey, delt
 			sigmaA = sigmaA.Mul(sig)
 		}
 	}
-	got := s.sp.Pairing().Pair(ua, verifierSK.SK)
+	got := s.pairWithVerifier(ua, verifierSK)
 	if !got.Equal(sigmaA) {
 		return ErrVerifyFailed
 	}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"seccloud/internal/curve"
 	"seccloud/internal/ibc"
@@ -55,8 +56,57 @@ type Designated struct {
 }
 
 // Scheme binds the signature algorithms to a parameter set.
+// Safe for concurrent use.
 type Scheme struct {
 	sp *ibc.SystemParams
+
+	// verifierCache memoizes the fixed-argument Miller-loop state for each
+	// verifier secret key: every designated verification pairs against the
+	// same sk_ver (eq. 5/7), so the expensive accumulator arithmetic is
+	// done once per verifier and replayed per signature. The cached
+	// coefficients are key-dependent and live only inside the verifying
+	// process, same as the key itself.
+	verifierCache sync.Map // string → *verifierPC
+}
+
+// verifierPC pins the key the precomputation was built from so a re-issued
+// key for the same identity invalidates the cache instead of mis-verifying.
+type verifierPC struct {
+	sk *curve.Point
+	pc *pairing.Precomp
+}
+
+// pairWithVerifier computes ê(q, sk_ver) through the per-verifier
+// precomputation cache, building the entry on first use.
+func (s *Scheme) pairWithVerifier(q *curve.Point, verifierSK *ibc.PrivateKey) *pairing.GT {
+	g := s.sp.G1()
+	if cached, ok := s.verifierCache.Load(verifierSK.ID); ok {
+		if e, ok := cached.(*verifierPC); ok && g.Equal(e.sk, verifierSK.SK) {
+			return e.pc.Pair(q)
+		}
+	}
+	e := &verifierPC{sk: g.Copy(verifierSK.SK), pc: s.sp.Pairing().Precompute(verifierSK.SK)}
+	s.verifierCache.Store(verifierSK.ID, e)
+	return e.pc.Pair(q)
+}
+
+// PrecomputeVerifier warms the pairing cache for a verifier key ahead of
+// the first verification, moving the one-time Miller-loop setup off the
+// audit hot path.
+func (s *Scheme) PrecomputeVerifier(verifierSK *ibc.PrivateKey) {
+	if verifierSK == nil || verifierSK.SK == nil {
+		return
+	}
+	g := s.sp.G1()
+	if cached, ok := s.verifierCache.Load(verifierSK.ID); ok {
+		if e, ok := cached.(*verifierPC); ok && g.Equal(e.sk, verifierSK.SK) {
+			return
+		}
+	}
+	s.verifierCache.Store(verifierSK.ID, &verifierPC{
+		sk: g.Copy(verifierSK.SK),
+		pc: s.sp.Pairing().Precompute(verifierSK.SK),
+	})
 }
 
 // NewScheme returns a Scheme over the given system parameters.
@@ -93,8 +143,8 @@ func (s *Scheme) PublicVerify(signerID string, msg []byte, sig *Signature) error
 	}
 	h := s.sp.H2(g.MarshalPoint(sig.U), msg)
 	base := g.Add(sig.U, g.ScalarMult(s.sp.QID(signerID), h))
-	lhs := s.sp.Pairing().Pair(sig.V, g.Generator())
-	rhs := s.sp.Pairing().Pair(base, s.sp.MasterPublicKey())
+	lhs := s.sp.PairWithGenerator(sig.V)
+	rhs := s.sp.PairWithMasterKey(base)
 	if !lhs.Equal(rhs) {
 		return ErrVerifyFailed
 	}
@@ -146,7 +196,7 @@ func (s *Scheme) Verify(d *Designated, msg []byte, verifierSK *ibc.PrivateKey) e
 	}
 	h := s.sp.H2(g.MarshalPoint(d.U), msg)
 	base := g.Add(d.U, g.ScalarMult(s.sp.QID(d.SignerID), h))
-	want := s.sp.Pairing().Pair(base, verifierSK.SK)
+	want := s.pairWithVerifier(base, verifierSK)
 	if !want.Equal(d.Sigma) {
 		return ErrVerifyFailed
 	}
@@ -176,6 +226,6 @@ func (s *Scheme) Simulate(
 		SignerID:   signerID,
 		VerifierID: verifierSK.ID,
 		U:          u,
-		Sigma:      s.sp.Pairing().Pair(base, verifierSK.SK),
+		Sigma:      s.pairWithVerifier(base, verifierSK),
 	}, nil
 }

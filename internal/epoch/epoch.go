@@ -49,6 +49,10 @@ type Config struct {
 	CheaterCSC float64
 	// Seed drives server selection, workloads and sampling.
 	Seed int64
+	// Workers bounds the DA's audit verification pool and each server's
+	// store/compute hashing pool (0 or 1 = sequential). Worker count never
+	// changes simulation outcomes, only wall-clock time.
+	Workers int
 
 	// FaultDrop is the per-message-leg drop probability on every server
 	// link (the network-failure adversary).
@@ -218,7 +222,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	user := core.NewUser(sp, userKey, rand.Reader)
-	agency := core.NewAgency(sp, daKey, rand.Reader)
+	agency := core.NewAgency(sp, daKey, rand.Reader).WithWorkers(cfg.Workers)
 
 	// The retry machinery runs on a virtual clock: backoff is decided but
 	// never slept, so lossy-link simulations stay fast and deterministic.
@@ -245,8 +249,9 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		srv, err := core.NewServer(sp, key, core.ServerConfig{
-			Policy: policies[i],
-			Random: rand.Reader,
+			Policy:  policies[i],
+			Random:  rand.Reader,
+			Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

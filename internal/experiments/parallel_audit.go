@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"seccloud/internal/core"
+	"seccloud/internal/funcs"
+	"seccloud/internal/ibc"
+	"seccloud/internal/netsim"
+	"seccloud/internal/pairing"
+	"seccloud/internal/workload"
+)
+
+// ParallelAuditConfig shapes the pipeline scaling experiment.
+type ParallelAuditConfig struct {
+	// Blocks is the dataset/job size n.
+	Blocks int
+	// SampleSize is the audit budget t.
+	SampleSize int
+	// Rounds splits the sample into that many challenge round trips.
+	Rounds int
+	// RTT is the really-slept network round-trip time (netsim.LatentClient).
+	RTT time.Duration
+	// Workers are the pool sizes to measure; the first is the baseline for
+	// the speedup column.
+	Workers []int
+	// Repeats is how many timed audits to run per worker count (best-of).
+	Repeats int
+	// Seed drives workloads and challenge sampling.
+	Seed int64
+}
+
+// ParallelAuditRow is one measured worker count.
+type ParallelAuditRow struct {
+	Workers int
+	// Elapsed is the best-of-Repeats wall-clock audit time.
+	Elapsed time.Duration
+	// Speedup is baseline elapsed / this elapsed.
+	Speedup float64
+}
+
+// ParallelAudit measures end-to-end AuditJob wall-clock time over a link
+// with real latency, sequential vs parallel. Every worker count audits the
+// same delegation with the same challenge seed, so the reports — and the
+// verification work — are identical; only the overlap of network wait with
+// CPU changes.
+func ParallelAudit(pp *pairing.Params, cfg ParallelAuditConfig) ([]ParallelAuditRow, error) {
+	if cfg.Blocks <= 0 || cfg.SampleSize <= 0 || len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("experiments: bad parallel-audit config %+v", cfg)
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	sio, err := ibc.Setup(pp, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	sp := sio.Params()
+	userKey, err := sio.Extract("user:pa")
+	if err != nil {
+		return nil, err
+	}
+	daKey, err := sio.Extract("da:pa")
+	if err != nil {
+		return nil, err
+	}
+	srvKey, err := sio.Extract("cs:pa")
+	if err != nil {
+		return nil, err
+	}
+	user := core.NewUser(sp, userKey, rand.Reader)
+	agency := core.NewAgency(sp, daKey, rand.Reader)
+	srv, err := core.NewServer(sp, srvKey, core.ServerConfig{Random: rand.Reader})
+	if err != nil {
+		return nil, err
+	}
+	raw := netsim.NewLoopback(srv, netsim.LinkConfig{})
+	client := netsim.NewLatentClient(raw, cfg.RTT)
+
+	ds := workload.NewGenerator(cfg.Seed).GenDataset(user.ID(), cfg.Blocks, 4)
+	req, err := user.PrepareStore(ds, srv.ID(), agency.ID())
+	if err != nil {
+		return nil, err
+	}
+	if err := user.Store(raw, req); err != nil {
+		return nil, err
+	}
+	job := workload.UniformJob(user.ID(), funcs.Spec{Name: "sum"}, cfg.Blocks)
+	resp, err := user.SubmitJob(raw, "pa-job", job)
+	if err != nil {
+		return nil, err
+	}
+	warrant, err := user.Delegate(agency.ID(), "pa-job", time.Now().Add(time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	d := &core.JobDelegation{
+		UserID:   user.ID(),
+		ServerID: resp.ServerID,
+		JobID:    "pa-job",
+		Tasks:    core.TasksToWire(job),
+		Results:  resp.Results,
+		Root:     resp.Root,
+		RootSig:  resp.RootSig,
+		Warrant:  warrant,
+	}
+
+	rows := make([]ParallelAuditRow, 0, len(cfg.Workers))
+	for _, workers := range cfg.Workers {
+		best := time.Duration(0)
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			start := time.Now()
+			report, err := agency.AuditJob(client, d, core.AuditConfig{
+				SampleSize:      cfg.SampleSize,
+				Rounds:          cfg.Rounds,
+				BatchSignatures: true,
+				Rng:             mrand.New(mrand.NewSource(cfg.Seed + 1)),
+				Workers:         workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !report.Valid() {
+				return nil, fmt.Errorf("experiments: honest server failed parallel-audit run: %+v", report.Failures)
+			}
+			if elapsed := time.Since(start); best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		row := ParallelAuditRow{Workers: workers, Elapsed: best, Speedup: 1}
+		if len(rows) > 0 && best > 0 {
+			row.Speedup = float64(rows[0].Elapsed) / float64(best)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrecompRow reports fixed-argument pairing precomputation gains.
+type PrecompRow struct {
+	Params string
+	// Cold is a full ê(P,Q) with the Miller loop walked from scratch.
+	Cold time.Duration
+	// Warm is pc.Pair(Q) replaying recorded line coefficients.
+	Warm time.Duration
+	// Speedup is Cold / Warm.
+	Speedup float64
+}
+
+// PairingPrecomp times cold pairings against precomputed ones on the given
+// parameter set. This is the verifier's win: the DA's pairing argument is
+// always its own secret key (eq. 5/7), so the Miller-loop geometry can be
+// recorded once per verifier and replayed for every signature checked.
+func PairingPrecomp(pp *pairing.Params, iters int) (PrecompRow, error) {
+	if iters <= 0 {
+		iters = 10
+	}
+	g := pp.G1()
+	p, _, err := g.RandPoint(rand.Reader)
+	if err != nil {
+		return PrecompRow{}, err
+	}
+	q, _, err := g.RandPoint(rand.Reader)
+	if err != nil {
+		return PrecompRow{}, err
+	}
+	pc := pp.Precompute(p)
+	if !pp.Pair(p, q).Equal(pc.Pair(q)) {
+		return PrecompRow{}, fmt.Errorf("experiments: precomputed pairing disagrees with cold pairing")
+	}
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		pp.Pair(p, q)
+	}
+	cold := time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		pc.Pair(q)
+	}
+	warm := time.Since(start) / time.Duration(iters)
+
+	row := PrecompRow{Params: pp.Name(), Cold: cold, Warm: warm, Speedup: 1}
+	if warm > 0 {
+		row.Speedup = float64(cold) / float64(warm)
+	}
+	return row, nil
+}

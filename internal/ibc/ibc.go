@@ -45,6 +45,29 @@ type SystemParams struct {
 	// cache grows with the number of distinct identities seen, which is
 	// bounded by the deployment's registered parties.
 	qidCache sync.Map // string → *curve.Point
+
+	// Fixed-argument Miller-loop precomputations for the two public points
+	// every verification equation pairs against: the generator P and the
+	// master public key Ppub. Built lazily so parties that never verify
+	// (pure signers) pay nothing.
+	genOnce  sync.Once
+	genPC    *pairing.Precomp
+	ppubOnce sync.Once
+	ppubPC   *pairing.Precomp
+}
+
+// PairWithGenerator computes ê(q, P) using a cached fixed-argument
+// precomputation of the generator (valid by pairing symmetry).
+func (sp *SystemParams) PairWithGenerator(q *curve.Point) *pairing.GT {
+	sp.genOnce.Do(func() { sp.genPC = sp.pp.Precompute(sp.pp.G1().Generator()) })
+	return sp.genPC.Pair(q)
+}
+
+// PairWithMasterKey computes ê(q, Ppub) using a cached fixed-argument
+// precomputation of the master public key.
+func (sp *SystemParams) PairWithMasterKey(q *curve.Point) *pairing.GT {
+	sp.ppubOnce.Do(func() { sp.ppubPC = sp.pp.Precompute(sp.ppub) })
+	return sp.ppubPC.Pair(q)
 }
 
 // Pairing returns the underlying pairing context.
@@ -153,8 +176,8 @@ func (sp *SystemParams) Validate(k *PrivateKey) error {
 	if !g.InSubgroup(k.SK) {
 		return fmt.Errorf("ibc: private key for %q not in G1", k.ID)
 	}
-	lhs := sp.pp.Pair(k.SK, g.Generator())
-	rhs := sp.pp.Pair(sp.QID(k.ID), sp.ppub)
+	lhs := sp.PairWithGenerator(k.SK)
+	rhs := sp.PairWithMasterKey(sp.QID(k.ID))
 	if !lhs.Equal(rhs) {
 		return fmt.Errorf("ibc: private key does not match identity %q", k.ID)
 	}

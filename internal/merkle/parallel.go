@@ -1,0 +1,75 @@
+package merkle
+
+import "sync"
+
+// BuildParallel constructs the same tree as Build, fanning the hashing of
+// each level across up to `workers` goroutines in contiguous chunks. The
+// level-by-level structure is preserved exactly — every node hash lands in
+// the same slot it would under Build — so the resulting tree, root, and
+// proofs are bit-identical to the sequential construction. workers <= 1
+// (or small inputs) falls back to Build.
+func BuildParallel(leaves []LeafData, workers int) (*Tree, error) {
+	// Below this many leaves the goroutine fan-out costs more than the
+	// hashing it saves.
+	const parallelThreshold = 256
+	if workers <= 1 || len(leaves) < parallelThreshold {
+		return Build(leaves)
+	}
+	if len(leaves) == 0 {
+		return nil, ErrEmptyTree
+	}
+
+	level := make([][HashLen]byte, len(leaves))
+	chunked(len(leaves), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			level[i] = hashLeaf(leaves[i])
+		}
+	})
+
+	t := &Tree{n: len(leaves)}
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([][HashLen]byte, (len(level)+1)/2)
+		cur := level
+		chunked(len(next), workers, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				i := 2 * j
+				if i+1 < len(cur) {
+					next[j] = hashNode(cur[i], cur[i+1])
+				} else {
+					next[j] = hashNode(cur[i], cur[i]) // duplicate odd tail
+				}
+			}
+		})
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// chunked splits [0,n) into at most `workers` contiguous ranges and runs fn
+// on each concurrently, waiting for all. Ranges never overlap, so the
+// callers' per-slot writes need no locking.
+func chunked(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2*workers {
+		fn(0, n)
+		return
+	}
+	size := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,89 @@
+package merkle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+func genLeaves(n int) []LeafData {
+	leaves := make([]LeafData, n)
+	for i := range leaves {
+		buf := make([]byte, 16)
+		binary.BigEndian.PutUint64(buf, uint64(i*7+3))
+		leaves[i] = LeafData{Result: buf, Position: uint64(i)}
+	}
+	return leaves
+}
+
+// TestBuildParallelMatchesBuild is the contract BuildParallel lives by:
+// bit-identical trees for every leaf count (odd tails included) and every
+// worker count, so the commitment root a parallel server signs is the one
+// a sequential verifier reconstructs.
+func TestBuildParallelMatchesBuild(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 255, 256, 257, 1000, 1024} {
+		want, err := Build(genLeaves(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 4, 8, 64} {
+			got, err := BuildParallel(genLeaves(n), workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if got.Root() != want.Root() {
+				t.Fatalf("n=%d workers=%d: root mismatch", n, workers)
+			}
+			if got.Len() != want.Len() || got.Height() != want.Height() {
+				t.Fatalf("n=%d workers=%d: shape mismatch", n, workers)
+			}
+			// Proofs must come out of the same slots too.
+			for _, idx := range []int{0, n / 2, n - 1} {
+				pw, err := want.Prove(idx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pg, err := got.Prove(idx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(pw.Steps) != len(pg.Steps) {
+					t.Fatalf("n=%d workers=%d idx=%d: proof length mismatch", n, workers, idx)
+				}
+				for s := range pw.Steps {
+					if pw.Steps[s] != pg.Steps[s] {
+						t.Fatalf("n=%d workers=%d idx=%d: proof step %d mismatch", n, workers, idx, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildParallelEmpty(t *testing.T) {
+	if _, err := BuildParallel(nil, 4); err != ErrEmptyTree {
+		t.Fatalf("want ErrEmptyTree, got %v", err)
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		leaves := genLeaves(n)
+		b.Run(fmt.Sprintf("sequential/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(leaves); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, w := range []int{2, 8} {
+			b.Run(fmt.Sprintf("parallel/n=%d/workers=%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := BuildParallel(leaves, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

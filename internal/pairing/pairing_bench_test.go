@@ -66,6 +66,30 @@ func BenchmarkPairProdVsSeparate(b *testing.B) {
 	}
 }
 
+// BenchmarkPairPrecomp is the ablation for fixed-argument precomputation:
+// a cold Pair (full Miller loop with per-step inversions) vs a Precomp
+// replay (line evaluations + final exp only) on the same inputs.
+func BenchmarkPairPrecomp(b *testing.B) {
+	for _, name := range []string{"test256", "ss512"} {
+		pp, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps, qs := benchPoints(b, pp, 1)
+		pc := pp.Precompute(ps[0])
+		b.Run("cold/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pp.Pair(ps[0], qs[0])
+			}
+		})
+		b.Run("precomputed/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pc.Pair(qs[0])
+			}
+		})
+	}
+}
+
 func BenchmarkGTOps(b *testing.B) {
 	pp := InsecureTest256()
 	ps, qs := benchPoints(b, pp, 2)

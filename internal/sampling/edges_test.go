@@ -1,0 +1,126 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCheatSuccessEdges pins the degenerate corners of eq. 10/12/14 that
+// the audit pipeline leans on when a run is degraded: t = 0 (no challenge
+// completed — zero evidence, full cheat survival, zero confidence) and
+// large t (confidence saturates from below, never exceeding 1).
+func TestCheatSuccessEdges(t *testing.T) {
+	cases := []struct {
+		name       string
+		p          Params
+		t          int
+		wantCheat  float64
+		wantConf   float64
+		exactCheat bool
+	}{
+		{
+			// k = 0 effective samples: x^0 = 1 for both terms, union bound
+			// clamps to 1, confidence is exactly 0. This is what a fully
+			// network-degraded audit must report.
+			name: "zero samples give zero confidence",
+			p:    Params{CSC: 0.5, SSC: 0.5, R: 2},
+			t:    0, wantCheat: 1, wantConf: 0, exactCheat: true,
+		},
+		{
+			// Even a perfect cheater model (CSC = SSC = 0) survives t = 0.
+			name: "zero samples even against a full cheater",
+			p:    Params{CSC: 0, SSC: 0, R: math.Inf(1)},
+			t:    0, wantCheat: 1, wantConf: 0, exactCheat: true,
+		},
+		{
+			// Full cheater, unguessable function: a single sample catches
+			// the FCS term with certainty; only forgery noise survives.
+			name: "one sample against a full cheater",
+			p:    Params{CSC: 0, SSC: 0, R: math.Inf(1)},
+			t:    1, wantCheat: DefaultSigForge, wantConf: 1 - DefaultSigForge, exactCheat: true,
+		},
+		{
+			// Honest-on-both-axes "cheater": survival pinned at 1 for any t
+			// (the clamp in eq. 14 — the raw sum would be 2).
+			name: "honest server never flagged",
+			p:    Params{CSC: 1, SSC: 1, R: 2},
+			t:    50, wantCheat: 1, wantConf: 0, exactCheat: true,
+		},
+		{
+			// t = n = full sample of the paper's Figure 4 anchor: t = 33 at
+			// CSC = SSC = 0.5, R = 2 drives survival under 1e-4.
+			name: "paper anchor t=33",
+			p:    Params{CSC: 0.5, SSC: 0.5, R: 2},
+			t:    33, wantCheat: 1e-4, wantConf: 1 - 1e-4,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cheat, err := ProbCheatSuccess(tc.p, tc.t)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conf, err := DetectionConfidence(tc.p, tc.t)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.exactCheat {
+				if cheat != tc.wantCheat {
+					t.Fatalf("ProbCheatSuccess = %v, want exactly %v", cheat, tc.wantCheat)
+				}
+				if conf != tc.wantConf {
+					t.Fatalf("DetectionConfidence = %v, want exactly %v", conf, tc.wantConf)
+				}
+				return
+			}
+			if cheat > tc.wantCheat {
+				t.Fatalf("ProbCheatSuccess = %v, want ≤ %v", cheat, tc.wantCheat)
+			}
+			if conf < tc.wantConf {
+				t.Fatalf("DetectionConfidence = %v, want ≥ %v", conf, tc.wantConf)
+			}
+		})
+	}
+}
+
+// TestCheatSuccessRejectsNegativeT ensures a miscomputed effective sample
+// size surfaces as an error instead of a nonsense probability.
+func TestCheatSuccessRejectsNegativeT(t *testing.T) {
+	p := Params{CSC: 0.5, SSC: 0.5, R: 2}
+	if _, err := ProbCheatSuccess(p, -1); err == nil {
+		t.Fatal("ProbCheatSuccess accepted t = -1")
+	}
+	if _, err := DetectionConfidence(p, -1); err == nil {
+		t.Fatal("DetectionConfidence accepted t = -1")
+	}
+}
+
+// TestDetectionConfidenceDegradation walks k = 0..t for a fixed config,
+// checking the quantity the fault-aware auditor requotes: confidence is 0
+// at k = 0, non-decreasing in every completed challenge (the eq. 14 union
+// bound clamps at 1 for small k, so the curve is flat at 0 before it
+// starts rising), and strictly increasing once unclamped.
+func TestDetectionConfidenceDegradation(t *testing.T) {
+	p := Params{CSC: 0.6, SSC: 0.8, R: 4}
+	const full = 40
+	prev := 0.0
+	for k := 0; k <= full; k++ {
+		conf, err := DetectionConfidence(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 && conf != 0 {
+			t.Fatalf("confidence at k=0 is %v, want 0", conf)
+		}
+		if conf < prev {
+			t.Fatalf("confidence decreased at k=%d: %v then %v", k, prev, conf)
+		}
+		if prev > 0 && conf <= prev {
+			t.Fatalf("confidence not strictly increasing at k=%d once unclamped: %v then %v", k, prev, conf)
+		}
+		if conf < 0 || conf > 1 {
+			t.Fatalf("confidence %v outside [0,1] at k=%d", conf, k)
+		}
+		prev = conf
+	}
+}
