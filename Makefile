@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz bench bench-audit
+.PHONY: check build test race vet fuzz bench bench-audit bench-recovery
 
 check: vet build race
 
@@ -22,10 +22,12 @@ vet:
 	$(GO) vet ./...
 
 # Short fuzz pass over the wire codec (the corruption injector's attack
-# surface); extend -fuzztime locally for deeper runs.
+# surface) and the WAL record decoder (what a torn or bit-rotted log feeds
+# into recovery); extend -fuzztime locally for deeper runs.
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/wire -fuzz FuzzReadMessage -fuzztime 10s
+	$(GO) test ./internal/store -fuzz FuzzReadRecord -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -38,3 +40,9 @@ bench-audit:
 	$(GO) test -run '^$$' -bench 'BenchmarkPairPrecomp' -benchmem ./internal/pairing
 	$(GO) test -run '^$$' -bench 'BenchmarkVerifyDesignated' -benchmem ./internal/dvs
 	$(GO) run ./cmd/seccloud-bench -exp parallel-audit -params test256 -json BENCH_parallel_audit.json
+
+# Crash-recovery benchmark: WAL restart time vs dataset size plus the
+# four-point crash matrix with post-restart audits. Refreshes
+# BENCH_crash_recovery.json.
+bench-recovery:
+	$(GO) run ./cmd/seccloud-bench -exp crash-recovery -params test256 -json BENCH_crash_recovery.json

@@ -11,6 +11,7 @@
 //	seccloud-bench -exp detection          # Monte-Carlo vs eq. 10
 //	seccloud-bench -exp optimal-t          # Theorem 3 sweep
 //	seccloud-bench -exp parallel-audit     # audit pipeline scaling vs workers
+//	seccloud-bench -exp crash-recovery     # WAL restart time + crash matrix
 //	seccloud-bench -params ss512           # use the full-size pairing
 //	seccloud-bench -csv                    # machine-readable output
 //	seccloud-bench -exp parallel-audit -json BENCH_parallel_audit.json
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|crash-recovery|all")
 	params := flag.String("params", "ss512", "pairing parameter set: ss512|test256")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	iters := flag.Int("iters", 10, "calibration iterations for op timing")
@@ -66,10 +67,12 @@ func main() {
 		runErr = r.epochs()
 	case "parallel-audit":
 		runErr = r.parallelAudit()
+	case "crash-recovery":
+		runErr = r.crashRecovery()
 	case "all":
 		for _, f := range []func() error{
 			r.table1, r.table2, r.fig4, r.fig5, r.detection, r.optimalT, r.traffic, r.epochs,
-			r.parallelAudit,
+			r.parallelAudit, r.crashRecovery,
 		} {
 			if runErr = f(); runErr != nil {
 				break

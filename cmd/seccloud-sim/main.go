@@ -10,6 +10,7 @@
 //	seccloud-sim -fault-drop 0.3               # audit under a lossy network
 //	seccloud-sim -fault-sweep                  # audit success rate vs loss rate
 //	seccloud-sim -workers 8                    # parallel audit verification
+//	seccloud-sim -wal-dir /tmp/sc -crash-every 2   # crash + WAL-recover servers
 package main
 
 import (
@@ -37,6 +38,10 @@ func main() {
 		faultDelay   = flag.Duration("fault-delay", 0, "extra modeled latency per message leg")
 		retries      = flag.Int("retries", 0, "CSP retry attempts per message (0 = auto)")
 		faultSweep   = flag.Bool("fault-sweep", false, "sweep drop rate 0..0.5 and report audit success rate")
+		walDir       = flag.String("wal-dir", "", "root directory for per-server WAL+snapshot durability (empty = in-memory servers)")
+		snapEvery    = flag.Int("snapshot-every", 0, "log records between snapshots (0 = default cadence)")
+		crashEvery   = flag.Int("crash-every", 0, "kill+recover one server every N epochs (0 = never; requires -wal-dir)")
+		crashPoint   = flag.String("crash-point", "", "injected crash point: before-log|after-log|mid-snapshot|torn-tail (default after-log)")
 	)
 	flag.Parse()
 
@@ -54,6 +59,10 @@ func main() {
 		FaultCorrupt:  *faultCorrupt,
 		FaultDelay:    *faultDelay,
 		RetryAttempts: *retries,
+		WALDir:        *walDir,
+		SnapshotEvery: *snapEvery,
+		CrashEvery:    *crashEvery,
+		CrashPoint:    *crashPoint,
 	}
 
 	var err error
@@ -115,6 +124,14 @@ func runOnce(cfg epoch.Config) error {
 	}
 	fmt.Printf("\nfirst detection: epoch %d   total exposure: %d corrupt results   false flags: %d\n",
 		res.FirstDetectionEpoch, res.TotalExposure, res.FalseFlags)
+	if cfg.CrashEvery > 0 {
+		point := cfg.CrashPoint
+		if point == "" {
+			point = "after-log"
+		}
+		fmt.Printf("crash schedule: %d crashes at %q, %d WAL recoveries (all must keep audits green)\n",
+			res.Crashes, point, res.Recoveries)
+	}
 	if cfg.FaultDrop > 0 || cfg.FaultCorrupt > 0 || cfg.FaultDelay > 0 {
 		fmt.Printf("network faults: %d challenge rounds lost, %d/%d audits degraded (%.1f%% success), %d jobs failed\n",
 			res.NetworkFaultRounds, res.DegradedAudits, res.AuditsRun,

@@ -115,6 +115,81 @@ type RoundRecord struct {
 	Outcome RoundOutcome
 	// Detail carries the transport error for lost rounds.
 	Detail string
+	// Completed records that the server's answer was received well-formed
+	// and its items checked; false for rounds lost to the network and for
+	// structurally refused rounds. A resumed audit re-challenges only
+	// rounds with Completed == false and a non-accusatory outcome.
+	Completed bool
+}
+
+// AuditCheckpoint is an interrupted audit's durable residue: the exact
+// challenge set that was sampled, the per-round verdicts so far, and the
+// failures already attributed. Resuming from a checkpoint re-challenges
+// ONLY the rounds that were lost to the network — with byte-identical
+// indices — and carries every completed round's verdict forward, so a
+// server crash mid-audit cannot buy the server a fresh (and possibly
+// luckier) challenge set.
+type AuditCheckpoint struct {
+	// JobID is the audited job ("" for storage audits).
+	JobID string
+	// UserID is the audited user (storage audits; "" for job audits).
+	UserID string
+	// Sampled is the full challenge set of the interrupted run.
+	Sampled []uint64
+	// Rounds are the per-round verdicts at interruption time.
+	Rounds []RoundRecord
+	// Failures are the verdicts already attributed in completed rounds.
+	Failures []AuditFailure
+}
+
+// Checkpoint extracts the resumable state of a (possibly degraded) audit.
+func (r *AuditReport) Checkpoint() *AuditCheckpoint {
+	return &AuditCheckpoint{
+		JobID:    r.JobID,
+		Sampled:  append([]uint64(nil), r.Sampled...),
+		Rounds:   append([]RoundRecord(nil), r.Rounds...),
+		Failures: append([]AuditFailure(nil), r.Failures...),
+	}
+}
+
+// Checkpoint extracts the resumable state of a storage audit.
+func (r *StorageAuditReport) Checkpoint() *AuditCheckpoint {
+	return &AuditCheckpoint{
+		UserID:   r.UserID,
+		Sampled:  append([]uint64(nil), r.Sampled...),
+		Rounds:   append([]RoundRecord(nil), r.Rounds...),
+		Failures: append([]AuditFailure(nil), r.Failures...),
+	}
+}
+
+// plannedRound is one round of an audit run: either a fresh challenge or
+// a verdict carried over from an interrupted run's checkpoint.
+type plannedRound struct {
+	indices []uint64
+	carry   *RoundRecord
+}
+
+// planRounds lays out the rounds for a run: from the checkpoint when
+// resuming (lost rounds re-challenged with their original indices), from
+// splitRounds otherwise.
+func planRounds(sample []uint64, rounds int, resume *AuditCheckpoint) []plannedRound {
+	if resume == nil {
+		chunks := splitRounds(sample, rounds)
+		plan := make([]plannedRound, len(chunks))
+		for i, c := range chunks {
+			plan[i] = plannedRound{indices: c}
+		}
+		return plan
+	}
+	plan := make([]plannedRound, len(resume.Rounds))
+	for i := range resume.Rounds {
+		rr := &resume.Rounds[i]
+		plan[i] = plannedRound{indices: rr.Indices}
+		if rr.Outcome != RoundNetworkFault && rr.Outcome != RoundTimeout {
+			plan[i].carry = rr
+		}
+	}
+	return plan
 }
 
 // AuditReport is the outcome of one audit run: the paper's Algorithm 1
@@ -207,6 +282,11 @@ type AuditConfig struct {
 	// the Agency-level default set by WithWorkers. The worker count never
 	// changes report contents — only how fast they are produced.
 	Workers int
+	// Resume continues an interrupted audit from its checkpoint: the
+	// sampled challenge set is reused byte-for-byte, completed rounds'
+	// verdicts are carried over, and only network-lost rounds are
+	// re-challenged. SampleSize, Rng, and Rounds are ignored when set.
+	Resume *AuditCheckpoint
 }
 
 // splitRounds chunks the sample into ≈equal contiguous rounds.
@@ -430,16 +510,28 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 	if err := a.AcceptDelegation(d); err != nil {
 		return nil, fmt.Errorf("core: delegation rejected: %w", err)
 	}
-	rng, err := a.challengeRNG(cfg.Rng)
-	if err != nil {
-		return nil, err
+	var sample []uint64
+	if cfg.Resume != nil {
+		if cfg.Resume.JobID != d.JobID {
+			return nil, fmt.Errorf("core: resume checkpoint is for job %q, not %q", cfg.Resume.JobID, d.JobID)
+		}
+		sample = append([]uint64(nil), cfg.Resume.Sampled...)
+	} else {
+		rng, err := a.challengeRNG(cfg.Rng)
+		if err != nil {
+			return nil, err
+		}
+		sample = SampleIndices(rng, len(d.Tasks), cfg.SampleSize)
 	}
-	sample := SampleIndices(rng, len(d.Tasks), cfg.SampleSize)
 	report := &AuditReport{
 		JobID:            d.JobID,
 		SampleSize:       len(sample),
 		Sampled:          sample,
 		SigChecksBatched: cfg.BatchSignatures,
+	}
+	if cfg.Resume != nil {
+		// Verdicts already reached before the interruption stand as-is.
+		report.Failures = append(report.Failures, cfg.Resume.Failures...)
 	}
 	if len(sample) == 0 {
 		report.Elapsed = a.clock().Sub(start)
@@ -454,12 +546,19 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 		sigChecks []sigCheck
 		err       error // terminal (non-transport) error
 	}
-	chunks := splitRounds(sample, cfg.Rounds)
-	results := make([]roundResult, len(chunks))
+	plan := planRounds(sample, cfg.Rounds, cfg.Resume)
+	results := make([]roundResult, len(plan))
 	p := a.auditPool(cfg.Workers)
-	p.forEach(len(chunks), func(ri int) {
-		chunk := chunks[ri]
+	p.forEach(len(plan), func(ri int) {
+		chunk := plan[ri].indices
 		rr := &results[ri]
+		if cr := plan[ri].carry; cr != nil {
+			// Completed before the interruption: the verdict stands, no
+			// re-challenge (the server never gets a second draw).
+			rr.rec = *cr
+			rr.ok = cr.Completed
+			return
+		}
 		rr.rec = RoundRecord{Indices: append([]uint64(nil), chunk...)}
 		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.ChallengeRequest{
 			JobID:   d.JobID,
@@ -496,6 +595,7 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 			badProof(fmt.Sprintf("server answered %d of %d challenges", len(ch.Items), len(chunk)))
 		default:
 			rr.rec.Outcome = RoundOK
+			rr.rec.Completed = true
 			rr.ok = true
 			itemFails := make([][]AuditFailure, len(ch.Items))
 			itemSigs := make([][]sigCheck, len(ch.Items))
@@ -523,7 +623,7 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 		}
 		report.Rounds = append(report.Rounds, rr.rec)
 		if rr.ok {
-			effective = append(effective, chunks[ri]...)
+			effective = append(effective, plan[ri].indices...)
 		}
 	}
 	report.EffectiveSampleSize = len(effective)
@@ -739,6 +839,9 @@ type StorageAuditConfig struct {
 	// Workers bounds the audit's verification concurrency, exactly as
 	// AuditConfig.Workers does for computation audits.
 	Workers int
+	// Resume continues an interrupted storage audit from its checkpoint,
+	// exactly as AuditConfig.Resume does for computation audits.
+	Resume *AuditCheckpoint
 }
 
 // AuditStorage samples t positions out of the dataset and verifies the
@@ -748,15 +851,26 @@ type StorageAuditConfig struct {
 func (a *Agency) AuditStorage(
 	client netsim.Client, userID string, warrant wire.Warrant, cfg StorageAuditConfig,
 ) (*StorageAuditReport, error) {
-	rng, err := a.challengeRNG(cfg.Rng)
-	if err != nil {
-		return nil, err
+	var sample []uint64
+	if cfg.Resume != nil {
+		if cfg.Resume.UserID != userID {
+			return nil, fmt.Errorf("core: resume checkpoint is for user %q, not %q", cfg.Resume.UserID, userID)
+		}
+		sample = append([]uint64(nil), cfg.Resume.Sampled...)
+	} else {
+		rng, err := a.challengeRNG(cfg.Rng)
+		if err != nil {
+			return nil, err
+		}
+		sample = SampleIndices(rng, cfg.DatasetSize, cfg.SampleSize)
 	}
-	sample := SampleIndices(rng, cfg.DatasetSize, cfg.SampleSize)
 	report := &StorageAuditReport{
 		UserID:           userID,
 		Sampled:          sample,
 		SigChecksBatched: cfg.BatchSignatures,
+	}
+	if cfg.Resume != nil {
+		report.Failures = append(report.Failures, cfg.Resume.Failures...)
 	}
 	if len(sample) == 0 {
 		return report, nil
@@ -765,17 +879,23 @@ func (a *Agency) AuditStorage(
 	type roundResult struct {
 		rec      RoundRecord
 		ok       bool
+		carried  bool // verdict from the checkpoint; blocks were checked then
 		respFail *AuditFailure
 		blocks   [][]byte
 		sigs     []wire.BlockSig
 		err      error
 	}
-	chunks := splitRounds(sample, cfg.Rounds)
-	results := make([]roundResult, len(chunks))
+	plan := planRounds(sample, cfg.Rounds, cfg.Resume)
+	results := make([]roundResult, len(plan))
 	p := a.auditPool(cfg.Workers)
-	p.forEach(len(chunks), func(ri int) {
-		chunk := chunks[ri]
+	p.forEach(len(plan), func(ri int) {
+		chunk := plan[ri].indices
 		rr := &results[ri]
+		if cr := plan[ri].carry; cr != nil {
+			rr.rec = *cr
+			rr.carried = true
+			return
+		}
 		rr.rec = RoundRecord{Indices: append([]uint64(nil), chunk...)}
 		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.StorageAuditRequest{
 			UserID:    userID,
@@ -808,6 +928,7 @@ func (a *Agency) AuditStorage(
 			badProof("wrong number of blocks in storage audit answer")
 		default:
 			rr.rec.Outcome = RoundOK
+			rr.rec.Completed = true
 			rr.ok = true
 			rr.blocks = sa.Blocks
 			rr.sigs = sa.Sigs
@@ -823,19 +944,27 @@ func (a *Agency) AuditStorage(
 	var positions []uint64
 	var blocks [][]byte
 	var sigs []wire.BlockSig
+	carriedEffective := 0
 	for ri := range results {
 		rr := &results[ri]
 		if rr.respFail != nil {
 			report.Failures = append(report.Failures, *rr.respFail)
 		}
 		report.Rounds = append(report.Rounds, rr.rec)
-		if rr.ok {
-			positions = append(positions, chunks[ri]...)
+		switch {
+		case rr.carried:
+			// Verified before the interruption; its verdicts came in with
+			// the checkpoint's failure list.
+			if rr.rec.Completed {
+				carriedEffective += len(plan[ri].indices)
+			}
+		case rr.ok:
+			positions = append(positions, plan[ri].indices...)
 			blocks = append(blocks, rr.blocks...)
 			sigs = append(sigs, rr.sigs...)
 		}
 	}
-	report.EffectiveSampleSize = len(positions)
+	report.EffectiveSampleSize = carriedEffective + len(positions)
 	if cfg.Analysis != nil {
 		conf, err := sampling.DetectionConfidence(*cfg.Analysis, report.EffectiveSampleSize)
 		if err != nil {

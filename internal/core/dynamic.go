@@ -105,8 +105,14 @@ func (s *Server) handleUpdate(req *wire.UpdateRequest) wire.Message {
 			return &wire.StoreResponse{OK: false, Error: fmt.Sprintf("new block signature invalid: %v", err)}
 		}
 	}
+	digest := digestUpdateReq(req)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if req.Seq == s.mutSeq[req.UserID] && req.Seq != 0 && s.lastMut[req.UserID] == digest {
+		// The exact mutation we already applied, delivered again (client
+		// retry after a lost or crashed-away ack): re-acknowledge.
+		return &wire.StoreResponse{OK: true}
+	}
 	if req.Seq <= s.mutSeq[req.UserID] {
 		return &wire.StoreResponse{OK: false,
 			Error: fmt.Sprintf("stale mutation sequence %d (last %d)", req.Seq, s.mutSeq[req.UserID])}
@@ -119,13 +125,19 @@ func (s *Server) handleUpdate(req *wire.UpdateRequest) wire.Message {
 		return &wire.StoreResponse{OK: false,
 			Error: fmt.Sprintf("no block at position %d", req.Position)}
 	}
-	s.mutSeq[req.UserID] = req.Seq
 	data, keep := s.cfg.Policy.OnStore(req.Position, req.Block, req.Sig)
-	sb := &storedBlock{size: len(req.Block), sig: req.Sig}
+	pb := persistedBlock{Pos: req.Position, Kept: keep, Size: len(req.Block), Sig: req.Sig}
 	if keep {
-		sb.data = data
+		pb.Data = data
 	}
-	userStore[req.Position] = sb
+	w := &walUpdate{UserID: req.UserID, Seq: req.Seq, Digest: digest, Block: pb}
+	if msg, ok := s.persistLocked(recUpdate, w); !ok {
+		return msg
+	}
+	s.applyUpdateLocked(w)
+	if !s.maybeSnapshotLocked() {
+		return nil
+	}
 	return &wire.StoreResponse{OK: true}
 }
 
@@ -138,8 +150,12 @@ func (s *Server) handleDelete(req *wire.DeleteRequest) wire.Message {
 	if err := s.scheme.PublicVerify(req.UserID, req.DeleteAuthBody(), auth); err != nil {
 		return &wire.StoreResponse{OK: false, Error: fmt.Sprintf("delete auth invalid: %v", err)}
 	}
+	digest := digestDeleteReq(req)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if req.Seq == s.mutSeq[req.UserID] && req.Seq != 0 && s.lastMut[req.UserID] == digest {
+		return &wire.StoreResponse{OK: true} // duplicate delivery of the applied delete
+	}
 	if req.Seq <= s.mutSeq[req.UserID] {
 		return &wire.StoreResponse{OK: false,
 			Error: fmt.Sprintf("stale mutation sequence %d (last %d)", req.Seq, s.mutSeq[req.UserID])}
@@ -152,7 +168,13 @@ func (s *Server) handleDelete(req *wire.DeleteRequest) wire.Message {
 		return &wire.StoreResponse{OK: false,
 			Error: fmt.Sprintf("no block at position %d", req.Position)}
 	}
-	s.mutSeq[req.UserID] = req.Seq
-	delete(userStore, req.Position)
+	w := &walDelete{UserID: req.UserID, Pos: req.Position, Seq: req.Seq, Digest: digest}
+	if msg, ok := s.persistLocked(recDelete, w); !ok {
+		return msg
+	}
+	s.applyDeleteLocked(w)
+	if !s.maybeSnapshotLocked() {
+		return nil
+	}
 	return &wire.StoreResponse{OK: true}
 }

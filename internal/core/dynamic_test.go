@@ -119,9 +119,40 @@ func TestUpdateReplayRejected(t *testing.T) {
 	if resp := sys.servers[0].Handle(req).(*wire.StoreResponse); !resp.OK {
 		t.Fatalf("first update rejected: %s", resp.Error)
 	}
-	// Byte-for-byte replay must fail on the stale sequence number.
+	// A byte-for-byte redelivery of the mutation just applied is an
+	// idempotent no-op ack (a client retry after a lost ack), never a
+	// second application.
+	if resp := sys.servers[0].Handle(req).(*wire.StoreResponse); !resp.OK {
+		t.Fatalf("duplicate delivery rejected: %s", resp.Error)
+	}
+	if got := sys.servers[0].StoredBlockCount(sys.user.ID()); got != 2 {
+		t.Fatalf("stored blocks after duplicate = %d, want 2", got)
+	}
+	// A *mutated* copy of the captured request (same stale sequence,
+	// different content) must be rejected: replay cannot alter state.
+	forged := *req
+	forged.Block = funcs.EncodeBlock([]int64{6, 6, 6, 6})
+	if resp := sys.servers[0].Handle(&forged).(*wire.StoreResponse); resp.OK {
+		t.Fatal("forged replay with stale sequence accepted")
+	}
+	// And once a later mutation lands, replaying the old one is stale.
+	req2 := &wire.UpdateRequest{
+		UserID:   sys.user.ID(),
+		Position: 1,
+		Seq:      2,
+		Block:    newBlock,
+	}
+	req2.Sig = sig
+	auth2, err := scheme.Sign(userKey, req2.UpdateAuthBody(), cryptoRand(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Auth = EncodeIBSig(scheme.Params(), auth2)
+	if resp := sys.servers[0].Handle(req2).(*wire.StoreResponse); !resp.OK {
+		t.Fatalf("second update rejected: %s", resp.Error)
+	}
 	if resp := sys.servers[0].Handle(req).(*wire.StoreResponse); resp.OK {
-		t.Fatal("replayed update accepted")
+		t.Fatal("replayed update accepted after a newer mutation")
 	}
 }
 

@@ -121,6 +121,78 @@ func (a *Agency) IssueEvidence(d *JobDelegation, report *AuditReport) (*Evidence
 	return e, nil
 }
 
+// CheckpointEvidence is a signed audit checkpoint: when a server crash
+// (or any transport failure) interrupts an audit, the DA seals the
+// challenge set it sampled and the verdicts reached so far under its own
+// signature. The resumed audit runs from this record, so the DA can prove
+// to any third party that the restarted server faced the *same* sampled
+// indices — a crash cannot buy a cheating server a second draw, and a DA
+// cannot quietly re-sample until the server passes.
+type CheckpointEvidence struct {
+	AuditorID  string
+	Checkpoint AuditCheckpoint
+	Sig        wire.IBSig
+}
+
+// checkpointBody is the byte string the checkpoint signature covers: a
+// canonical rendering of the challenge set and every round's verdict.
+func checkpointBody(ce *CheckpointEvidence) []byte {
+	cp := &ce.Checkpoint
+	var b strings.Builder
+	b.WriteString("seccloud/audit-checkpoint|auditor=")
+	b.WriteString(ce.AuditorID)
+	b.WriteString("|job=")
+	b.WriteString(cp.JobID)
+	b.WriteString("|user=")
+	b.WriteString(cp.UserID)
+	b.WriteString("|failures=")
+	b.WriteString(summarizeFailures(cp.Failures))
+	buf := make([]byte, 8)
+	b.WriteString("|sampled=")
+	for _, idx := range cp.Sampled {
+		binary.BigEndian.PutUint64(buf, idx)
+		b.Write(buf)
+	}
+	for _, rr := range cp.Rounds {
+		fmt.Fprintf(&b, "|round=%d,%v,%d:", rr.Outcome, rr.Completed, rr.Attempts)
+		for _, idx := range rr.Indices {
+			binary.BigEndian.PutUint64(buf, idx)
+			b.Write(buf)
+		}
+	}
+	return []byte(b.String())
+}
+
+// SignCheckpoint seals an interrupted audit's state under the DA's key.
+func (a *Agency) SignCheckpoint(cp *AuditCheckpoint) (*CheckpointEvidence, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("core: nil audit checkpoint")
+	}
+	ce := &CheckpointEvidence{AuditorID: a.key.ID, Checkpoint: *cp}
+	sig, err := a.scheme.Sign(a.key, checkpointBody(ce), a.random)
+	if err != nil {
+		return nil, fmt.Errorf("core: signing checkpoint: %w", err)
+	}
+	ce.Sig = EncodeIBSig(a.scheme.Params(), sig)
+	return ce, nil
+}
+
+// VerifyCheckpoint checks a sealed checkpoint against the auditor's
+// identity — publicly verifiable, like Evidence.
+func VerifyCheckpoint(scheme *dvs.Scheme, ce *CheckpointEvidence) error {
+	if ce == nil {
+		return fmt.Errorf("core: nil checkpoint evidence")
+	}
+	sig, err := DecodeIBSig(scheme.Params(), ce.Sig)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint signature malformed: %w", err)
+	}
+	if err := scheme.PublicVerify(ce.AuditorID, checkpointBody(ce), sig); err != nil {
+		return fmt.Errorf("core: checkpoint signature invalid: %w", err)
+	}
+	return nil
+}
+
 // VerifyEvidence lets ANY party holding the system parameters check a
 // verdict against the auditor's identity — no secret key needed.
 func VerifyEvidence(scheme *dvs.Scheme, e *Evidence) error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seccloud/internal/dvs"
@@ -11,6 +12,7 @@ import (
 	"seccloud/internal/ibc"
 	"seccloud/internal/merkle"
 	"seccloud/internal/netsim"
+	"seccloud/internal/store"
 	"seccloud/internal/wire"
 )
 
@@ -66,12 +68,29 @@ type storedBlock struct {
 }
 
 // jobRecord remembers a committed computing job so challenges can be
-// answered later.
+// answered later. root and rootSig keep the exact commitment the server
+// acknowledged: the root signature is randomized, so an idempotent reply
+// to a redelivered ComputeRequest must return the stored bytes, not
+// re-sign.
 type jobRecord struct {
 	userID  string
 	tasks   []wire.TaskSpec
 	results [][]byte
 	tree    *merkle.Tree
+	root    [merkle.HashLen]byte
+	rootSig wire.IBSig
+	digest  uint64 // request digest, for duplicate-delivery detection
+}
+
+// response rebuilds the byte-identical ComputeResponse for this job.
+func (j *jobRecord) response(jobID, serverID string) *wire.ComputeResponse {
+	return &wire.ComputeResponse{
+		JobID:    jobID,
+		ServerID: serverID,
+		Results:  j.results,
+		Root:     append([]byte(nil), j.root[:]...),
+		RootSig:  j.rootSig,
+	}
 }
 
 // ServerConfig shapes a cloud server.
@@ -92,6 +111,10 @@ type ServerConfig struct {
 	// build in parallel chunks. ≤ 1 runs sequentially; results are
 	// identical either way.
 	Workers int
+	// Durability attaches a write-ahead log: mutations are logged before
+	// they are acknowledged, and NewServer recovers state from the log
+	// directory. Nil keeps the server in-memory only.
+	Durability *DurabilityConfig
 }
 
 // Server is one cloud computing/storage server (S_i in §III-A). It
@@ -104,10 +127,16 @@ type Server struct {
 	reg    *funcs.Registry
 	cfg    ServerConfig
 
-	mu      sync.Mutex
-	storage map[string]map[uint64]*storedBlock
-	jobs    map[string]*jobRecord
-	mutSeq  map[string]uint64 // per-user last applied mutation sequence
+	log      *store.Log  // write-ahead log; nil for an in-memory server
+	crashed  atomic.Bool // an injected crash fired: the "process" is dead
+	recovery RecoveryInfo
+
+	mu        sync.Mutex
+	storage   map[string]map[uint64]*storedBlock
+	jobs      map[string]*jobRecord
+	mutSeq    map[string]uint64 // per-user last applied mutation sequence
+	lastStore map[string]uint64 // per-user digest of the last applied upload
+	lastMut   map[string]uint64 // per-user digest of the last applied update/delete
 }
 
 var _ netsim.Handler = (*Server)(nil)
@@ -123,16 +152,22 @@ func NewServer(sp *ibc.SystemParams, key *ibc.PrivateKey, cfg ServerConfig) (*Se
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Server{
-		id:      key.ID,
-		key:     key,
-		scheme:  dvs.NewScheme(sp),
-		reg:     funcs.NewRegistry(),
-		cfg:     cfg,
-		storage: make(map[string]map[uint64]*storedBlock),
-		jobs:    make(map[string]*jobRecord),
-		mutSeq:  make(map[string]uint64),
-	}, nil
+	s := &Server{
+		id:        key.ID,
+		key:       key,
+		scheme:    dvs.NewScheme(sp),
+		reg:       funcs.NewRegistry(),
+		cfg:       cfg,
+		storage:   make(map[string]map[uint64]*storedBlock),
+		jobs:      make(map[string]*jobRecord),
+		mutSeq:    make(map[string]uint64),
+		lastStore: make(map[string]uint64),
+		lastMut:   make(map[string]uint64),
+	}
+	if err := s.initDurability(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // ID returns the server identity.
@@ -141,8 +176,13 @@ func (s *Server) ID() string { return s.id }
 // PolicyName reports the active cheating policy (for experiment logs).
 func (s *Server) PolicyName() string { return s.cfg.Policy.Name() }
 
-// Handle dispatches one protocol message.
+// Handle dispatches one protocol message. A nil return means the server
+// "process" is dead (crash injection): the transport drops the connection
+// instead of replying.
 func (s *Server) Handle(m wire.Message) wire.Message {
+	if s.crashed.Load() {
+		return nil
+	}
 	switch req := m.(type) {
 	case *wire.StoreRequest:
 		return s.handleStore(req)
@@ -165,6 +205,16 @@ func (s *Server) handleStore(req *wire.StoreRequest) wire.Message {
 	if len(req.Positions) != len(req.Blocks) || len(req.Blocks) != len(req.Sigs) {
 		return &wire.StoreResponse{OK: false, Error: "mismatched store request lengths"}
 	}
+	// Duplicate delivery — a client retry after a lost ack, a crash after
+	// the WAL append but before the response, a duplicated frame — is
+	// acknowledged idempotently without re-verifying or re-applying.
+	digest := digestStoreReq(req)
+	s.mu.Lock()
+	if s.lastStore[req.UserID] == digest && digest != 0 {
+		s.mu.Unlock()
+		return &wire.StoreResponse{OK: true}
+	}
+	s.mu.Unlock()
 	// Verification happens outside the lock: it is the expensive part.
 	// Blocks fan out across the worker pool; the first failure by block
 	// order wins, so the response does not depend on scheduling.
@@ -189,19 +239,27 @@ func (s *Server) handleStore(req *wire.StoreRequest) wire.Message {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	userStore, ok := s.storage[req.UserID]
-	if !ok {
-		userStore = make(map[uint64]*storedBlock, len(req.Blocks))
-		s.storage[req.UserID] = userStore
+	if s.lastStore[req.UserID] == digest && digest != 0 {
+		return &wire.StoreResponse{OK: true} // lost the race to a concurrent duplicate
 	}
+	blocks := make([]persistedBlock, len(req.Blocks))
 	for i := range req.Blocks {
 		pos := req.Positions[i]
 		data, keep := s.cfg.Policy.OnStore(pos, req.Blocks[i], req.Sigs[i])
-		sb := &storedBlock{size: len(req.Blocks[i]), sig: req.Sigs[i]}
+		pb := persistedBlock{Pos: pos, Kept: keep, Size: len(req.Blocks[i]), Sig: req.Sigs[i]}
 		if keep {
-			sb.data = data
+			pb.Data = data
 		}
-		userStore[pos] = sb
+		blocks[i] = pb
+	}
+	// Log before ack: the mutation is not acknowledged unless it is
+	// durable (or the server runs without a WAL).
+	if msg, ok := s.persistLocked(recStore, &walStore{UserID: req.UserID, Digest: digest, Blocks: blocks}); !ok {
+		return msg
+	}
+	s.applyStoreLocked(req.UserID, digest, blocks)
+	if !s.maybeSnapshotLocked() {
+		return nil
 	}
 	return &wire.StoreResponse{OK: true}
 }
@@ -226,7 +284,30 @@ func (s *Server) readBlock(userID string, pos uint64) (*storedBlock, []byte, err
 	return sb, fab, nil
 }
 
+// dupComputeLocked answers a redelivered ComputeRequest from the job
+// table: a digest match returns the stored byte-identical response (the
+// root signature is randomized, so re-signing would not be idempotent); a
+// mismatch is a job-ID collision and is refused rather than overwritten.
+func (s *Server) dupComputeLocked(req *wire.ComputeRequest, digest uint64) (wire.Message, bool) {
+	job, ok := s.jobs[req.JobID]
+	if !ok {
+		return nil, false
+	}
+	if job.digest == digest {
+		return job.response(req.JobID, s.id), true
+	}
+	return &wire.ComputeResponse{JobID: req.JobID, ServerID: s.id,
+		Error: "job ID already committed with a different request"}, true
+}
+
 func (s *Server) handleCompute(req *wire.ComputeRequest) wire.Message {
+	digest := digestComputeReq(req)
+	s.mu.Lock()
+	if resp, dup := s.dupComputeLocked(req, digest); dup {
+		s.mu.Unlock()
+		return resp
+	}
+	s.mu.Unlock()
 	results := make([][]byte, len(req.Tasks))
 	for i, task := range req.Tasks {
 		i, task := i, task
@@ -262,20 +343,37 @@ func (s *Server) handleCompute(req *wire.ComputeRequest) wire.Message {
 	if err != nil {
 		return &wire.ComputeResponse{JobID: req.JobID, ServerID: s.id, Error: err.Error()}
 	}
+	rootSig := EncodeIBSig(s.scheme.Params(), sig)
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if resp, dup := s.dupComputeLocked(req, digest); dup {
+		return resp // lost the race to a concurrent duplicate
+	}
+	if msg, ok := s.persistLocked(recCompute, &walCompute{
+		JobID: req.JobID, UserID: req.UserID, Digest: digest,
+		Tasks: req.Tasks, Results: results,
+		Root: append([]byte(nil), root[:]...), RootSig: rootSig,
+	}); !ok {
+		return msg
+	}
 	s.jobs[req.JobID] = &jobRecord{
 		userID:  req.UserID,
 		tasks:   req.Tasks,
 		results: results,
 		tree:    tree,
+		root:    root,
+		rootSig: rootSig,
+		digest:  digest,
 	}
-	s.mu.Unlock()
+	if !s.maybeSnapshotLocked() {
+		return nil
+	}
 	return &wire.ComputeResponse{
 		JobID:    req.JobID,
 		ServerID: s.id,
 		Results:  results,
 		Root:     root[:],
-		RootSig:  EncodeIBSig(s.scheme.Params(), sig),
+		RootSig:  rootSig,
 	}
 }
 

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	mrand "math/rand"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"seccloud/internal/core"
@@ -25,6 +27,7 @@ import (
 	"seccloud/internal/netsim"
 	"seccloud/internal/pairing"
 	"seccloud/internal/sampling"
+	"seccloud/internal/store"
 	"seccloud/internal/wire"
 	"seccloud/internal/workload"
 )
@@ -65,6 +68,23 @@ type Config struct {
 	// RetryAttempts is the per-message retry budget when faults are on;
 	// 0 picks a default sized to survive the configured loss rate.
 	RetryAttempts int
+
+	// WALDir, when non-empty, gives every server crash-safe durability: a
+	// per-server WAL+snapshot directory under this root. Syncs are elided
+	// (NoSync) — the simulation injects process crashes, not power loss.
+	WALDir string
+	// SnapshotEvery is each server's log-compaction cadence (records per
+	// snapshot); 0 picks a default. Forced to 1 when CrashPoint is
+	// "mid-snapshot" so the armed crash always finds a snapshot to die in.
+	SnapshotEvery int
+	// CrashEvery, when > 0, kills one server (round-robin) at the start of
+	// every CrashEvery-th epoch and restarts it from its WAL directory, so
+	// recovery itself runs under audit pressure. Requires WALDir.
+	CrashEvery int
+	// CrashPoint names where in the durability pipeline the injected crash
+	// fires ("before-log", "after-log", "mid-snapshot", "torn-tail");
+	// empty means "after-log".
+	CrashPoint string
 }
 
 // faultsEnabled reports whether the network-failure adversary is active.
@@ -103,7 +123,35 @@ func (c *Config) validate() error {
 	if c.FaultDelay < 0 {
 		return fmt.Errorf("epoch: negative fault delay %v", c.FaultDelay)
 	}
+	if c.CrashEvery < 0 || c.SnapshotEvery < 0 {
+		return fmt.Errorf("epoch: crash/snapshot cadences must be non-negative")
+	}
+	if c.CrashEvery > 0 && c.WALDir == "" {
+		return fmt.Errorf("epoch: crash injection requires a WAL directory")
+	}
+	if _, ok := store.CrashPointByName(c.crashPoint()); !ok {
+		return fmt.Errorf("epoch: unknown crash point %q", c.CrashPoint)
+	}
 	return nil
+}
+
+// crashPoint resolves the configured crash point name.
+func (c *Config) crashPoint() string {
+	if c.CrashPoint == "" {
+		return store.CrashAfterLog.String()
+	}
+	return c.CrashPoint
+}
+
+// snapshotEvery resolves the compaction cadence.
+func (c *Config) snapshotEvery() int {
+	if c.crashPoint() == store.CrashMidSnapshot.String() {
+		return 1 // every append must make a snapshot due, or the crash never fires
+	}
+	if c.SnapshotEvery > 0 {
+		return c.SnapshotEvery
+	}
+	return 8
 }
 
 // EpochStats summarizes one epoch.
@@ -132,6 +180,8 @@ type EpochStats struct {
 	// DegradedAudits counts audits whose effective sample was smaller
 	// than planned because of network faults.
 	DegradedAudits int
+	// CrashedServers are the servers killed and recovered this epoch.
+	CrashedServers []int
 }
 
 // Result is the whole simulation outcome.
@@ -154,6 +204,11 @@ type Result struct {
 	NetworkFaultRounds int
 	// JobsFailed totals sub-jobs lost to the network.
 	JobsFailed int
+	// Crashes counts injected process crashes; Recoveries counts the
+	// successful WAL restarts that followed (they must match, and every
+	// recovered server must keep passing audits — FalseFlags stays 0).
+	Crashes    int
+	Recoveries int
 }
 
 // AuditSuccessRate is the fraction of audits that completed their full
@@ -201,6 +256,28 @@ func (s *switchablePolicy) OnResult(taskIdx int, task wire.TaskSpec, honest func
 	return honest()
 }
 
+// restartableHandler is the stable network identity of one server slot: a
+// crash swaps the *core.Server behind it while every client keeps its
+// existing connection object, exactly as a process restart behind a fixed
+// address would look to the fleet.
+type restartableHandler struct {
+	mu  sync.Mutex
+	srv *core.Server
+}
+
+func (h *restartableHandler) Handle(m wire.Message) wire.Message {
+	h.mu.Lock()
+	srv := h.srv
+	h.mu.Unlock()
+	return srv.Handle(m)
+}
+
+func (h *restartableHandler) swap(srv *core.Server) {
+	h.mu.Lock()
+	h.srv = srv
+	h.mu.Unlock()
+}
+
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
@@ -237,6 +314,31 @@ func Run(cfg Config) (*Result, error) {
 	policies := make([]*switchablePolicy, cfg.Servers)
 	clients := make([]netsim.Client, cfg.Servers)
 	cspClients := make([]netsim.Client, cfg.Servers)
+	handlers := make([]*restartableHandler, cfg.Servers)
+	crashers := make([]*store.Crasher, cfg.Servers)
+	// newServer builds server i's incarnation; with a WALDir this runs the
+	// full recovery path (snapshot load, WAL replay, Merkle cross-checks)
+	// every time it is called on a non-empty directory.
+	newServer := func(i int, crash *store.Crasher) (*core.Server, error) {
+		key, err := sio.Extract(fmt.Sprintf("cs:epoch-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		sc := core.ServerConfig{
+			Policy:  policies[i],
+			Random:  rand.Reader,
+			Workers: cfg.Workers,
+		}
+		if cfg.WALDir != "" {
+			sc.Durability = &core.DurabilityConfig{
+				Dir:           filepath.Join(cfg.WALDir, fmt.Sprintf("cs-%d", i)),
+				SnapshotEvery: cfg.snapshotEvery(),
+				NoSync:        true,
+				Crash:         crash,
+			}
+		}
+		return core.NewServer(sp, key, sc)
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		policies[i] = &switchablePolicy{
 			active: &core.ComputationCheater{
@@ -244,19 +346,13 @@ func Run(cfg Config) (*Result, error) {
 				Rng: mrand.New(mrand.NewSource(cfg.Seed + int64(i) + 1)),
 			},
 		}
-		key, err := sio.Extract(fmt.Sprintf("cs:epoch-%d", i))
+		crashers[i] = &store.Crasher{}
+		srv, err := newServer(i, crashers[i])
 		if err != nil {
 			return nil, err
 		}
-		srv, err := core.NewServer(sp, key, core.ServerConfig{
-			Policy:  policies[i],
-			Random:  rand.Reader,
-			Workers: cfg.Workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		lb := netsim.NewLoopback(srv, netsim.LinkConfig{})
+		handlers[i] = &restartableHandler{srv: srv}
+		lb := netsim.NewLoopback(handlers[i], netsim.LinkConfig{})
 		if cfg.faultsEnabled() {
 			delayRate := 0.0
 			if cfg.FaultDelay > 0 {
@@ -305,6 +401,42 @@ func Run(cfg Config) (*Result, error) {
 	result := &Result{Config: cfg}
 	for ep := 1; ep <= cfg.Epochs; ep++ {
 		stats := EpochStats{Epoch: ep}
+
+		// The crash schedule: kill one server (round-robin) at its armed
+		// crash point, then restart it from its WAL directory. The dying
+		// mutation is a routine same-content rewrite of block 0, so the
+		// dataset the audits check is unchanged whether or not the record
+		// survived the crash.
+		if cfg.CrashEvery > 0 && ep%cfg.CrashEvery == 0 {
+			v := (ep/cfg.CrashEvery - 1) % cfg.Servers
+			point, _ := store.CrashPointByName(cfg.crashPoint())
+			crashers[v].Arm(point)
+			err := user.UpdateBlock(cspClients[v], 0, ds.Blocks[0], verifiers...)
+			if err == nil || !crashers[v].Fired() {
+				return nil, fmt.Errorf("epoch %d: crash at %v on server %d did not fire (err=%v)",
+					ep, point, v, err)
+			}
+			result.Crashes++
+			stats.CrashedServers = append(stats.CrashedServers, v)
+			// Restart: a fresh incarnation recovered from disk, behind the
+			// same network identity. Crashers are one-shot, so the new
+			// incarnation gets a new one.
+			crashers[v] = &store.Crasher{}
+			srv, err := newServer(v, crashers[v])
+			if err != nil {
+				return nil, fmt.Errorf("epoch %d: restarting server %d: %w", ep, v, err)
+			}
+			if !srv.Recovery().Recovered {
+				return nil, fmt.Errorf("epoch %d: server %d restart recovered nothing", ep, v)
+			}
+			handlers[v].swap(srv)
+			result.Recoveries++
+			// The client re-issues the unacked mutation (fresh sequence
+			// number); durable-or-lost, the state converges either way.
+			if err := user.UpdateBlock(cspClients[v], 0, ds.Blocks[0], verifiers...); err != nil {
+				return nil, fmt.Errorf("epoch %d: redelivery to recovered server %d: %w", ep, v, err)
+			}
+		}
 
 		// The mobile adversary re-picks its b servers.
 		picks := core.SampleIndices(rng, cfg.Servers, cfg.Corrupted)

@@ -10,6 +10,8 @@ func TestValidation(t *testing.T) {
 		{Servers: 3, Corrupted: 1, Epochs: 0, BlocksPerUser: 2, JobsPerEpoch: 1},
 		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, SampleSize: -1},
 		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, CheaterCSC: 2},
+		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, CrashEvery: 1},
+		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, CrashPoint: "half-way"},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(cfg); err == nil {
@@ -109,6 +111,61 @@ func TestAuditingReducesExposure(t *testing.T) {
 	}
 	if resAudited.FirstDetectionEpoch == 0 {
 		t.Fatal("audited run never detected the cheater")
+	}
+}
+
+func TestCrashScheduleRecoversWithoutFalseFlags(t *testing.T) {
+	// Every epoch one server is killed at its armed crash point and
+	// restarted from its WAL. With an honest fleet, the audits that follow
+	// each recovery must keep passing: a crash is never evidence.
+	for _, point := range []string{"before-log", "after-log", "mid-snapshot", "torn-tail"} {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			res, err := Run(Config{
+				Servers: 3, Corrupted: 0, Epochs: 3, BlocksPerUser: 6,
+				JobsPerEpoch: 1, SampleSize: 2, Seed: 6,
+				WALDir: t.TempDir(), CrashEvery: 1, CrashPoint: point,
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Crashes != 3 || res.Recoveries != 3 {
+				t.Fatalf("crashes=%d recoveries=%d, want 3/3", res.Crashes, res.Recoveries)
+			}
+			if res.FalseFlags != 0 || res.FirstDetectionEpoch != 0 || res.TotalExposure != 0 {
+				t.Fatalf("crash-recovery run flagged honest servers: %+v", res)
+			}
+			for _, ep := range res.Epochs {
+				if len(ep.CrashedServers) != 1 {
+					t.Fatalf("epoch %d crashed %v, want exactly one server", ep.Epoch, ep.CrashedServers)
+				}
+				if ep.AuditsRun != ep.JobsRun || ep.JobsRun == 0 {
+					t.Fatalf("epoch %d audited %d of %d sub-jobs", ep.Epoch, ep.AuditsRun, ep.JobsRun)
+				}
+			}
+		})
+	}
+}
+
+func TestCrashScheduleStillDetectsCheaters(t *testing.T) {
+	// Crash-recovery must not launder cheating: a full cheater in a fleet
+	// under the crash schedule is still detected, with zero false flags.
+	res, err := Run(Config{
+		Servers: 3, Corrupted: 1, Epochs: 2, BlocksPerUser: 9,
+		JobsPerEpoch: 1, SampleSize: 3, CheaterCSC: 0, Seed: 7,
+		WALDir: t.TempDir(), CrashEvery: 2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Crashes != 1 || res.Recoveries != 1 {
+		t.Fatalf("crashes=%d recoveries=%d, want 1/1", res.Crashes, res.Recoveries)
+	}
+	if res.FirstDetectionEpoch != 1 {
+		t.Fatalf("first detection in epoch %d, want 1", res.FirstDetectionEpoch)
+	}
+	if res.FalseFlags != 0 {
+		t.Fatalf("false flags: %d", res.FalseFlags)
 	}
 }
 

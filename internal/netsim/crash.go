@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// HandlerFactory builds a server incarnation's handler. For a crash-safe
+// SecCloud server this is "recover state from the WAL directory and
+// return the rebuilt core.Server"; the factory runs on every restart, so
+// recovery itself is exercised each time.
+type HandlerFactory func() (Handler, error)
+
+// RestartableServer orchestrates process-crash fault injection over the
+// TCP transport: one logical server identity (one listen address) served
+// by a sequence of incarnations. Kill tears the current incarnation down
+// the way a SIGKILL would — live connections die mid-exchange, clients
+// see retryable transport errors — and Restart brings up a fresh
+// incarnation on the same address from the factory (i.e. from recovery).
+// Clients dialed with Redial reconnect transparently on their next call.
+type RestartableServer struct {
+	factory HandlerFactory
+	cfg     TCPServerConfig
+
+	mu       sync.Mutex
+	addr     string // concrete address, stable across incarnations
+	srv      *TCPServer
+	crashes  int
+	restarts int
+}
+
+// NewRestartableServer starts the first incarnation on addr (use
+// "127.0.0.1:0" to pick a free port; later incarnations reuse the
+// concrete port).
+func NewRestartableServer(addr string, factory HandlerFactory, cfg TCPServerConfig) (*RestartableServer, error) {
+	h, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("netsim: building first incarnation: %w", err)
+	}
+	srv, err := NewTCPServerConfig(addr, h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RestartableServer{factory: factory, cfg: cfg, addr: srv.Addr(), srv: srv}, nil
+}
+
+// Addr returns the stable listen address.
+func (r *RestartableServer) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addr
+}
+
+// Crashes reports how many times Kill has fired.
+func (r *RestartableServer) Crashes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashes
+}
+
+// Restarts reports how many incarnations followed a Kill.
+func (r *RestartableServer) Restarts() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.restarts
+}
+
+// Kill hard-stops the current incarnation: the listener closes and every
+// live connection is torn down immediately (no draining — a crash does
+// not drain). Safe to call from a crash hook running inside a request
+// handler: the teardown happens on a separate goroutine and Kill itself
+// returns without waiting for the handler's own goroutine to unwind.
+func (r *RestartableServer) Kill() {
+	r.mu.Lock()
+	srv := r.srv
+	r.srv = nil
+	if srv != nil {
+		r.crashes++
+	}
+	r.mu.Unlock()
+	if srv == nil {
+		return
+	}
+	// Close joins every serving goroutine; when Kill is invoked from
+	// within a handler (a store.Crasher OnCrash hook), joining would wait
+	// on the calling goroutine itself — so run the teardown detached.
+	go func() { _ = srv.Close() }()
+}
+
+// KillAndWait is Kill for out-of-band crashes (no handler on the stack):
+// it blocks until every goroutine of the dead incarnation exited.
+func (r *RestartableServer) KillAndWait() {
+	r.mu.Lock()
+	srv := r.srv
+	r.srv = nil
+	if srv != nil {
+		r.crashes++
+	}
+	r.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+// Restart brings up a fresh incarnation on the same address, building its
+// handler through the factory (recovery). It retries the bind briefly:
+// after an in-handler Kill the old listener's close may still be in
+// flight.
+func (r *RestartableServer) Restart() error {
+	r.mu.Lock()
+	if r.srv != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("netsim: restart of a live server")
+	}
+	addr := r.addr
+	r.mu.Unlock()
+
+	h, err := r.factory()
+	if err != nil {
+		return fmt.Errorf("netsim: recovering handler: %w", err)
+	}
+	var srv *TCPServer
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv, err = NewTCPServerConfig(addr, h, r.cfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("netsim: rebinding %s: %w", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r.mu.Lock()
+	r.srv = srv
+	r.restarts++
+	r.mu.Unlock()
+	return nil
+}
+
+// Shutdown gracefully stops the current incarnation (if any).
+func (r *RestartableServer) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	srv := r.srv
+	r.srv = nil
+	r.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Close stops the current incarnation (if any) for good.
+func (r *RestartableServer) Close() error {
+	r.mu.Lock()
+	srv := r.srv
+	r.srv = nil
+	r.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seccloud/internal/wire"
+)
+
+func TestRestartableServerKillRestartRedial(t *testing.T) {
+	var incarnations atomic.Int32
+	rs, err := NewRestartableServer("127.0.0.1:0", func() (Handler, error) {
+		incarnations.Add(1)
+		return echoHandler{}, nil
+	}, TCPServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rs.Close() }()
+
+	client, err := DialTCPConfig(rs.Addr(), TCPClientConfig{
+		Timeout: 5 * time.Second,
+		Redial:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	if _, err := client.RoundTrip(&wire.StoreResponse{OK: true}); err != nil {
+		t.Fatalf("round trip before crash: %v", err)
+	}
+
+	// SIGKILL the incarnation: the next call must fail retryably — the
+	// client must not be told anything that looks like a protocol verdict.
+	rs.KillAndWait()
+	if _, err := client.RoundTrip(&wire.StoreResponse{OK: true}); err == nil {
+		t.Fatal("round trip against a dead server succeeded")
+	} else if !IsRetryable(err) {
+		t.Fatalf("dead-server error is not retryable: %v", err)
+	}
+
+	// Restart on the same address: the factory runs again (recovery), and
+	// the redialing client reconnects transparently.
+	if err := rs.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if _, err := client.RoundTrip(&wire.StoreResponse{OK: true}); err != nil {
+		t.Fatalf("round trip after restart: %v", err)
+	}
+	if got := incarnations.Load(); got != 2 {
+		t.Fatalf("factory ran %d times, want 2", got)
+	}
+	if rs.Crashes() != 1 || rs.Restarts() != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1", rs.Crashes(), rs.Restarts())
+	}
+}
+
+// killOnChallenge dies "inside" the request handler, the way a
+// store.Crasher hook does: it kills the server it is serving under and
+// returns nil (no response ever leaves the dying process).
+type killOnChallenge struct {
+	rs    **RestartableServer
+	armed atomic.Bool
+}
+
+func (h *killOnChallenge) Handle(m wire.Message) wire.Message {
+	if _, ok := m.(*wire.ChallengeRequest); ok && h.armed.CompareAndSwap(true, false) {
+		(*h.rs).Kill()
+		return nil
+	}
+	return &wire.StoreResponse{OK: true, Error: m.Kind()}
+}
+
+func TestRestartableServerInHandlerKill(t *testing.T) {
+	var rs *RestartableServer
+	h := &killOnChallenge{rs: &rs}
+	var err error
+	rs, err = NewRestartableServer("127.0.0.1:0", func() (Handler, error) {
+		return h, nil
+	}, TCPServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rs.Close() }()
+
+	client, err := DialTCPConfig(rs.Addr(), TCPClientConfig{
+		Timeout: 5 * time.Second,
+		Redial:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	h.armed.Store(true)
+	// Kill fires on the handler's own goroutine; if Kill joined the serving
+	// goroutines synchronously this would deadlock, not just fail.
+	if _, err := client.RoundTrip(&wire.ChallengeRequest{JobID: "j"}); err == nil {
+		t.Fatal("round trip survived an in-handler crash")
+	} else if !IsRetryable(err) {
+		t.Fatalf("in-handler crash error is not retryable: %v", err)
+	}
+	if err := rs.Restart(); err != nil {
+		t.Fatalf("Restart after in-handler kill: %v", err)
+	}
+	if _, err := client.RoundTrip(&wire.ChallengeRequest{JobID: "j"}); err != nil {
+		t.Fatalf("round trip after restart: %v", err)
+	}
+}
+
+// slowAuditHandler simulates a server verifying an audit challenge: it
+// signals entry, works for a while, then answers.
+type slowAuditHandler struct {
+	entered chan struct{}
+	work    time.Duration
+}
+
+func (h *slowAuditHandler) Handle(m wire.Message) wire.Message {
+	if req, ok := m.(*wire.ChallengeRequest); ok {
+		select {
+		case h.entered <- struct{}{}:
+		default:
+		}
+		time.Sleep(h.work)
+		return &wire.ChallengeResponse{JobID: req.JobID}
+	}
+	return &wire.StoreResponse{OK: true}
+}
+
+func TestTCPServerShutdownDrainsInFlightAuditRound(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	h := &slowAuditHandler{entered: make(chan struct{}, 1), work: 300 * time.Millisecond}
+	srv, err := NewTCPServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := DialTCPConfig(srv.Addr(), TCPClientConfig{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Launch an audit challenge round trip, then shut the server down while
+	// the challenge is mid-verification.
+	type result struct {
+		resp wire.Message
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := client.RoundTrip(&wire.ChallengeRequest{JobID: "drain-job"})
+		done <- result{resp, err}
+	}()
+	select {
+	case <-h.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("challenge never reached the handler")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The in-flight audit round must have completed, not been cut off:
+	// graceful drain means the DA records a verdict for this round, not a
+	// network fault.
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight challenge failed during drain: %v", r.err)
+	}
+	ch, ok := r.resp.(*wire.ChallengeResponse)
+	if !ok || ch.JobID != "drain-job" {
+		t.Fatalf("unexpected drain response: %#v", r.resp)
+	}
+
+	// After the drain the server is gone: the next round trip surfaces a
+	// retryable transport error (the DA counts it as a network fault and
+	// moves on — it never accuses).
+	if _, err := client.RoundTrip(&wire.ChallengeRequest{JobID: "drain-job"}); err == nil {
+		t.Fatal("round trip after Shutdown succeeded")
+	} else if !IsRetryable(err) {
+		t.Fatalf("post-shutdown error is not retryable: %v", err)
+	}
+	_ = client.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	stacks := string(buf[:n])
+	if strings.Contains(stacks, "netsim.(*TCPServer)") {
+		t.Fatalf("leaked server goroutines after drained Shutdown:\n%s", stacks)
+	}
+}

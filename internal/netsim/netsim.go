@@ -19,6 +19,7 @@ package netsim
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -28,6 +29,12 @@ import (
 // Handler processes a single request and produces a response. A Handler
 // must be safe for concurrent use; the TCP server invokes it from
 // per-connection goroutines.
+//
+// A nil response means the handling process died mid-request (e.g. an
+// injected crash point fired): transports treat it as a connection death
+// — the caller sees a retryable transport error, never a reply — exactly
+// what a SIGKILL between receiving a request and writing its response
+// looks like from the outside.
 type Handler interface {
 	Handle(m wire.Message) wire.Message
 }
@@ -182,6 +189,14 @@ func (l *Loopback) RoundTripContext(ctx context.Context, m wire.Message) (wire.M
 		return nil, &FaultError{Kind: FaultCorrupt, Op: "request", Err: err}
 	}
 	resp := l.handler.Handle(req)
+	if resp == nil {
+		// The "process" died mid-request (crash injection): the caller's
+		// connection just goes dead — a retryable transport fault, not a
+		// reply.
+		l.stats.record(len(reqBytes), 0, lat)
+		return nil, &FaultError{Kind: FaultDisconnect, Op: "response",
+			Err: errors.New("netsim: peer died mid-request")}
+	}
 	if reqPlan.duplicate {
 		// A retransmit the server cannot tell from a fresh request: the
 		// handler runs again and the extra answer is discarded, exactly

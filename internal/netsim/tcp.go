@@ -151,6 +151,11 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return // peer closed, stalled past deadline, or sent garbage
 		}
 		resp := s.handler.Handle(req)
+		if resp == nil {
+			// Handler "process" died mid-request: drop the connection
+			// without a reply, as a killed process would.
+			return
+		}
 		if writeTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 		}
