@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz bench bench-audit bench-recovery
+.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet
 
 check: vet build race
 
@@ -46,3 +46,9 @@ bench-audit:
 # BENCH_crash_recovery.json.
 bench-recovery:
 	$(GO) run ./cmd/seccloud-bench -exp crash-recovery -params test256 -json BENCH_crash_recovery.json
+
+# Fleet-robustness benchmark: audit availability vs killed replicas (with
+# the no-failover analytic baseline) plus audit-driven repair latency vs
+# corruption size. Refreshes BENCH_fleet_failover.json.
+bench-fleet:
+	$(GO) run ./cmd/seccloud-bench -exp fleet-failover -params test256 -json BENCH_fleet_failover.json

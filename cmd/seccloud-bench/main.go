@@ -12,6 +12,7 @@
 //	seccloud-bench -exp optimal-t          # Theorem 3 sweep
 //	seccloud-bench -exp parallel-audit     # audit pipeline scaling vs workers
 //	seccloud-bench -exp crash-recovery     # WAL restart time + crash matrix
+//	seccloud-bench -exp fleet-failover     # audit availability under outages + repair latency
 //	seccloud-bench -params ss512           # use the full-size pairing
 //	seccloud-bench -csv                    # machine-readable output
 //	seccloud-bench -exp parallel-audit -json BENCH_parallel_audit.json
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|crash-recovery|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|crash-recovery|fleet-failover|all")
 	params := flag.String("params", "ss512", "pairing parameter set: ss512|test256")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	iters := flag.Int("iters", 10, "calibration iterations for op timing")
@@ -69,10 +70,12 @@ func main() {
 		runErr = r.parallelAudit()
 	case "crash-recovery":
 		runErr = r.crashRecovery()
+	case "fleet-failover":
+		runErr = r.fleetFailover()
 	case "all":
 		for _, f := range []func() error{
 			r.table1, r.table2, r.fig4, r.fig5, r.detection, r.optimalT, r.traffic, r.epochs,
-			r.parallelAudit, r.crashRecovery,
+			r.parallelAudit, r.crashRecovery, r.fleetFailover,
 		} {
 			if runErr = f(); runErr != nil {
 				break

@@ -11,6 +11,8 @@
 //	seccloud-sim -fault-sweep                  # audit success rate vs loss rate
 //	seccloud-sim -workers 8                    # parallel audit verification
 //	seccloud-sim -wal-dir /tmp/sc -crash-every 2   # crash + WAL-recover servers
+//	seccloud-sim -kill-every 2 -fleet-samples 8    # whole-epoch outages + fleet audits
+//	seccloud-sim -bad-replica 1 -bad-replica-epoch 2 -repair   # rot, localize, repair
 package main
 
 import (
@@ -42,27 +44,41 @@ func main() {
 		snapEvery    = flag.Int("snapshot-every", 0, "log records between snapshots (0 = default cadence)")
 		crashEvery   = flag.Int("crash-every", 0, "kill+recover one server every N epochs (0 = never; requires -wal-dir)")
 		crashPoint   = flag.String("crash-point", "", "injected crash point: before-log|after-log|mid-snapshot|torn-tail (default after-log)")
+		killEvery    = flag.Int("kill-every", 0, "take one server down for every Nth whole epoch (0 = never)")
+		fleetSamples = flag.Int("fleet-samples", 0, "fleet storage audit sample size per server per epoch (0 = no fleet audits)")
+		quorumK      = flag.Int("quorum-k", 0, "witness replicas per BadProof cross-examination (0 = default 2)")
+		repair       = flag.Bool("repair", false, "execute audit-driven repair for localized corruption")
+		badReplica   = flag.Int("bad-replica", 0, "replica index to silently corrupt (with -bad-replica-epoch)")
+		badEpoch     = flag.Int("bad-replica-epoch", 0, "epoch at which the bad replica's blocks rot (0 = never)")
+		badBlocks    = flag.Int("bad-blocks", 2, "number of blocks that rot on the bad replica")
 	)
 	flag.Parse()
 
 	base := epoch.Config{
-		Servers:       *servers,
-		Corrupted:     *corrupted,
-		Epochs:        *epochs,
-		BlocksPerUser: *blocks,
-		JobsPerEpoch:  *jobs,
-		SampleSize:    *samples,
-		CheaterCSC:    *csc,
-		Seed:          *seed,
-		Workers:       *workers,
-		FaultDrop:     *faultDrop,
-		FaultCorrupt:  *faultCorrupt,
-		FaultDelay:    *faultDelay,
-		RetryAttempts: *retries,
-		WALDir:        *walDir,
-		SnapshotEvery: *snapEvery,
-		CrashEvery:    *crashEvery,
-		CrashPoint:    *crashPoint,
+		Servers:         *servers,
+		Corrupted:       *corrupted,
+		Epochs:          *epochs,
+		BlocksPerUser:   *blocks,
+		JobsPerEpoch:    *jobs,
+		SampleSize:      *samples,
+		CheaterCSC:      *csc,
+		Seed:            *seed,
+		Workers:         *workers,
+		FaultDrop:       *faultDrop,
+		FaultCorrupt:    *faultCorrupt,
+		FaultDelay:      *faultDelay,
+		RetryAttempts:   *retries,
+		WALDir:          *walDir,
+		SnapshotEvery:   *snapEvery,
+		CrashEvery:      *crashEvery,
+		CrashPoint:      *crashPoint,
+		KillEvery:       *killEvery,
+		FleetSampleSize: *fleetSamples,
+		QuorumK:         *quorumK,
+		Repair:          *repair,
+		BadReplica:      *badReplica,
+		BadReplicaEpoch: *badEpoch,
+		BadBlocks:       *badBlocks,
 	}
 
 	var err error
@@ -136,6 +152,17 @@ func runOnce(cfg epoch.Config) error {
 		fmt.Printf("network faults: %d challenge rounds lost, %d/%d audits degraded (%.1f%% success), %d jobs failed\n",
 			res.NetworkFaultRounds, res.DegradedAudits, res.AuditsRun,
 			100*res.AuditSuccessRate(), res.JobsFailed)
+	}
+	if res.Kills > 0 || res.FleetAudits > 0 {
+		fmt.Printf("fleet: %d outages, %d sub-jobs failed over, %d/%d fleet audits full-sample (availability %.1f%%), %d audit rounds re-issued\n",
+			res.Kills, res.JobFailovers,
+			res.FleetAudits-res.DegradedFleetAudits, res.FleetAudits,
+			100*res.FleetAvailability(), res.FleetFailovers)
+	}
+	if res.LocalizedVerdicts+res.ProviderWideVerdicts+res.InconclusiveVerdicts > 0 {
+		fmt.Printf("quorum verdicts: %d localized, %d provider-wide, %d inconclusive; repairs: %d attempted, %d confirmed\n",
+			res.LocalizedVerdicts, res.ProviderWideVerdicts, res.InconclusiveVerdicts,
+			res.RepairsAttempted, res.RepairsConfirmed)
 	}
 	return nil
 }

@@ -120,6 +120,14 @@ type RoundRecord struct {
 	// structurally refused rounds. A resumed audit re-challenges only
 	// rounds with Completed == false and a non-accusatory outcome.
 	Completed bool
+	// Replica is the fleet replica that served this round: fleet audits
+	// record the answering server (failover can move a round off the
+	// primary), -1 when no replica answered. Single-server audits leave
+	// it 0; the field only carries meaning under AuditStorageFleet.
+	Replica int
+	// FailedOver records that at least one failover re-issued this round
+	// to a different replica before it resolved.
+	FailedOver bool
 }
 
 // AuditCheckpoint is an interrupted audit's durable residue: the exact

@@ -24,6 +24,20 @@ import (
 // convince third parties, so they use the publicly verifiable signature,
 // not the designated form.
 
+// Evidence encoding versions. Version 2 added the fleet fields
+// (FailoverSummary, QuorumSummary) when failover auditing landed; the
+// body rendering switches on the version so evidence signed under the
+// version-1 format — where those fields did not exist — still verifies
+// byte-for-byte. A decoded struct with Version 0 (old serializations
+// predate the field) renders as version 1.
+const (
+	// EvidenceVersion is the format newly issued Evidence carries.
+	EvidenceVersion = 2
+	// CheckpointVersion is the format newly signed checkpoints carry.
+	// Version 2 added the per-round Replica/FailedOver fields.
+	CheckpointVersion = 2
+)
+
 // Evidence is a signed audit verdict.
 //
 // Fault awareness: the verdict distinguishes "the server cheated"
@@ -36,6 +50,8 @@ import (
 // that DID complete still expose it with the eq. 10/12 probability for
 // the effective sample size.
 type Evidence struct {
+	// Version selects the signed-body encoding; see EvidenceVersion.
+	Version   int
 	AuditorID string
 	JobID     string
 	UserID    string
@@ -51,13 +67,26 @@ type Evidence struct {
 	EffectiveSampleSize int
 	// NetworkFaultRounds counts challenge rounds lost to the transport.
 	NetworkFaultRounds int
-	Sig                wire.IBSig
+	// FailoverSummary (version ≥ 2) is the canonical rendering of the
+	// fleet audit's failover trail — which rounds moved to which replica
+	// and why. Empty for single-server audits.
+	FailoverSummary string
+	// QuorumSummary (version ≥ 2) is the canonical rendering of the
+	// quorum cross-examination verdicts. Empty when nothing was accused.
+	QuorumSummary string
+	Sig           wire.IBSig
 }
 
-// evidenceBody is the byte string the verdict signature covers.
+// evidenceBody is the byte string the verdict signature covers. The
+// rendering is versioned: version ≤ 1 reproduces the exact pre-fleet
+// byte format so old verdicts keep verifying.
 func evidenceBody(e *Evidence) []byte {
 	var b strings.Builder
-	b.WriteString("seccloud/audit-evidence|auditor=")
+	if e.Version >= 2 {
+		b.WriteString("seccloud/audit-evidence/v2|auditor=")
+	} else {
+		b.WriteString("seccloud/audit-evidence|auditor=")
+	}
 	b.WriteString(e.AuditorID)
 	b.WriteString("|job=")
 	b.WriteString(e.JobID)
@@ -77,6 +106,12 @@ func evidenceBody(e *Evidence) []byte {
 	b.WriteString(fmt.Sprintf("%d", e.EffectiveSampleSize))
 	b.WriteString("|netfaults=")
 	b.WriteString(fmt.Sprintf("%d", e.NetworkFaultRounds))
+	if e.Version >= 2 {
+		b.WriteString("|failover=")
+		b.WriteString(e.FailoverSummary)
+		b.WriteString("|quorum=")
+		b.WriteString(e.QuorumSummary)
+	}
 	b.WriteString("|sampled=")
 	buf := make([]byte, 8)
 	for _, idx := range e.Sampled {
@@ -103,6 +138,7 @@ func (a *Agency) IssueEvidence(d *JobDelegation, report *AuditReport) (*Evidence
 		return nil, fmt.Errorf("core: nil audit report")
 	}
 	e := &Evidence{
+		Version:             EvidenceVersion,
 		AuditorID:           a.key.ID,
 		JobID:               report.JobID,
 		UserID:              d.UserID,
@@ -113,6 +149,36 @@ func (a *Agency) IssueEvidence(d *JobDelegation, report *AuditReport) (*Evidence
 		EffectiveSampleSize: report.EffectiveSampleSize,
 		NetworkFaultRounds:  report.NetworkFaultRounds(),
 	}
+	return a.signEvidence(e)
+}
+
+// IssueFleetEvidence signs a fleet storage audit into transferable
+// evidence. The verdict names the PRIMARY replica (the server the audit
+// was aimed at); the failover summary records which rounds other
+// replicas answered, so a crashed primary shows up as moved rounds —
+// never as a bad proof — and the quorum summary carries the
+// localized-vs-provider-wide classification of any accusation.
+func (a *Agency) IssueFleetEvidence(f *Fleet, fr *FleetStorageReport) (*Evidence, error) {
+	if fr == nil || fr.Report == nil {
+		return nil, fmt.Errorf("core: nil fleet audit report")
+	}
+	e := &Evidence{
+		Version:             EvidenceVersion,
+		AuditorID:           a.key.ID,
+		UserID:              fr.UserID,
+		ServerID:            f.ServerID(fr.Primary),
+		Sampled:             append([]uint64(nil), fr.Report.Sampled...),
+		Valid:               fr.Report.Valid(),
+		FailureSummary:      summarizeFailures(fr.Report.Failures),
+		EffectiveSampleSize: fr.Report.EffectiveSampleSize,
+		NetworkFaultRounds:  fr.Report.NetworkFaultRounds(),
+		FailoverSummary:     summarizeFailovers(fr.Failovers),
+		QuorumSummary:       summarizeQuorums(fr.Quorums),
+	}
+	return a.signEvidence(e)
+}
+
+func (a *Agency) signEvidence(e *Evidence) (*Evidence, error) {
 	sig, err := a.scheme.Sign(a.key, evidenceBody(e), a.random)
 	if err != nil {
 		return nil, fmt.Errorf("core: signing evidence: %w", err)
@@ -129,6 +195,10 @@ func (a *Agency) IssueEvidence(d *JobDelegation, report *AuditReport) (*Evidence
 // indices — a crash cannot buy a cheating server a second draw, and a DA
 // cannot quietly re-sample until the server passes.
 type CheckpointEvidence struct {
+	// Version selects the signed-body encoding; see CheckpointVersion.
+	// Checkpoints decoded from before the field existed carry 0 and
+	// render (and verify) under the version-1 format.
+	Version    int
 	AuditorID  string
 	Checkpoint AuditCheckpoint
 	Sig        wire.IBSig
@@ -136,10 +206,17 @@ type CheckpointEvidence struct {
 
 // checkpointBody is the byte string the checkpoint signature covers: a
 // canonical rendering of the challenge set and every round's verdict.
+// Version ≥ 2 additionally binds each round's serving replica and
+// failover flag, so a resumed fleet audit cannot silently reattribute
+// who answered; version ≤ 1 reproduces the pre-fleet bytes exactly.
 func checkpointBody(ce *CheckpointEvidence) []byte {
 	cp := &ce.Checkpoint
 	var b strings.Builder
-	b.WriteString("seccloud/audit-checkpoint|auditor=")
+	if ce.Version >= 2 {
+		b.WriteString("seccloud/audit-checkpoint/v2|auditor=")
+	} else {
+		b.WriteString("seccloud/audit-checkpoint|auditor=")
+	}
 	b.WriteString(ce.AuditorID)
 	b.WriteString("|job=")
 	b.WriteString(cp.JobID)
@@ -154,7 +231,11 @@ func checkpointBody(ce *CheckpointEvidence) []byte {
 		b.Write(buf)
 	}
 	for _, rr := range cp.Rounds {
-		fmt.Fprintf(&b, "|round=%d,%v,%d:", rr.Outcome, rr.Completed, rr.Attempts)
+		if ce.Version >= 2 {
+			fmt.Fprintf(&b, "|round=%d,%v,%d,%d,%v:", rr.Outcome, rr.Completed, rr.Attempts, rr.Replica, rr.FailedOver)
+		} else {
+			fmt.Fprintf(&b, "|round=%d,%v,%d:", rr.Outcome, rr.Completed, rr.Attempts)
+		}
 		for _, idx := range rr.Indices {
 			binary.BigEndian.PutUint64(buf, idx)
 			b.Write(buf)
@@ -168,7 +249,7 @@ func (a *Agency) SignCheckpoint(cp *AuditCheckpoint) (*CheckpointEvidence, error
 	if cp == nil {
 		return nil, fmt.Errorf("core: nil audit checkpoint")
 	}
-	ce := &CheckpointEvidence{AuditorID: a.key.ID, Checkpoint: *cp}
+	ce := &CheckpointEvidence{Version: CheckpointVersion, AuditorID: a.key.ID, Checkpoint: *cp}
 	sig, err := a.scheme.Sign(a.key, checkpointBody(ce), a.random)
 	if err != nil {
 		return nil, fmt.Errorf("core: signing checkpoint: %w", err)

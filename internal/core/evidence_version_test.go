@@ -1,0 +1,130 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointV1StillVerifies locks backwards compatibility: a
+// CheckpointEvidence signed under the pre-fleet (version-1) encoding —
+// e.g. one persisted by a PR-3-era auditor, which had no Version field
+// at all — must still verify after the version-2 fields were added.
+func TestCheckpointV1StillVerifies(t *testing.T) {
+	sys := newSystem(t, nil)
+	cp := &AuditCheckpoint{
+		UserID:  sys.user.ID(),
+		Sampled: []uint64{4, 1, 9},
+		Rounds: []RoundRecord{
+			{Indices: []uint64{4, 1}, Attempts: 2, Outcome: RoundOK, Completed: true},
+			{Indices: []uint64{9}, Attempts: 3, Outcome: RoundNetworkFault, Detail: "dropped"},
+		},
+		Failures: []AuditFailure{{Index: 4, Check: CheckSignature, Detail: "x"}},
+	}
+
+	// Sign exactly as an old auditor would have: no Version field, so the
+	// body renders under the version-1 format.
+	old := &CheckpointEvidence{AuditorID: sys.agency.ID(), Checkpoint: *cp}
+	body := checkpointBody(old)
+	if !strings.HasPrefix(string(body), "seccloud/audit-checkpoint|auditor=") {
+		t.Fatalf("version-0 body lost the v1 prefix: %q", body)
+	}
+	// The v1 round rendering had exactly three fields — outcome,
+	// completed, attempts. New fields leaking in would break every
+	// previously issued signature.
+	if !strings.Contains(string(body), "|round=1,true,2:") {
+		t.Fatalf("version-0 body changed the v1 round rendering: %q", body)
+	}
+	sig, err := sys.agency.scheme.Sign(sys.agency.key, body, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Sig = EncodeIBSig(sys.agency.scheme.Params(), sig)
+
+	// Round-trip through JSON, as a persisted old-format record would be
+	// decoded today (Version is absent → zero).
+	raw, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded CheckpointEvidence
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Version != 0 {
+		t.Fatalf("decoded old record claims version %d", decoded.Version)
+	}
+	if err := VerifyCheckpoint(sys.agency.scheme, &decoded); err != nil {
+		t.Fatalf("old-format checkpoint no longer verifies: %v", err)
+	}
+}
+
+// TestCheckpointV2BindsReplica: newly signed checkpoints carry version 2
+// and their signature covers the fleet fields — reattributing a round to
+// a different replica must break verification.
+func TestCheckpointV2BindsReplica(t *testing.T) {
+	sys := newSystem(t, nil)
+	cp := &AuditCheckpoint{
+		UserID: sys.user.ID(),
+		Rounds: []RoundRecord{
+			{Indices: []uint64{3}, Attempts: 1, Outcome: RoundOK, Completed: true, Replica: 2, FailedOver: true},
+		},
+	}
+	ce, err := sys.agency.SignCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Version != CheckpointVersion {
+		t.Fatalf("new checkpoint version = %d, want %d", ce.Version, CheckpointVersion)
+	}
+	if err := VerifyCheckpoint(sys.agency.scheme, ce); err != nil {
+		t.Fatalf("VerifyCheckpoint: %v", err)
+	}
+	tampered := *ce
+	tampered.Checkpoint.Rounds = append([]RoundRecord(nil), ce.Checkpoint.Rounds...)
+	tampered.Checkpoint.Rounds[0].Replica = 0
+	if err := VerifyCheckpoint(sys.agency.scheme, &tampered); err == nil {
+		t.Fatal("signature survived reattributing the serving replica")
+	}
+}
+
+// TestEvidenceV1StillVerifies does the same for audit verdicts: a
+// verdict signed under the version-1 body keeps verifying, and the new
+// fleet fields are excluded from its signed bytes.
+func TestEvidenceV1StillVerifies(t *testing.T) {
+	sys := newSystem(t, nil)
+	old := &Evidence{
+		AuditorID:           sys.agency.ID(),
+		JobID:               "job-1",
+		UserID:              sys.user.ID(),
+		ServerID:            sys.servers[0].ID(),
+		Sampled:             []uint64{0, 2},
+		Valid:               true,
+		EffectiveSampleSize: 2,
+	}
+	body := evidenceBody(old)
+	if !strings.HasPrefix(string(body), "seccloud/audit-evidence|auditor=") {
+		t.Fatalf("version-0 body lost the v1 prefix: %q", body)
+	}
+	if strings.Contains(string(body), "failover") {
+		t.Fatalf("version-0 body leaks v2 fields: %q", body)
+	}
+	sig, err := sys.agency.scheme.Sign(sys.agency.key, body, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Sig = EncodeIBSig(sys.agency.scheme.Params(), sig)
+
+	raw, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Evidence
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEvidence(sys.agency.scheme, &decoded); err != nil {
+		t.Fatalf("old-format evidence no longer verifies: %v", err)
+	}
+}

@@ -1,0 +1,883 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seccloud/internal/netsim"
+	"seccloud/internal/sampling"
+	"seccloud/internal/wire"
+)
+
+// Fleet robustness — the paper's CSP fans work across "hundreds of Cloud
+// Computing servers" (§III-A), and core.CSP replicates every store to the
+// whole fleet. This file makes the audit pipeline exploit that
+// replication instead of being stalled by it:
+//
+//   - a per-server circuit breaker tracks transport health so a dead
+//     replica stops eating timeouts;
+//   - storage-audit rounds fail over to another replica when the
+//     challenged one is down, recording the switch in the signed
+//     evidence, so a crash never converts into a RoundBadProof;
+//   - a BadProof triggers quorum cross-examination: the same positions
+//     are challenged on k other replicas, splitting "one replica rotted"
+//     from "the provider is cheating everywhere";
+//   - localized corruption is repaired from a replica whose designated
+//     signatures verify (eq. 5/7 gates the copy), through the normal
+//     WAL'd store path, confirmed by a targeted re-audit.
+//
+// Everything here is deterministic given the fault schedule and the
+// challenge RNG: breakers count failures (no clocks), failover walks
+// replicas in index order, and rounds run sequentially so breaker state
+// evolves identically across runs.
+
+// ServerState is a replica's health as seen by the circuit breaker.
+type ServerState int
+
+// The breaker states.
+const (
+	// StateClosed: the replica is healthy; requests flow.
+	StateClosed ServerState = iota + 1
+	// StateOpen: consecutive transport failures tripped the breaker;
+	// requests are skipped until the cooldown allows a probe.
+	StateOpen
+	// StateHalfOpen: the cooldown elapsed; the next request is a probe
+	// whose outcome closes or re-opens the breaker.
+	StateHalfOpen
+)
+
+// String renders the state.
+func (s ServerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// BreakerConfig shapes a circuit breaker. The breaker is deliberately
+// clock-free: opening is triggered by consecutive failure COUNTS and the
+// cooldown is measured in denied Allow calls, so simulations with fake
+// clocks and real deployments behave identically and reproducibly.
+type BreakerConfig struct {
+	// FailThreshold is how many consecutive transport failures open the
+	// breaker; ≤ 0 means the default (3).
+	FailThreshold int
+	// OpenCooldown is how many Allow calls an open breaker denies before
+	// letting a half-open probe through; ≤ 0 means the default (2).
+	OpenCooldown int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.OpenCooldown <= 0 {
+		c.OpenCooldown = 2
+	}
+	return c
+}
+
+// Breaker is one replica's circuit breaker, fed by transport outcomes.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    ServerState
+	fails    int // consecutive transport failures while closed
+	cooldown int // remaining Allow denials while open
+	trips    int // lifetime closed/half-open → open transitions
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), state: StateClosed}
+}
+
+// State returns the current state.
+func (b *Breaker) State() ServerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Allow reports whether a request should be sent to this replica. While
+// open it burns one cooldown unit per call; when the cooldown reaches
+// zero the breaker goes half-open and admits a probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateOpen:
+		b.cooldown--
+		if b.cooldown > 0 {
+			return false
+		}
+		b.state = StateHalfOpen
+		return true
+	default: // closed, half-open
+		return true
+	}
+}
+
+// Report feeds one transport outcome. A success resets the failure run
+// and closes a half-open breaker; a failure re-opens a half-open breaker
+// immediately and opens a closed one at the threshold.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.fails = 0
+		if b.state == StateHalfOpen {
+			b.state = StateClosed
+		}
+		return
+	}
+	switch b.state {
+	case StateHalfOpen:
+		b.tripLocked()
+	case StateClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailThreshold {
+			b.tripLocked()
+		}
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = StateOpen
+	b.cooldown = b.cfg.OpenCooldown
+	b.fails = 0
+	b.trips++
+}
+
+// FleetHealth aggregates the per-replica breakers.
+type FleetHealth struct {
+	breakers []*Breaker
+}
+
+// NewFleetHealth builds n closed breakers.
+func NewFleetHealth(n int, cfg BreakerConfig) *FleetHealth {
+	h := &FleetHealth{breakers: make([]*Breaker, n)}
+	for i := range h.breakers {
+		h.breakers[i] = NewBreaker(cfg)
+	}
+	return h
+}
+
+// NumServers returns the fleet size.
+func (h *FleetHealth) NumServers() int { return len(h.breakers) }
+
+// Breaker returns replica i's breaker.
+func (h *FleetHealth) Breaker(i int) *Breaker { return h.breakers[i] }
+
+// States snapshots every replica's state.
+func (h *FleetHealth) States() []ServerState {
+	out := make([]ServerState, len(h.breakers))
+	for i, b := range h.breakers {
+		out[i] = b.State()
+	}
+	return out
+}
+
+// healthClient decorates a transport client so that EVERY round trip
+// feeds the replica's breaker: transport-class failures (disconnects,
+// timeouts, corrupt frames) count against it, anything that produced a
+// reply — including protocol errors, which implicate logic, not the
+// link — counts as liveness.
+type healthClient struct {
+	netsim.Client
+	b *Breaker
+}
+
+func (c *healthClient) RoundTrip(m wire.Message) (wire.Message, error) {
+	resp, err := c.Client.RoundTrip(m)
+	c.report(err)
+	return resp, err
+}
+
+func (c *healthClient) RoundTripContext(ctx context.Context, m wire.Message) (wire.Message, error) {
+	resp, err := c.Client.RoundTripContext(ctx, m)
+	c.report(err)
+	return resp, err
+}
+
+func (c *healthClient) report(err error) {
+	c.b.Report(err == nil || !(netsim.IsRetryable(err) || netsim.IsTimeout(err)))
+}
+
+// Fleet is a set of replica links sharing one health tracker. The audit
+// and CSP paths consult the breakers before sending; the instrumented
+// clients keep the breakers honest about every outcome.
+type Fleet struct {
+	clients []netsim.Client // instrumented
+	ids     []string
+	health  *FleetHealth
+}
+
+// NewFleet wraps the replica clients with breaker instrumentation. ids
+// name the replicas for evidence (nil derives "server-<i>"); a non-nil
+// ids must match clients in length.
+func NewFleet(clients []netsim.Client, ids []string, cfg BreakerConfig) (*Fleet, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("core: fleet needs at least one replica")
+	}
+	if ids != nil && len(ids) != len(clients) {
+		return nil, fmt.Errorf("core: fleet has %d clients but %d ids", len(clients), len(ids))
+	}
+	f := &Fleet{
+		clients: make([]netsim.Client, len(clients)),
+		ids:     make([]string, len(clients)),
+		health:  NewFleetHealth(len(clients), cfg),
+	}
+	for i, cl := range clients {
+		f.clients[i] = &healthClient{Client: cl, b: f.health.breakers[i]}
+		if ids != nil {
+			f.ids[i] = ids[i]
+		} else {
+			f.ids[i] = fmt.Sprintf("server-%d", i)
+		}
+	}
+	return f, nil
+}
+
+// NumServers returns the fleet size.
+func (f *Fleet) NumServers() int { return len(f.clients) }
+
+// Health exposes the shared health tracker.
+func (f *Fleet) Health() *FleetHealth { return f.health }
+
+// ServerID returns replica i's identity.
+func (f *Fleet) ServerID(i int) string { return f.ids[i] }
+
+// Client returns replica i's breaker-instrumented link, for callers
+// (CSP, targeted audits) that should feed the shared health state.
+func (f *Fleet) Client(i int) netsim.Client { return f.clients[i] }
+
+// Instrument wraps an arbitrary client for replica i — typically a retry
+// decorator over the same link — so its outcomes feed the shared
+// breaker. A retried-and-recovered call reports one success; an
+// exhausted retry budget reports one failure.
+func (f *Fleet) Instrument(i int, c netsim.Client) netsim.Client {
+	return &healthClient{Client: c, b: f.health.breakers[i]}
+}
+
+// nextReplica picks the lowest-index replica not yet tried, or -1.
+// Index order keeps failover deterministic for a fixed fault schedule.
+func (f *Fleet) nextReplica(tried map[int]bool) int {
+	for i := range f.clients {
+		if !tried[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// FailoverEvent records one audit round being re-issued to another
+// replica. It is rendered into the signed evidence, so the verdict
+// carries WHO actually answered each challenge.
+type FailoverEvent struct {
+	// Round is the challenge round that moved.
+	Round int
+	// From and To are replica indices.
+	From, To int
+	// Reason is "breaker-open" or the transport outcome that forced the
+	// switch ("network-fault", "timeout").
+	Reason string
+}
+
+// QuorumClass is the verdict of a quorum cross-examination.
+type QuorumClass int
+
+// The classifications.
+const (
+	// QuorumLocalized: a minority of replicas (typically one) failed the
+	// checks — single-replica corruption, repairable from the majority.
+	QuorumLocalized QuorumClass = iota + 1
+	// QuorumProviderWide: a majority of the examined replicas failed the
+	// same checks — the provider, not one disk, is cheating.
+	QuorumProviderWide
+	// QuorumInconclusive: not enough replicas answered, or the vote
+	// tied; the accusation stands but cannot be localized.
+	QuorumInconclusive
+)
+
+// String renders the classification.
+func (c QuorumClass) String() string {
+	switch c {
+	case QuorumLocalized:
+		return "localized"
+	case QuorumProviderWide:
+		return "provider-wide"
+	case QuorumInconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ReplicaVote is one witness replica's answer in a cross-examination.
+type ReplicaVote struct {
+	// Server is the witness replica index.
+	Server int
+	// Completed records that the witness answered at all; a witness that
+	// is down or breaker-denied abstains rather than votes.
+	Completed bool
+	// Bad reports whether the witness's answer failed the same eq. 5/7
+	// checks the accused failed.
+	Bad bool
+	// Detail carries the first failing check or the abstention reason.
+	Detail string
+}
+
+// QuorumResult is the outcome of cross-examining one accusation.
+type QuorumResult struct {
+	// Accused is the replica whose audit produced the BadProof.
+	Accused int
+	// Positions are the block positions whose checks failed.
+	Positions []uint64
+	// Votes are the witness answers, in replica-index order.
+	Votes []ReplicaVote
+	// Class is the verdict over the completed votes.
+	Class QuorumClass
+}
+
+// classifyVotes applies the quorum rule over completed votes only:
+// strictly more bad than good answers means the provider is cheating
+// across replicas; strictly fewer means the corruption is localized to
+// the accused; a tie — including zero completed votes — is inconclusive.
+func classifyVotes(votes []ReplicaVote) QuorumClass {
+	good, bad := 0, 0
+	for _, v := range votes {
+		if !v.Completed {
+			continue
+		}
+		if v.Bad {
+			bad++
+		} else {
+			good++
+		}
+	}
+	switch {
+	case good == 0 && bad == 0:
+		return QuorumInconclusive
+	case bad > good:
+		return QuorumProviderWide
+	case good > bad:
+		return QuorumLocalized
+	default:
+		return QuorumInconclusive
+	}
+}
+
+// RepairPlan names exactly what audit-driven repair will copy: the
+// positions whose designated signatures failed on Target, sourced from
+// Source — a replica whose answers for those positions verified.
+type RepairPlan struct {
+	// Target is the replica to heal.
+	Target int
+	// Source is the replica to copy from (-1 if no verified source).
+	Source int
+	// Positions are the block positions to re-replicate.
+	Positions []uint64
+}
+
+// RepairResult is the outcome of executing a RepairPlan.
+type RepairResult struct {
+	Plan RepairPlan
+	// Applied reports that the target acked the re-replicated blocks
+	// (through its normal, WAL-durable store path).
+	Applied bool
+	// Confirmed reports that a targeted re-audit of exactly the repaired
+	// positions passed on the target.
+	Confirmed bool
+	// Detail carries the failure reason when the repair did not confirm.
+	Detail string
+	// Elapsed is the DA-side wall-clock time from plan to confirmation.
+	Elapsed time.Duration
+}
+
+// FleetAuditConfig shapes a fleet storage audit.
+type FleetAuditConfig struct {
+	// Storage is the underlying per-round audit shape (sample size,
+	// rounds, retry, timeout, batching, workers). Resume is not
+	// supported here and must be nil.
+	Storage StorageAuditConfig
+	// Primary is the replica the audit challenges first.
+	Primary int
+	// QuorumK is how many witness replicas a BadProof is cross-examined
+	// on; 0 means the default (2), negative disables cross-examination.
+	QuorumK int
+	// Repair executes the repair plan for accusations the quorum
+	// classifies as localized.
+	Repair bool
+}
+
+func (cfg *FleetAuditConfig) quorumK() int {
+	if cfg.QuorumK == 0 {
+		return 2
+	}
+	return cfg.QuorumK
+}
+
+// FleetStorageReport is a fleet storage audit's full outcome: the
+// per-position report (identical in shape to a single-server audit),
+// plus the failover trail, the quorum verdicts, and any repairs.
+type FleetStorageReport struct {
+	UserID string
+	// Primary is the replica the audit was aimed at.
+	Primary int
+	// Report is the fault-aware audit report; its RoundRecords carry the
+	// serving replica of every round.
+	Report *StorageAuditReport
+	// Failovers is the round re-issue trail.
+	Failovers []FailoverEvent
+	// Quorums holds one cross-examination per accused replica.
+	Quorums []*QuorumResult
+	// Repairs holds the executed repair plans.
+	Repairs []*RepairResult
+	// Elapsed is the DA-side wall-clock duration of the whole pipeline.
+	Elapsed time.Duration
+}
+
+// FailedOver reports whether any round left the primary.
+func (r *FleetStorageReport) FailedOver() bool { return len(r.Failovers) > 0 }
+
+// AuditStorageFleet runs a storage audit against a replicated fleet.
+//
+// Each challenge round is aimed at cfg.Primary. If the primary's breaker
+// is open, or the round fails with a transport-class error, the round is
+// re-issued to the next replica in index order — same positions, so the
+// paper's sampling game is unchanged; only the responder moves. A round
+// completes against the FIRST replica that answers; it is recorded as
+// lost (never as BadProof) only when every replica is unreachable, which
+// keeps transport failures non-accusatory exactly as in AuditStorage.
+//
+// Completed rounds' blocks then run the eq. 5/7 designated-signature
+// checks. Failures are attributed to the replica that SERVED the failing
+// round (RoundRecord.Replica), cross-examined on quorumK witnesses, and
+// — when the quorum localizes the corruption and cfg.Repair is set —
+// healed from a witness whose signatures verified.
+//
+// Rounds run sequentially, deliberately: the breaker state a round
+// observes depends on the rounds before it, and sequential execution
+// makes the whole pipeline — and the evidence it signs — a deterministic
+// function of the challenge RNG and the fault schedule.
+func (a *Agency) AuditStorageFleet(
+	f *Fleet, userID string, warrant wire.Warrant, cfg FleetAuditConfig,
+) (*FleetStorageReport, error) {
+	start := a.clock()
+	if cfg.Primary < 0 || cfg.Primary >= f.NumServers() {
+		return nil, fmt.Errorf("core: fleet audit primary %d out of range [0,%d)", cfg.Primary, f.NumServers())
+	}
+	if cfg.Storage.Resume != nil {
+		return nil, fmt.Errorf("core: fleet audits do not support checkpoint resume")
+	}
+	rng, err := a.challengeRNG(cfg.Storage.Rng)
+	if err != nil {
+		return nil, err
+	}
+	sample := SampleIndices(rng, cfg.Storage.DatasetSize, cfg.Storage.SampleSize)
+	report := &StorageAuditReport{
+		UserID:           userID,
+		Sampled:          sample,
+		SigChecksBatched: cfg.Storage.BatchSignatures,
+	}
+	fr := &FleetStorageReport{UserID: userID, Primary: cfg.Primary, Report: report}
+	if len(sample) == 0 {
+		fr.Elapsed = a.clock().Sub(start)
+		return fr, nil
+	}
+
+	type served struct {
+		blocks [][]byte
+		sigs   []wire.BlockSig
+	}
+	chunks := splitRounds(sample, cfg.Storage.Rounds)
+	answers := make([]served, len(chunks))
+	for ri, chunk := range chunks {
+		rec := RoundRecord{Indices: append([]uint64(nil), chunk...), Replica: -1}
+		tried := make(map[int]bool)
+		server := cfg.Primary
+		lastOutcome, lastDetail := RoundNetworkFault, "no replica available"
+		for server >= 0 {
+			failTo := func(reason string) {
+				tried[server] = true
+				next := f.nextReplica(tried)
+				if next >= 0 {
+					fr.Failovers = append(fr.Failovers, FailoverEvent{Round: ri, From: server, To: next, Reason: reason})
+					rec.FailedOver = true
+				}
+				server = next
+			}
+			if !f.health.Breaker(server).Allow() {
+				lastDetail = "no replica available: breakers open"
+				failTo("breaker-open")
+				continue
+			}
+			resp, attempts, err := roundTrip(f.clients[server], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StorageAuditRequest{
+				UserID:    userID,
+				Positions: chunk,
+				Warrant:   warrant,
+			})
+			rec.Attempts += attempts
+			if err != nil {
+				outcome, transport := classifyTransport(err)
+				if !transport {
+					return nil, fmt.Errorf("core: fleet audit round trip: %w", err)
+				}
+				lastOutcome, lastDetail = outcome, err.Error()
+				failTo(outcome.String())
+				continue
+			}
+			rec.Replica = server
+			sa, ok := resp.(*wire.StorageAuditResponse)
+			badProof := func(detail string) {
+				rec.Outcome = RoundBadProof
+				rec.Detail = detail
+				report.Failures = append(report.Failures, AuditFailure{Check: CheckResponse, Detail: detail})
+			}
+			switch {
+			case !ok:
+				badProof(fmt.Sprintf("unexpected storage audit response %T", resp))
+			case sa.Error != "":
+				badProof("server refused storage audit: " + sa.Error)
+			case len(sa.Blocks) != len(chunk) || len(sa.Sigs) != len(chunk):
+				badProof("wrong number of blocks in storage audit answer")
+			default:
+				rec.Outcome = RoundOK
+				rec.Completed = true
+				answers[ri] = served{blocks: sa.Blocks, sigs: sa.Sigs}
+			}
+			break
+		}
+		if server < 0 {
+			rec.Outcome = lastOutcome
+			rec.Detail = lastDetail
+		}
+		report.Rounds = append(report.Rounds, rec)
+	}
+
+	// Signature verification over the completed rounds, exactly as in
+	// AuditStorage, but with a position → serving-replica map so every
+	// failure can be attributed to the replica that answered it.
+	var positions []uint64
+	var blocks [][]byte
+	var sigs []wire.BlockSig
+	servedBy := make(map[uint64]int, len(sample))
+	for ri := range chunks {
+		rec := &report.Rounds[ri]
+		if rec.Replica >= 0 {
+			for _, pos := range chunks[ri] {
+				servedBy[pos] = rec.Replica
+			}
+		}
+		if rec.Outcome == RoundOK {
+			positions = append(positions, chunks[ri]...)
+			blocks = append(blocks, answers[ri].blocks...)
+			sigs = append(sigs, answers[ri].sigs...)
+		}
+	}
+	report.EffectiveSampleSize = len(positions)
+	if cfg.Storage.Analysis != nil {
+		conf, err := sampling.DetectionConfidence(*cfg.Storage.Analysis, report.EffectiveSampleSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: recomputing detection confidence: %w", err)
+		}
+		report.AchievedConfidence = conf
+	}
+
+	p := a.auditPool(cfg.Storage.Workers)
+	preCheck := len(report.Failures)
+	checks := make([]sigCheck, 0, len(positions))
+	for i, pos := range positions {
+		if err := a.decodeStoredSig(userID, pos, blocks[i], sigs[i], &checks); err != nil {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: pos, Check: CheckSignature, Detail: err.Error(),
+			})
+		}
+	}
+	for i, err := range a.verifySigBatch(checks, cfg.Storage.BatchSignatures, p) {
+		if err != nil {
+			report.Failures = append(report.Failures, AuditFailure{
+				Index: checks[i].index, Check: CheckSignature, Detail: err.Error(),
+			})
+		}
+	}
+	downgradeRounds(report.Rounds, report.Failures[preCheck:])
+
+	// Attribute accusations to serving replicas. Round-level structural
+	// refusals (respFail) accuse the whole round's positions.
+	accused := make(map[int][]uint64)
+	seen := make(map[int]map[uint64]bool)
+	accuse := func(replica int, pos uint64) {
+		if replica < 0 {
+			return
+		}
+		if seen[replica] == nil {
+			seen[replica] = make(map[uint64]bool)
+		}
+		if !seen[replica][pos] {
+			seen[replica][pos] = true
+			accused[replica] = append(accused[replica], pos)
+		}
+	}
+	for _, fail := range report.Failures[preCheck:] {
+		if replica, ok := servedBy[fail.Index]; ok {
+			accuse(replica, fail.Index)
+		}
+	}
+	for ri := range chunks {
+		rec := &report.Rounds[ri]
+		if rec.Outcome == RoundBadProof && !rec.Completed {
+			for _, pos := range chunks[ri] {
+				accuse(rec.Replica, pos)
+			}
+		}
+	}
+
+	// Quorum cross-examination and (optionally) repair, one accused
+	// replica at a time, in index order.
+	if len(accused) > 0 && cfg.quorumK() > 0 {
+		replicas := make([]int, 0, len(accused))
+		for r := range accused {
+			replicas = append(replicas, r)
+		}
+		sort.Ints(replicas)
+		for _, acc := range replicas {
+			pos := accused[acc]
+			sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+			q, witnesses := a.crossExamine(f, userID, warrant, cfg, acc, pos)
+			fr.Quorums = append(fr.Quorums, q)
+			if cfg.Repair && q.Class == QuorumLocalized {
+				fr.Repairs = append(fr.Repairs, a.executeRepair(f, userID, warrant, cfg, acc, pos, witnesses))
+			}
+		}
+	}
+	fr.Elapsed = a.clock().Sub(start)
+	return fr, nil
+}
+
+// decodeStoredSig decodes and owner-checks one stored block's designated
+// signature, appending the deferred pairing check on success.
+func (a *Agency) decodeStoredSig(userID string, pos uint64, block []byte, sig wire.BlockSig, checks *[]sigCheck) error {
+	des, err := DecodeBlockSig(a.scheme.Params(), &sig, a.key.ID)
+	if err != nil {
+		return err
+	}
+	if des.SignerID != userID {
+		return fmt.Errorf("block signed by %q, want %q", des.SignerID, userID)
+	}
+	*checks = append(*checks, sigCheck{index: pos, msg: BlockMessage(pos, block), des: des})
+	return nil
+}
+
+// verifyStoredBlock runs the full eq. 5/7 check for one (position, block,
+// signature) triple: decode, owner binding, designated verification.
+func (a *Agency) verifyStoredBlock(userID string, pos uint64, block []byte, sig wire.BlockSig) error {
+	des, err := DecodeBlockSig(a.scheme.Params(), &sig, a.key.ID)
+	if err != nil {
+		return fmt.Errorf("block %d: %w", pos, err)
+	}
+	if des.SignerID != userID {
+		return fmt.Errorf("block %d signed by %q, want %q", pos, des.SignerID, userID)
+	}
+	if err := a.scheme.Verify(des, BlockMessage(pos, block), a.key); err != nil {
+		return fmt.Errorf("block %d: %w", pos, err)
+	}
+	return nil
+}
+
+// witnessAnswer is a witness's verified payload, kept as a repair source.
+type witnessAnswer struct {
+	server int
+	blocks [][]byte
+	sigs   []wire.BlockSig
+}
+
+// crossExamine challenges the accused replica's failed positions on up to
+// quorumK witness replicas (index order, skipping the accused) and
+// classifies the accusation. Witnesses whose answers verify are returned
+// as candidate repair sources.
+func (a *Agency) crossExamine(
+	f *Fleet, userID string, warrant wire.Warrant, cfg FleetAuditConfig, accused int, positions []uint64,
+) (*QuorumResult, []*witnessAnswer) {
+	q := &QuorumResult{Accused: accused, Positions: positions}
+	var good []*witnessAnswer
+	k := cfg.quorumK()
+	for w := 0; w < f.NumServers() && len(q.Votes) < k; w++ {
+		if w == accused {
+			continue
+		}
+		vote := ReplicaVote{Server: w}
+		if !f.health.Breaker(w).Allow() {
+			vote.Detail = "breaker-open"
+			q.Votes = append(q.Votes, vote)
+			continue
+		}
+		resp, _, err := roundTrip(f.clients[w], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StorageAuditRequest{
+			UserID:    userID,
+			Positions: positions,
+			Warrant:   warrant,
+		})
+		if err != nil {
+			// Transport or terminal: either way the witness abstains —
+			// cross-examination gathers evidence, it must not abort the
+			// audit that triggered it.
+			vote.Detail = err.Error()
+			q.Votes = append(q.Votes, vote)
+			continue
+		}
+		sa, ok := resp.(*wire.StorageAuditResponse)
+		switch {
+		case !ok:
+			vote.Completed, vote.Bad = true, true
+			vote.Detail = fmt.Sprintf("unexpected storage audit response %T", resp)
+		case sa.Error != "":
+			vote.Completed, vote.Bad = true, true
+			vote.Detail = "witness refused storage audit: " + sa.Error
+		case len(sa.Blocks) != len(positions) || len(sa.Sigs) != len(positions):
+			vote.Completed, vote.Bad = true, true
+			vote.Detail = "wrong number of blocks in witness answer"
+		default:
+			vote.Completed = true
+			for i, pos := range positions {
+				if err := a.verifyStoredBlock(userID, pos, sa.Blocks[i], sa.Sigs[i]); err != nil {
+					vote.Bad = true
+					vote.Detail = err.Error()
+					break
+				}
+			}
+			if !vote.Bad {
+				good = append(good, &witnessAnswer{server: w, blocks: sa.Blocks, sigs: sa.Sigs})
+			}
+		}
+		q.Votes = append(q.Votes, vote)
+	}
+	q.Class = classifyVotes(q.Votes)
+	return q, good
+}
+
+// executeRepair re-replicates the accused replica's failed positions from
+// the first witness whose answers verified, then confirms with a targeted
+// re-audit of exactly those positions.
+//
+// Soundness: every copied block's designated signature was verified
+// against (position ‖ data) under eq. 5/7 before the copy, so a cheating
+// source cannot poison the repair — it would need a signature forgery.
+// The copy goes through the target's ordinary store path, so it inherits
+// log-before-ack durability when the server runs with a WAL.
+func (a *Agency) executeRepair(
+	f *Fleet, userID string, warrant wire.Warrant, cfg FleetAuditConfig,
+	target int, positions []uint64, witnesses []*witnessAnswer,
+) *RepairResult {
+	start := a.clock()
+	rr := &RepairResult{Plan: RepairPlan{Target: target, Source: -1, Positions: positions}}
+	defer func() { rr.Elapsed = a.clock().Sub(start) }()
+	if len(witnesses) == 0 {
+		rr.Detail = "no replica with verified signatures to source from"
+		return rr
+	}
+	src := witnesses[0]
+	rr.Plan.Source = src.server
+	// Re-gate defensively: only blocks whose eq. 5/7 signature verifies
+	// may cross replicas, even if the witness already passed.
+	for i, pos := range positions {
+		if err := a.verifyStoredBlock(userID, pos, src.blocks[i], src.sigs[i]); err != nil {
+			rr.Detail = fmt.Sprintf("source block failed verification: %v", err)
+			return rr
+		}
+	}
+	resp, _, err := roundTrip(f.clients[target], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StoreRequest{
+		UserID:    userID,
+		Positions: positions,
+		Blocks:    src.blocks,
+		Sigs:      src.sigs,
+	})
+	if err != nil {
+		rr.Detail = fmt.Sprintf("re-replicating to target: %v", err)
+		return rr
+	}
+	sr, ok := resp.(*wire.StoreResponse)
+	if !ok || !sr.OK {
+		detail := fmt.Sprintf("unexpected store response %T", resp)
+		if ok {
+			detail = "target refused repair store: " + sr.Error
+		}
+		rr.Detail = detail
+		return rr
+	}
+	rr.Applied = true
+
+	// Confirm: the target must now answer the exact repaired positions
+	// with verifying signatures.
+	resp, _, err = roundTrip(f.clients[target], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StorageAuditRequest{
+		UserID:    userID,
+		Positions: positions,
+		Warrant:   warrant,
+	})
+	if err != nil {
+		rr.Detail = fmt.Sprintf("re-audit after repair: %v", err)
+		return rr
+	}
+	sa, ok := resp.(*wire.StorageAuditResponse)
+	if !ok || sa.Error != "" || len(sa.Blocks) != len(positions) || len(sa.Sigs) != len(positions) {
+		rr.Detail = "re-audit after repair returned a malformed answer"
+		return rr
+	}
+	for i, pos := range positions {
+		if err := a.verifyStoredBlock(userID, pos, sa.Blocks[i], sa.Sigs[i]); err != nil {
+			rr.Detail = fmt.Sprintf("re-audit after repair: %v", err)
+			return rr
+		}
+	}
+	rr.Confirmed = true
+	return rr
+}
+
+// summarizeFailovers renders the failover trail canonically for the
+// signed evidence: "round:from>to/reason" joined by commas.
+func summarizeFailovers(events []FailoverEvent) string {
+	parts := make([]string, len(events))
+	for i, e := range events {
+		parts[i] = fmt.Sprintf("%d:%d>%d/%s", e.Round, e.From, e.To, e.Reason)
+	}
+	return strings.Join(parts, ",")
+}
+
+// summarizeQuorums renders the quorum verdicts canonically:
+// "accused=i/class/good=g/bad=b" joined by commas.
+func summarizeQuorums(quorums []*QuorumResult) string {
+	parts := make([]string, len(quorums))
+	for i, q := range quorums {
+		good, bad := 0, 0
+		for _, v := range q.Votes {
+			if !v.Completed {
+				continue
+			}
+			if v.Bad {
+				bad++
+			} else {
+				good++
+			}
+		}
+		parts[i] = fmt.Sprintf("accused=%d/%s/good=%d/bad=%d", q.Accused, q.Class, good, bad)
+	}
+	return strings.Join(parts, ",")
+}

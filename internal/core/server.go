@@ -455,3 +455,23 @@ func (s *Server) StoredBlockCount(userID string) int {
 	defer s.mu.Unlock()
 	return len(s.storage[userID])
 }
+
+// TamperBlock is a fault-injection hook for tests and simulations: it
+// overwrites the in-memory payload of one stored block without touching
+// its signature (nil models a deleted payload — readBlock fabricates
+// random bytes, the paper's "reply ... with a random number"). The
+// previous payload is returned so callers can restore it. The tamper
+// deliberately bypasses the WAL: it simulates silent media corruption,
+// which by definition happens underneath the durability layer — only an
+// audit-driven repair through the store path can truly heal it.
+func (s *Server) TamperBlock(userID string, pos uint64, data []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sb, ok := s.storage[userID][pos]
+	if !ok {
+		return nil, false
+	}
+	prev := sb.data
+	sb.data = data
+	return prev, true
+}

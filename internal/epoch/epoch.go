@@ -85,6 +85,37 @@ type Config struct {
 	// fires ("before-log", "after-log", "mid-snapshot", "torn-tail");
 	// empty means "after-log".
 	CrashPoint string
+
+	// KillEvery, when > 0, takes one server (round-robin) down for the
+	// WHOLE of every KillEvery-th epoch: requests to it drop at the
+	// transport, jobs fail over to live replicas, and fleet audits must
+	// complete by re-issuing rounds elsewhere. Unlike CrashEvery this
+	// models an outage/partition, not a process death — no WAL needed,
+	// the server returns at the end of the epoch with its state intact.
+	KillEvery int
+	// FleetSampleSize, when > 0, runs one fleet storage audit per server
+	// per epoch (each server takes a turn as primary) with this sampling
+	// budget, exercising failover, quorum cross-examination, and repair.
+	FleetSampleSize int
+	// QuorumK is the witness count for cross-examining a BadProof
+	// (0 = default 2).
+	QuorumK int
+	// Repair executes audit-driven repair for localized corruption.
+	Repair bool
+	// BadReplicaEpoch, when > 0, silently corrupts BadBlocks blocks on
+	// server BadReplica at the start of that epoch — the single-bad-
+	// replica scenario the quorum must classify as localized (and, with
+	// Repair set, heal).
+	BadReplicaEpoch int
+	// BadReplica is the replica the corruption lands on.
+	BadReplica int
+	// BadBlocks is how many blocks (positions 0..BadBlocks-1) rot.
+	BadBlocks int
+}
+
+// fleetEnabled reports whether the fleet-robustness layer is active.
+func (c *Config) fleetEnabled() bool {
+	return c.KillEvery > 0 || c.FleetSampleSize > 0 || c.BadReplicaEpoch > 0
 }
 
 // faultsEnabled reports whether the network-failure adversary is active.
@@ -128,6 +159,17 @@ func (c *Config) validate() error {
 	}
 	if c.CrashEvery > 0 && c.WALDir == "" {
 		return fmt.Errorf("epoch: crash injection requires a WAL directory")
+	}
+	if c.KillEvery < 0 || c.FleetSampleSize < 0 || c.BadReplicaEpoch < 0 {
+		return fmt.Errorf("epoch: fleet cadences must be non-negative")
+	}
+	if c.BadReplicaEpoch > 0 {
+		if c.BadReplica < 0 || c.BadReplica >= c.Servers {
+			return fmt.Errorf("epoch: bad replica %d outside the fleet of %d", c.BadReplica, c.Servers)
+		}
+		if c.BadBlocks <= 0 || c.BadBlocks > c.BlocksPerUser {
+			return fmt.Errorf("epoch: bad blocks %d outside 1..%d", c.BadBlocks, c.BlocksPerUser)
+		}
 	}
 	if _, ok := store.CrashPointByName(c.crashPoint()); !ok {
 		return fmt.Errorf("epoch: unknown crash point %q", c.CrashPoint)
@@ -182,6 +224,21 @@ type EpochStats struct {
 	DegradedAudits int
 	// CrashedServers are the servers killed and recovered this epoch.
 	CrashedServers []int
+	// KilledServers are the servers down for this whole epoch.
+	KilledServers []int
+	// JobFailovers counts sub-jobs the CSP moved off their slot server.
+	JobFailovers int
+	// FleetAudits / FleetFailovers count fleet storage audits and the
+	// rounds they re-issued to another replica.
+	FleetAudits    int
+	FleetFailovers int
+	// LocalizedVerdicts / ProviderWideVerdicts / InconclusiveVerdicts
+	// count quorum cross-examination outcomes.
+	LocalizedVerdicts    int
+	ProviderWideVerdicts int
+	InconclusiveVerdicts int
+	// RepairsConfirmed counts repairs whose targeted re-audit passed.
+	RepairsConfirmed int
 }
 
 // Result is the whole simulation outcome.
@@ -209,6 +266,35 @@ type Result struct {
 	// recovered server must keep passing audits — FalseFlags stays 0).
 	Crashes    int
 	Recoveries int
+	// Kills counts whole-epoch outages injected by KillEvery.
+	Kills int
+	// JobFailovers totals sub-jobs moved off their slot server.
+	JobFailovers int
+	// FleetAudits totals fleet storage audits; DegradedFleetAudits those
+	// that could not complete their full sample even with failover.
+	FleetAudits         int
+	DegradedFleetAudits int
+	// FleetFailovers totals re-issued fleet audit rounds.
+	FleetFailovers int
+	// Quorum verdict totals.
+	LocalizedVerdicts    int
+	ProviderWideVerdicts int
+	InconclusiveVerdicts int
+	// RepairsAttempted / RepairsConfirmed total audit-driven repairs and
+	// those whose targeted re-audit passed.
+	RepairsAttempted int
+	RepairsConfirmed int
+}
+
+// FleetAvailability is the fraction of fleet storage audits that
+// completed their full planned sample — failover hides outages, so this
+// stays 1.0 as long as some replica can answer every round (1.0 when no
+// fleet audits ran).
+func (r *Result) FleetAvailability() float64 {
+	if r.FleetAudits == 0 {
+		return 1
+	}
+	return 1 - float64(r.DegradedFleetAudits)/float64(r.FleetAudits)
 }
 
 // AuditSuccessRate is the fraction of audits that completed their full
@@ -278,6 +364,12 @@ func (h *restartableHandler) swap(srv *core.Server) {
 	h.mu.Unlock()
 }
 
+func (h *restartableHandler) current() *core.Server {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.srv
+}
+
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
@@ -315,6 +407,7 @@ func Run(cfg Config) (*Result, error) {
 	clients := make([]netsim.Client, cfg.Servers)
 	cspClients := make([]netsim.Client, cfg.Servers)
 	handlers := make([]*restartableHandler, cfg.Servers)
+	downs := make([]*netsim.DownableHandler, cfg.Servers)
 	crashers := make([]*store.Crasher, cfg.Servers)
 	// newServer builds server i's incarnation; with a WALDir this runs the
 	// full recovery path (snapshot load, WAL replay, Merkle cross-checks)
@@ -352,7 +445,11 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		handlers[i] = &restartableHandler{srv: srv}
-		lb := netsim.NewLoopback(handlers[i], netsim.LinkConfig{})
+		// The downable wrapper sits between the stable identity and the
+		// link: the kill schedule flips it so the whole epoch sees the
+		// server as unreachable, with its state (and WAL) intact.
+		downs[i] = netsim.NewDownableHandler(handlers[i])
+		lb := netsim.NewLoopback(downs[i], netsim.LinkConfig{})
 		if cfg.faultsEnabled() {
 			delayRate := 0.0
 			if cfg.FaultDelay > 0 {
@@ -372,9 +469,31 @@ func Run(cfg Config) (*Result, error) {
 		// its own fault-aware round machinery on the raw link.
 		cspClients[i] = netsim.NewRetryClient(lb, newRetrier(cfg.Seed+2000+int64(i)))
 	}
+
+	// The fleet shares one health tracker between every path that talks
+	// to the servers: audits and CSP traffic feed the same breakers, so a
+	// server that stops answering jobs is already suspect when the next
+	// audit round would have gone to it.
+	var fleet *core.Fleet
+	if cfg.fleetEnabled() {
+		ids := make([]string, cfg.Servers)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("cs:epoch-%d", i)
+		}
+		fleet, err = core.NewFleet(clients, ids, core.BreakerConfig{})
+		if err != nil {
+			return nil, err
+		}
+		for i := range cspClients {
+			cspClients[i] = fleet.Instrument(i, cspClients[i])
+		}
+	}
 	csp, err := core.NewCSP(cspClients)
 	if err != nil {
 		return nil, err
+	}
+	if fleet != nil {
+		csp = csp.WithHealth(fleet.Health())
 	}
 
 	// Outsource once; data persists across epochs.
@@ -399,6 +518,9 @@ func Run(cfg Config) (*Result, error) {
 	reg := funcs.NewRegistry()
 
 	result := &Result{Config: cfg}
+	// badPositions tracks which injected-rot positions are still unhealed
+	// on the bad replica.
+	badPositions := make(map[uint64]bool)
 	for ep := 1; ep <= cfg.Epochs; ep++ {
 		stats := EpochStats{Epoch: ep}
 
@@ -438,6 +560,43 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
+		// The outage schedule: one server (round-robin) is unreachable for
+		// this whole epoch. If the crash schedule already picked the same
+		// server this epoch, shift by one — the crash machinery needs to
+		// reach its victim to kill it.
+		killVictim := -1
+		if cfg.KillEvery > 0 && ep%cfg.KillEvery == 0 {
+			killVictim = (ep/cfg.KillEvery - 1) % cfg.Servers
+			if len(stats.CrashedServers) > 0 && killVictim == stats.CrashedServers[0] {
+				killVictim = (killVictim + 1) % cfg.Servers
+			}
+			downs[killVictim].SetDown(true)
+			stats.KilledServers = append(stats.KilledServers, killVictim)
+			result.Kills++
+		}
+
+		// The silent-corruption injection: BadBlocks blocks rot on one
+		// replica, beneath the durability layer — no WAL record, no
+		// signature change, exactly what a quorum cross-examination must
+		// classify as localized.
+		if cfg.BadReplicaEpoch > 0 && ep == cfg.BadReplicaEpoch {
+			srv := handlers[cfg.BadReplica].current()
+			for b := 0; b < cfg.BadBlocks; b++ {
+				// Bit-flip the real block rather than truncating it: the
+				// rotten bytes stay structurally decodable, so compute jobs
+				// run (and return wrong results) instead of erroring out —
+				// silent corruption, not a crash.
+				rot := append([]byte(nil), ds.Blocks[b]...)
+				for i := range rot {
+					rot[i] ^= 0xA5
+				}
+				if _, ok := srv.TamperBlock(user.ID(), uint64(b), rot); !ok {
+					return nil, fmt.Errorf("epoch %d: tampering block %d on server %d found nothing", ep, b, cfg.BadReplica)
+				}
+				badPositions[uint64(b)] = true
+			}
+		}
+
 		// The mobile adversary re-picks its b servers.
 		picks := core.SampleIndices(rng, cfg.Servers, cfg.Corrupted)
 		corrupted := make(map[int]bool, len(picks))
@@ -454,7 +613,7 @@ func Run(cfg Config) (*Result, error) {
 			job := workload.UniformJob(user.ID(), funcs.Spec{Name: "digest"}, cfg.BlocksPerUser)
 			subs, err := csp.RunJob(user, jobID, job)
 			if err != nil {
-				if cfg.faultsEnabled() {
+				if cfg.faultsEnabled() || killVictim >= 0 {
 					// The network ate the job even after retries; record
 					// the loss and keep the simulation running.
 					stats.JobsFailed++
@@ -463,6 +622,11 @@ func Run(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("epoch %d job %d: %w", ep, j, err)
 			}
 			stats.JobsRun += len(subs)
+			for _, sub := range subs {
+				if sub.ServerIdx != sub.Slot {
+					stats.JobFailovers++
+				}
+			}
 
 			flagged := make(map[int]bool)
 			if cfg.SampleSize > 0 {
@@ -487,8 +651,14 @@ func Run(cfg Config) (*Result, error) {
 						auditCfg.Retry = r
 					}
 					// Audits run on the raw faulty link so the agency's
-					// own fault-aware machinery is what gets exercised.
-					report, err := agency.AuditJob(clients[subs[i].ServerIdx], d, auditCfg)
+					// own fault-aware machinery is what gets exercised —
+					// through the fleet's instrumentation when it exists,
+					// so audit outcomes feed the breakers too.
+					auditClient := clients[subs[i].ServerIdx]
+					if fleet != nil {
+						auditClient = fleet.Client(subs[i].ServerIdx)
+					}
+					report, err := agency.AuditJob(auditClient, d, auditCfg)
 					if err != nil {
 						return nil, fmt.Errorf("epoch %d audit: %w", ep, err)
 					}
@@ -502,7 +672,11 @@ func Run(cfg Config) (*Result, error) {
 						sIdx := subs[i].ServerIdx
 						flagged[sIdx] = true
 						stats.FlaggedServers = append(stats.FlaggedServers, sIdx)
-						if !corrupted[sIdx] {
+						// A flag is false only when the server was neither
+						// adversary-controlled nor carrying injected rot:
+						// the bad replica genuinely serves wrong bytes.
+						rotten := len(badPositions) > 0 && sIdx == cfg.BadReplica
+						if !corrupted[sIdx] && !rotten {
 							result.FalseFlags++
 						}
 					}
@@ -525,6 +699,74 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
+		// Fleet storage audits: every server takes one turn as primary, so
+		// a killed primary forces observable failover and the bad replica
+		// is always challenged directly at least once per epoch.
+		if fleet != nil && cfg.FleetSampleSize > 0 {
+			for pi := 0; pi < cfg.Servers; pi++ {
+				fcfg := core.FleetAuditConfig{
+					Storage: core.StorageAuditConfig{
+						DatasetSize:     cfg.BlocksPerUser,
+						SampleSize:      cfg.FleetSampleSize,
+						Rounds:          2,
+						BatchSignatures: true,
+						Rng:             mrand.New(mrand.NewSource(rng.Int63())),
+					},
+					Primary: pi,
+					QuorumK: cfg.QuorumK,
+					Repair:  cfg.Repair,
+				}
+				if cfg.faultsEnabled() {
+					r := newRetrier(rng.Int63())
+					r.MaxAttempts = 3
+					fcfg.Storage.Retry = r
+				}
+				fr, err := agency.AuditStorageFleet(fleet, user.ID(), warrant, fcfg)
+				if err != nil {
+					return nil, fmt.Errorf("epoch %d fleet audit (primary %d): %w", ep, pi, err)
+				}
+				stats.FleetAudits++
+				stats.FleetFailovers += len(fr.Failovers)
+				if fr.Report.Degraded() {
+					result.DegradedFleetAudits++
+				}
+				for _, q := range fr.Quorums {
+					switch q.Class {
+					case core.QuorumLocalized:
+						stats.LocalizedVerdicts++
+					case core.QuorumProviderWide:
+						stats.ProviderWideVerdicts++
+					default:
+						stats.InconclusiveVerdicts++
+					}
+					// A storage accusation against a replica that is
+					// neither adversary-controlled nor carrying injected
+					// rot is a false flag.
+					rotten := len(badPositions) > 0 && q.Accused == cfg.BadReplica
+					if !corrupted[q.Accused] && !rotten {
+						result.FalseFlags++
+					}
+				}
+				for _, rp := range fr.Repairs {
+					result.RepairsAttempted++
+					if !rp.Confirmed {
+						continue
+					}
+					stats.RepairsConfirmed++
+					if rp.Plan.Target == cfg.BadReplica {
+						for _, pos := range rp.Plan.Positions {
+							delete(badPositions, pos)
+						}
+					}
+				}
+			}
+		}
+
+		// The killed server returns at the end of the epoch, state intact.
+		if killVictim >= 0 {
+			downs[killVictim].SetDown(false)
+		}
+
 		if stats.Detections > 0 && result.FirstDetectionEpoch == 0 {
 			result.FirstDetectionEpoch = ep
 		}
@@ -533,6 +775,13 @@ func Run(cfg Config) (*Result, error) {
 		result.DegradedAudits += stats.DegradedAudits
 		result.NetworkFaultRounds += stats.NetworkFaultRounds
 		result.JobsFailed += stats.JobsFailed
+		result.JobFailovers += stats.JobFailovers
+		result.FleetAudits += stats.FleetAudits
+		result.FleetFailovers += stats.FleetFailovers
+		result.LocalizedVerdicts += stats.LocalizedVerdicts
+		result.ProviderWideVerdicts += stats.ProviderWideVerdicts
+		result.InconclusiveVerdicts += stats.InconclusiveVerdicts
+		result.RepairsConfirmed += stats.RepairsConfirmed
 		result.Epochs = append(result.Epochs, stats)
 	}
 	return result, nil

@@ -192,3 +192,108 @@ func TestEpochStatsShape(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetKillScheduleZeroFalseFlags is the acceptance scenario: a
+// 5-server fleet with a whole-epoch outage every other epoch. Jobs must
+// fail over (none lost), every fleet audit must complete its full sample
+// by re-issuing rounds, and nothing may be flagged.
+func TestFleetKillScheduleZeroFalseFlags(t *testing.T) {
+	res, err := Run(Config{
+		Servers: 5, Corrupted: 0, Epochs: 4, BlocksPerUser: 8,
+		JobsPerEpoch: 1, SampleSize: 2, FleetSampleSize: 4,
+		KillEvery: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Kills != 2 {
+		t.Fatalf("kills = %d, want 2", res.Kills)
+	}
+	if res.JobsFailed != 0 {
+		t.Fatalf("%d jobs lost despite CSP failover", res.JobsFailed)
+	}
+	if res.JobFailovers == 0 {
+		t.Fatal("no sub-job ever failed over during an outage")
+	}
+	if res.FleetAudits != 4*5 {
+		t.Fatalf("fleet audits = %d, want %d", res.FleetAudits, 4*5)
+	}
+	if res.FleetFailovers == 0 {
+		t.Fatal("no fleet audit round ever failed over during an outage")
+	}
+	if res.FleetAvailability() != 1 {
+		t.Fatalf("fleet availability %v < 1: an outage degraded an audit", res.FleetAvailability())
+	}
+	if res.FalseFlags != 0 || res.FirstDetectionEpoch != 0 ||
+		res.LocalizedVerdicts+res.ProviderWideVerdicts+res.InconclusiveVerdicts != 0 {
+		t.Fatalf("outages produced accusations: %+v", res)
+	}
+}
+
+// TestFleetBadReplicaLocalizedAndRepaired injects silent rot on one
+// replica mid-run. The quorum must classify it as localized (never
+// provider-wide), repair must heal it, and every later fleet audit must
+// pass — all with zero false flags against the other replicas.
+func TestFleetBadReplicaLocalizedAndRepaired(t *testing.T) {
+	res, err := Run(Config{
+		Servers: 4, Corrupted: 0, Epochs: 4, BlocksPerUser: 8,
+		JobsPerEpoch: 1, SampleSize: 2,
+		FleetSampleSize: 8, // full sample: every rotten block is challenged
+		Repair:          true,
+		BadReplicaEpoch: 2, BadReplica: 1, BadBlocks: 3,
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FalseFlags != 0 {
+		t.Fatalf("false flags = %d, want 0", res.FalseFlags)
+	}
+	if res.LocalizedVerdicts == 0 {
+		t.Fatal("injected single-replica rot was never classified as localized")
+	}
+	if res.ProviderWideVerdicts != 0 {
+		t.Fatalf("single-replica rot misclassified as provider-wide %d times", res.ProviderWideVerdicts)
+	}
+	if res.RepairsConfirmed == 0 {
+		t.Fatal("no repair was confirmed")
+	}
+	// After the repair epoch, the fleet must be clean again: no further
+	// quorums, and the repaired replica passes its primary audits.
+	for _, ep := range res.Epochs {
+		if ep.Epoch <= 2 {
+			continue
+		}
+		if ep.LocalizedVerdicts+ep.ProviderWideVerdicts+ep.InconclusiveVerdicts != 0 {
+			t.Fatalf("epoch %d still produced quorum verdicts after repair: %+v", ep.Epoch, ep)
+		}
+	}
+}
+
+// TestFleetKillPlusBadReplica combines an outage schedule with the rot
+// injection: failover and repair must compose without false flags.
+func TestFleetKillPlusBadReplica(t *testing.T) {
+	res, err := Run(Config{
+		Servers: 5, Corrupted: 0, Epochs: 5, BlocksPerUser: 6,
+		JobsPerEpoch: 1, SampleSize: 2, FleetSampleSize: 6,
+		KillEvery: 2, Repair: true,
+		BadReplicaEpoch: 3, BadReplica: 2, BadBlocks: 2,
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FalseFlags != 0 {
+		t.Fatalf("false flags = %d, want 0", res.FalseFlags)
+	}
+	if res.LocalizedVerdicts == 0 || res.RepairsConfirmed == 0 {
+		t.Fatalf("rot not localized (%d) or not repaired (%d)",
+			res.LocalizedVerdicts, res.RepairsConfirmed)
+	}
+	if res.FleetAvailability() != 1 {
+		t.Fatalf("fleet availability %v < 1", res.FleetAvailability())
+	}
+	if res.JobsFailed != 0 {
+		t.Fatalf("%d jobs lost despite failover", res.JobsFailed)
+	}
+}
