@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"seccloud/internal/experiments"
+	"seccloud/internal/obs"
 )
 
 // crashRecoveryScenario: recovery time for growing datasets, plus the
@@ -34,11 +35,17 @@ type crashRecoveryJSON struct {
 		JobAuditValid     bool   `json:"job_audit_valid"`
 		StorageAuditValid bool   `json:"storage_audit_valid"`
 	} `json:"crash_matrix"`
+	// Metrics is the registry snapshot after the run: WAL append/fsync/
+	// replay counters and audit instrumentation for every restart.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 func (r *runner) crashRecovery() error {
 	r.header("Crash recovery — WAL restart time and post-crash audit survival")
-	sweep, matrix, err := experiments.CrashRecovery(r.pp, crashRecoveryScenario)
+	cfg := crashRecoveryScenario
+	hub := r.expHub()
+	cfg.Hub = hub
+	sweep, matrix, err := experiments.CrashRecovery(r.pp, cfg)
 	if err != nil {
 		return err
 	}
@@ -90,6 +97,7 @@ func (r *runner) crashRecovery() error {
 			StorageAuditValid bool   `json:"storage_audit_valid"`
 		}{row.Point, row.TornTail, row.MutationDurable, row.JobAuditValid, row.StorageAuditValid})
 	}
+	out.Metrics = hub.Registry().Snapshot()
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		return err

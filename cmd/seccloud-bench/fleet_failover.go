@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"seccloud/internal/experiments"
+	"seccloud/internal/obs"
 )
 
 // fleetFailoverScenario: audit availability vs outage size on a 5-replica
@@ -40,11 +41,17 @@ type fleetFailoverJSON struct {
 		PipelineMS    float64 `json:"pipeline_ms"`
 		ReauditValid  bool    `json:"reaudit_valid"`
 	} `json:"repair"`
+	// Metrics is the registry snapshot after the run: failover, quorum,
+	// and repair counters plus breaker gauges for the last sweep row.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 func (r *runner) fleetFailover() error {
 	r.header("Fleet failover — audit availability under outages and repair latency")
-	avail, repairs, err := experiments.FleetFailover(r.pp, fleetFailoverScenario)
+	cfg := fleetFailoverScenario
+	hub := r.expHub()
+	cfg.Hub = hub
+	avail, repairs, err := experiments.FleetFailover(r.pp, cfg)
 	if err != nil {
 		return err
 	}
@@ -109,6 +116,7 @@ func (r *runner) fleetFailover() error {
 			float64(row.Repair.Nanoseconds()) / 1e6,
 			float64(row.Pipeline.Nanoseconds()) / 1e6, row.ReauditValid})
 	}
+	out.Metrics = hub.Registry().Snapshot()
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		return err

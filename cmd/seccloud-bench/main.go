@@ -16,6 +16,7 @@
 //	seccloud-bench -params ss512           # use the full-size pairing
 //	seccloud-bench -csv                    # machine-readable output
 //	seccloud-bench -exp parallel-audit -json BENCH_parallel_audit.json
+//	seccloud-bench -admin 127.0.0.1:6060   # scrape /metrics while experiments run
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 
 	"seccloud/internal/epoch"
 	"seccloud/internal/experiments"
+	"seccloud/internal/obs"
 	"seccloud/internal/pairing"
 )
 
@@ -38,6 +40,7 @@ func main() {
 	trials := flag.Int("trials", 200, "Monte-Carlo trials per detection row")
 	workers := flag.Int("workers", 8, "max worker-pool size for the parallel-audit experiment")
 	jsonOut := flag.String("json", "", "also write parallel-audit results to this JSON file")
+	admin := flag.String("admin", "", "serve /metrics, /traces, /healthz and pprof on this address while experiments run (empty = off)")
 	flag.Parse()
 
 	pp, err := pairing.ByName(*params)
@@ -47,6 +50,19 @@ func main() {
 	}
 	r := &runner{pp: pp, csv: *csv, iters: *iters, trials: *trials,
 		workers: *workers, jsonOut: *jsonOut}
+
+	var adminSrv *obs.AdminServer
+	if *admin != "" {
+		hub := obs.NewHub()
+		srv, err := hub.ListenAndServe(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seccloud-bench:", err)
+			os.Exit(1)
+		}
+		adminSrv = srv
+		r.adminHub = hub
+		fmt.Printf("admin endpoint listening on http://%s/metrics\n", srv.Addr())
+	}
 
 	var runErr error
 	switch *exp {
@@ -84,6 +100,9 @@ func main() {
 	default:
 		runErr = fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if adminSrv != nil {
+		_ = adminSrv.Close()
+	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "seccloud-bench:", runErr)
 		os.Exit(1)
@@ -97,6 +116,19 @@ type runner struct {
 	trials  int
 	workers int
 	jsonOut string
+	// adminHub is non-nil when -admin is serving; experiments then share
+	// it so a live scrape sees them all.
+	adminHub *obs.Hub
+}
+
+// expHub returns the metrics hub for one experiment run: the shared admin
+// hub when -admin is serving, otherwise a fresh private hub so each
+// BENCH_*.json metrics section covers exactly its own experiment.
+func (r *runner) expHub() *obs.Hub {
+	if r.adminHub != nil {
+		return r.adminHub
+	}
+	return obs.NewHub()
 }
 
 func ms(d time.Duration) string {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"seccloud/internal/experiments"
+	"seccloud/internal/obs"
 )
 
 // parallelAuditScenario is the acceptance scenario for the pipelined
@@ -42,6 +43,9 @@ type parallelAuditJSON struct {
 		WarmMS  float64 `json:"warm_ms"`
 		Speedup float64 `json:"speedup"`
 	} `json:"pairing_precompute"`
+	// Metrics is the registry snapshot after the run: audit counters,
+	// duration histograms, and transport traffic for every measured audit.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 func (r *runner) parallelAudit() error {
@@ -50,6 +54,8 @@ func (r *runner) parallelAudit() error {
 	for w := 1; w <= r.workers; w *= 2 {
 		cfg.Workers = append(cfg.Workers, w)
 	}
+	hub := r.expHub()
+	cfg.Hub = hub
 	rows, err := experiments.ParallelAudit(r.pp, cfg)
 	if err != nil {
 		return err
@@ -100,6 +106,7 @@ func (r *runner) parallelAudit() error {
 	out.PairingPrecompute.ColdMS = float64(precomp.Cold.Nanoseconds()) / 1e6
 	out.PairingPrecompute.WarmMS = float64(precomp.Warm.Nanoseconds()) / 1e6
 	out.PairingPrecompute.Speedup = precomp.Speedup
+	out.Metrics = hub.Registry().Snapshot()
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		return err

@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"seccloud/internal/epoch"
+	"seccloud/internal/obs"
 )
 
 func main() {
@@ -51,6 +53,8 @@ func main() {
 		badReplica   = flag.Int("bad-replica", 0, "replica index to silently corrupt (with -bad-replica-epoch)")
 		badEpoch     = flag.Int("bad-replica-epoch", 0, "epoch at which the bad replica's blocks rot (0 = never)")
 		badBlocks    = flag.Int("bad-blocks", 2, "number of blocks that rot on the bad replica")
+		admin        = flag.String("admin", "", "serve /metrics, /traces, /healthz and pprof on this address (e.g. 127.0.0.1:6060 or :0; empty = off)")
+		adminLinger  = flag.Duration("admin-linger", 0, "keep the admin endpoint up this long after the run (requires -admin)")
 	)
 	flag.Parse()
 
@@ -81,6 +85,19 @@ func main() {
 		BadBlocks:       *badBlocks,
 	}
 
+	var adminSrv *obs.AdminServer
+	if *admin != "" {
+		hub := obs.NewHub()
+		srv, err := hub.ListenAndServe(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seccloud-sim:", err)
+			os.Exit(1)
+		}
+		adminSrv = srv
+		base.Hub = hub
+		fmt.Printf("admin endpoint listening on http://%s/metrics\n", srv.Addr())
+	}
+
 	var err error
 	switch {
 	case *faultSweep:
@@ -93,6 +110,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seccloud-sim:", err)
 		os.Exit(1)
+	}
+	if adminSrv != nil {
+		if *adminLinger > 0 {
+			fmt.Printf("admin endpoint up for another %v (scrape http://%s/metrics)\n", *adminLinger, adminSrv.Addr())
+			time.Sleep(*adminLinger)
+		}
+		_ = adminSrv.Close()
 	}
 }
 
@@ -164,6 +188,16 @@ func runOnce(cfg epoch.Config) error {
 			res.LocalizedVerdicts, res.ProviderWideVerdicts, res.InconclusiveVerdicts,
 			res.RepairsAttempted, res.RepairsConfirmed)
 	}
+
+	// End-of-run summary read back from the metrics registry — an
+	// independent accumulation that must agree with the counts above.
+	m := res.Metrics
+	fmt.Printf("\nmetrics registry summary\n")
+	fmt.Printf("%12s %14s %12s %12s %10s %10s %12s\n",
+		"job audits", "fleet audits", "net faults", "failovers", "repairs", "confirmed", "false flags")
+	fmt.Printf("%12d %14d %12d %12d %10d %10d %12d\n",
+		m.AuditsRun, m.FleetAudits, m.NetworkFaultRounds, m.FleetFailovers,
+		m.RepairsAttempted, m.RepairsConfirmed, m.FalseFlags)
 	return nil
 }
 

@@ -11,6 +11,7 @@
 //	seccloud -cheat storage -ssc 0.7           # a server that deleted 30%
 //	seccloud -cheat position -ssc 0.8          # wrong-position reads
 //	seccloud -blocks 64 -samples 20 -params ss512
+//	seccloud -admin 127.0.0.1:6060 -admin-linger 30s   # scrape /metrics and /traces
 package main
 
 import (
@@ -43,8 +44,27 @@ func run() error {
 		samples   = flag.Int("samples", 8, "audit sample size t")
 		fn        = flag.String("func", "sum", "function per sub-task (sum|mean|max|min|digest|parity|...)")
 		seed      = flag.Int64("seed", 1, "workload/adversary seed")
+		admin     = flag.String("admin", "", "serve /metrics, /traces, /healthz and pprof on this address (empty = off)")
+		linger    = flag.Duration("admin-linger", 0, "keep the admin endpoint up this long after the run (requires -admin)")
 	)
 	flag.Parse()
+
+	var hub *seccloud.Hub
+	if *admin != "" {
+		hub = seccloud.NewHub()
+		srv, err := hub.ListenAndServe(*admin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("admin endpoint listening on http://%s/metrics\n", srv.Addr())
+		defer func() { _ = srv.Close() }()
+		if *linger > 0 {
+			defer func() {
+				fmt.Printf("admin endpoint up for another %v (scrape http://%s/metrics)\n", *linger, srv.Addr())
+				time.Sleep(*linger)
+			}()
+		}
+	}
 
 	ps := seccloud.ParamInsecureTest256
 	if *params == "ss512" {
@@ -62,6 +82,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	auditor.WithObs(hub)
 
 	var policy seccloud.CheatPolicy
 	switch *cheat {
@@ -91,14 +112,14 @@ func run() error {
 	var client seccloud.Client
 	switch *transport {
 	case "loopback":
-		client = seccloud.Loopback(server)
+		client = seccloud.ObservedLoopback(server, hub)
 	case "tcp":
 		tcpSrv, err := seccloud.ServeTCP("127.0.0.1:0", server)
 		if err != nil {
 			return err
 		}
 		defer func() { _ = tcpSrv.Close() }()
-		client, err = seccloud.DialTCP(tcpSrv.Addr())
+		client, err = seccloud.DialTCPObserved(tcpSrv.Addr(), hub)
 		if err != nil {
 			return err
 		}

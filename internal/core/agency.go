@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"seccloud/internal/dvs"
@@ -14,6 +15,7 @@ import (
 	"seccloud/internal/ibc"
 	"seccloud/internal/merkle"
 	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
 	"seccloud/internal/sampling"
 	"seccloud/internal/wire"
 )
@@ -370,6 +372,7 @@ type Agency struct {
 	random  io.Reader
 	clock   func() time.Time
 	workers int
+	obs     *auditObs
 }
 
 // NewAgency builds the DA from its extracted identity key. The pairing
@@ -405,12 +408,26 @@ func (a *Agency) WithWorkers(workers int) *Agency {
 	return a
 }
 
+// WithObs wires the agency's audits into an observability hub: round and
+// check-failure counters, audit durations, worker-pool depth, and the
+// span tracer recording each audit's causal tree. A nil hub disables
+// instrumentation (the default); the audit path then pays only nil
+// checks. Instruments never change report contents.
+func (a *Agency) WithObs(h *obs.Hub) *Agency {
+	a.obs = newAuditObs(h)
+	return a
+}
+
 // auditPool resolves the effective worker pool for one audit run.
 func (a *Agency) auditPool(cfgWorkers int) *pool {
 	if cfgWorkers == 0 {
 		cfgWorkers = a.workers
 	}
-	return newPool(cfgWorkers)
+	p := newPool(cfgWorkers)
+	if a.obs != nil {
+		p.inflight = a.obs.inflight
+	}
+	return p
 }
 
 // challengeRNG returns the RNG that draws the challenge set S, preferring
@@ -515,6 +532,8 @@ func SampleIndices(rng *rand.Rand, n, t int) []uint64 {
 // so its contents are bit-identical for every worker count.
 func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfig) (*AuditReport, error) {
 	start := a.clock()
+	root := a.obs.startAudit("job", "job", d.JobID, "user", d.UserID)
+	defer root.End()
 	if err := a.AcceptDelegation(d); err != nil {
 		return nil, fmt.Errorf("core: delegation rejected: %w", err)
 	}
@@ -543,6 +562,7 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 	}
 	if len(sample) == 0 {
 		report.Elapsed = a.clock().Sub(start)
+		a.obs.finishAudit("job", report.Rounds, report.Failures, report.Valid(), report.Elapsed)
 		return report, nil
 	}
 
@@ -567,6 +587,8 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 			rr.ok = cr.Completed
 			return
 		}
+		rs := roundSpan(root, ri)
+		defer endRound(rs, &rr.rec)
 		rr.rec = RoundRecord{Indices: append([]uint64(nil), chunk...)}
 		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.ChallengeRequest{
 			JobID:   d.JobID,
@@ -608,7 +630,12 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 			itemFails := make([][]AuditFailure, len(ch.Items))
 			itemSigs := make([][]sigCheck, len(ch.Items))
 			p.forEach(len(ch.Items), func(i int) {
+				is := rs.Child("check.item", "index", strconv.FormatUint(chunk[i], 10))
 				itemFails[i], itemSigs[i] = a.checkItem(d, chunk[i], ch.Items[i], cfg.BatchSignatures)
+				if len(itemFails[i]) > 0 {
+					is.Annotate("failed", "true")
+				}
+				is.End()
 			})
 			for i := range ch.Items {
 				rr.fails = append(rr.fails, itemFails[i]...)
@@ -661,6 +688,7 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 		report.AchievedConfidence = conf
 	}
 	report.Elapsed = a.clock().Sub(start)
+	a.obs.finishAudit("job", report.Rounds, report.Failures, report.Valid(), report.Elapsed)
 	return report, nil
 }
 
@@ -859,6 +887,9 @@ type StorageAuditConfig struct {
 func (a *Agency) AuditStorage(
 	client netsim.Client, userID string, warrant wire.Warrant, cfg StorageAuditConfig,
 ) (*StorageAuditReport, error) {
+	start := a.clock()
+	root := a.obs.startAudit("storage", "user", userID)
+	defer root.End()
 	var sample []uint64
 	if cfg.Resume != nil {
 		if cfg.Resume.UserID != userID {
@@ -881,6 +912,7 @@ func (a *Agency) AuditStorage(
 		report.Failures = append(report.Failures, cfg.Resume.Failures...)
 	}
 	if len(sample) == 0 {
+		a.obs.finishAudit("storage", report.Rounds, report.Failures, report.Valid(), a.clock().Sub(start))
 		return report, nil
 	}
 
@@ -904,6 +936,8 @@ func (a *Agency) AuditStorage(
 			rr.carried = true
 			return
 		}
+		rs := roundSpan(root, ri)
+		defer endRound(rs, &rr.rec)
 		rr.rec = RoundRecord{Indices: append([]uint64(nil), chunk...)}
 		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.StorageAuditRequest{
 			UserID:    userID,
@@ -1008,6 +1042,7 @@ func (a *Agency) AuditStorage(
 		}
 	}
 	downgradeRounds(report.Rounds, report.Failures[preCheck:])
+	a.obs.finishAudit("storage", report.Rounds, report.Failures, report.Valid(), a.clock().Sub(start))
 	return report, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"seccloud/internal/dvs"
@@ -179,6 +180,10 @@ func (a *Agency) IssueFleetEvidence(f *Fleet, fr *FleetStorageReport) (*Evidence
 }
 
 func (a *Agency) signEvidence(e *Evidence) (*Evidence, error) {
+	sp := a.obs.tracer().Start("evidence.sign",
+		"job", e.JobID, "user", e.UserID, "server", e.ServerID,
+		"valid", strconv.FormatBool(e.Valid))
+	defer sp.End()
 	sig, err := a.scheme.Sign(a.key, evidenceBody(e), a.random)
 	if err != nil {
 		return nil, fmt.Errorf("core: signing evidence: %w", err)

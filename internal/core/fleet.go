@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -483,6 +484,8 @@ func (a *Agency) AuditStorageFleet(
 	f *Fleet, userID string, warrant wire.Warrant, cfg FleetAuditConfig,
 ) (*FleetStorageReport, error) {
 	start := a.clock()
+	root := a.obs.startAudit("fleet", "user", userID, "primary", strconv.Itoa(cfg.Primary))
+	defer root.End()
 	if cfg.Primary < 0 || cfg.Primary >= f.NumServers() {
 		return nil, fmt.Errorf("core: fleet audit primary %d out of range [0,%d)", cfg.Primary, f.NumServers())
 	}
@@ -502,6 +505,8 @@ func (a *Agency) AuditStorageFleet(
 	fr := &FleetStorageReport{UserID: userID, Primary: cfg.Primary, Report: report}
 	if len(sample) == 0 {
 		fr.Elapsed = a.clock().Sub(start)
+		a.obs.finishAudit("fleet", report.Rounds, report.Failures, report.Valid(), fr.Elapsed)
+		a.obs.finishFleet(fr)
 		return fr, nil
 	}
 
@@ -513,6 +518,7 @@ func (a *Agency) AuditStorageFleet(
 	answers := make([]served, len(chunks))
 	for ri, chunk := range chunks {
 		rec := RoundRecord{Indices: append([]uint64(nil), chunk...), Replica: -1}
+		rs := roundSpan(root, ri)
 		tried := make(map[int]bool)
 		server := cfg.Primary
 		lastOutcome, lastDetail := RoundNetworkFault, "no replica available"
@@ -523,6 +529,8 @@ func (a *Agency) AuditStorageFleet(
 				if next >= 0 {
 					fr.Failovers = append(fr.Failovers, FailoverEvent{Round: ri, From: server, To: next, Reason: reason})
 					rec.FailedOver = true
+					hop := rs.Child("failover", "from", strconv.Itoa(server), "to", strconv.Itoa(next), "reason", reason)
+					hop.End()
 				}
 				server = next
 			}
@@ -571,6 +579,7 @@ func (a *Agency) AuditStorageFleet(
 			rec.Outcome = lastOutcome
 			rec.Detail = lastDetail
 		}
+		endRound(rs, &rec)
 		report.Rounds = append(report.Rounds, rec)
 	}
 
@@ -663,14 +672,24 @@ func (a *Agency) AuditStorageFleet(
 		for _, acc := range replicas {
 			pos := accused[acc]
 			sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+			qs := root.Child("quorum", "accused", strconv.Itoa(acc))
 			q, witnesses := a.crossExamine(f, userID, warrant, cfg, acc, pos)
+			qs.Annotate("class", q.Class.String())
+			qs.End()
 			fr.Quorums = append(fr.Quorums, q)
 			if cfg.Repair && q.Class == QuorumLocalized {
-				fr.Repairs = append(fr.Repairs, a.executeRepair(f, userID, warrant, cfg, acc, pos, witnesses))
+				ps := root.Child("repair", "target", strconv.Itoa(acc))
+				rr := a.executeRepair(f, userID, warrant, cfg, acc, pos, witnesses)
+				ps.Annotate("applied", strconv.FormatBool(rr.Applied))
+				ps.Annotate("confirmed", strconv.FormatBool(rr.Confirmed))
+				ps.End()
+				fr.Repairs = append(fr.Repairs, rr)
 			}
 		}
 	}
 	fr.Elapsed = a.clock().Sub(start)
+	a.obs.finishAudit("fleet", report.Rounds, report.Failures, report.Valid(), fr.Elapsed)
+	a.obs.finishFleet(fr)
 	return fr, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"seccloud/internal/merkle"
+	"seccloud/internal/obs"
 	"seccloud/internal/store"
 	"seccloud/internal/wire"
 )
@@ -43,6 +44,9 @@ type DurabilityConfig struct {
 	NoSync bool
 	// Crash is the crash-point injector shared with the test harness.
 	Crash *store.Crasher
+	// Obs wires the WAL's instruments (append latency, fsync and record
+	// counters, snapshot size) into an observability hub; nil disables.
+	Obs *obs.Hub
 }
 
 // RecoveryInfo describes what a restarted server rebuilt from disk.
@@ -125,6 +129,7 @@ func (s *Server) initDurability() error {
 		SnapshotEvery: d.SnapshotEvery,
 		NoSync:        d.NoSync,
 		Crash:         d.Crash,
+		Obs:           d.Obs,
 	})
 	if err != nil {
 		return fmt.Errorf("core: opening WAL for %q: %w", s.id, err)

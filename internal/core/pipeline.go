@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"seccloud/internal/obs"
+)
 
 // pool is the bounded worker pool behind the parallel audit pipeline. It
 // fans independent tasks — challenge rounds, per-index checks — across at
@@ -18,6 +22,10 @@ import "sync"
 // read or assembled sequentially outside the pool.
 type pool struct {
 	sem chan struct{} // nil = sequential
+	// inflight, when set, gauges how many tasks hold a pool slot at any
+	// instant (audit_pool_inflight). Inline tasks are not counted: they
+	// run on the submitting goroutine, which already owns its slot.
+	inflight *obs.Gauge
 }
 
 // newPool builds a pool running at most `workers` tasks concurrently
@@ -48,6 +56,8 @@ func (p *pool) forEach(n int, fn func(i int)) {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-p.sem }()
+				p.inflight.Add(1)
+				defer p.inflight.Add(-1)
 				fn(i)
 			}(i)
 		default:

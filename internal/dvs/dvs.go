@@ -82,9 +82,11 @@ func (s *Scheme) pairWithVerifier(q *curve.Point, verifierSK *ibc.PrivateKey) *p
 	g := s.sp.G1()
 	if cached, ok := s.verifierCache.Load(verifierSK.ID); ok {
 		if e, ok := cached.(*verifierPC); ok && g.Equal(e.sk, verifierSK.SK) {
+			g.Counters().AddPrecompHit()
 			return e.pc.Pair(q)
 		}
 	}
+	g.Counters().AddPrecompMiss()
 	e := &verifierPC{sk: g.Copy(verifierSK.SK), pc: s.sp.Pairing().Precompute(verifierSK.SK)}
 	s.verifierCache.Store(verifierSK.ID, e)
 	return e.pc.Pair(q)
@@ -103,6 +105,7 @@ func (s *Scheme) PrecomputeVerifier(verifierSK *ibc.PrivateKey) {
 			return
 		}
 	}
+	g.Counters().AddPrecompMiss()
 	s.verifierCache.Store(verifierSK.ID, &verifierPC{
 		sk: g.Copy(verifierSK.SK),
 		pc: s.sp.Pairing().Precompute(verifierSK.SK),

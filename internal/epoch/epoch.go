@@ -25,6 +25,8 @@ import (
 	"seccloud/internal/funcs"
 	"seccloud/internal/ibc"
 	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
+	"seccloud/internal/ops"
 	"seccloud/internal/pairing"
 	"seccloud/internal/sampling"
 	"seccloud/internal/store"
@@ -111,6 +113,13 @@ type Config struct {
 	BadReplica int
 	// BadBlocks is how many blocks (positions 0..BadBlocks-1) rot.
 	BadBlocks int
+
+	// Hub receives the simulation's metrics and audit traces: transport
+	// latency/fault counters, per-round audit verdicts, breaker states,
+	// WAL instruments, and crypto op counts. Nil creates a private hub, so
+	// Result.Metrics is always registry-derived. A shared hub accumulates
+	// across runs; derive per-run deltas from Result.Metrics instead.
+	Hub *obs.Hub
 }
 
 // fleetEnabled reports whether the fleet-robustness layer is active.
@@ -284,6 +293,43 @@ type Result struct {
 	// those whose targeted re-audit passed.
 	RepairsAttempted int
 	RepairsConfirmed int
+	// Metrics is the end-of-run summary derived from the metrics registry
+	// (not from the hand-rolled counters above); with a fresh hub the two
+	// views agree exactly.
+	Metrics MetricsSummary
+}
+
+// MetricsSummary is the registry-derived view of a run: every field is
+// read back from the instruments the audit pipeline recorded into,
+// providing an independent cross-check of the hand-rolled accumulation.
+type MetricsSummary struct {
+	// AuditsRun / FleetAudits count returned job / fleet audit reports.
+	AuditsRun   int
+	FleetAudits int
+	// NetworkFaultRounds counts job-audit rounds lost to the transport
+	// (verdicts network-fault and timeout).
+	NetworkFaultRounds int
+	// FleetFailovers counts re-issued fleet audit rounds.
+	FleetFailovers int
+	// RepairsAttempted / RepairsConfirmed count audit-driven repairs.
+	RepairsAttempted int
+	RepairsConfirmed int
+	// FalseFlags counts audits that flagged a genuinely honest server.
+	FalseFlags int
+}
+
+// SummarizeRegistry derives a MetricsSummary from a registry snapshot.
+func SummarizeRegistry(s obs.Snapshot) MetricsSummary {
+	return MetricsSummary{
+		AuditsRun:   int(s.Total("audits_total", map[string]string{"type": "job"})),
+		FleetAudits: int(s.Total("audits_total", map[string]string{"type": "fleet"})),
+		NetworkFaultRounds: int(s.Total("audit_rounds_total", map[string]string{"type": "job", "verdict": "network-fault"}) +
+			s.Total("audit_rounds_total", map[string]string{"type": "job", "verdict": "timeout"})),
+		FleetFailovers:   int(s.Total("fleet_failovers_total", nil)),
+		RepairsAttempted: int(s.Total("fleet_repairs_total", map[string]string{"stage": "attempted"})),
+		RepairsConfirmed: int(s.Total("fleet_repairs_total", map[string]string{"stage": "confirmed"})),
+		FalseFlags:       int(s.Total("sim_false_flags_total", nil)),
+	}
 }
 
 // FleetAvailability is the fraction of fleet storage audits that
@@ -376,6 +422,11 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	rng := mrand.New(mrand.NewSource(cfg.Seed))
+	hub := cfg.Hub
+	if hub == nil {
+		hub = obs.NewHub()
+	}
+	falseFlags := hub.Counter("sim_false_flags_total").With()
 
 	sio, err := ibc.Setup(pairing.InsecureTest256(), rand.Reader)
 	if err != nil {
@@ -391,7 +442,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	user := core.NewUser(sp, userKey, rand.Reader)
-	agency := core.NewAgency(sp, daKey, rand.Reader).WithWorkers(cfg.Workers)
+	agency := core.NewAgency(sp, daKey, rand.Reader).WithWorkers(cfg.Workers).WithObs(hub)
+	// Crypto op counts flow into the registry at scrape time.
+	ops.Export(hub.Registry(), "g1", sp.G1().Counters())
 
 	// The retry machinery runs on a virtual clock: backoff is decided but
 	// never slept, so lossy-link simulations stay fast and deterministic.
@@ -400,6 +453,7 @@ func Run(cfg Config) (*Result, error) {
 		r := netsim.NewRetrier(seed)
 		r.MaxAttempts = cfg.retryAttempts()
 		r.Sleep = noSleep
+		r.OnRetry = netsim.RetryHook(hub)
 		return r
 	}
 
@@ -428,6 +482,7 @@ func Run(cfg Config) (*Result, error) {
 				SnapshotEvery: cfg.snapshotEvery(),
 				NoSync:        true,
 				Crash:         crash,
+				Obs:           hub,
 			}
 		}
 		return core.NewServer(sp, key, sc)
@@ -449,7 +504,7 @@ func Run(cfg Config) (*Result, error) {
 		// link: the kill schedule flips it so the whole epoch sees the
 		// server as unreachable, with its state (and WAL) intact.
 		downs[i] = netsim.NewDownableHandler(handlers[i])
-		lb := netsim.NewLoopback(downs[i], netsim.LinkConfig{})
+		lb := netsim.NewLoopback(downs[i], netsim.LinkConfig{}).WithObs(hub)
 		if cfg.faultsEnabled() {
 			delayRate := 0.0
 			if cfg.FaultDelay > 0 {
@@ -484,6 +539,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		core.ObserveFleet(hub, fleet)
 		for i := range cspClients {
 			cspClients[i] = fleet.Instrument(i, cspClients[i])
 		}
@@ -678,6 +734,7 @@ func Run(cfg Config) (*Result, error) {
 						rotten := len(badPositions) > 0 && sIdx == cfg.BadReplica
 						if !corrupted[sIdx] && !rotten {
 							result.FalseFlags++
+							falseFlags.Inc()
 						}
 					}
 				}
@@ -745,6 +802,7 @@ func Run(cfg Config) (*Result, error) {
 					rotten := len(badPositions) > 0 && q.Accused == cfg.BadReplica
 					if !corrupted[q.Accused] && !rotten {
 						result.FalseFlags++
+						falseFlags.Inc()
 					}
 				}
 				for _, rp := range fr.Repairs {
@@ -784,5 +842,6 @@ func Run(cfg Config) (*Result, error) {
 		result.RepairsConfirmed += stats.RepairsConfirmed
 		result.Epochs = append(result.Epochs, stats)
 	}
+	result.Metrics = SummarizeRegistry(hub.Registry().Snapshot())
 	return result, nil
 }

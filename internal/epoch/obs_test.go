@@ -1,0 +1,92 @@
+package epoch
+
+import (
+	"testing"
+
+	"seccloud/internal/obs"
+)
+
+// TestMetricsMatchHandRolled pins the satellite contract: the registry-
+// derived MetricsSummary and the hand-rolled Result counters are two
+// independent accumulations of the same run, and they must never
+// diverge. The scenario deliberately exercises every counted path:
+// cheating servers, a lossy network, fleet failover, quorum verdicts,
+// and audit-driven repair.
+func TestMetricsMatchHandRolled(t *testing.T) {
+	hub := obs.NewHub()
+	res, err := Run(Config{
+		Servers: 4, Corrupted: 1, Epochs: 3, BlocksPerUser: 6,
+		JobsPerEpoch: 1, SampleSize: 2, FleetSampleSize: 6,
+		KillEvery: 2, Repair: true,
+		BadReplicaEpoch: 2, BadReplica: 1, BadBlocks: 2,
+		FaultDrop: 0.05, CheaterCSC: 0.5,
+		Seed: 9, Hub: hub,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	m := res.Metrics
+	if m.AuditsRun != res.AuditsRun {
+		t.Errorf("registry AuditsRun = %d, hand-rolled %d", m.AuditsRun, res.AuditsRun)
+	}
+	if m.FleetAudits != res.FleetAudits {
+		t.Errorf("registry FleetAudits = %d, hand-rolled %d", m.FleetAudits, res.FleetAudits)
+	}
+	if m.NetworkFaultRounds != res.NetworkFaultRounds {
+		t.Errorf("registry NetworkFaultRounds = %d, hand-rolled %d", m.NetworkFaultRounds, res.NetworkFaultRounds)
+	}
+	if m.FleetFailovers != res.FleetFailovers {
+		t.Errorf("registry FleetFailovers = %d, hand-rolled %d", m.FleetFailovers, res.FleetFailovers)
+	}
+	if m.RepairsAttempted != res.RepairsAttempted {
+		t.Errorf("registry RepairsAttempted = %d, hand-rolled %d", m.RepairsAttempted, res.RepairsAttempted)
+	}
+	if m.RepairsConfirmed != res.RepairsConfirmed {
+		t.Errorf("registry RepairsConfirmed = %d, hand-rolled %d", m.RepairsConfirmed, res.RepairsConfirmed)
+	}
+	if m.FalseFlags != res.FalseFlags {
+		t.Errorf("registry FalseFlags = %d, hand-rolled %d", m.FalseFlags, res.FalseFlags)
+	}
+	if m.AuditsRun == 0 || m.FleetAudits == 0 {
+		t.Fatalf("scenario recorded no audits: %+v", m)
+	}
+
+	// The shared hub also carries the cross-layer instruments: transport
+	// traffic, breaker state gauges (refreshed at scrape), crypto op
+	// counts via the ops bridge, and at least one complete audit trace.
+	s := hub.Registry().Snapshot()
+	if v := s.Total("rpc_requests_total", nil); v == 0 {
+		t.Error("rpc_requests_total = 0: transport not instrumented")
+	}
+	if _, ok := s.Value("fleet_breaker_state", map[string]string{"replica": "0"}); !ok {
+		t.Error("fleet_breaker_state{replica=0} missing")
+	}
+	if v := s.Total("crypto_ops_total", map[string]string{"op": "miller-loop"}); v == 0 {
+		t.Error("crypto_ops_total{op=miller-loop} = 0: ops bridge not wired")
+	}
+	roots := 0
+	for _, r := range hub.Tracer().Records() {
+		if r.Name == "audit.fleet" || r.Name == "audit.job" {
+			roots++
+		}
+	}
+	if roots == 0 {
+		t.Error("no audit root spans recorded")
+	}
+}
+
+// TestRunWithoutHub pins that a nil Config.Hub still yields a registry-
+// derived Metrics summary (Run builds a private hub).
+func TestRunWithoutHub(t *testing.T) {
+	res, err := Run(Config{
+		Servers: 2, Corrupted: 1, Epochs: 2, BlocksPerUser: 4,
+		JobsPerEpoch: 1, SampleSize: 2, CheaterCSC: 0.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Metrics.AuditsRun != res.AuditsRun || res.Metrics.AuditsRun == 0 {
+		t.Fatalf("private-hub Metrics = %+v, hand-rolled AuditsRun = %d", res.Metrics, res.AuditsRun)
+	}
+}

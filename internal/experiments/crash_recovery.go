@@ -12,6 +12,7 @@ import (
 	"seccloud/internal/funcs"
 	"seccloud/internal/ibc"
 	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
 	"seccloud/internal/pairing"
 	"seccloud/internal/store"
 	"seccloud/internal/workload"
@@ -31,6 +32,9 @@ type CrashRecoveryConfig struct {
 	Seed int64
 	// Dir is the scratch root for WAL directories; empty uses a temp dir.
 	Dir string
+	// Hub, when non-nil, receives audit, WAL, and transport
+	// instrumentation for every server spun up by the experiment.
+	Hub *obs.Hub
 }
 
 // RecoveryRow is one dataset size in the recovery-time sweep.
@@ -67,9 +71,10 @@ type crashRecoverySystem struct {
 	sio    *ibc.SIO
 	user   *core.User
 	agency *core.Agency
+	hub    *obs.Hub
 }
 
-func newCrashRecoverySystem(pp *pairing.Params) (*crashRecoverySystem, error) {
+func newCrashRecoverySystem(pp *pairing.Params, hub *obs.Hub) (*crashRecoverySystem, error) {
 	sio, err := ibc.Setup(pp, rand.Reader)
 	if err != nil {
 		return nil, err
@@ -86,7 +91,8 @@ func newCrashRecoverySystem(pp *pairing.Params) (*crashRecoverySystem, error) {
 	return &crashRecoverySystem{
 		sio:    sio,
 		user:   core.NewUser(sp, userKey, rand.Reader),
-		agency: core.NewAgency(sp, daKey, rand.Reader),
+		agency: core.NewAgency(sp, daKey, rand.Reader).WithObs(hub),
+		hub:    hub,
 	}, nil
 }
 
@@ -99,12 +105,13 @@ func (s *crashRecoverySystem) newServer(dir string, snapshotEvery int, crash *st
 		Random: rand.Reader,
 		Durability: &core.DurabilityConfig{
 			Dir: dir, SnapshotEvery: snapshotEvery, NoSync: true, Crash: crash,
+			Obs: s.hub,
 		},
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return srv, netsim.NewLoopback(srv, netsim.LinkConfig{}), nil
+	return srv, netsim.NewLoopback(srv, netsim.LinkConfig{}).WithObs(s.hub), nil
 }
 
 // CrashRecovery runs both halves of the durability experiment and returns
@@ -149,7 +156,7 @@ func CrashRecovery(pp *pairing.Params, cfg CrashRecoveryConfig) ([]RecoveryRow, 
 // recoverySweepRow stores n blocks, runs a job, then times a cold restart
 // and audits the recovered server.
 func recoverySweepRow(pp *pairing.Params, cfg CrashRecoveryConfig, dir string, n int) (RecoveryRow, error) {
-	sys, err := newCrashRecoverySystem(pp)
+	sys, err := newCrashRecoverySystem(pp, cfg.Hub)
 	if err != nil {
 		return RecoveryRow{}, err
 	}
@@ -217,7 +224,7 @@ func recoverySweepRow(pp *pairing.Params, cfg CrashRecoveryConfig, dir string, n
 // crashMatrixRow arms one crash point, kills the server inside a mutation,
 // restarts it from disk, redelivers the mutation, and audits the result.
 func crashMatrixRow(pp *pairing.Params, cfg CrashRecoveryConfig, dir string, p store.CrashPoint) (CrashMatrixRow, error) {
-	sys, err := newCrashRecoverySystem(pp)
+	sys, err := newCrashRecoverySystem(pp, cfg.Hub)
 	if err != nil {
 		return CrashMatrixRow{}, err
 	}

@@ -9,6 +9,7 @@ import (
 	"seccloud/internal/core"
 	"seccloud/internal/ibc"
 	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
 	"seccloud/internal/pairing"
 	"seccloud/internal/workload"
 )
@@ -29,6 +30,9 @@ type FleetFailoverConfig struct {
 	CorruptCounts []int
 	// Seed drives workloads and challenge sampling.
 	Seed int64
+	// Hub, when non-nil, receives audit, failover, quorum, repair, and
+	// transport instrumentation plus per-replica breaker gauges.
+	Hub *obs.Hub
 }
 
 // FleetAvailabilityRow is one outage size: every server takes a turn as
@@ -96,7 +100,7 @@ func newFleetFailoverSystem(pp *pairing.Params, cfg FleetFailoverConfig) (*fleet
 	}
 	sys := &fleetFailoverSystem{
 		user:   core.NewUser(sp, userKey, rand.Reader),
-		agency: core.NewAgency(sp, daKey, rand.Reader),
+		agency: core.NewAgency(sp, daKey, rand.Reader).WithObs(cfg.Hub),
 	}
 	clients := make([]netsim.Client, cfg.Servers)
 	ids := make([]string, cfg.Servers)
@@ -112,13 +116,16 @@ func newFleetFailoverSystem(pp *pairing.Params, cfg FleetFailoverConfig) (*fleet
 		sys.servers = append(sys.servers, srv)
 		dh := netsim.NewDownableHandler(srv)
 		sys.downs = append(sys.downs, dh)
-		clients[i] = netsim.NewLoopback(dh, netsim.LinkConfig{})
+		clients[i] = netsim.NewLoopback(dh, netsim.LinkConfig{}).WithObs(cfg.Hub)
 		ids[i] = srv.ID()
 	}
 	fleet, err := core.NewFleet(clients, ids, core.BreakerConfig{})
 	if err != nil {
 		return nil, nil, err
 	}
+	// Each sweep row builds a fresh fleet; the hub's breaker gauges track
+	// the most recently observed one, i.e. the row currently running.
+	core.ObserveFleet(cfg.Hub, fleet)
 	sys.fleet = fleet
 	return sys, fleet, nil
 }

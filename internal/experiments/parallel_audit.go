@@ -10,6 +10,7 @@ import (
 	"seccloud/internal/funcs"
 	"seccloud/internal/ibc"
 	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
 	"seccloud/internal/pairing"
 	"seccloud/internal/workload"
 )
@@ -31,6 +32,9 @@ type ParallelAuditConfig struct {
 	Repeats int
 	// Seed drives workloads and challenge sampling.
 	Seed int64
+	// Hub, when non-nil, receives audit and transport instrumentation for
+	// the run; nil keeps the measured path uninstrumented.
+	Hub *obs.Hub
 }
 
 // ParallelAuditRow is one measured worker count.
@@ -72,12 +76,12 @@ func ParallelAudit(pp *pairing.Params, cfg ParallelAuditConfig) ([]ParallelAudit
 		return nil, err
 	}
 	user := core.NewUser(sp, userKey, rand.Reader)
-	agency := core.NewAgency(sp, daKey, rand.Reader)
+	agency := core.NewAgency(sp, daKey, rand.Reader).WithObs(cfg.Hub)
 	srv, err := core.NewServer(sp, srvKey, core.ServerConfig{Random: rand.Reader})
 	if err != nil {
 		return nil, err
 	}
-	raw := netsim.NewLoopback(srv, netsim.LinkConfig{})
+	raw := netsim.NewLoopback(srv, netsim.LinkConfig{}).WithObs(cfg.Hub)
 	client := netsim.NewLatentClient(raw, cfg.RTT)
 
 	ds := workload.NewGenerator(cfg.Seed).GenDataset(user.ID(), cfg.Blocks, 4)

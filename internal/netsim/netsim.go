@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"seccloud/internal/obs"
 	"seccloud/internal/wire"
 )
 
@@ -134,6 +135,7 @@ type Loopback struct {
 	link    LinkConfig
 	stats   Stats
 	faults  *faultInjector
+	obs     *rpcObs
 }
 
 var _ Client = (*Loopback)(nil)
@@ -149,6 +151,14 @@ func (l *Loopback) WithFaults(fc FaultConfig) *Loopback {
 	return l
 }
 
+// WithObs attaches observability instruments to the link (latency
+// histogram, request and fault counters under transport="loopback") and
+// returns l. A nil hub leaves the link uninstrumented.
+func (l *Loopback) WithObs(h *obs.Hub) *Loopback {
+	l.obs = newRPCObs(h, "loopback")
+	return l
+}
+
 // RoundTrip encodes m, delivers it to the handler, and encodes the reply.
 func (l *Loopback) RoundTrip(m wire.Message) (wire.Message, error) {
 	return l.RoundTripContext(context.Background(), m)
@@ -159,24 +169,33 @@ func (l *Loopback) RoundTrip(m wire.Message) (wire.Message, error) {
 // the *modeled* latency of this call (link RTT + transfer + injected
 // delay), so deadline behaviour is deterministic and test-friendly.
 func (l *Loopback) RoundTripContext(ctx context.Context, m wire.Message) (wire.Message, error) {
+	resp, lat, err := l.roundTripModeled(ctx, m)
+	l.obs.observe(lat, err)
+	return resp, err
+}
+
+// roundTripModeled performs the round trip and reports the modeled
+// latency accumulated up to the point the call succeeded or died, which
+// the observability layer records even for failed trips.
+func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.Message, time.Duration, error) {
+	var lat time.Duration
 	if err := ctx.Err(); err != nil {
-		return nil, transportErr("roundtrip", err)
+		return nil, lat, transportErr("roundtrip", err)
 	}
 	reqBytes, err := wire.Encode(m)
 	if err != nil {
-		return nil, err
+		return nil, lat, err
 	}
-	var lat time.Duration
 
 	// Request leg.
 	reqPlan := l.faults.plan(true)
 	lat += reqPlan.delay
 	if reqPlan.disconnect {
-		return nil, &FaultError{Kind: FaultDisconnect, Op: "request"}
+		return nil, lat, &FaultError{Kind: FaultDisconnect, Op: "request"}
 	}
 	if reqPlan.drop {
 		l.stats.record(len(reqBytes), 0, lat)
-		return nil, &FaultError{Kind: FaultDrop, Op: "request"}
+		return nil, lat, &FaultError{Kind: FaultDrop, Op: "request"}
 	}
 	if reqPlan.corrupt {
 		reqBytes = append([]byte(nil), reqBytes...)
@@ -186,7 +205,7 @@ func (l *Loopback) RoundTripContext(ctx context.Context, m wire.Message) (wire.M
 	req, err := wire.Decode(reqBytes)
 	if err != nil {
 		l.stats.record(len(reqBytes), 0, lat)
-		return nil, &FaultError{Kind: FaultCorrupt, Op: "request", Err: err}
+		return nil, lat, &FaultError{Kind: FaultCorrupt, Op: "request", Err: err}
 	}
 	resp := l.handler.Handle(req)
 	if resp == nil {
@@ -194,7 +213,7 @@ func (l *Loopback) RoundTripContext(ctx context.Context, m wire.Message) (wire.M
 		// connection just goes dead — a retryable transport fault, not a
 		// reply.
 		l.stats.record(len(reqBytes), 0, lat)
-		return nil, &FaultError{Kind: FaultDisconnect, Op: "response",
+		return nil, lat, &FaultError{Kind: FaultDisconnect, Op: "response",
 			Err: errors.New("netsim: peer died mid-request")}
 	}
 	if reqPlan.duplicate {
@@ -207,17 +226,17 @@ func (l *Loopback) RoundTripContext(ctx context.Context, m wire.Message) (wire.M
 	// Response leg.
 	respBytes, err := wire.Encode(resp)
 	if err != nil {
-		return nil, err
+		return nil, lat, err
 	}
 	respPlan := l.faults.plan(false)
 	lat += respPlan.delay
 	if respPlan.disconnect {
 		l.stats.record(len(reqBytes), 0, lat)
-		return nil, &FaultError{Kind: FaultDisconnect, Op: "response"}
+		return nil, lat, &FaultError{Kind: FaultDisconnect, Op: "response"}
 	}
 	if respPlan.drop {
 		l.stats.record(len(reqBytes), 0, lat)
-		return nil, &FaultError{Kind: FaultDrop, Op: "response"}
+		return nil, lat, &FaultError{Kind: FaultDrop, Op: "response"}
 	}
 	if respPlan.corrupt {
 		respBytes = append([]byte(nil), respBytes...)
@@ -226,7 +245,7 @@ func (l *Loopback) RoundTripContext(ctx context.Context, m wire.Message) (wire.M
 	resp2, err := wire.Decode(respBytes)
 	if err != nil {
 		l.stats.record(len(reqBytes), len(respBytes), lat)
-		return nil, &FaultError{Kind: FaultCorrupt, Op: "response", Err: err}
+		return nil, lat, &FaultError{Kind: FaultCorrupt, Op: "response", Err: err}
 	}
 	lat += l.link.RTT
 	if l.link.BytesPerSecond > 0 {
@@ -239,11 +258,11 @@ func (l *Loopback) RoundTripContext(ctx context.Context, m wire.Message) (wire.M
 		// have arrived too late.
 		if remaining := time.Until(deadline); lat > remaining {
 			l.stats.record(len(reqBytes), len(respBytes), lat)
-			return nil, &TransportError{Op: "roundtrip", Timeout: true, Err: context.DeadlineExceeded}
+			return nil, lat, &TransportError{Op: "roundtrip", Timeout: true, Err: context.DeadlineExceeded}
 		}
 	}
 	l.stats.record(len(reqBytes), len(respBytes), lat)
-	return resp2, nil
+	return resp2, lat, nil
 }
 
 // Stats returns the link counters.

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"errors"
+	"time"
+
+	"seccloud/internal/obs"
+)
+
+// rpcObs holds pre-resolved instrument cells for one transport, so the
+// per-round-trip cost with observability enabled is two atomic adds and a
+// histogram insert. A nil *rpcObs (the default) no-ops everywhere,
+// keeping uninstrumented links allocation-free.
+type rpcObs struct {
+	transport string
+	requests  *obs.Counter
+	latency   *obs.Histogram
+	faults    *obs.CounterVec
+}
+
+func newRPCObs(h *obs.Hub, transport string) *rpcObs {
+	if h == nil {
+		return nil
+	}
+	return &rpcObs{
+		transport: transport,
+		requests:  h.Counter("rpc_requests_total", "transport").With(transport),
+		latency:   h.Histogram("rpc_latency_seconds", nil, "transport").With(transport),
+		faults:    h.Counter("rpc_faults_total", "transport", "fault"),
+	}
+}
+
+// observe records one round trip: lat is modeled time for the loopback
+// transport and wall time for TCP; failed trips additionally count into
+// rpc_faults_total by fault class.
+func (o *rpcObs) observe(lat time.Duration, err error) {
+	if o == nil {
+		return
+	}
+	o.requests.Inc()
+	o.latency.Observe(lat.Seconds())
+	if err != nil {
+		o.faults.With(o.transport, faultLabel(err)).Inc()
+	}
+}
+
+// faultLabel classifies a round-trip error for the rpc_faults_total
+// fault label: injected faults by kind (drop, corrupt, disconnect, …),
+// deadline misses as "timeout", anything else as "transport".
+func faultLabel(err error) string {
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return fe.Kind.String()
+	}
+	var te *TransportError
+	if errors.As(err, &te) && te.Timeout {
+		return "timeout"
+	}
+	return "transport"
+}
+
+// RetryHook returns an OnRetry callback for a Retrier that counts retry
+// attempts into rpc_retries_total{fault} on the hub. Returns nil for a
+// nil hub, which Retrier treats as "no hook".
+func RetryHook(h *obs.Hub) func(attempt int, err error, backoff time.Duration) {
+	if h == nil {
+		return nil
+	}
+	retries := h.Counter("rpc_retries_total", "fault")
+	return func(_ int, err error, _ time.Duration) {
+		retries.With(faultLabel(err)).Inc()
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"seccloud/internal/obs"
 	"seccloud/internal/wire"
 )
 
@@ -243,6 +244,10 @@ type TCPClientConfig struct {
 	Redial bool
 	// Faults injects deterministic client-side network faults.
 	Faults FaultConfig
+	// Obs attaches observability instruments (wall-clock latency
+	// histogram, request and fault counters under transport="tcp"); nil
+	// leaves the client uninstrumented with zero overhead.
+	Obs *obs.Hub
 }
 
 // TCPClient is a Client over one TCP connection. Round trips are
@@ -257,6 +262,7 @@ type TCPClient struct {
 	closed bool
 	stats  Stats
 	faults *faultInjector
+	obs    *rpcObs
 }
 
 var _ Client = (*TCPClient)(nil)
@@ -277,6 +283,7 @@ func DialTCPConfig(addr string, cfg TCPClientConfig) (*TCPClient, error) {
 		cfg:    cfg,
 		conn:   conn,
 		faults: newFaultInjector(cfg.Faults),
+		obs:    newRPCObs(cfg.Obs, "tcp"),
 	}, nil
 }
 
@@ -289,6 +296,16 @@ func (c *TCPClient) RoundTrip(m wire.Message) (wire.Message, error) {
 // deadline (or the configured Timeout). Transport failures mark the
 // connection broken; with Redial enabled the next call reconnects.
 func (c *TCPClient) RoundTripContext(ctx context.Context, m wire.Message) (wire.Message, error) {
+	if c.obs == nil {
+		return c.roundTripContext(ctx, m)
+	}
+	start := time.Now()
+	resp, err := c.roundTripContext(ctx, m)
+	c.obs.observe(time.Since(start), err)
+	return resp, err
+}
+
+func (c *TCPClient) roundTripContext(ctx context.Context, m wire.Message) (wire.Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {

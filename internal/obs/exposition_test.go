@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExpositionGolden locks the Prometheus text exposition format byte
+// for byte: family ordering, cell ordering, label escaping, histogram
+// cumulative buckets, and float formatting. Regenerate deliberately with
+// `go test ./internal/obs -run Golden -update` after a format change.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	rounds := reg.Counter("audit_rounds_total", "type", "verdict")
+	rounds.With("job", "ok").Add(12)
+	rounds.With("job", "network-fault").Add(3)
+	rounds.With("storage", "bad-proof").Add(1)
+
+	reg.Counter("wal_fsync_total").With().Add(42)
+
+	breaker := reg.Gauge("breaker_state", "replica")
+	breaker.With("0").Set(0)
+	breaker.With("1").Set(2)
+	reg.Gauge("wal_snapshot_bytes").With().Set(16384)
+	reg.Gauge("ratio").With().Set(0.875)
+
+	lat := reg.Histogram("rpc_latency_seconds", []float64{0.001, 0.01, 0.1}, "transport")
+	for _, v := range []float64{0.0004, 0.001, 0.005, 0.09, 0.5} {
+		lat.With("loopback").Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition format drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

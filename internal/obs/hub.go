@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Hub bundles a metrics registry and a span tracer and exposes both over
+// an HTTP admin endpoint. A nil *Hub is the disabled state: every
+// accessor returns nil and the nil instruments no-op, so components take
+// a *Hub in their config structs and never branch on it.
+type Hub struct {
+	reg *Registry
+	tr  *Tracer
+}
+
+// NewHub returns a hub with a fresh registry and a default-capacity
+// tracer.
+func NewHub() *Hub {
+	return &Hub{reg: NewRegistry(), tr: NewTracer(0)}
+}
+
+// WithTraceCapacity replaces the hub's tracer ring with one holding
+// capacity spans and returns the hub. Call before wiring.
+func (h *Hub) WithTraceCapacity(capacity int) *Hub {
+	if h != nil {
+		h.tr = NewTracer(capacity)
+	}
+	return h
+}
+
+// Registry returns the hub's registry (nil for a nil hub).
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.reg
+}
+
+// Tracer returns the hub's tracer (nil for a nil hub).
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.tr
+}
+
+// Counter is shorthand for Registry().Counter.
+func (h *Hub) Counter(name string, labels ...string) *CounterVec {
+	return h.Registry().Counter(name, labels...)
+}
+
+// Gauge is shorthand for Registry().Gauge.
+func (h *Hub) Gauge(name string, labels ...string) *GaugeVec {
+	return h.Registry().Gauge(name, labels...)
+}
+
+// Histogram is shorthand for Registry().Histogram.
+func (h *Hub) Histogram(name string, bounds []float64, labels ...string) *HistogramVec {
+	return h.Registry().Histogram(name, bounds, labels...)
+}
+
+// Handler returns the admin mux: /metrics (Prometheus text), /traces
+// (JSONL span records), /healthz, and /debug/pprof/* mounted explicitly
+// (never on http.DefaultServeMux).
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = h.Registry().WriteTo(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = h.Tracer().WriteJSONL(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a running admin endpoint.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (a *AdminServer) Close() error { return a.srv.Close() }
+
+// ListenAndServe binds addr (":0" for an ephemeral port) and serves the
+// admin mux in a background goroutine until Close.
+func (h *Hub) ListenAndServe(addr string) (*AdminServer, error) {
+	if h == nil {
+		return nil, errors.New("obs: ListenAndServe on nil hub")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &AdminServer{ln: ln, srv: srv}, nil
+}

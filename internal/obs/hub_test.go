@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestHub() *Hub {
+	h := NewHub()
+	h.Counter("audit_rounds_total", "verdict").With("ok").Add(5)
+	h.Gauge("breaker_state", "replica").With("2").Set(1)
+	sp := h.Tracer().Start("audit", "type", "job")
+	sp.Child("round").End()
+	sp.End()
+	return h
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHubHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(newTestHub().Handler())
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = (%d, %q)", code, body)
+	}
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE audit_rounds_total counter",
+		`audit_rounds_total{verdict="ok"} 5`,
+		`breaker_state{replica="2"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces status %d", code)
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	byID := map[uint64]SpanRecord{}
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		byID[rec.Span] = rec
+	}
+	if len(byID) != 2 {
+		t.Fatalf("got %d spans, want 2", len(byID))
+	}
+	// The child must reference a parent present in the same export.
+	var sawChild bool
+	for _, rec := range byID {
+		if rec.Parent != 0 {
+			sawChild = true
+			if _, ok := byID[rec.Parent]; !ok {
+				t.Fatalf("span %d orphaned: parent %d absent", rec.Span, rec.Parent)
+			}
+		}
+	}
+	if !sawChild {
+		t.Fatal("no child span exported")
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	hub := newTestHub()
+	admin, err := hub.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	resp, err := http.Get("http://" + admin.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over real listener: %d", resp.StatusCode)
+	}
+
+	var nilHub *Hub
+	if _, err := nilHub.ListenAndServe(":0"); err == nil {
+		t.Fatal("nil hub must refuse to serve")
+	}
+}

@@ -1,0 +1,465 @@
+// Package obs is a dependency-free observability subsystem: a registry of
+// typed instruments (atomic counters, float gauges, fixed-bucket
+// histograms) grouped into labeled families with a Prometheus-text
+// exposition, a lightweight span tracer recording causal trees into a
+// bounded in-memory ring, and an HTTP admin hub serving both (plus
+// net/http/pprof).
+//
+// Zero-overhead-when-nil contract: every exported type in this package is
+// safe to use through a nil receiver — a nil *Hub, *Registry, *CounterVec,
+// *Counter, *Tracer, or *Span turns every method into a no-op costing one
+// pointer comparison and zero allocations. Components therefore keep
+// possibly-nil instrument fields and instrument unconditionally; the
+// disabled path stays within benchmark noise of uninstrumented code.
+//
+// Naming convention (locked by the golden exposition test): snake_case,
+// unit-suffixed (`_seconds`, `_bytes`), `_total` for counters, and a
+// subsystem prefix matching the package that owns the instrument
+// (`rpc_`, `audit_`, `fleet_`, `wal_`, `crypto_`, `sim_`).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bounds (seconds), spanning the
+// sub-millisecond local-RPC regime up to multi-second modeled WAN delays.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry owns a namespace of instrument families. Families are created
+// on first use and re-registration with the same name returns the same
+// family (panicking if the kind or label names disagree — that is a
+// programming error, not an operational condition).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	hooks    []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnScrape registers fn to run at the start of every WriteTo/Snapshot,
+// before instrument values are read. Bridges that mirror external
+// counters into gauges (internal/ops) refresh themselves here so scrapes
+// always see current values without per-operation overhead.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+func (r *Registry) family(name string, k kind, bounds []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, k, f.kind))
+		}
+		if len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: %s re-registered with %d labels (was %d)", name, len(labels), len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: %s re-registered with label %q (was %q)", name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		kind:   k,
+		labels: append([]string(nil), labels...),
+		bounds: bounds,
+		cells:  make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter returns the counter family called name with the given label
+// names, creating it on first use. Nil-safe: a nil registry returns a nil
+// vec whose methods no-op.
+func (r *Registry) Counter(name string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.family(name, kindCounter, nil, labels)}
+}
+
+// Gauge returns the gauge family called name with the given label names.
+func (r *Registry) Gauge(name string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.family(name, kindGauge, nil, labels)}
+}
+
+// Histogram returns the histogram family called name with fixed bucket
+// upper bounds (nil = DefBuckets; bounds must be sorted ascending).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{r.family(name, kindHistogram, bounds, labels)}
+}
+
+// family is one named instrument with a cell per label-value tuple.
+type family struct {
+	name   string
+	kind   kind
+	labels []string
+	bounds []float64
+
+	mu    sync.RWMutex
+	cells map[string]any // joined label values -> *Counter / *Gauge / *Histogram
+}
+
+// cellKeySep joins label values into a map key; 0xFF cannot appear in
+// valid UTF-8 label values so tuples never collide.
+const cellKeySep = "\xff"
+
+func (f *family) cell(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s requires %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, cellKeySep)
+	f.mu.RLock()
+	c, ok := f.cells[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.cells[key]; ok {
+		return c
+	}
+	var c2 any
+	switch f.kind {
+	case kindCounter:
+		c2 = &Counter{}
+	case kindGauge:
+		c2 = &Gauge{}
+	default:
+		c2 = newHistogram(f.bounds)
+	}
+	f.cells[key] = c2
+	return c2
+}
+
+// CounterVec is a labeled family of counters.
+type CounterVec struct{ f *family }
+
+// With returns the counter cell for the given label values, creating it
+// on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.cell(values).(*Counter)
+}
+
+// GaugeVec is a labeled family of gauges.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge cell for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.cell(values).(*Gauge)
+}
+
+// HistogramVec is a labeled family of histograms sharing bucket bounds.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram cell for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.cell(values).(*Histogram)
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (negative to subtract) with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i holds
+// observations v with v <= bounds[i] (and > bounds[i-1]); one extra
+// bucket catches everything above the last bound (+Inf).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, per-bucket (non-cumulative)
+	sum    atomic.Uint64   // float64 bits
+	total  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bound >= v, i.e. the smallest bucket whose `le` admits v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// labelEscaper escapes label values per the Prometheus text format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...}, with an optional extra pair appended
+// (used for histogram `le`). Returns "" when there are no pairs.
+func labelString(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(values[i]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteTo writes the registry contents in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, cells sorted by label
+// values, histogram buckets cumulative. Scrape hooks run first.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	fams, hooks := r.collect()
+	for _, fn := range hooks {
+		fn()
+	}
+	cw := &countingWriter{w: w}
+	for _, f := range fams {
+		if err := f.write(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+func (r *Registry) collect() ([]*family, []func()) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams, hooks
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (f *family) sortedKeys() []string {
+	keys := make([]string, 0, len(f.cells))
+	for k := range f.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if len(f.cells) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, key := range f.sortedKeys() {
+		values := splitKey(key, len(f.labels))
+		switch c := f.cells[key].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(c.Value())); err != nil {
+				return err
+			}
+		case *Histogram:
+			var cum uint64
+			for i := range c.counts {
+				cum += c.counts[i].Load()
+				le := "+Inf"
+				if i < len(c.bounds) {
+					le = formatFloat(c.bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			ls := labelString(f.labels, values, "", "")
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, formatFloat(c.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, c.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func splitKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.SplitN(key, cellKeySep, n)
+}

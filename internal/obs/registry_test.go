@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the `le` semantics: an observation
+// exactly on a bound lands in that bound's bucket, one above the last
+// bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 0.5, 1}).With()
+
+	h.Observe(0.05) // < first bound -> bucket 0
+	h.Observe(0.1)  // == first bound -> bucket 0 (le is inclusive)
+	h.Observe(0.11) // -> bucket 1
+	h.Observe(0.5)  // == second bound -> bucket 1
+	h.Observe(1.0)  // == last bound -> bucket 2
+	h.Observe(7)    // above everything -> +Inf
+
+	want := []uint64{2, 2, 1, 1}
+	for i := range h.counts {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d: got %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.11+0.5+1.0+7; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+
+	// Cumulative exposition: bucket lines must be running totals ending
+	// in the overall count at le="+Inf".
+	var buf strings.Builder
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="0.5"} 4`,
+		`lat_seconds_bucket{le="1"} 5`,
+		`lat_seconds_bucket{le="+Inf"} 6`,
+		`lat_seconds_count 6`,
+	} {
+		if !strings.Contains(buf.String(), line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, buf.String())
+		}
+	}
+}
+
+// TestConcurrentLabelCreation hammers one family from many goroutines
+// that race to create and increment overlapping label cells; run under
+// -race this is the data-race check, and the totals check that no
+// increment is lost to a duplicated cell.
+func TestConcurrentLabelCreation(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Counter("audit_rounds_total", "verdict")
+	verdicts := []string{"ok", "network-fault", "timeout", "bad-proof"}
+
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				vec.With(verdicts[(g+i)%len(verdicts)]).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, v := range verdicts {
+		total += vec.With(v).Value()
+	}
+	if total != goroutines*perG {
+		t.Fatalf("lost increments: total = %d, want %d", total, goroutines*perG)
+	}
+}
+
+// TestNilSafety exercises the zero-overhead-when-nil contract end to
+// end: every method on nil receivers must no-op without panicking.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("c", "l").With("x").Inc()
+	reg.Counter("c").With().Add(3)
+	reg.Gauge("g").With().Set(1)
+	reg.Gauge("g").With().Add(-1)
+	reg.Histogram("h", nil).With().Observe(0.5)
+	reg.OnScrape(func() { t.Fatal("hook must not run on nil registry") })
+	if n, err := reg.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo = (%d, %v)", n, err)
+	}
+	if s := reg.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil Snapshot not empty")
+	}
+
+	var hub *Hub
+	hub.Counter("c").With().Inc()
+	hub.Gauge("g", "l").With("v").Set(2)
+	hub.Histogram("h", nil).With().Observe(1)
+	hub.Tracer().Start("root").Child("leaf").End()
+	hub.Registry().OnScrape(nil)
+	hub.WithTraceCapacity(8)
+
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.Annotate("k", "v")
+	sp.Child("y").End()
+	sp.End()
+	if recs := tr.Records(); recs != nil {
+		t.Fatalf("nil tracer records = %v", recs)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	g := NewRegistry().Gauge("queue_depth").With()
+	g.Set(5)
+	g.Add(2.5)
+	g.Add(-4)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	reg.Gauge("x_total")
+}
+
+func TestLabelMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different label names must panic")
+		}
+	}()
+	reg.Counter("x_total", "b")
+}
+
+func TestSnapshotValueAndTotal(t *testing.T) {
+	reg := NewRegistry()
+	rounds := reg.Counter("audit_rounds_total", "type", "verdict")
+	rounds.With("job", "ok").Add(7)
+	rounds.With("job", "timeout").Add(2)
+	rounds.With("fleet", "ok").Add(4)
+	reg.Gauge("breaker_state", "replica").With("0").Set(2)
+
+	s := reg.Snapshot()
+	if v, ok := s.Value("audit_rounds_total", map[string]string{"type": "job", "verdict": "timeout"}); !ok || v != 2 {
+		t.Fatalf("Value = (%v, %v), want (2, true)", v, ok)
+	}
+	if v, ok := s.Value("breaker_state", map[string]string{"replica": "0"}); !ok || v != 2 {
+		t.Fatalf("gauge Value = (%v, %v), want (2, true)", v, ok)
+	}
+	if _, ok := s.Value("audit_rounds_total", map[string]string{"type": "job"}); ok {
+		t.Fatal("partial label match must not resolve via Value")
+	}
+	if got := s.Total("audit_rounds_total", map[string]string{"type": "job"}); got != 9 {
+		t.Fatalf("Total(job) = %v, want 9", got)
+	}
+	if got := s.Total("audit_rounds_total", nil); got != 13 {
+		t.Fatalf("Total(all) = %v, want 13", got)
+	}
+}
+
+// TestOnScrapeHook checks bridge hooks run before values are read, for
+// both WriteTo and Snapshot.
+func TestOnScrapeHook(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("crypto_ops_total", "op").With("point-mul")
+	n := 0
+	reg.OnScrape(func() { n++; g.Set(float64(n * 10)) })
+
+	var buf strings.Builder
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `crypto_ops_total{op="point-mul"} 10`) {
+		t.Fatalf("hook did not refresh gauge before write:\n%s", buf.String())
+	}
+	if v, _ := reg.Snapshot().Value("crypto_ops_total", map[string]string{"op": "point-mul"}); v != 20 {
+		t.Fatalf("hook did not run before snapshot: %v", v)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("weird_total", "v").With("a\"b\\c\nd").Inc()
+	var buf strings.Builder
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `weird_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaping: got %q, want to contain %q", buf.String(), want)
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("x_total").With()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkVecWithInc(b *testing.B) {
+	vec := NewRegistry().Counter("x_total", "verdict")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vec.With("ok").Inc()
+	}
+}
+
+func ExampleRegistry_WriteTo() {
+	reg := NewRegistry()
+	reg.Counter("audit_rounds_total", "verdict").With("ok").Add(3)
+	var buf strings.Builder
+	_, _ = reg.WriteTo(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # TYPE audit_rounds_total counter
+	// audit_rounds_total{verdict="ok"} 3
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records completed spans into a bounded in-memory ring. Span and
+// trace IDs come from a monotonic counter, so traces are deterministic
+// under seeded simulations; timestamps come from an injectable clock so
+// epoch-sim fake time produces meaningful durations.
+//
+// Ring sizing: each completed span is one SpanRecord (~200 bytes plus
+// attrs). The default capacity of 4096 holds the full causal tree of
+// dozens of audits (an audit round with t sampled indices emits ~t+2
+// spans); oldest records are overwritten first. Size the ring to the
+// window you want visible at /traces, not to the process lifetime.
+type Tracer struct {
+	clock func() time.Time
+	ids   atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int  // next write position
+	full bool // ring has wrapped
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer whose ring holds capacity completed spans
+// (<=0 selects DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{clock: time.Now, ring: make([]SpanRecord, capacity)}
+}
+
+// WithClock sets the time source (for fake-time simulations) and returns
+// the tracer. Call before the tracer is shared across goroutines.
+func (t *Tracer) WithClock(fn func() time.Time) *Tracer {
+	if t != nil && fn != nil {
+		t.clock = fn
+	}
+	return t
+}
+
+// SpanRecord is one completed span as stored in the ring and exported as
+// a JSONL line.
+type SpanRecord struct {
+	Trace    uint64            `json:"trace"`
+	Span     uint64            `json:"span"`
+	Parent   uint64            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Duration int64             `json:"dur_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is an in-flight operation. It is recorded into the tracer's ring
+// only when End is called. Nil spans are inert, so callers never guard.
+type Span struct {
+	tr     *Tracer
+	trace  uint64
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+// Start opens a new root span (a new trace). kv is alternating
+// key/value attribute pairs.
+func (t *Tracer) Start(name string, kv ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.ids.Add(1)
+	s := &Span{tr: t, trace: id, id: id, name: name, start: t.clock()}
+	s.annotateKV(kv)
+	return s
+}
+
+// Child opens a span under s within the same trace.
+func (s *Span) Child(name string, kv ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	id := s.tr.ids.Add(1)
+	c := &Span{tr: s.tr, trace: s.trace, id: id, parent: s.id, name: name, start: s.tr.clock()}
+	c.annotateKV(kv)
+	return c
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+func (s *Span) annotateKV(kv []string) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		s.Annotate(kv[i], kv[i+1])
+	}
+}
+
+// End closes the span and records it. Second and later calls no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	end := s.tr.clock()
+	s.tr.record(SpanRecord{
+		Trace:    s.trace,
+		Span:     s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		End:      end,
+		Duration: end.Sub(s.start).Nanoseconds(),
+		Attrs:    attrs,
+	})
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Records returns a copy of the ring contents, oldest first.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanRecord(nil), t.ring[:t.next]...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// WriteJSONL writes every recorded span as one JSON object per line,
+// oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range t.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

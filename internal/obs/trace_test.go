@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic stepping time source mimicking the epoch
+// sim's fake time.
+type fakeClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) Now() time.Time {
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+func TestSpanTree(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0), step: time.Millisecond}
+	tr := NewTracer(16).WithClock(clock.Now)
+
+	audit := tr.Start("audit", "type", "storage")
+	round := audit.Child("round", "round", "1")
+	check := round.Child("check.signature", "index", "7")
+	check.End()
+	round.Annotate("verdict", "ok")
+	round.End()
+	audit.End()
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// Completion order: leaf first.
+	chk, rnd, root := recs[0], recs[1], recs[2]
+	if root.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", root.Parent)
+	}
+	if rnd.Parent != root.Span || rnd.Trace != root.Trace {
+		t.Fatalf("round not under root: %+v vs %+v", rnd, root)
+	}
+	if chk.Parent != rnd.Span || chk.Trace != root.Trace {
+		t.Fatalf("check not under round: %+v vs %+v", chk, rnd)
+	}
+	if rnd.Attrs["verdict"] != "ok" || rnd.Attrs["round"] != "1" {
+		t.Fatalf("round attrs = %v", rnd.Attrs)
+	}
+	if chk.Duration <= 0 {
+		t.Fatalf("fake-clock duration = %d, want > 0", chk.Duration)
+	}
+	if !chk.Start.After(rnd.Start) {
+		t.Fatal("child must start after parent under the stepping clock")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Start("s").End()
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring kept %d records, want capacity 4", len(recs))
+	}
+	// Oldest two (spans 1, 2) evicted; order oldest-first.
+	want := []uint64{3, 4, 5, 6}
+	for i, rec := range recs {
+		if rec.Span != want[i] {
+			t.Fatalf("record %d: span %d, want %d", i, rec.Span, want[i])
+		}
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer(8)
+	s := tr.Start("once")
+	s.End()
+	s.End()
+	if got := len(tr.Records()); got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(2000, 0), step: time.Second}
+	tr := NewTracer(8).WithClock(clock.Now)
+	root := tr.Start("audit")
+	root.Child("round").End()
+	root.End()
+
+	var buf strings.Builder
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var lines int
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if rec.Name == "" || rec.Span == 0 {
+			t.Fatalf("decoded record incomplete: %+v", rec)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", lines)
+	}
+}

@@ -1,0 +1,33 @@
+package ops
+
+import "seccloud/internal/obs"
+
+// Export mirrors the counters into reg's `crypto_ops_total{group,op}`
+// gauge family. The bridge is pull-based: an OnScrape hook copies the
+// live values at every /metrics scrape or Snapshot call, so the crypto
+// hot path pays nothing beyond its existing atomic increments. group
+// distinguishes counter sets when several curve groups export into one
+// registry (e.g. "g1"). Nil-safe on both arguments.
+func Export(reg *obs.Registry, group string, c *Counters) {
+	if reg == nil || c == nil {
+		return
+	}
+	vec := reg.Gauge("crypto_ops_total", "group", "op")
+	cells := map[string]*obs.Gauge{
+		"point-mul":     vec.With(group, "point-mul"),
+		"miller-loop":   vec.With(group, "miller-loop"),
+		"final-exp":     vec.With(group, "final-exp"),
+		"hash-to-point": vec.With(group, "hash-to-point"),
+		"precomp-hit":   vec.With(group, "precomp-hit"),
+		"precomp-miss":  vec.With(group, "precomp-miss"),
+	}
+	reg.OnScrape(func() {
+		s := c.Snapshot()
+		cells["point-mul"].Set(float64(s.PointMuls))
+		cells["miller-loop"].Set(float64(s.MillerLoops))
+		cells["final-exp"].Set(float64(s.FinalExps))
+		cells["hash-to-point"].Set(float64(s.HashToPoints))
+		cells["precomp-hit"].Set(float64(s.PrecompHits))
+		cells["precomp-miss"].Set(float64(s.PrecompMisses))
+	})
+}

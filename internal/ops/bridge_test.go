@@ -1,0 +1,61 @@
+package ops
+
+import (
+	"testing"
+
+	"seccloud/internal/obs"
+)
+
+func TestExportBridge(t *testing.T) {
+	reg := obs.NewRegistry()
+	var c Counters
+	Export(reg, "g1", &c)
+
+	c.AddPointMul()
+	c.AddPointMul()
+	c.AddMillerLoop()
+	c.AddPrecompHit()
+	c.AddPrecompHit()
+	c.AddPrecompHit()
+	c.AddPrecompMiss()
+
+	s := reg.Snapshot()
+	for op, want := range map[string]float64{
+		"point-mul":     2,
+		"miller-loop":   1,
+		"final-exp":     0,
+		"hash-to-point": 0,
+		"precomp-hit":   3,
+		"precomp-miss":  1,
+	} {
+		got, ok := s.Value("crypto_ops_total", map[string]string{"group": "g1", "op": op})
+		if !ok || got != want {
+			t.Errorf("crypto_ops_total{op=%q} = (%v, %v), want (%v, true)", op, got, ok, want)
+		}
+	}
+
+	// The bridge is pull-based: later increments show up on the next
+	// scrape with no further wiring.
+	c.AddFinalExp()
+	if v, _ := reg.Snapshot().Value("crypto_ops_total", map[string]string{"group": "g1", "op": "final-exp"}); v != 1 {
+		t.Fatalf("final-exp after second scrape = %v, want 1", v)
+	}
+
+	// Nil-safety in both directions.
+	Export(nil, "g1", &c)
+	Export(reg, "g1", nil)
+}
+
+func TestPrecompHitRatio(t *testing.T) {
+	var c Counters
+	if r := c.Snapshot().PrecompHitRatio(); r != 0 {
+		t.Fatalf("empty ratio = %v, want 0", r)
+	}
+	c.AddPrecompHit()
+	c.AddPrecompHit()
+	c.AddPrecompHit()
+	c.AddPrecompMiss()
+	if r := c.Snapshot().PrecompHitRatio(); r != 0.75 {
+		t.Fatalf("ratio = %v, want 0.75", r)
+	}
+}

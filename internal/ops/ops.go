@@ -14,13 +14,21 @@ import "sync/atomic"
 // Counters accumulates primitive-operation counts. The zero value is
 // ready; all methods are safe for concurrent use.
 type Counters struct {
-	pointMuls    atomic.Int64
-	millerLoops  atomic.Int64
-	finalExps    atomic.Int64
-	hashToPoints atomic.Int64
+	pointMuls     atomic.Int64
+	millerLoops   atomic.Int64
+	finalExps     atomic.Int64
+	hashToPoints  atomic.Int64
+	precompHits   atomic.Int64
+	precompMisses atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters.
+//
+// Besides direct use in tests and cost reports, snapshots are exported
+// live through the observability registry: Export (bridge.go) mirrors
+// every field into the `crypto_ops_total{group,op}` gauge family at
+// scrape time, so `/metrics` on an admin hub shows the same numbers this
+// struct carries.
 type Snapshot struct {
 	// PointMuls counts G1 scalar multiplications.
 	PointMuls int64
@@ -32,19 +40,37 @@ type Snapshot struct {
 	FinalExps int64
 	// HashToPoints counts H1 map-to-point evaluations.
 	HashToPoints int64
+	// PrecompHits counts pairings served from a fixed-argument
+	// precomputation cache (the cheap replay path).
+	PrecompHits int64
+	// PrecompMisses counts pairings that had to build precomputation
+	// state first (the full Miller-loop setup).
+	PrecompMisses int64
 }
 
 // Pairings returns the classic "pairing count": Miller loops, the unit the
 // paper's tables are denominated in.
 func (s Snapshot) Pairings() int64 { return s.MillerLoops }
 
+// PrecompHitRatio returns the fraction of cache-eligible pairings served
+// from precomputed state (0 when none ran).
+func (s Snapshot) PrecompHitRatio() float64 {
+	total := s.PrecompHits + s.PrecompMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PrecompHits) / float64(total)
+}
+
 // Sub returns the per-interval delta s - earlier.
 func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	return Snapshot{
-		PointMuls:    s.PointMuls - earlier.PointMuls,
-		MillerLoops:  s.MillerLoops - earlier.MillerLoops,
-		FinalExps:    s.FinalExps - earlier.FinalExps,
-		HashToPoints: s.HashToPoints - earlier.HashToPoints,
+		PointMuls:     s.PointMuls - earlier.PointMuls,
+		MillerLoops:   s.MillerLoops - earlier.MillerLoops,
+		FinalExps:     s.FinalExps - earlier.FinalExps,
+		HashToPoints:  s.HashToPoints - earlier.HashToPoints,
+		PrecompHits:   s.PrecompHits - earlier.PrecompHits,
+		PrecompMisses: s.PrecompMisses - earlier.PrecompMisses,
 	}
 }
 
@@ -60,14 +86,22 @@ func (c *Counters) AddFinalExp() { c.finalExps.Add(1) }
 // AddHashToPoint records one map-to-point evaluation.
 func (c *Counters) AddHashToPoint() { c.hashToPoints.Add(1) }
 
+// AddPrecompHit records one pairing served from a precomputation cache.
+func (c *Counters) AddPrecompHit() { c.precompHits.Add(1) }
+
+// AddPrecompMiss records one pairing that built precomputation state.
+func (c *Counters) AddPrecompMiss() { c.precompMisses.Add(1) }
+
 // Snapshot returns a consistent-enough copy for accounting (individual
 // loads are atomic; cross-counter skew is harmless for cost reporting).
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		PointMuls:    c.pointMuls.Load(),
-		MillerLoops:  c.millerLoops.Load(),
-		FinalExps:    c.finalExps.Load(),
-		HashToPoints: c.hashToPoints.Load(),
+		PointMuls:     c.pointMuls.Load(),
+		MillerLoops:   c.millerLoops.Load(),
+		FinalExps:     c.finalExps.Load(),
+		HashToPoints:  c.hashToPoints.Load(),
+		PrecompHits:   c.precompHits.Load(),
+		PrecompMisses: c.precompMisses.Load(),
 	}
 }
 
@@ -77,4 +111,6 @@ func (c *Counters) Reset() {
 	c.millerLoops.Store(0)
 	c.finalExps.Store(0)
 	c.hashToPoints.Store(0)
+	c.precompHits.Store(0)
+	c.precompMisses.Store(0)
 }

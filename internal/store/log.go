@@ -12,6 +12,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"seccloud/internal/obs"
 )
 
 // File layout inside a log directory:
@@ -45,6 +48,10 @@ type Config struct {
 	NoSync bool
 	// Crash is the crash-point injector; nil never crashes.
 	Crash *Crasher
+	// Obs attaches WAL instruments (append latency, record/fsync
+	// counters, snapshot size and compaction gauges); nil leaves the log
+	// uninstrumented with zero overhead.
+	Obs *obs.Hub
 }
 
 // Recovered is what Open rebuilt from disk.
@@ -70,6 +77,7 @@ type Log struct {
 	lsn       uint64   // last assigned LSN
 	sinceSnap int
 	dead      bool
+	obs       *walObs
 }
 
 // Open opens (or creates) the log directory, recovers its contents, and
@@ -88,7 +96,7 @@ func Open(cfg Config) (*Log, *Recovered, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{cfg: cfg, dir: cfg.Dir, lsn: maxLSN}
+	l := &Log{cfg: cfg, dir: cfg.Dir, lsn: maxLSN, obs: newWALObs(cfg.Obs)}
 	if walPath == "" {
 		walPath = filepath.Join(cfg.Dir, walName(maxLSN))
 		if err := l.createSegment(walPath); err != nil {
@@ -121,6 +129,7 @@ func (l *Log) createSegment(path string) error {
 			f.Close()
 			return fmt.Errorf("store: syncing WAL magic: %w", err)
 		}
+		l.obs.fsync()
 	}
 	l.f = f
 	return nil
@@ -140,6 +149,10 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 	defer l.mu.Unlock()
 	if l.dead {
 		return 0, ErrCrashed
+	}
+	var start time.Time
+	if l.obs != nil {
+		start = time.Now()
 	}
 	if l.cfg.Crash.at(CrashBeforeLog) {
 		l.dead = true
@@ -165,9 +178,14 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 		if err := l.f.Sync(); err != nil {
 			return 0, fmt.Errorf("store: syncing record: %w", err)
 		}
+		l.obs.fsync()
 	}
 	l.lsn = rec.LSN
 	l.sinceSnap++
+	if l.obs != nil {
+		l.obs.records.Inc()
+		l.obs.appendLat.Observe(time.Since(start).Seconds())
+	}
 	if l.cfg.Crash.at(CrashAfterLog) {
 		l.dead = true
 		return 0, ErrCrashed
@@ -204,6 +222,7 @@ func (l *Log) Snapshot(payload []byte) error {
 	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
+	l.obs.fsync()
 	final := filepath.Join(l.dir, snapName(l.lsn))
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("store: publishing snapshot: %w", err)
@@ -211,6 +230,7 @@ func (l *Log) Snapshot(payload []byte) error {
 	if err := syncDir(l.dir); err != nil {
 		return err
 	}
+	l.obs.fsync()
 	// The snapshot is durable; rotate the WAL and drop superseded files.
 	old := l.f
 	if err := l.createSegment(filepath.Join(l.dir, walName(l.lsn))); err != nil {
@@ -219,6 +239,10 @@ func (l *Log) Snapshot(payload []byte) error {
 	}
 	_ = old.Close()
 	l.sinceSnap = 0
+	if l.obs != nil {
+		l.obs.snapBytes.Set(float64(len(data)))
+		l.obs.compactions.Inc()
+	}
 	l.removeSuperseded(final, filepath.Join(l.dir, walName(l.lsn)))
 	return nil
 }

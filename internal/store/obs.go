@@ -1,0 +1,33 @@
+package store
+
+import "seccloud/internal/obs"
+
+// walObs holds pre-resolved instrument cells for one log. A nil *walObs
+// (no hub configured) no-ops everywhere, so uninstrumented logs pay one
+// nil check per operation.
+type walObs struct {
+	appendLat   *obs.Histogram // wal_append_seconds
+	records     *obs.Counter   // wal_records_total
+	fsyncs      *obs.Counter   // wal_fsync_total
+	snapBytes   *obs.Gauge     // wal_snapshot_bytes
+	compactions *obs.Counter   // wal_compactions_total
+}
+
+func newWALObs(h *obs.Hub) *walObs {
+	if h == nil {
+		return nil
+	}
+	return &walObs{
+		appendLat:   h.Histogram("wal_append_seconds", nil).With(),
+		records:     h.Counter("wal_records_total").With(),
+		fsyncs:      h.Counter("wal_fsync_total").With(),
+		snapBytes:   h.Gauge("wal_snapshot_bytes").With(),
+		compactions: h.Counter("wal_compactions_total").With(),
+	}
+}
+
+func (o *walObs) fsync() {
+	if o != nil {
+		o.fsyncs.Inc()
+	}
+}

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"testing"
+
+	"seccloud/internal/obs"
+)
+
+// TestLogObs checks the WAL instruments: records and fsyncs count,
+// append latency is observed, and snapshots publish size and compaction
+// counters.
+func TestLogObs(t *testing.T) {
+	hub := obs.NewHub()
+	l, _, err := Open(Config{Dir: t.TempDir(), Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(1, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+
+	s := hub.Registry().Snapshot()
+	if v, _ := s.Value("wal_records_total", nil); v != 4 {
+		t.Fatalf("wal_records_total = %v, want 4", v)
+	}
+	// 1 segment-create fsync + 4 append fsyncs + snapshot file + dir +
+	// rotated segment = 8.
+	if v, _ := s.Value("wal_fsync_total", nil); v != 8 {
+		t.Fatalf("wal_fsync_total = %v, want 8", v)
+	}
+	if v, _ := s.Value("wal_compactions_total", nil); v != 1 {
+		t.Fatalf("wal_compactions_total = %v, want 1", v)
+	}
+	if v, _ := s.Value("wal_snapshot_bytes", nil); v <= 0 {
+		t.Fatalf("wal_snapshot_bytes = %v, want > 0", v)
+	}
+	for _, hp := range s.Histograms {
+		if hp.Name == "wal_append_seconds" && hp.Count == 4 {
+			return
+		}
+	}
+	t.Fatal("wal_append_seconds histogram missing or miscounted")
+}
+
+// TestLogObsNoSync pins that NoSync logs record appends but no fsyncs.
+func TestLogObsNoSync(t *testing.T) {
+	hub := obs.NewHub()
+	l, _, err := Open(Config{Dir: t.TempDir(), NoSync: true, Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s := hub.Registry().Snapshot()
+	if v, _ := s.Value("wal_fsync_total", nil); v != 0 {
+		t.Fatalf("NoSync log fsynced %v times", v)
+	}
+	if v, _ := s.Value("wal_records_total", nil); v != 1 {
+		t.Fatalf("wal_records_total = %v, want 1", v)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"seccloud/internal/erasure"
 	"seccloud/internal/ibc"
 	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
 	"seccloud/internal/pairing"
 	"seccloud/internal/sampling"
 	"seccloud/internal/wire"
@@ -145,6 +146,12 @@ type (
 	MultiAuditReport = core.MultiAuditReport
 	// Evidence is a signed, transferable audit verdict.
 	Evidence = core.Evidence
+	// Hub is the observability hub: a metrics registry plus an audit span
+	// tracer. Attach with Auditor.WithObs and the Observed* transports,
+	// then serve it with Hub.ListenAndServe.
+	Hub = obs.Hub
+	// AdminServer serves a Hub's /metrics, /traces, /healthz and pprof.
+	AdminServer = obs.AdminServer
 )
 
 // System is a running SecCloud deployment: the SIO with its master secret
@@ -264,6 +271,20 @@ func ServeTCP(addr string, server *Server) (*netsim.TCPServer, error) {
 
 // DialTCP connects to a served server.
 func DialTCP(addr string) (Client, error) { return netsim.DialTCP(addr) }
+
+// NewHub returns a fresh observability hub.
+func NewHub() *Hub { return obs.NewHub() }
+
+// ObservedLoopback is Loopback with transport instrumentation on hub
+// (rpc_requests_total, rpc_latency_seconds under transport="loopback").
+func ObservedLoopback(server *Server, hub *Hub) Client {
+	return netsim.NewLoopback(server, netsim.LinkConfig{}).WithObs(hub)
+}
+
+// DialTCPObserved is DialTCP with transport instrumentation on hub.
+func DialTCPObserved(addr string, hub *Hub) (Client, error) {
+	return netsim.DialTCPConfig(addr, netsim.TCPClientConfig{Obs: hub})
+}
 
 // NewCSP builds a provider scheduler over server links.
 func NewCSP(clients []Client) (*CSP, error) { return core.NewCSP(clients) }
