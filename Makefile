@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet
+.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet bench-overload
 
 check: vet build race
 
@@ -52,3 +52,10 @@ bench-recovery:
 # corruption size. Refreshes BENCH_fleet_failover.json.
 bench-fleet:
 	$(GO) run ./cmd/seccloud-bench -exp fleet-failover -params test256 -json BENCH_fleet_failover.json
+
+# Overload benchmark: goodput, tail latency, and audit integrity under an
+# open-loop storm at 1x/2x/4x capacity, bounded LIFO admission vs the
+# unbounded FIFO baseline, plus the hedged-round contrast. Refreshes
+# BENCH_overload.json.
+bench-overload:
+	$(GO) run ./cmd/seccloud-bench -exp overload -params test256 -json BENCH_overload.json

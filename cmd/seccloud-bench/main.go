@@ -13,6 +13,7 @@
 //	seccloud-bench -exp parallel-audit     # audit pipeline scaling vs workers
 //	seccloud-bench -exp crash-recovery     # WAL restart time + crash matrix
 //	seccloud-bench -exp fleet-failover     # audit availability under outages + repair latency
+//	seccloud-bench -exp overload           # goodput + audit integrity under an open-loop storm
 //	seccloud-bench -params ss512           # use the full-size pairing
 //	seccloud-bench -csv                    # machine-readable output
 //	seccloud-bench -exp parallel-audit -json BENCH_parallel_audit.json
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|crash-recovery|fleet-failover|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|crash-recovery|fleet-failover|overload|all")
 	params := flag.String("params", "ss512", "pairing parameter set: ss512|test256")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	iters := flag.Int("iters", 10, "calibration iterations for op timing")
@@ -88,10 +89,12 @@ func main() {
 		runErr = r.crashRecovery()
 	case "fleet-failover":
 		runErr = r.fleetFailover()
+	case "overload":
+		runErr = r.overload()
 	case "all":
 		for _, f := range []func() error{
 			r.table1, r.table2, r.fig4, r.fig5, r.detection, r.optimalT, r.traffic, r.epochs,
-			r.parallelAudit, r.crashRecovery, r.fleetFailover,
+			r.parallelAudit, r.crashRecovery, r.fleetFailover, r.overload,
 		} {
 			if runErr = f(); runErr != nil {
 				break

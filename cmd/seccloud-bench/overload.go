@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"seccloud/internal/experiments"
+	"seccloud/internal/obs"
+)
+
+// overloadScenario: an open-loop request storm at 1×/2×/4× of fleet
+// capacity, with and without bounded admission queues, while the DA audits
+// into the pressure; plus a hedged-round contrast against a queue-delayed
+// primary.
+var overloadScenario = experiments.OverloadConfig{
+	Servers:         2,
+	Blocks:          24,
+	MaxInflight:     2,
+	QueueLimit:      4,
+	ServiceTime:     4 * time.Millisecond,
+	Patience:        100 * time.Millisecond,
+	CellDuration:    800 * time.Millisecond,
+	AuditDeadline:   400 * time.Millisecond,
+	LoadMultipliers: []float64{1, 2, 4},
+	SampleSize:      8,
+	Rounds:          3,
+	Seed:            1,
+}
+
+// overloadJSON is the BENCH_overload.json shape.
+type overloadJSON struct {
+	Experiment string `json:"experiment"`
+	Params     string `json:"params"`
+	Load       []struct {
+		OfferedLoad             float64 `json:"offered_load"`
+		Protected               bool    `json:"protected"`
+		Offered                 int     `json:"offered"`
+		Completed               int     `json:"completed"`
+		Shed                    int     `json:"shed"`
+		Abandoned               int     `json:"abandoned"`
+		GoodputPerSec           float64 `json:"goodput_per_sec"`
+		P50MS                   float64 `json:"p50_ms"`
+		P99MS                   float64 `json:"p99_ms"`
+		MaxQueueDepth           int     `json:"max_queue_depth"`
+		Audits                  int     `json:"audits"`
+		Accusations             int     `json:"accusations"`
+		AuditShedRounds         int     `json:"audit_shed_rounds"`
+		AuditTimeoutRounds      int     `json:"audit_timeout_rounds"`
+		AuditsDegraded          int     `json:"audits_degraded"`
+		BudgetDenied            int     `json:"budget_denied"`
+		EffectiveSampleFraction float64 `json:"effective_sample_fraction"`
+	} `json:"load"`
+	Hedge []struct {
+		Hedge        bool    `json:"hedge"`
+		Audits       int     `json:"audits"`
+		HedgedRounds int     `json:"hedged_rounds"`
+		AuditP50MS   float64 `json:"audit_p50_ms"`
+		AuditP99MS   float64 `json:"audit_p99_ms"`
+		Accusations  int     `json:"accusations"`
+	} `json:"hedge"`
+	// Summary holds the acceptance figures: protected goodput retention
+	// and p99 inflation at 4× load relative to 1×, and the unprotected
+	// baseline's peak queue depth.
+	Summary struct {
+		GoodputRetention4x    float64 `json:"goodput_retention_4x"`
+		P99Ratio4x            float64 `json:"p99_ratio_4x"`
+		Accusations           int     `json:"accusations"`
+		UnprotectedMaxQueue   int     `json:"unprotected_max_queue_depth"`
+		ProtectedQueueLimit   int     `json:"protected_queue_limit"`
+		HedgeP99SpeedupFactor float64 `json:"hedge_p99_speedup_factor"`
+	} `json:"summary"`
+	// Metrics is the registry snapshot after the run: admission sheds,
+	// retry-budget denials, degradation counters, transport totals.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+func (r *runner) overload() error {
+	r.header("Overload — goodput and audit integrity under an open-loop request storm")
+	cfg := overloadScenario
+	hub := r.expHub()
+	cfg.Hub = hub
+	rows, hedged, err := experiments.Overload(r.pp, cfg)
+	if err != nil {
+		return err
+	}
+
+	// The acceptance figures compare the protected cells at the sweep's
+	// lowest and highest multipliers.
+	var base, peak *experiments.OverloadRow
+	accusations := 0
+	unprotectedMaxQueue := 0
+	for i := range rows {
+		row := &rows[i]
+		accusations += row.Accusations
+		if row.Protected {
+			if base == nil || row.OfferedLoad < base.OfferedLoad {
+				base = row
+			}
+			if peak == nil || row.OfferedLoad > peak.OfferedLoad {
+				peak = row
+			}
+		} else if row.MaxQueueDepth > unprotectedMaxQueue {
+			unprotectedMaxQueue = row.MaxQueueDepth
+		}
+	}
+	retention, p99Ratio := 0.0, 0.0
+	if base != nil && peak != nil && base.GoodputPerSec > 0 {
+		retention = peak.GoodputPerSec / base.GoodputPerSec
+		if base.P99 > 0 {
+			p99Ratio = float64(peak.P99) / float64(base.P99)
+		}
+	}
+	hedgeSpeedup := 0.0
+	if len(hedged) == 2 && hedged[1].AuditP99 > 0 {
+		hedgeSpeedup = float64(hedged[0].AuditP99) / float64(hedged[1].AuditP99)
+	}
+
+	if r.csv {
+		fmt.Println("overload,offered_load,protected,offered,completed,shed,abandoned,goodput_per_sec,p50_ms,p99_ms,max_queue_depth,audits,accusations,audit_shed_rounds,audit_timeout_rounds,audits_degraded,budget_denied,effective_sample_fraction")
+		for _, row := range rows {
+			fmt.Printf("overload,%g,%v,%d,%d,%d,%d,%.1f,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.3f\n",
+				row.OfferedLoad, row.Protected, row.Offered, row.Completed, row.Shed,
+				row.Abandoned, row.GoodputPerSec, ms(row.P50), ms(row.P99),
+				row.MaxQueueDepth, row.Audits, row.Accusations, row.AuditShedRounds,
+				row.AuditTimeoutRounds, row.AuditsDegraded, row.BudgetDenied,
+				row.EffectiveSampleFraction)
+		}
+		fmt.Println("overloadhedge,hedge,audits,hedged_rounds,audit_p50_ms,audit_p99_ms,accusations")
+		for _, row := range hedged {
+			fmt.Printf("overloadhedge,%v,%d,%d,%s,%s,%d\n", row.Hedge, row.Audits,
+				row.HedgedRounds, ms(row.AuditP50), ms(row.AuditP99), row.Accusations)
+		}
+	} else {
+		fmt.Printf("%6s %10s %8s %10s %6s %10s %10s %9s %9s %7s %7s %8s %9s %7s\n",
+			"load", "protected", "offered", "completed", "shed", "abandoned",
+			"goodput/s", "p50 (ms)", "p99 (ms)", "queue", "audits", "accused", "degraded", "sample")
+		for _, row := range rows {
+			fmt.Printf("%5gx %10v %8d %10d %6d %10d %10.1f %9s %9s %7d %7d %8d %9d %6.0f%%\n",
+				row.OfferedLoad, row.Protected, row.Offered, row.Completed, row.Shed,
+				row.Abandoned, row.GoodputPerSec, ms(row.P50), ms(row.P99),
+				row.MaxQueueDepth, row.Audits, row.Accusations, row.AuditsDegraded,
+				100*row.EffectiveSampleFraction)
+		}
+		fmt.Printf("\n%6s %8s %14s %14s %14s %8s\n",
+			"hedge", "audits", "hedged rounds", "p50 (ms)", "p99 (ms)", "accused")
+		for _, row := range hedged {
+			fmt.Printf("%6v %8d %14d %14s %14s %8d\n", row.Hedge, row.Audits,
+				row.HedgedRounds, ms(row.AuditP50), ms(row.AuditP99), row.Accusations)
+		}
+		fmt.Printf("\ngoodput retention at %gx (protected): %.1f%%   p99 inflation: %.1fx\n",
+			overloadScenario.LoadMultipliers[len(overloadScenario.LoadMultipliers)-1],
+			100*retention, p99Ratio)
+		fmt.Printf("unprotected peak queue depth: %d (protected limit: %d)   hedge p99 speedup: %.1fx\n",
+			unprotectedMaxQueue, cfg.QueueLimit, hedgeSpeedup)
+		fmt.Println("\nreading: bounded LIFO queues shed excess load with a typed refusal and keep")
+		fmt.Println("goodput and tail latency flat as offered load quadruples; the unbounded FIFO")
+		fmt.Println("baseline queues without bound and serves replies nobody is waiting for.")
+		fmt.Println("Overload is never evidence: every audit stays valid, shed rounds are recorded")
+		fmt.Println("as liveness loss, and hedged rounds route around the queue-delayed primary.")
+	}
+
+	if r.jsonOut == "" {
+		return nil
+	}
+	var out overloadJSON
+	out.Experiment = "overload"
+	out.Params = r.pp.Name()
+	for _, row := range rows {
+		out.Load = append(out.Load, struct {
+			OfferedLoad             float64 `json:"offered_load"`
+			Protected               bool    `json:"protected"`
+			Offered                 int     `json:"offered"`
+			Completed               int     `json:"completed"`
+			Shed                    int     `json:"shed"`
+			Abandoned               int     `json:"abandoned"`
+			GoodputPerSec           float64 `json:"goodput_per_sec"`
+			P50MS                   float64 `json:"p50_ms"`
+			P99MS                   float64 `json:"p99_ms"`
+			MaxQueueDepth           int     `json:"max_queue_depth"`
+			Audits                  int     `json:"audits"`
+			Accusations             int     `json:"accusations"`
+			AuditShedRounds         int     `json:"audit_shed_rounds"`
+			AuditTimeoutRounds      int     `json:"audit_timeout_rounds"`
+			AuditsDegraded          int     `json:"audits_degraded"`
+			BudgetDenied            int     `json:"budget_denied"`
+			EffectiveSampleFraction float64 `json:"effective_sample_fraction"`
+		}{row.OfferedLoad, row.Protected, row.Offered, row.Completed, row.Shed,
+			row.Abandoned, row.GoodputPerSec,
+			float64(row.P50.Nanoseconds()) / 1e6, float64(row.P99.Nanoseconds()) / 1e6,
+			row.MaxQueueDepth, row.Audits, row.Accusations, row.AuditShedRounds,
+			row.AuditTimeoutRounds, row.AuditsDegraded, row.BudgetDenied,
+			row.EffectiveSampleFraction})
+	}
+	for _, row := range hedged {
+		out.Hedge = append(out.Hedge, struct {
+			Hedge        bool    `json:"hedge"`
+			Audits       int     `json:"audits"`
+			HedgedRounds int     `json:"hedged_rounds"`
+			AuditP50MS   float64 `json:"audit_p50_ms"`
+			AuditP99MS   float64 `json:"audit_p99_ms"`
+			Accusations  int     `json:"accusations"`
+		}{row.Hedge, row.Audits, row.HedgedRounds,
+			float64(row.AuditP50.Nanoseconds()) / 1e6,
+			float64(row.AuditP99.Nanoseconds()) / 1e6, row.Accusations})
+	}
+	out.Summary.GoodputRetention4x = retention
+	out.Summary.P99Ratio4x = p99Ratio
+	out.Summary.Accusations = accusations
+	out.Summary.UnprotectedMaxQueue = unprotectedMaxQueue
+	out.Summary.ProtectedQueueLimit = cfg.QueueLimit
+	out.Summary.HedgeP99SpeedupFactor = hedgeSpeedup
+	out.Metrics = hub.Registry().Snapshot()
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(r.jsonOut, append(data, '\n'), 0o644)
+}

@@ -13,6 +13,8 @@
 //	seccloud-sim -wal-dir /tmp/sc -crash-every 2   # crash + WAL-recover servers
 //	seccloud-sim -kill-every 2 -fleet-samples 8    # whole-epoch outages + fleet audits
 //	seccloud-sim -bad-replica 1 -bad-replica-epoch 2 -repair   # rot, localize, repair
+//	seccloud-sim -overload-every 2 -offered-load 6 -max-inflight 1 \
+//	    -queue-limit 2 -retry-budget 8 -degrade -hedge         # open-loop overload schedule
 package main
 
 import (
@@ -55,34 +57,52 @@ func main() {
 		badBlocks    = flag.Int("bad-blocks", 2, "number of blocks that rot on the bad replica")
 		admin        = flag.String("admin", "", "serve /metrics, /traces, /healthz and pprof on this address (e.g. 127.0.0.1:6060 or :0; empty = off)")
 		adminLinger  = flag.Duration("admin-linger", 0, "keep the admin endpoint up this long after the run (requires -admin)")
+		maxInflight  = flag.Int("max-inflight", 0, "per-server admission execution slots (0 = no admission control)")
+		queueLimit   = flag.Int("queue-limit", 4, "admission queue slots per server; -1 = unbounded FIFO baseline (requires -max-inflight)")
+		serviceTime  = flag.Duration("service-time", 0, "real wall-clock service time charged per request while an admission slot is held")
+		overloadEvry = flag.Int("overload-every", 0, "fire an open-loop burst every Nth epoch (0 = never; requires -max-inflight)")
+		offeredLoad  = flag.Float64("offered-load", 0, "burst offered load as a multiple of fleet capacity (0 = default 4)")
+		auditDeadlin = flag.Duration("audit-deadline", 0, "per-audit deadline propagated through every challenge round (0 = none)")
+		retryBudget  = flag.Int("retry-budget", 0, "per-audit retry token budget shared across rounds (0 = unlimited)")
+		degrade      = flag.Bool("degrade", false, "let the DA shrink audit samples along the Theorem-3 curve under overload")
+		hedge        = flag.Bool("hedge", false, "hedge slow fleet challenge rounds to a second healthy replica")
 	)
 	flag.Parse()
 
 	base := epoch.Config{
-		Servers:         *servers,
-		Corrupted:       *corrupted,
-		Epochs:          *epochs,
-		BlocksPerUser:   *blocks,
-		JobsPerEpoch:    *jobs,
-		SampleSize:      *samples,
-		CheaterCSC:      *csc,
-		Seed:            *seed,
-		Workers:         *workers,
-		FaultDrop:       *faultDrop,
-		FaultCorrupt:    *faultCorrupt,
-		FaultDelay:      *faultDelay,
-		RetryAttempts:   *retries,
-		WALDir:          *walDir,
-		SnapshotEvery:   *snapEvery,
-		CrashEvery:      *crashEvery,
-		CrashPoint:      *crashPoint,
-		KillEvery:       *killEvery,
-		FleetSampleSize: *fleetSamples,
-		QuorumK:         *quorumK,
-		Repair:          *repair,
-		BadReplica:      *badReplica,
-		BadReplicaEpoch: *badEpoch,
-		BadBlocks:       *badBlocks,
+		Servers:           *servers,
+		Corrupted:         *corrupted,
+		Epochs:            *epochs,
+		BlocksPerUser:     *blocks,
+		JobsPerEpoch:      *jobs,
+		SampleSize:        *samples,
+		CheaterCSC:        *csc,
+		Seed:              *seed,
+		Workers:           *workers,
+		FaultDrop:         *faultDrop,
+		FaultCorrupt:      *faultCorrupt,
+		FaultDelay:        *faultDelay,
+		RetryAttempts:     *retries,
+		WALDir:            *walDir,
+		SnapshotEvery:     *snapEvery,
+		CrashEvery:        *crashEvery,
+		CrashPoint:        *crashPoint,
+		KillEvery:         *killEvery,
+		FleetSampleSize:   *fleetSamples,
+		QuorumK:           *quorumK,
+		Repair:            *repair,
+		BadReplica:        *badReplica,
+		BadReplicaEpoch:   *badEpoch,
+		BadBlocks:         *badBlocks,
+		MaxInflight:       *maxInflight,
+		QueueLimit:        *queueLimit,
+		ServiceTime:       *serviceTime,
+		OverloadEvery:     *overloadEvry,
+		OfferedLoad:       *offeredLoad,
+		AuditDeadline:     *auditDeadlin,
+		RetryBudgetTokens: *retryBudget,
+		DegradeSampling:   *degrade,
+		HedgeFleetRounds:  *hedge,
 	}
 
 	var adminSrv *obs.AdminServer
@@ -182,6 +202,12 @@ func runOnce(cfg epoch.Config) error {
 			res.Kills, res.JobFailovers,
 			res.FleetAudits-res.DegradedFleetAudits, res.FleetAudits,
 			100*res.FleetAvailability(), res.FleetFailovers)
+	}
+	if cfg.OverloadEvery > 0 || cfg.MaxInflight > 0 {
+		fmt.Printf("overload: %d burst requests fired, %d shed at admission (peak queue %d), %d audit rounds shed\n",
+			res.BurstsFired, res.RequestsShed, res.MaxQueueDepth, res.ShedRounds)
+		fmt.Printf("protection: %d retries denied by budget, %d rounds hedged, %d audits degraded by design\n",
+			res.BudgetDenied, res.HedgedRounds, res.OverloadDegradedAudits)
 	}
 	if res.LocalizedVerdicts+res.ProviderWideVerdicts+res.InconclusiveVerdicts > 0 {
 		fmt.Printf("quorum verdicts: %d localized, %d provider-wide, %d inconclusive; repairs: %d attempted, %d confirmed\n",

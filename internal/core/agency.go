@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -86,6 +87,13 @@ const (
 	// RoundBadProof: the round completed and a cryptographic or protocol
 	// check failed — this is the only accusatory outcome.
 	RoundBadProof
+	// RoundShed: the server's admission control refused the round with a
+	// typed overload response. Like NetworkFault and Timeout it is
+	// non-accusatory — a server honestly reporting "busy" has proven
+	// nothing about its data — but it is kept distinct because the right
+	// reaction differs: shed rounds should fail over or back off, never
+	// retry into the saturated server.
+	RoundShed
 )
 
 // String renders the outcome.
@@ -99,6 +107,8 @@ func (o RoundOutcome) String() string {
 		return "timeout"
 	case RoundBadProof:
 		return "bad-proof"
+	case RoundShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
@@ -106,6 +116,13 @@ func (o RoundOutcome) String() string {
 
 // Accusatory reports whether the outcome implicates the server.
 func (o RoundOutcome) Accusatory() bool { return o == RoundBadProof }
+
+// Lost reports whether the round produced no verdict on the server
+// (network fault, timeout, or overload shed): its indices leave the
+// effective sample and a resumed audit re-challenges it.
+func (o RoundOutcome) Lost() bool {
+	return o == RoundNetworkFault || o == RoundTimeout || o == RoundShed
+}
 
 // RoundRecord is the evidence-trail entry for one challenge round.
 type RoundRecord struct {
@@ -130,6 +147,10 @@ type RoundRecord struct {
 	// FailedOver records that at least one failover re-issued this round
 	// to a different replica before it resolved.
 	FailedOver bool
+	// Hedged records that a duplicate of this round was launched at a
+	// second replica after the hedge delay and that duplicate answered
+	// first (fleet audits with hedging enabled).
+	Hedged bool
 }
 
 // AuditCheckpoint is an interrupted audit's durable residue: the exact
@@ -195,7 +216,7 @@ func planRounds(sample []uint64, rounds int, resume *AuditCheckpoint) []plannedR
 	for i := range resume.Rounds {
 		rr := &resume.Rounds[i]
 		plan[i] = plannedRound{indices: rr.Indices}
-		if rr.Outcome != RoundNetworkFault && rr.Outcome != RoundTimeout {
+		if !rr.Outcome.Lost() {
 			plan[i].carry = rr
 		}
 	}
@@ -221,6 +242,18 @@ type AuditReport struct {
 	// AchievedConfidence is 1 − Pr[cheat success] (eq. 14) recomputed for
 	// the effective sample when AuditConfig.Analysis is set; 0 otherwise.
 	AchievedConfidence float64
+	// PlannedSampleSize is the sample size the audit intended before any
+	// deliberate overload degradation (= SampleSize unless the overload
+	// controller shrank the challenge set).
+	PlannedSampleSize int
+	// DegradedByOverload records that the overload controller shrank the
+	// challenge set on purpose. The reduced confidence is explicit —
+	// stamped into signed evidence — never a silent loss of detection
+	// power.
+	DegradedByOverload bool
+	// BudgetDenied counts retries this audit wanted but the shared retry
+	// budget refused.
+	BudgetDenied int
 	// SigChecksBatched reports whether block signatures were verified with
 	// the §VI batch equation (2 pairings) instead of per-item.
 	SigChecksBatched bool
@@ -241,6 +274,32 @@ func (r *AuditReport) NetworkFaultRounds() int {
 	n := 0
 	for _, rr := range r.Rounds {
 		if rr.Outcome == RoundNetworkFault || rr.Outcome == RoundTimeout {
+			n++
+		}
+	}
+	return n
+}
+
+// ShedRounds counts rounds refused by server admission control.
+func (r *AuditReport) ShedRounds() int { return shedRounds(r.Rounds) }
+
+// HedgedRounds counts rounds won by a hedged duplicate.
+func (r *AuditReport) HedgedRounds() int { return hedgedRounds(r.Rounds) }
+
+func shedRounds(rounds []RoundRecord) int {
+	n := 0
+	for _, rr := range rounds {
+		if rr.Outcome == RoundShed {
+			n++
+		}
+	}
+	return n
+}
+
+func hedgedRounds(rounds []RoundRecord) int {
+	n := 0
+	for _, rr := range rounds {
+		if rr.Hedged {
 			n++
 		}
 	}
@@ -281,6 +340,22 @@ type AuditConfig struct {
 	Retry *netsim.Retrier
 	// RoundTimeout bounds each round-trip attempt; 0 means no deadline.
 	RoundTimeout time.Duration
+	// Deadline bounds the whole audit end to end. When it expires,
+	// in-flight rounds are cancelled and never-dispatched rounds are
+	// recorded as deadline-lost timeouts; rounds the server already
+	// answered are still verified in full. 0 means no audit deadline.
+	Deadline time.Duration
+	// Budget, when set, is this audit's shared retry token bucket: every
+	// retry across all rounds draws a token, successes refund a fraction,
+	// and a drained bucket stops retrying instead of amplifying an
+	// overload. Denials are recorded in the report. Requires Retry.
+	Budget *netsim.RetryBudget
+	// Overload, when set, enables graceful degradation: when the
+	// controller's observed shed/timeout rate crosses its threshold, the
+	// audit shrinks its challenge set along the Theorem-3 curve and the
+	// reduced detection confidence is stamped into the report (and any
+	// evidence sealed from it) instead of being lost silently.
+	Overload *OverloadController
 	// Analysis, when set, recomputes the achieved detection confidence
 	// (1 − eq. 14) for the effective sample after network-fault
 	// degradation.
@@ -320,8 +395,12 @@ func splitRounds(sample []uint64, rounds int) [][]uint64 {
 }
 
 // roundTrip performs one (possibly retried, possibly deadlined) challenge
-// round trip and reports how many attempts it took.
-func roundTrip(client netsim.Client, retry *netsim.Retrier, timeout time.Duration, req wire.Message) (wire.Message, int, error) {
+// round trip and reports how many attempts it took. ctx is the audit-level
+// context: its deadline (cfg.Deadline) and cancellation propagate into
+// every attempt, so an expired audit stops issuing network work instead of
+// finishing rounds whose report is already forfeit. A nil ctx means no
+// audit-level bound.
+func roundTrip(ctx context.Context, client netsim.Client, retry *netsim.Retrier, timeout time.Duration, req wire.Message) (wire.Message, int, error) {
 	attempts := 0
 	op := func(ctx context.Context) (wire.Message, error) {
 		attempts++
@@ -332,12 +411,15 @@ func roundTrip(client netsim.Client, retry *netsim.Retrier, timeout time.Duratio
 		}
 		return client.RoundTripContext(ctx, req)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if retry == nil {
-		resp, err := op(context.Background())
+		resp, err := op(ctx)
 		return resp, attempts, err
 	}
 	var resp wire.Message
-	err := retry.Do(context.Background(), func(ctx context.Context) error {
+	err := retry.Do(ctx, func(ctx context.Context) error {
 		var err error
 		resp, err = op(ctx)
 		return err
@@ -350,10 +432,14 @@ func roundTrip(client netsim.Client, retry *netsim.Retrier, timeout time.Duratio
 
 // classifyTransport maps a failed round trip to its outcome. Terminal
 // (non-transport) errors return ok=false: they abort the audit rather
-// than degrade it.
+// than degrade it. Overload sheds are checked first: a typed shed is
+// deliberately neither retryable nor a timeout (so the Retrier stops
+// immediately), which would otherwise drop it into the terminal default.
 func classifyTransport(err error) (RoundOutcome, bool) {
 	switch {
-	case netsim.IsTimeout(err):
+	case netsim.IsOverloaded(err):
+		return RoundShed, true
+	case netsim.IsTimeout(err), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return RoundTimeout, true
 	case netsim.IsRetryable(err):
 		return RoundNetworkFault, true
@@ -550,11 +636,26 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 		}
 		sample = SampleIndices(rng, len(d.Tasks), cfg.SampleSize)
 	}
+	plannedSample := len(sample)
+	degraded := false
+	if cfg.Resume == nil && cfg.Overload != nil {
+		if reduced, ok := cfg.Overload.PlanSample(len(sample)); ok {
+			// Graceful degradation: under sustained shed/timeout pressure a
+			// smaller challenge set keeps audits completing inside their
+			// deadlines; the confidence loss is explicit, recomputed below
+			// and stamped into any evidence sealed from this report.
+			sample = sample[:reduced]
+			degraded = true
+			a.obs.degradedAudit("job")
+		}
+	}
 	report := &AuditReport{
-		JobID:            d.JobID,
-		SampleSize:       len(sample),
-		Sampled:          sample,
-		SigChecksBatched: cfg.BatchSignatures,
+		JobID:              d.JobID,
+		SampleSize:         len(sample),
+		Sampled:            sample,
+		PlannedSampleSize:  plannedSample,
+		DegradedByOverload: degraded,
+		SigChecksBatched:   cfg.BatchSignatures,
 	}
 	if cfg.Resume != nil {
 		// Verdicts already reached before the interruption stand as-is.
@@ -577,7 +678,30 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 	plan := planRounds(sample, cfg.Rounds, cfg.Resume)
 	results := make([]roundResult, len(plan))
 	p := a.auditPool(cfg.Workers)
-	p.forEach(len(plan), func(ri int) {
+	// actx governs dispatch and network rounds: it dies on the audit
+	// deadline or the first terminal error, so an expired audit stops
+	// issuing work. verifyCtx dies ONLY on terminal errors — rounds the
+	// server already answered are always verified in full, so a deadline
+	// can never silently convert unchecked items into effective sample.
+	ctx := context.Background()
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	actx, abort := context.WithCancel(ctx)
+	defer abort()
+	verifyCtx, vabort := context.WithCancel(context.Background())
+	defer vabort()
+	retry := cfg.Retry
+	if retry != nil && cfg.Budget != nil {
+		retry = retry.WithBudget(cfg.Budget)
+	}
+	var deniedBefore uint64
+	if cfg.Budget != nil {
+		deniedBefore = cfg.Budget.Denied()
+	}
+	p.forEach(actx, len(plan), func(ri int) {
 		chunk := plan[ri].indices
 		rr := &results[ri]
 		if cr := plan[ri].carry; cr != nil {
@@ -590,7 +714,7 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 		rs := roundSpan(root, ri)
 		defer endRound(rs, &rr.rec)
 		rr.rec = RoundRecord{Indices: append([]uint64(nil), chunk...)}
-		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.ChallengeRequest{
+		resp, attempts, err := roundTrip(actx, client, retry, cfg.RoundTimeout, &wire.ChallengeRequest{
 			JobID:   d.JobID,
 			Indices: chunk,
 			Warrant: d.Warrant,
@@ -600,6 +724,8 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 			outcome, transport := classifyTransport(err)
 			if !transport {
 				rr.err = fmt.Errorf("core: challenge round trip: %w", err)
+				abort()
+				vabort()
 				return
 			}
 			rr.rec.Outcome = outcome
@@ -629,7 +755,7 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 			rr.ok = true
 			itemFails := make([][]AuditFailure, len(ch.Items))
 			itemSigs := make([][]sigCheck, len(ch.Items))
-			p.forEach(len(ch.Items), func(i int) {
+			p.forEach(verifyCtx, len(ch.Items), func(i int) {
 				is := rs.Child("check.item", "index", strconv.FormatUint(chunk[i], 10))
 				itemFails[i], itemSigs[i] = a.checkItem(d, chunk[i], ch.Items[i], cfg.BatchSignatures)
 				if len(itemFails[i]) > 0 {
@@ -650,6 +776,25 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 			return nil, results[ri].err
 		}
 	}
+	for ri := range results {
+		rr := &results[ri]
+		if rr.rec.Outcome != 0 {
+			continue
+		}
+		// Never dispatched: the audit deadline (or an abort) fired before
+		// this round's task ran. A checkpointed verdict still stands;
+		// fresh rounds are recorded as deadline-lost, never accusatory.
+		if cr := plan[ri].carry; cr != nil {
+			rr.rec = *cr
+			rr.ok = cr.Completed
+			continue
+		}
+		rr.rec = RoundRecord{
+			Indices: append([]uint64(nil), plan[ri].indices...),
+			Outcome: RoundTimeout,
+			Detail:  "audit deadline expired before dispatch",
+		}
+	}
 	var effective []uint64
 	for ri := range results {
 		rr := &results[ri]
@@ -662,6 +807,10 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 		}
 	}
 	report.EffectiveSampleSize = len(effective)
+	if cfg.Budget != nil {
+		report.BudgetDenied = int(cfg.Budget.Denied() - deniedBefore)
+	}
+	observeOverload(cfg.Overload, plan, report.Rounds)
 
 	preCheck := len(report.Failures)
 	var sigChecks []sigCheck
@@ -671,7 +820,7 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 	}
 	// Batched signature verification (§VI): one aggregate check; on
 	// failure, fall back to individual verification to attribute blame.
-	for i, err := range a.verifySigBatch(sigChecks, true, p) {
+	for i, err := range a.verifySigBatch(verifyCtx, sigChecks, true, p) {
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
 				Index: sigChecks[i].index, Check: CheckSignature, Detail: err.Error(),
@@ -832,6 +981,14 @@ type StorageAuditReport struct {
 	// AchievedConfidence is 1 − Pr[cheat success] for the effective
 	// sample when Analysis is set; 0 otherwise.
 	AchievedConfidence float64
+	// PlannedSampleSize is the pre-degradation sample size (= len(Sampled)
+	// unless the overload controller shrank the challenge set).
+	PlannedSampleSize int
+	// DegradedByOverload records a deliberate overload-driven reduction of
+	// the challenge set (see AuditReport.DegradedByOverload).
+	DegradedByOverload bool
+	// BudgetDenied counts retries refused by the shared retry budget.
+	BudgetDenied int
 }
 
 // Valid reports whether every sampled block verified. Rounds lost to the
@@ -852,6 +1009,12 @@ func (r *StorageAuditReport) NetworkFaultRounds() int {
 	return n
 }
 
+// ShedRounds counts rounds refused by server admission control.
+func (r *StorageAuditReport) ShedRounds() int { return shedRounds(r.Rounds) }
+
+// HedgedRounds counts rounds won by a hedged duplicate.
+func (r *StorageAuditReport) HedgedRounds() int { return hedgedRounds(r.Rounds) }
+
 // StorageAuditConfig shapes a stored-data audit.
 type StorageAuditConfig struct {
 	// DatasetSize is the number of addressable positions |X|.
@@ -870,6 +1033,12 @@ type StorageAuditConfig struct {
 	Retry *netsim.Retrier
 	// RoundTimeout bounds each round-trip attempt; 0 means no deadline.
 	RoundTimeout time.Duration
+	// Deadline bounds the whole audit, exactly as AuditConfig.Deadline.
+	Deadline time.Duration
+	// Budget is the audit's shared retry token bucket (see AuditConfig).
+	Budget *netsim.RetryBudget
+	// Overload enables graceful sample degradation (see AuditConfig).
+	Overload *OverloadController
 	// Analysis recomputes achieved confidence for the effective sample.
 	Analysis *sampling.Params
 	// Workers bounds the audit's verification concurrency, exactly as
@@ -903,10 +1072,21 @@ func (a *Agency) AuditStorage(
 		}
 		sample = SampleIndices(rng, cfg.DatasetSize, cfg.SampleSize)
 	}
+	plannedSample := len(sample)
+	degraded := false
+	if cfg.Resume == nil && cfg.Overload != nil {
+		if reduced, ok := cfg.Overload.PlanSample(len(sample)); ok {
+			sample = sample[:reduced]
+			degraded = true
+			a.obs.degradedAudit("storage")
+		}
+	}
 	report := &StorageAuditReport{
-		UserID:           userID,
-		Sampled:          sample,
-		SigChecksBatched: cfg.BatchSignatures,
+		UserID:             userID,
+		Sampled:            sample,
+		PlannedSampleSize:  plannedSample,
+		DegradedByOverload: degraded,
+		SigChecksBatched:   cfg.BatchSignatures,
 	}
 	if cfg.Resume != nil {
 		report.Failures = append(report.Failures, cfg.Resume.Failures...)
@@ -928,7 +1108,27 @@ func (a *Agency) AuditStorage(
 	plan := planRounds(sample, cfg.Rounds, cfg.Resume)
 	results := make([]roundResult, len(plan))
 	p := a.auditPool(cfg.Workers)
-	p.forEach(len(plan), func(ri int) {
+	// Same two-context scheme as AuditJob: deadline/terminal aborts stop
+	// network dispatch; completed rounds still verify in full.
+	ctx := context.Background()
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	actx, abort := context.WithCancel(ctx)
+	defer abort()
+	verifyCtx, vabort := context.WithCancel(context.Background())
+	defer vabort()
+	retry := cfg.Retry
+	if retry != nil && cfg.Budget != nil {
+		retry = retry.WithBudget(cfg.Budget)
+	}
+	var deniedBefore uint64
+	if cfg.Budget != nil {
+		deniedBefore = cfg.Budget.Denied()
+	}
+	p.forEach(actx, len(plan), func(ri int) {
 		chunk := plan[ri].indices
 		rr := &results[ri]
 		if cr := plan[ri].carry; cr != nil {
@@ -939,7 +1139,7 @@ func (a *Agency) AuditStorage(
 		rs := roundSpan(root, ri)
 		defer endRound(rs, &rr.rec)
 		rr.rec = RoundRecord{Indices: append([]uint64(nil), chunk...)}
-		resp, attempts, err := roundTrip(client, cfg.Retry, cfg.RoundTimeout, &wire.StorageAuditRequest{
+		resp, attempts, err := roundTrip(actx, client, retry, cfg.RoundTimeout, &wire.StorageAuditRequest{
 			UserID:    userID,
 			Positions: chunk,
 			Warrant:   warrant,
@@ -949,6 +1149,8 @@ func (a *Agency) AuditStorage(
 			outcome, transport := classifyTransport(err)
 			if !transport {
 				rr.err = fmt.Errorf("core: storage audit round trip: %w", err)
+				abort()
+				vabort()
 				return
 			}
 			rr.rec.Outcome = outcome
@@ -983,6 +1185,22 @@ func (a *Agency) AuditStorage(
 			return nil, results[ri].err
 		}
 	}
+	for ri := range results {
+		rr := &results[ri]
+		if rr.rec.Outcome != 0 {
+			continue
+		}
+		if cr := plan[ri].carry; cr != nil {
+			rr.rec = *cr
+			rr.carried = true
+			continue
+		}
+		rr.rec = RoundRecord{
+			Indices: append([]uint64(nil), plan[ri].indices...),
+			Outcome: RoundTimeout,
+			Detail:  "audit deadline expired before dispatch",
+		}
+	}
 	var positions []uint64
 	var blocks [][]byte
 	var sigs []wire.BlockSig
@@ -1007,6 +1225,10 @@ func (a *Agency) AuditStorage(
 		}
 	}
 	report.EffectiveSampleSize = carriedEffective + len(positions)
+	if cfg.Budget != nil {
+		report.BudgetDenied = int(cfg.Budget.Denied() - deniedBefore)
+	}
+	observeOverload(cfg.Overload, plan, report.Rounds)
 	if cfg.Analysis != nil {
 		conf, err := sampling.DetectionConfidence(*cfg.Analysis, report.EffectiveSampleSize)
 		if err != nil {
@@ -1034,7 +1256,7 @@ func (a *Agency) AuditStorage(
 		}
 		checks = append(checks, sigCheck{index: pos, msg: BlockMessage(pos, blocks[i]), des: des})
 	}
-	for i, err := range a.verifySigBatch(checks, cfg.BatchSignatures, p) {
+	for i, err := range a.verifySigBatch(verifyCtx, checks, cfg.BatchSignatures, p) {
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
 				Index: checks[i].index, Check: CheckSignature, Detail: err.Error(),
@@ -1044,6 +1266,23 @@ func (a *Agency) AuditStorage(
 	downgradeRounds(report.Rounds, report.Failures[preCheck:])
 	a.obs.finishAudit("storage", report.Rounds, report.Failures, report.Valid(), a.clock().Sub(start))
 	return report, nil
+}
+
+// observeOverload feeds this run's fresh rounds (not checkpoint carries —
+// their pressure was observed by the original run) into the overload
+// controller: sheds and timeouts count as overload losses, everything else
+// as healthy. Nil controller no-ops.
+func observeOverload(oc *OverloadController, plan []plannedRound, rounds []RoundRecord) {
+	if oc == nil {
+		return
+	}
+	for ri := range rounds {
+		if ri < len(plan) && plan[ri].carry != nil {
+			continue
+		}
+		out := rounds[ri].Outcome
+		oc.Observe(out == RoundShed || out == RoundTimeout)
+	}
 }
 
 // downgradeRounds marks OK rounds whose indices drew per-item failures as

@@ -71,7 +71,7 @@ func (a *Agency) AuditJobs(
 	}
 	results := make([]jobResult, len(delegations))
 	p := a.auditPool(cfg.Workers)
-	p.forEach(len(delegations), func(di int) {
+	p.forEach(nil, len(delegations), func(di int) {
 		d := delegations[di]
 		sample := samples[di]
 		report := &AuditReport{
@@ -115,7 +115,7 @@ func (a *Agency) AuditJobs(
 		// signature checks are harvested for the cross-job batch.
 		itemFails := make([][]AuditFailure, len(ch.Items))
 		itemSigs := make([][]sigCheck, len(ch.Items))
-		p.forEach(len(ch.Items), func(i int) {
+		p.forEach(nil, len(ch.Items), func(i int) {
 			itemFails[i], itemSigs[i] = a.checkItem(d, sample[i], ch.Items[i], true)
 		})
 		for i := range ch.Items {
@@ -143,7 +143,7 @@ func (a *Agency) AuditJobs(
 		}
 	}
 	out.BatchedSigItems = len(deferred)
-	for i, err := range a.verifySigBatch(deferred, true, p) {
+	for i, err := range a.verifySigBatch(nil, deferred, true, p) {
 		if err != nil {
 			owners[i].Failures = append(owners[i].Failures, AuditFailure{
 				Index: deferred[i].index, Check: CheckSignature, Detail: err.Error(),

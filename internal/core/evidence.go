@@ -26,14 +26,16 @@ import (
 // not the designated form.
 
 // Evidence encoding versions. Version 2 added the fleet fields
-// (FailoverSummary, QuorumSummary) when failover auditing landed; the
-// body rendering switches on the version so evidence signed under the
-// version-1 format — where those fields did not exist — still verifies
+// (FailoverSummary, QuorumSummary) when failover auditing landed; version
+// 3 added the overload section (planned sample size, deliberate
+// degradation, shed/hedged round counts, detection confidence). The body
+// rendering switches on the version so evidence signed under an earlier
+// format — where those fields did not exist — still verifies
 // byte-for-byte. A decoded struct with Version 0 (old serializations
 // predate the field) renders as version 1.
 const (
 	// EvidenceVersion is the format newly issued Evidence carries.
-	EvidenceVersion = 2
+	EvidenceVersion = 3
 	// CheckpointVersion is the format newly signed checkpoints carry.
 	// Version 2 added the per-round Replica/FailedOver fields.
 	CheckpointVersion = 2
@@ -75,7 +77,25 @@ type Evidence struct {
 	// QuorumSummary (version ≥ 2) is the canonical rendering of the
 	// quorum cross-examination verdicts. Empty when nothing was accused.
 	QuorumSummary string
-	Sig           wire.IBSig
+	// PlannedSampleSize (version ≥ 3) is the sample size the audit
+	// intended before any overload degradation. A degraded verdict shows
+	// its reduced coverage here, signed — the confidence trade is
+	// auditable, never silent.
+	PlannedSampleSize int
+	// DegradedByOverload (version ≥ 3) records that the overload
+	// controller deliberately shrank the challenge set.
+	DegradedByOverload bool
+	// ShedRounds (version ≥ 3) counts rounds the server's admission
+	// control refused. Sheds are non-accusatory, like network faults, but
+	// the verdict records them so sustained shedding is visible evidence.
+	ShedRounds int
+	// HedgedRounds (version ≥ 3) counts rounds won by a hedged duplicate.
+	HedgedRounds int
+	// DetectionConfidence (version ≥ 3) is the achieved 1 − Pr[cheat
+	// success] for the effective sample (0 when the audit ran without a
+	// sampling analysis).
+	DetectionConfidence float64
+	Sig                 wire.IBSig
 }
 
 // evidenceBody is the byte string the verdict signature covers. The
@@ -83,9 +103,12 @@ type Evidence struct {
 // byte format so old verdicts keep verifying.
 func evidenceBody(e *Evidence) []byte {
 	var b strings.Builder
-	if e.Version >= 2 {
+	switch {
+	case e.Version >= 3:
+		b.WriteString("seccloud/audit-evidence/v3|auditor=")
+	case e.Version >= 2:
 		b.WriteString("seccloud/audit-evidence/v2|auditor=")
-	} else {
+	default:
 		b.WriteString("seccloud/audit-evidence|auditor=")
 	}
 	b.WriteString(e.AuditorID)
@@ -112,6 +135,23 @@ func evidenceBody(e *Evidence) []byte {
 		b.WriteString(e.FailoverSummary)
 		b.WriteString("|quorum=")
 		b.WriteString(e.QuorumSummary)
+	}
+	if e.Version >= 3 {
+		b.WriteString("|planned=")
+		b.WriteString(strconv.Itoa(e.PlannedSampleSize))
+		b.WriteString("|degraded=")
+		if e.DegradedByOverload {
+			b.WriteString("1")
+		} else {
+			b.WriteString("0")
+		}
+		b.WriteString("|shed=")
+		b.WriteString(strconv.Itoa(e.ShedRounds))
+		b.WriteString("|hedged=")
+		b.WriteString(strconv.Itoa(e.HedgedRounds))
+		b.WriteString("|confidence=")
+		// Shortest round-trip float rendering: canonical and stable.
+		b.WriteString(strconv.FormatFloat(e.DetectionConfidence, 'g', -1, 64))
 	}
 	b.WriteString("|sampled=")
 	buf := make([]byte, 8)
@@ -149,6 +189,11 @@ func (a *Agency) IssueEvidence(d *JobDelegation, report *AuditReport) (*Evidence
 		FailureSummary:      summarizeFailures(report.Failures),
 		EffectiveSampleSize: report.EffectiveSampleSize,
 		NetworkFaultRounds:  report.NetworkFaultRounds(),
+		PlannedSampleSize:   report.PlannedSampleSize,
+		DegradedByOverload:  report.DegradedByOverload,
+		ShedRounds:          report.ShedRounds(),
+		HedgedRounds:        report.HedgedRounds(),
+		DetectionConfidence: report.AchievedConfidence,
 	}
 	return a.signEvidence(e)
 }
@@ -175,6 +220,11 @@ func (a *Agency) IssueFleetEvidence(f *Fleet, fr *FleetStorageReport) (*Evidence
 		NetworkFaultRounds:  fr.Report.NetworkFaultRounds(),
 		FailoverSummary:     summarizeFailovers(fr.Failovers),
 		QuorumSummary:       summarizeQuorums(fr.Quorums),
+		PlannedSampleSize:   fr.Report.PlannedSampleSize,
+		DegradedByOverload:  fr.Report.DegradedByOverload,
+		ShedRounds:          fr.Report.ShedRounds(),
+		HedgedRounds:        fr.Report.HedgedRounds(),
+		DetectionConfidence: fr.Report.AchievedConfidence,
 	}
 	return a.signEvidence(e)
 }

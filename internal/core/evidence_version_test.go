@@ -89,6 +89,88 @@ func TestCheckpointV2BindsReplica(t *testing.T) {
 	}
 }
 
+// TestEvidenceV2StillVerifies locks the version-2 byte format: a verdict
+// signed under v2 (fleet fields present, overload fields absent) must
+// keep verifying after the version-3 overload section was added, and the
+// v3 fields must not leak into its signed bytes.
+func TestEvidenceV2StillVerifies(t *testing.T) {
+	sys := newSystem(t, nil)
+	old := &Evidence{
+		Version:             2,
+		AuditorID:           sys.agency.ID(),
+		UserID:              sys.user.ID(),
+		ServerID:            sys.servers[0].ID(),
+		Sampled:             []uint64{1, 5},
+		Valid:               true,
+		EffectiveSampleSize: 2,
+		FailoverSummary:     "0:0>1/timeout",
+		QuorumSummary:       "accused=0/localized/good=2/bad=0",
+	}
+	body := evidenceBody(old)
+	if !strings.HasPrefix(string(body), "seccloud/audit-evidence/v2|auditor=") {
+		t.Fatalf("version-2 body lost its prefix: %q", body)
+	}
+	for _, leak := range []string{"planned=", "degraded=", "shed=", "hedged=", "confidence="} {
+		if strings.Contains(string(body), leak) {
+			t.Fatalf("version-2 body leaks v3 field %q: %q", leak, body)
+		}
+	}
+	sig, err := sys.agency.scheme.Sign(sys.agency.key, body, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Sig = EncodeIBSig(sys.agency.scheme.Params(), sig)
+
+	raw, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Evidence
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEvidence(sys.agency.scheme, &decoded); err != nil {
+		t.Fatalf("v2-format evidence no longer verifies: %v", err)
+	}
+}
+
+// TestEvidenceV3BindsOverloadFields: newly issued evidence carries
+// version 3 and its signature covers the overload section — tampering
+// with the degradation flag or the recorded confidence must break it.
+func TestEvidenceV3BindsOverloadFields(t *testing.T) {
+	sys := newSystem(t, nil)
+	e := &Evidence{
+		Version:             EvidenceVersion,
+		AuditorID:           sys.agency.ID(),
+		UserID:              sys.user.ID(),
+		ServerID:            sys.servers[0].ID(),
+		Sampled:             []uint64{1, 5, 7},
+		Valid:               true,
+		EffectiveSampleSize: 2,
+		PlannedSampleSize:   6,
+		DegradedByOverload:  true,
+		ShedRounds:          1,
+		DetectionConfidence: 0.93,
+	}
+	signed, err := sys.agency.signEvidence(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEvidence(sys.agency.scheme, signed); err != nil {
+		t.Fatalf("VerifyEvidence: %v", err)
+	}
+	tampered := *signed
+	tampered.DegradedByOverload = false
+	if err := VerifyEvidence(sys.agency.scheme, &tampered); err == nil {
+		t.Fatal("signature survived clearing the degradation flag")
+	}
+	tampered = *signed
+	tampered.DetectionConfidence = 0.999
+	if err := VerifyEvidence(sys.agency.scheme, &tampered); err == nil {
+		t.Fatal("signature survived inflating the recorded confidence")
+	}
+}
+
 // TestEvidenceV1StillVerifies does the same for audit verdicts: a
 // verdict signed under the version-1 body keeps verifying, and the new
 // fleet fields are excluded from its signed bytes.

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seccloud/internal/netsim"
@@ -230,6 +231,10 @@ type Fleet struct {
 	clients []netsim.Client // instrumented
 	ids     []string
 	health  *FleetHealth
+	// latency tracks successful round latencies for adaptive hedge delays;
+	// hedge counts the duplicates actually launched and won.
+	latency *netsim.LatencyTracker
+	hedge   *netsim.HedgeStats
 }
 
 // NewFleet wraps the replica clients with breaker instrumentation. ids
@@ -246,6 +251,8 @@ func NewFleet(clients []netsim.Client, ids []string, cfg BreakerConfig) (*Fleet,
 		clients: make([]netsim.Client, len(clients)),
 		ids:     make([]string, len(clients)),
 		health:  NewFleetHealth(len(clients), cfg),
+		latency: netsim.NewLatencyTracker(64),
+		hedge:   &netsim.HedgeStats{},
 	}
 	for i, cl := range clients {
 		f.clients[i] = &healthClient{Client: cl, b: f.health.breakers[i]}
@@ -288,6 +295,106 @@ func (f *Fleet) nextReplica(tried map[int]bool) int {
 		}
 	}
 	return -1
+}
+
+// HedgeStats returns a copy of the fleet's hedge counters.
+func (f *Fleet) HedgeStats() netsim.HedgeStats {
+	return netsim.HedgeStats{
+		Launched: atomic.LoadInt64(&f.hedge.Launched),
+		Wins:     atomic.LoadInt64(&f.hedge.Wins),
+	}
+}
+
+// hedgeTarget picks the lowest-index replica other than primary (and not
+// yet tried this round) whose breaker is fully closed. Half-open replicas
+// keep their one-probe discipline and open ones are skipped: a hedge must
+// go somewhere actually likely to answer faster.
+func (f *Fleet) hedgeTarget(primary int, tried map[int]bool) int {
+	for i := range f.clients {
+		if i == primary || tried[i] {
+			continue
+		}
+		if f.health.Breaker(i).State() == StateClosed {
+			return i
+		}
+	}
+	return -1
+}
+
+// hedgeDelay resolves the hedge trigger: an explicit override, else the
+// observed p95 round latency (floored at 1ms), else 5ms while the window
+// warms up.
+func (f *Fleet) hedgeDelay(override time.Duration) time.Duration {
+	if override > 0 {
+		return override
+	}
+	if d := f.latency.P95(); d > 0 {
+		if d < time.Millisecond {
+			return time.Millisecond
+		}
+		return d
+	}
+	return 5 * time.Millisecond
+}
+
+// tripClient adapts the audit roundTrip machinery (retry policy plus
+// per-attempt timeout) into a netsim.Client so a hedge can race two fully
+// retried legs. Attempts are counted atomically: the losing leg may still
+// be draining when the winner returns.
+type tripClient struct {
+	inner    netsim.Client
+	retry    *netsim.Retrier
+	timeout  time.Duration
+	attempts int64
+}
+
+func (c *tripClient) RoundTrip(m wire.Message) (wire.Message, error) {
+	return c.RoundTripContext(context.Background(), m)
+}
+
+func (c *tripClient) RoundTripContext(ctx context.Context, m wire.Message) (wire.Message, error) {
+	resp, n, err := roundTrip(ctx, c.inner, c.retry, c.timeout, m)
+	atomic.AddInt64(&c.attempts, int64(n))
+	return resp, err
+}
+
+func (c *tripClient) Stats() netsim.StatsSnapshot { return c.inner.Stats() }
+
+func (c *tripClient) Close() error { return nil }
+
+// hedgedTrip issues one challenge round at the primary replica, racing a
+// hedged duplicate at the next closed-breaker replica when cfg.Hedge is
+// set and one exists. It reports the total attempts across both legs, and
+// hedgeTo ≥ 0 when the duplicate's answer won.
+func (f *Fleet) hedgedTrip(
+	ctx context.Context, primary int, tried map[int]bool, retry *netsim.Retrier,
+	cfg *FleetAuditConfig, req wire.Message,
+) (resp wire.Message, attempts int, hedgeTo int, err error) {
+	pc := &tripClient{inner: f.clients[primary], retry: retry, timeout: cfg.Storage.RoundTimeout}
+	sec := -1
+	if cfg.Hedge {
+		sec = f.hedgeTarget(primary, tried)
+	}
+	if sec < 0 {
+		start := time.Now()
+		resp, err = pc.RoundTripContext(ctx, req)
+		if err == nil {
+			f.latency.Observe(time.Since(start))
+		}
+		return resp, int(atomic.LoadInt64(&pc.attempts)), -1, err
+	}
+	sc := &tripClient{inner: f.clients[sec], retry: retry, timeout: cfg.Storage.RoundTimeout}
+	start := time.Now()
+	resp, won, err := netsim.HedgedRoundTrip(ctx, pc, sc, f.hedgeDelay(cfg.HedgeDelay), req, f.hedge)
+	if err == nil && !won {
+		f.latency.Observe(time.Since(start))
+	}
+	hedgeTo = -1
+	if won && err == nil {
+		hedgeTo = sec
+	}
+	attempts = int(atomic.LoadInt64(&pc.attempts) + atomic.LoadInt64(&sc.attempts))
+	return resp, attempts, hedgeTo, err
 }
 
 // FailoverEvent records one audit round being re-issued to another
@@ -428,6 +535,15 @@ type FleetAuditConfig struct {
 	// Repair executes the repair plan for accusations the quorum
 	// classifies as localized.
 	Repair bool
+	// Hedge races each challenge round against a duplicate at the next
+	// closed-breaker replica once the hedge delay elapses with the primary
+	// still silent; the first answer wins and the loser is cancelled.
+	// Duplicates are safe: audit reads are idempotent and yield
+	// byte-identical replies.
+	Hedge bool
+	// HedgeDelay is the wait before launching the duplicate; 0 adapts to
+	// the fleet's observed p95 round latency.
+	HedgeDelay time.Duration
 }
 
 func (cfg *FleetAuditConfig) quorumK() int {
@@ -497,10 +613,21 @@ func (a *Agency) AuditStorageFleet(
 		return nil, err
 	}
 	sample := SampleIndices(rng, cfg.Storage.DatasetSize, cfg.Storage.SampleSize)
+	plannedSample := len(sample)
+	degraded := false
+	if cfg.Storage.Overload != nil {
+		if reduced, ok := cfg.Storage.Overload.PlanSample(len(sample)); ok {
+			sample = sample[:reduced]
+			degraded = true
+			a.obs.degradedAudit("fleet")
+		}
+	}
 	report := &StorageAuditReport{
-		UserID:           userID,
-		Sampled:          sample,
-		SigChecksBatched: cfg.Storage.BatchSignatures,
+		UserID:             userID,
+		Sampled:            sample,
+		PlannedSampleSize:  plannedSample,
+		DegradedByOverload: degraded,
+		SigChecksBatched:   cfg.Storage.BatchSignatures,
 	}
 	fr := &FleetStorageReport{UserID: userID, Primary: cfg.Primary, Report: report}
 	if len(sample) == 0 {
@@ -516,8 +643,30 @@ func (a *Agency) AuditStorageFleet(
 	}
 	chunks := splitRounds(sample, cfg.Storage.Rounds)
 	answers := make([]served, len(chunks))
+	ctx := context.Background()
+	if cfg.Storage.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Storage.Deadline)
+		defer cancel()
+	}
+	retry := cfg.Storage.Retry
+	if retry != nil && cfg.Storage.Budget != nil {
+		retry = retry.WithBudget(cfg.Storage.Budget)
+	}
+	var deniedBefore uint64
+	if cfg.Storage.Budget != nil {
+		deniedBefore = cfg.Storage.Budget.Denied()
+	}
 	for ri, chunk := range chunks {
 		rec := RoundRecord{Indices: append([]uint64(nil), chunk...), Replica: -1}
+		if ctx.Err() != nil {
+			// Audit deadline expired: remaining rounds are deadline-lost,
+			// never accusatory, and never hit the network.
+			rec.Outcome = RoundTimeout
+			rec.Detail = "audit deadline expired before dispatch"
+			report.Rounds = append(report.Rounds, rec)
+			continue
+		}
 		rs := roundSpan(root, ri)
 		tried := make(map[int]bool)
 		server := cfg.Primary
@@ -539,7 +688,7 @@ func (a *Agency) AuditStorageFleet(
 				failTo("breaker-open")
 				continue
 			}
-			resp, attempts, err := roundTrip(f.clients[server], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StorageAuditRequest{
+			resp, attempts, hedgeTo, err := f.hedgedTrip(ctx, server, tried, retry, &cfg, &wire.StorageAuditRequest{
 				UserID:    userID,
 				Positions: chunk,
 				Warrant:   warrant,
@@ -555,6 +704,10 @@ func (a *Agency) AuditStorageFleet(
 				continue
 			}
 			rec.Replica = server
+			if hedgeTo >= 0 {
+				rec.Replica = hedgeTo
+				rec.Hedged = true
+			}
 			sa, ok := resp.(*wire.StorageAuditResponse)
 			badProof := func(detail string) {
 				rec.Outcome = RoundBadProof
@@ -604,6 +757,15 @@ func (a *Agency) AuditStorageFleet(
 		}
 	}
 	report.EffectiveSampleSize = len(positions)
+	if cfg.Storage.Budget != nil {
+		report.BudgetDenied = int(cfg.Storage.Budget.Denied() - deniedBefore)
+	}
+	if oc := cfg.Storage.Overload; oc != nil {
+		for i := range report.Rounds {
+			out := report.Rounds[i].Outcome
+			oc.Observe(out == RoundShed || out == RoundTimeout)
+		}
+	}
 	if cfg.Storage.Analysis != nil {
 		conf, err := sampling.DetectionConfidence(*cfg.Storage.Analysis, report.EffectiveSampleSize)
 		if err != nil {
@@ -622,7 +784,7 @@ func (a *Agency) AuditStorageFleet(
 			})
 		}
 	}
-	for i, err := range a.verifySigBatch(checks, cfg.Storage.BatchSignatures, p) {
+	for i, err := range a.verifySigBatch(context.Background(), checks, cfg.Storage.BatchSignatures, p) {
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
 				Index: checks[i].index, Check: CheckSignature, Detail: err.Error(),
@@ -673,13 +835,13 @@ func (a *Agency) AuditStorageFleet(
 			pos := accused[acc]
 			sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
 			qs := root.Child("quorum", "accused", strconv.Itoa(acc))
-			q, witnesses := a.crossExamine(f, userID, warrant, cfg, acc, pos)
+			q, witnesses := a.crossExamine(ctx, f, userID, warrant, cfg, acc, pos)
 			qs.Annotate("class", q.Class.String())
 			qs.End()
 			fr.Quorums = append(fr.Quorums, q)
 			if cfg.Repair && q.Class == QuorumLocalized {
 				ps := root.Child("repair", "target", strconv.Itoa(acc))
-				rr := a.executeRepair(f, userID, warrant, cfg, acc, pos, witnesses)
+				rr := a.executeRepair(ctx, f, userID, warrant, cfg, acc, pos, witnesses)
 				ps.Annotate("applied", strconv.FormatBool(rr.Applied))
 				ps.Annotate("confirmed", strconv.FormatBool(rr.Confirmed))
 				ps.End()
@@ -735,7 +897,8 @@ type witnessAnswer struct {
 // classifies the accusation. Witnesses whose answers verify are returned
 // as candidate repair sources.
 func (a *Agency) crossExamine(
-	f *Fleet, userID string, warrant wire.Warrant, cfg FleetAuditConfig, accused int, positions []uint64,
+	ctx context.Context, f *Fleet, userID string, warrant wire.Warrant,
+	cfg FleetAuditConfig, accused int, positions []uint64,
 ) (*QuorumResult, []*witnessAnswer) {
 	q := &QuorumResult{Accused: accused, Positions: positions}
 	var good []*witnessAnswer
@@ -750,7 +913,7 @@ func (a *Agency) crossExamine(
 			q.Votes = append(q.Votes, vote)
 			continue
 		}
-		resp, _, err := roundTrip(f.clients[w], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StorageAuditRequest{
+		resp, _, err := roundTrip(ctx, f.clients[w], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StorageAuditRequest{
 			UserID:    userID,
 			Positions: positions,
 			Warrant:   warrant,
@@ -803,7 +966,7 @@ func (a *Agency) crossExamine(
 // The copy goes through the target's ordinary store path, so it inherits
 // log-before-ack durability when the server runs with a WAL.
 func (a *Agency) executeRepair(
-	f *Fleet, userID string, warrant wire.Warrant, cfg FleetAuditConfig,
+	ctx context.Context, f *Fleet, userID string, warrant wire.Warrant, cfg FleetAuditConfig,
 	target int, positions []uint64, witnesses []*witnessAnswer,
 ) *RepairResult {
 	start := a.clock()
@@ -823,7 +986,7 @@ func (a *Agency) executeRepair(
 			return rr
 		}
 	}
-	resp, _, err := roundTrip(f.clients[target], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StoreRequest{
+	resp, _, err := roundTrip(ctx, f.clients[target], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StoreRequest{
 		UserID:    userID,
 		Positions: positions,
 		Blocks:    src.blocks,
@@ -846,7 +1009,7 @@ func (a *Agency) executeRepair(
 
 	// Confirm: the target must now answer the exact repaired positions
 	// with verifying signatures.
-	resp, _, err = roundTrip(f.clients[target], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StorageAuditRequest{
+	resp, _, err = roundTrip(ctx, f.clients[target], cfg.Storage.Retry, cfg.Storage.RoundTimeout, &wire.StorageAuditRequest{
 		UserID:    userID,
 		Positions: positions,
 		Warrant:   warrant,

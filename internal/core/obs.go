@@ -25,6 +25,8 @@ type auditObs struct {
 	failovers  *obs.CounterVec   // fleet_failovers_total{reason}
 	quorums    *obs.CounterVec   // fleet_quorum_verdicts_total{class}
 	repairs    *obs.CounterVec   // fleet_repairs_total{stage}
+	degraded   *obs.CounterVec   // audits_degraded_total{type}
+	hedges     *obs.CounterVec   // audit_hedged_rounds_total{type}
 }
 
 func newAuditObs(h *obs.Hub) *auditObs {
@@ -41,7 +43,17 @@ func newAuditObs(h *obs.Hub) *auditObs {
 		failovers:  h.Counter("fleet_failovers_total", "reason"),
 		quorums:    h.Counter("fleet_quorum_verdicts_total", "class"),
 		repairs:    h.Counter("fleet_repairs_total", "stage"),
+		degraded:   h.Counter("audits_degraded_total", "type"),
+		hedges:     h.Counter("audit_hedged_rounds_total", "type"),
 	}
+}
+
+// degradedAudit counts one overload-degraded audit of the given type.
+func (o *auditObs) degradedAudit(typ string) {
+	if o == nil {
+		return
+	}
+	o.degraded.With(typ).Inc()
 }
 
 // tracer returns the span tracer, nil when tracing is off.
@@ -74,6 +86,9 @@ func endRound(rs *obs.Span, rec *RoundRecord) {
 	if rec.FailedOver {
 		rs.Annotate("failed_over", "true")
 	}
+	if rec.Hedged {
+		rs.Annotate("hedged", "true")
+	}
 	rs.End()
 }
 
@@ -86,6 +101,9 @@ func (o *auditObs) finishAudit(typ string, rounds []RoundRecord, fails []AuditFa
 	}
 	for i := range rounds {
 		o.rounds.With(typ, rounds[i].Outcome.String()).Inc()
+		if rounds[i].Hedged {
+			o.hedges.With(typ).Inc()
+		}
 	}
 	for i := range fails {
 		o.checkFails.With(fails[i].Check.String()).Inc()

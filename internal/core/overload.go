@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sync"
+
+	"seccloud/internal/obs"
+)
+
+// OverloadConfig shapes an OverloadController.
+type OverloadConfig struct {
+	// Threshold is the shed/timeout loss rate above which audits start
+	// degrading their sample size; values ≤ 0 mean 0.3.
+	Threshold float64
+	// Window is the sliding window of recent rounds the loss rate is
+	// computed over; values < 8 mean 64.
+	Window int
+	// MinFraction floors the degraded sample at this fraction of the
+	// planned size, so detection never collapses to nothing; values ≤ 0
+	// mean 0.25, values > 1 are clamped to 1 (no degradation).
+	MinFraction float64
+}
+
+func (c OverloadConfig) threshold() float64 {
+	if c.Threshold <= 0 {
+		return 0.3
+	}
+	return c.Threshold
+}
+
+func (c OverloadConfig) window() int {
+	if c.Window < 8 {
+		return 64
+	}
+	return c.Window
+}
+
+func (c OverloadConfig) minFraction() float64 {
+	switch {
+	case c.MinFraction <= 0:
+		return 0.25
+	case c.MinFraction > 1:
+		return 1
+	default:
+		return c.MinFraction
+	}
+}
+
+// minObserved is how many rounds the controller must see before it is
+// willing to degrade anything: a single shed round out of two observed is
+// not an overload signal.
+const minObserved = 8
+
+// OverloadController implements graceful audit degradation. It watches a
+// sliding window of recent challenge-round outcomes across audits; when
+// the fraction lost to admission sheds or deadline timeouts crosses the
+// threshold, PlanSample shrinks the next audit's challenge set
+// proportionally to the loss rate (floored at MinFraction). The point is
+// the Theorem-3 trade: under overload, a smaller sample that *completes*
+// detects more than a full-size sample that mostly sheds — and the
+// reduced detection confidence is recomputed for the smaller sample and
+// stamped into the report and evidence, never lost silently.
+//
+// Controllers are safe for concurrent use and are meant to be shared
+// across the audits of one DA targeting one service, so pressure observed
+// by audit N informs the plan of audit N+1.
+type OverloadController struct {
+	mu     sync.Mutex
+	cfg    OverloadConfig
+	ring   []bool // true = round lost to shed/timeout
+	next   int
+	filled int
+	lost   int
+
+	degradedAudits uint64
+	obsDegraded    *obs.Counter
+	obsLossRate    *obs.Gauge
+}
+
+// NewOverloadController builds a controller; the zero OverloadConfig
+// yields the defaults (threshold 0.3, window 64, min fraction 0.25).
+func NewOverloadController(cfg OverloadConfig) *OverloadController {
+	return &OverloadController{
+		cfg:  cfg,
+		ring: make([]bool, cfg.window()),
+	}
+}
+
+// WithObs wires the controller into a hub: audit_degradations_planned_total
+// counts PlanSample reductions and overload_loss_rate gauges the current
+// windowed loss rate on each scrape. Nil hub no-ops.
+func (c *OverloadController) WithObs(h *obs.Hub) *OverloadController {
+	if h == nil {
+		return c
+	}
+	c.obsDegraded = h.Counter("audit_degradations_planned_total").With()
+	reg := h.Registry()
+	c.obsLossRate = reg.Gauge("overload_loss_rate").With()
+	reg.OnScrape(func() { c.obsLossRate.Set(c.LossRate()) })
+	return c
+}
+
+// Observe records one finished challenge round; lost marks rounds shed by
+// admission control or expired against a deadline.
+func (c *OverloadController) Observe(lost bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.filled == len(c.ring) {
+		if c.ring[c.next] {
+			c.lost--
+		}
+	} else {
+		c.filled++
+	}
+	c.ring[c.next] = lost
+	if lost {
+		c.lost++
+	}
+	c.next = (c.next + 1) % len(c.ring)
+}
+
+// LossRate returns the shed/timeout fraction over the observed window
+// (0 when nothing has been observed yet).
+func (c *OverloadController) LossRate() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.filled == 0 {
+		return 0
+	}
+	return float64(c.lost) / float64(c.filled)
+}
+
+// PlanSample returns the sample size the next audit should use given the
+// current pressure. Below the threshold (or before minObserved rounds) it
+// returns t unchanged with ok=false. Above it, the sample shrinks by the
+// loss rate — the fraction of challenges the saturated service is
+// dropping anyway — floored at MinFraction·t and at 1, returning ok=true.
+func (c *OverloadController) PlanSample(t int) (int, bool) {
+	if c == nil || t <= 1 {
+		return t, false
+	}
+	c.mu.Lock()
+	filled, lost := c.filled, c.lost
+	c.mu.Unlock()
+	if filled < minObserved {
+		return t, false
+	}
+	rate := float64(lost) / float64(filled)
+	if rate < c.cfg.threshold() {
+		return t, false
+	}
+	reduced := int(float64(t) * (1 - rate))
+	if floor := int(float64(t) * c.cfg.minFraction()); reduced < floor {
+		reduced = floor
+	}
+	if reduced < 1 {
+		reduced = 1
+	}
+	if reduced >= t {
+		return t, false
+	}
+	c.mu.Lock()
+	c.degradedAudits++
+	c.mu.Unlock()
+	if c.obsDegraded != nil {
+		c.obsDegraded.Inc()
+	}
+	return reduced, true
+}
+
+// DegradedAudits counts how many PlanSample calls actually reduced a
+// sample.
+func (c *OverloadController) DegradedAudits() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degradedAudits
+}

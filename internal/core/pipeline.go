@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"seccloud/internal/obs"
@@ -38,18 +39,31 @@ func newPool(workers int) *pool {
 	return &pool{sem: make(chan struct{}, workers-1)}
 }
 
-// forEach runs fn(0) … fn(n-1) across the pool and waits for all of them.
+// forEach runs fn(0) … fn(n-1) across the pool and waits for all of them,
+// skipping tasks not yet dispatched once ctx is cancelled — an aborted
+// audit drains promptly instead of burning CPU on queued checks whose
+// report will be discarded (or whose deadline has already passed). A nil
+// ctx never cancels. Callers that need a verdict for every slot must
+// treat never-dispatched slots (zero values) explicitly.
+//
 // Tasks must not touch shared state without their own synchronization;
 // writes to distinct indexed slots need none.
-func (p *pool) forEach(n int, fn func(i int)) {
+func (p *pool) forEach(ctx context.Context, n int, fn func(i int)) {
+	done := func() bool { return ctx != nil && ctx.Err() != nil }
 	if p.sem == nil || n <= 1 {
 		for i := 0; i < n; i++ {
+			if done() {
+				return
+			}
 			fn(i)
 		}
 		return
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		if done() {
+			break
+		}
 		select {
 		case p.sem <- struct{}{}:
 			wg.Add(1)
@@ -58,6 +72,9 @@ func (p *pool) forEach(n int, fn func(i int)) {
 				defer func() { <-p.sem }()
 				p.inflight.Add(1)
 				defer p.inflight.Add(-1)
+				if done() {
+					return
+				}
 				fn(i)
 			}(i)
 		default:

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	mrand "math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -236,7 +238,7 @@ func TestPoolForEach(t *testing.T) {
 		p := newPool(workers)
 		const n = 500
 		got := make([]int, n)
-		p.forEach(n, func(i int) { got[i] = i * i })
+		p.forEach(nil, n, func(i int) { got[i] = i * i })
 		for i := range got {
 			if got[i] != i*i {
 				t.Fatalf("workers=%d: slot %d = %d", workers, i, got[i])
@@ -246,9 +248,9 @@ func TestPoolForEach(t *testing.T) {
 	// Nested use must not deadlock.
 	p := newPool(2)
 	sum := make([]int, 4)
-	p.forEach(4, func(i int) {
+	p.forEach(nil, 4, func(i int) {
 		inner := make([]int, 8)
-		p.forEach(8, func(j int) { inner[j] = 1 })
+		p.forEach(nil, 8, func(j int) { inner[j] = 1 })
 		for _, v := range inner {
 			sum[i] += v
 		}
@@ -256,6 +258,39 @@ func TestPoolForEach(t *testing.T) {
 	for i, s := range sum {
 		if s != 8 {
 			t.Fatalf("nested slot %d = %d, want 8", i, s)
+		}
+	}
+}
+
+// TestPoolForEachCancellation is the regression test for the overload
+// work: pool workers must observe context cancellation instead of
+// draining the full dispatch list after the audit deadline has passed.
+func TestPoolForEachCancellation(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{0, 2, 8} {
+		p := newPool(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		p.forEach(ctx, n, func(i int) {
+			if atomic.AddInt32(&ran, 1) == 3 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+		})
+		cancel()
+		if got := atomic.LoadInt32(&ran); got >= n {
+			t.Fatalf("workers=%d: all %d tasks ran despite mid-flight cancellation", workers, got)
+		}
+	}
+	// A context cancelled before dispatch runs nothing at all.
+	for _, workers := range []int{0, 4} {
+		p := newPool(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran int32
+		p.forEach(ctx, 50, func(i int) { atomic.AddInt32(&ran, 1) })
+		if got := atomic.LoadInt32(&ran); got != 0 {
+			t.Fatalf("workers=%d: %d tasks ran under a pre-cancelled context", workers, got)
 		}
 	}
 }

@@ -220,7 +220,7 @@ func (s *Server) handleStore(req *wire.StoreRequest) wire.Message {
 	// order wins, so the response does not depend on scheduling.
 	if s.cfg.VerifyOnStore {
 		verifyErrs := make([]string, len(req.Blocks))
-		newPool(s.cfg.Workers).forEach(len(req.Blocks), func(i int) {
+		newPool(s.cfg.Workers).forEach(nil, len(req.Blocks), func(i int) {
 			d, err := DecodeBlockSig(s.scheme.Params(), &req.Sigs[i], s.id)
 			if err != nil {
 				verifyErrs[i] = fmt.Sprintf("block %d: %v", req.Positions[i], err)

@@ -1,6 +1,10 @@
 package core
 
-import "seccloud/internal/dvs"
+import (
+	"context"
+
+	"seccloud/internal/dvs"
+)
 
 // sigCheck is one pending block-signature verification: the designated
 // signature des must verify over msg, and a failure is attributed to the
@@ -20,7 +24,10 @@ type sigCheck struct {
 // verification to attribute blame (the error-locating idea of the paper's
 // reference [10]). The individual pass fans out across the pool; results
 // land in their own slots, so output order is independent of scheduling.
-func (a *Agency) verifySigBatch(checks []sigCheck, batched bool, p *pool) []error {
+// ctx aborts the individual fan-out on terminal audit errors; audit
+// deadlines deliberately do NOT reach here (see AuditJob's verifyCtx) —
+// answered rounds always verify in full.
+func (a *Agency) verifySigBatch(ctx context.Context, checks []sigCheck, batched bool, p *pool) []error {
 	errs := make([]error, len(checks))
 	if len(checks) == 0 {
 		return errs
@@ -34,7 +41,7 @@ func (a *Agency) verifySigBatch(checks []sigCheck, batched bool, p *pool) []erro
 			return errs
 		}
 	}
-	p.forEach(len(checks), func(i int) {
+	p.forEach(ctx, len(checks), func(i int) {
 		errs[i] = a.scheme.Verify(checks[i].des, checks[i].msg, a.key)
 	})
 	return errs

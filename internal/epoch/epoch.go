@@ -19,6 +19,7 @@ import (
 	mrand "math/rand"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seccloud/internal/core"
@@ -114,12 +115,61 @@ type Config struct {
 	// BadBlocks is how many blocks (positions 0..BadBlocks-1) rot.
 	BadBlocks int
 
+	// MaxInflight, when > 0, puts every server behind an admission gate
+	// bounding concurrent request execution — the finite capacity that
+	// makes overload real. Required by the overload schedule.
+	MaxInflight int
+	// QueueLimit bounds the waiters behind each server's inflight slots.
+	// 0 sheds immediately when all slots are busy; a negative value is an
+	// UNBOUNDED FIFO queue — the unprotected baseline whose latency grows
+	// with its backlog. Only meaningful with MaxInflight > 0.
+	QueueLimit int
+	// ServiceTime charges every server request this much real wall-clock
+	// time, so admission gates see genuine occupancy under bursts.
+	ServiceTime time.Duration
+	// OverloadEvery, when > 0, fires an open-loop burst of background
+	// requests at every server at the start of every OverloadEvery-th
+	// epoch — issued without waiting for replies, exactly the arrival
+	// pattern admission control exists for. Requires MaxInflight > 0.
+	OverloadEvery int
+	// OfferedLoad sizes the burst as a multiple of the fleet's concurrent
+	// capacity (Servers × MaxInflight): 1.0 exactly fills every execution
+	// slot, 4.0 is a 4× overload. 0 defaults to 4.
+	OfferedLoad float64
+	// AuditDeadline, when > 0, bounds each audit's wall clock; expired
+	// work is cancelled or skipped, never executed late.
+	AuditDeadline time.Duration
+	// RetryBudgetTokens, when > 0, shares one token-bucket retry budget
+	// (10% refund ratio) across all audits of the run, so correlated
+	// failures cannot multiply offered load by MaxAttempts.
+	RetryBudgetTokens int
+	// DegradeSampling lets the DA shrink audit samples along the
+	// Theorem-3 curve when the recent shed/timeout rate crosses the
+	// overload threshold, stamping reduced confidence into evidence.
+	DegradeSampling bool
+	// HedgeFleetRounds duplicates slow fleet audit challenge rounds to a
+	// second healthy replica after the fleet's p95 delay; first answer
+	// wins, the loser is cancelled.
+	HedgeFleetRounds bool
+
 	// Hub receives the simulation's metrics and audit traces: transport
 	// latency/fault counters, per-round audit verdicts, breaker states,
 	// WAL instruments, and crypto op counts. Nil creates a private hub, so
 	// Result.Metrics is always registry-derived. A shared hub accumulates
 	// across runs; derive per-run deltas from Result.Metrics instead.
 	Hub *obs.Hub
+}
+
+// overloadEnabled reports whether the open-loop burst schedule is active.
+func (c *Config) overloadEnabled() bool { return c.OverloadEvery > 0 }
+
+// burstRequests is the per-burst request count.
+func (c *Config) burstRequests() int {
+	load := c.OfferedLoad
+	if load <= 0 {
+		load = 4
+	}
+	return int(math.Round(load * float64(c.Servers*c.MaxInflight)))
 }
 
 // fleetEnabled reports whether the fleet-robustness layer is active.
@@ -182,6 +232,13 @@ func (c *Config) validate() error {
 	}
 	if _, ok := store.CrashPointByName(c.crashPoint()); !ok {
 		return fmt.Errorf("epoch: unknown crash point %q", c.CrashPoint)
+	}
+	if c.MaxInflight < 0 || c.ServiceTime < 0 || c.OverloadEvery < 0 ||
+		c.OfferedLoad < 0 || c.AuditDeadline < 0 || c.RetryBudgetTokens < 0 {
+		return fmt.Errorf("epoch: overload knobs must be non-negative")
+	}
+	if c.OverloadEvery > 0 && c.MaxInflight <= 0 {
+		return fmt.Errorf("epoch: the overload schedule requires MaxInflight > 0 (finite server capacity)")
 	}
 	return nil
 }
@@ -248,6 +305,18 @@ type EpochStats struct {
 	InconclusiveVerdicts int
 	// RepairsConfirmed counts repairs whose targeted re-audit passed.
 	RepairsConfirmed int
+	// BurstFired is the open-loop background request count this epoch.
+	BurstFired int
+	// ShedRounds counts audit challenge rounds refused by admission
+	// control (typed sheds — recorded, never accusatory).
+	ShedRounds int
+	// BudgetDenied counts retries refused by the shared retry budget.
+	BudgetDenied int
+	// HedgedRounds counts fleet audit rounds won by a hedged duplicate.
+	HedgedRounds int
+	// OverloadDegradedAudits counts audits whose planned sample was
+	// shrunk by the overload controller before dispatch.
+	OverloadDegradedAudits int
 }
 
 // Result is the whole simulation outcome.
@@ -293,6 +362,20 @@ type Result struct {
 	// those whose targeted re-audit passed.
 	RepairsAttempted int
 	RepairsConfirmed int
+	// BurstsFired totals open-loop background requests across epochs.
+	BurstsFired int
+	// ShedRounds / BudgetDenied / HedgedRounds / OverloadDegradedAudits
+	// total the per-epoch overload counters.
+	ShedRounds             int
+	BudgetDenied           int
+	HedgedRounds           int
+	OverloadDegradedAudits int
+	// RequestsShed is the server-side view: requests (audit or burst)
+	// refused by the admission gates.
+	RequestsShed uint64
+	// MaxQueueDepth is the deepest any server's admission queue ever got —
+	// bounded by QueueLimit under protection, unbounded growth without.
+	MaxQueueDepth int
 	// Metrics is the end-of-run summary derived from the metrics registry
 	// (not from the hand-rolled counters above); with a fresh hub the two
 	// views agree exactly.
@@ -388,6 +471,18 @@ func (s *switchablePolicy) OnResult(taskIdx int, task wire.TaskSpec, honest func
 	return honest()
 }
 
+// latentHandler charges a real service time to every request, so
+// admission gates see genuine occupancy while a request executes.
+type latentHandler struct {
+	inner netsim.Handler
+	d     time.Duration
+}
+
+func (h *latentHandler) Handle(m wire.Message) wire.Message {
+	time.Sleep(h.d)
+	return h.inner.Handle(m)
+}
+
 // restartableHandler is the stable network identity of one server slot: a
 // crash swaps the *core.Server behind it while every client keeps its
 // existing connection object, exactly as a process restart behind a fixed
@@ -457,12 +552,28 @@ func Run(cfg Config) (*Result, error) {
 		return r
 	}
 
+	// The DA's overload protections: one degradation controller and one
+	// retry budget shared across the whole run, so audit N's pressure
+	// informs audit N+1 and correlated failures cannot amplify.
+	var overloadCtl *core.OverloadController
+	if cfg.DegradeSampling {
+		overloadCtl = core.NewOverloadController(core.OverloadConfig{}).WithObs(hub)
+	}
+	var budget *netsim.RetryBudget
+	if cfg.RetryBudgetTokens > 0 {
+		budget = netsim.NewRetryBudget(float64(cfg.RetryBudgetTokens), 0.1).WithObs(hub)
+	}
+
 	policies := make([]*switchablePolicy, cfg.Servers)
 	clients := make([]netsim.Client, cfg.Servers)
 	cspClients := make([]netsim.Client, cfg.Servers)
 	handlers := make([]*restartableHandler, cfg.Servers)
 	downs := make([]*netsim.DownableHandler, cfg.Servers)
 	crashers := make([]*store.Crasher, cfg.Servers)
+	var gates []*netsim.Admission
+	if cfg.MaxInflight > 0 {
+		gates = make([]*netsim.Admission, cfg.Servers)
+	}
 	// newServer builds server i's incarnation; with a WALDir this runs the
 	// full recovery path (snapshot load, WAL replay, Merkle cross-checks)
 	// every time it is called on a non-empty directory.
@@ -504,7 +615,23 @@ func Run(cfg Config) (*Result, error) {
 		// link: the kill schedule flips it so the whole epoch sees the
 		// server as unreachable, with its state (and WAL) intact.
 		downs[i] = netsim.NewDownableHandler(handlers[i])
-		lb := netsim.NewLoopback(downs[i], netsim.LinkConfig{}).WithObs(hub)
+		var h netsim.Handler = downs[i]
+		if cfg.ServiceTime > 0 {
+			h = &latentHandler{inner: h, d: cfg.ServiceTime}
+		}
+		lb := netsim.NewLoopback(h, netsim.LinkConfig{}).WithObs(hub)
+		if gates != nil {
+			// One gate per server, attached at the loopback so every path
+			// reaching the server — CSP jobs, audits, burst traffic — is
+			// bounded by the same inflight and queue limits. The service
+			// latency sleeps inside the gate, so occupancy is real.
+			gates[i] = netsim.NewAdmission(netsim.AdmissionConfig{
+				MaxInflight: cfg.MaxInflight,
+				MaxQueue:    cfg.QueueLimit,
+				RetryAfter:  2 * time.Millisecond,
+			}).WithObs(hub, fmt.Sprintf("cs-%d", i))
+			lb = lb.WithAdmission(gates[i])
+		}
 		if cfg.faultsEnabled() {
 			delayRate := 0.0
 			if cfg.FaultDelay > 0 {
@@ -664,12 +791,46 @@ func Run(cfg Config) (*Result, error) {
 			pol.on = corrupted[i]
 		}
 
+		// The overload schedule: OfferedLoad × capacity background clients
+		// hammer the admission gates for the whole epoch, each re-offering
+		// the moment its previous request resolves — offered concurrency
+		// stays constant no matter how slowly the servers answer, which is
+		// what makes the overload open-loop. Shed clients honor the
+		// server's retry-after hint instead of spinning. The audits run
+		// INTO this pressure; the burst is only reaped at epoch end.
+		var burstWG sync.WaitGroup
+		var burstStop chan struct{}
+		var burstSent int64
+		burstActive := cfg.overloadEnabled() && ep%cfg.OverloadEvery == 0
+		if burstActive {
+			burstStop = make(chan struct{})
+			for k := 0; k < cfg.burstRequests(); k++ {
+				i := k % cfg.Servers
+				burstWG.Add(1)
+				go func(i int) {
+					defer burstWG.Done()
+					for {
+						select {
+						case <-burstStop:
+							return
+						default:
+						}
+						atomic.AddInt64(&burstSent, 1)
+						_, err := clients[i].RoundTrip(&wire.StorageAuditRequest{UserID: "overload-burst"})
+						if netsim.IsOverloaded(err) {
+							time.Sleep(2 * time.Millisecond)
+						}
+					}
+				}(i)
+			}
+		}
+
 		for j := 0; j < cfg.JobsPerEpoch; j++ {
 			jobID := fmt.Sprintf("epoch-%d-job-%d", ep, j)
 			job := workload.UniformJob(user.ID(), funcs.Spec{Name: "digest"}, cfg.BlocksPerUser)
 			subs, err := csp.RunJob(user, jobID, job)
 			if err != nil {
-				if cfg.faultsEnabled() || killVictim >= 0 {
+				if cfg.faultsEnabled() || killVictim >= 0 || burstActive {
 					// The network ate the job even after retries; record
 					// the loss and keep the simulation running.
 					stats.JobsFailed++
@@ -689,8 +850,11 @@ func Run(cfg Config) (*Result, error) {
 				auditCfg := core.AuditConfig{
 					SampleSize:      cfg.SampleSize,
 					BatchSignatures: true,
+					Deadline:        cfg.AuditDeadline,
+					Budget:          budget,
+					Overload:        overloadCtl,
 				}
-				if cfg.faultsEnabled() {
+				if cfg.faultsEnabled() || cfg.overloadEnabled() {
 					// The DA splits the sample across rounds and retries
 					// each a few times; rounds still lost degrade the
 					// effective sample instead of aborting the audit. The
@@ -701,7 +865,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 				for i, d := range core.Delegations(user, subs, warrant) {
 					auditCfg.Rng = mrand.New(mrand.NewSource(rng.Int63()))
-					if cfg.faultsEnabled() {
+					if cfg.faultsEnabled() || cfg.overloadEnabled() {
 						r := newRetrier(rng.Int63())
 						r.MaxAttempts = 3
 						auditCfg.Retry = r
@@ -720,6 +884,11 @@ func Run(cfg Config) (*Result, error) {
 					}
 					stats.AuditsRun++
 					stats.NetworkFaultRounds += report.NetworkFaultRounds()
+					stats.ShedRounds += report.ShedRounds()
+					stats.BudgetDenied += report.BudgetDenied
+					if report.DegradedByOverload {
+						stats.OverloadDegradedAudits++
+					}
 					if report.Degraded() {
 						stats.DegradedAudits++
 					}
@@ -768,12 +937,16 @@ func Run(cfg Config) (*Result, error) {
 						Rounds:          2,
 						BatchSignatures: true,
 						Rng:             mrand.New(mrand.NewSource(rng.Int63())),
+						Deadline:        cfg.AuditDeadline,
+						Budget:          budget,
+						Overload:        overloadCtl,
 					},
 					Primary: pi,
 					QuorumK: cfg.QuorumK,
 					Repair:  cfg.Repair,
+					Hedge:   cfg.HedgeFleetRounds,
 				}
-				if cfg.faultsEnabled() {
+				if cfg.faultsEnabled() || cfg.overloadEnabled() {
 					r := newRetrier(rng.Int63())
 					r.MaxAttempts = 3
 					fcfg.Storage.Retry = r
@@ -784,6 +957,12 @@ func Run(cfg Config) (*Result, error) {
 				}
 				stats.FleetAudits++
 				stats.FleetFailovers += len(fr.Failovers)
+				stats.ShedRounds += fr.Report.ShedRounds()
+				stats.HedgedRounds += fr.Report.HedgedRounds()
+				stats.BudgetDenied += fr.Report.BudgetDenied
+				if fr.Report.DegradedByOverload {
+					stats.OverloadDegradedAudits++
+				}
 				if fr.Report.Degraded() {
 					result.DegradedFleetAudits++
 				}
@@ -820,6 +999,16 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
+		// Reap the open-loop burst so goroutines never outlive their epoch
+		// (bounded queues shed the excess instantly; the unbounded
+		// baseline drains here, charging its backlog to this epoch).
+		if burstActive {
+			close(burstStop)
+			burstWG.Wait()
+			stats.BurstFired = int(atomic.LoadInt64(&burstSent))
+			result.BurstsFired += stats.BurstFired
+		}
+
 		// The killed server returns at the end of the epoch, state intact.
 		if killVictim >= 0 {
 			downs[killVictim].SetDown(false)
@@ -840,7 +1029,18 @@ func Run(cfg Config) (*Result, error) {
 		result.ProviderWideVerdicts += stats.ProviderWideVerdicts
 		result.InconclusiveVerdicts += stats.InconclusiveVerdicts
 		result.RepairsConfirmed += stats.RepairsConfirmed
+		result.ShedRounds += stats.ShedRounds
+		result.BudgetDenied += stats.BudgetDenied
+		result.HedgedRounds += stats.HedgedRounds
+		result.OverloadDegradedAudits += stats.OverloadDegradedAudits
 		result.Epochs = append(result.Epochs, stats)
+	}
+	for _, g := range gates {
+		s := g.Snapshot()
+		result.RequestsShed += s.Shed
+		if s.MaxQueueDepth > result.MaxQueueDepth {
+			result.MaxQueueDepth = s.MaxQueueDepth
+		}
 	}
 	result.Metrics = SummarizeRegistry(hub.Registry().Snapshot())
 	return result, nil

@@ -12,6 +12,8 @@ func TestValidation(t *testing.T) {
 		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, CheaterCSC: 2},
 		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, CrashEvery: 1},
 		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, CrashPoint: "half-way"},
+		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, OverloadEvery: 1},
+		{Servers: 3, Corrupted: 1, Epochs: 1, BlocksPerUser: 2, JobsPerEpoch: 1, MaxInflight: 1, OfferedLoad: -2},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(cfg); err == nil {

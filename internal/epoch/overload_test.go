@@ -1,0 +1,108 @@
+package epoch
+
+import (
+	"testing"
+	"time"
+)
+
+func overloadBase() Config {
+	return Config{
+		Servers: 3, Corrupted: 0, Epochs: 3, BlocksPerUser: 8,
+		JobsPerEpoch: 1, SampleSize: 2, Seed: 21,
+		MaxInflight: 1, QueueLimit: 1, ServiceTime: time.Millisecond,
+		OverloadEvery: 2, OfferedLoad: 6,
+		AuditDeadline:     10 * time.Second,
+		RetryBudgetTokens: 6,
+		DegradeSampling:   true,
+		FleetSampleSize:   3,
+		HedgeFleetRounds:  true,
+	}
+}
+
+// TestOverloadScheduleNeverFalseFlags: sustained open-loop overload on an
+// honest fleet with the full protection stack (bounded queues, deadline,
+// retry budget, degradation, hedging). Requests are shed — server-side
+// and inside audit rounds — but an overloaded server is busy, not
+// cheating: zero detections, zero false flags, registry agrees.
+func TestOverloadScheduleNeverFalseFlags(t *testing.T) {
+	res, err := Run(overloadBase())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FalseFlags != 0 || res.FirstDetectionEpoch != 0 {
+		t.Fatalf("overload produced accusations: falseFlags=%d firstDetection=%d",
+			res.FalseFlags, res.FirstDetectionEpoch)
+	}
+	if res.Metrics.FalseFlags != 0 {
+		t.Fatalf("registry counted %d false flags", res.Metrics.FalseFlags)
+	}
+	if res.BurstsFired == 0 {
+		t.Fatal("the overload schedule never fired a background request")
+	}
+	if res.RequestsShed == 0 {
+		t.Fatal("bounded admission queues never shed under 6x offered load")
+	}
+	if res.MaxQueueDepth > 1 {
+		t.Fatalf("queue depth %d exceeded the configured limit 1", res.MaxQueueDepth)
+	}
+	// The overload schedule only pressures even epochs; the calm epochs
+	// must see full-quality audits.
+	for _, ep := range res.Epochs {
+		if ep.Epoch%2 == 0 {
+			if ep.BurstFired == 0 {
+				t.Fatalf("epoch %d was scheduled for overload but fired no burst", ep.Epoch)
+			}
+			continue
+		}
+		if ep.BurstFired != 0 {
+			t.Fatalf("calm epoch %d fired %d burst requests", ep.Epoch, ep.BurstFired)
+		}
+		if ep.JobsFailed != 0 {
+			t.Fatalf("calm epoch %d lost %d jobs", ep.Epoch, ep.JobsFailed)
+		}
+	}
+}
+
+// TestOverloadUnboundedQueueBaseline: the unprotected server (negative
+// QueueLimit = unbounded FIFO) never sheds — its queue just grows past
+// any bound the protected configuration would have enforced.
+func TestOverloadUnboundedQueueBaseline(t *testing.T) {
+	cfg := overloadBase()
+	cfg.Epochs = 2
+	cfg.QueueLimit = -1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.RequestsShed != 0 {
+		t.Fatalf("unbounded queue shed %d requests", res.RequestsShed)
+	}
+	if res.MaxQueueDepth <= 1 {
+		t.Fatalf("unbounded queue depth peaked at %d — overload never queued", res.MaxQueueDepth)
+	}
+	if res.FalseFlags != 0 {
+		t.Fatalf("false flags = %d, want 0", res.FalseFlags)
+	}
+}
+
+// TestOverloadDoesNotLaunderCheating: a full cheater in a calm epoch is
+// still detected even though other epochs run under overload pressure.
+func TestOverloadDoesNotLaunderCheating(t *testing.T) {
+	cfg := overloadBase()
+	cfg.Corrupted = 1
+	cfg.CheaterCSC = 0
+	cfg.SampleSize = 3
+	cfg.BlocksPerUser = 9
+	cfg.Epochs = 2
+	cfg.Seed = 2 // same adversary walk as TestFullCheaterDetectedImmediately
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FirstDetectionEpoch == 0 {
+		t.Fatal("cheater never detected under the overload schedule")
+	}
+	if res.FalseFlags != 0 {
+		t.Fatalf("false flags = %d, want 0", res.FalseFlags)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"seccloud/internal/pairing"
+)
+
+// TestOverloadSmoke runs a miniature overload sweep. Assertions stick to
+// structural invariants that hold regardless of scheduler jitter: typed
+// sheds only under bounded queues, queue growth only without them, and —
+// the paper's contract — zero accusations against overloaded-but-honest
+// servers.
+func TestOverloadSmoke(t *testing.T) {
+	cfg := OverloadConfig{
+		Servers:         2,
+		Blocks:          8,
+		MaxInflight:     1,
+		QueueLimit:      2,
+		ServiceTime:     2 * time.Millisecond,
+		Patience:        30 * time.Millisecond,
+		CellDuration:    250 * time.Millisecond,
+		LoadMultipliers: []float64{4},
+		SampleSize:      3,
+		Rounds:          2,
+		Seed:            7,
+	}
+	rows, hedged, err := Overload(pairing.InsecureTest256(), cfg)
+	if err != nil {
+		t.Fatalf("Overload: %v", err)
+	}
+	if len(rows) != 2 || len(hedged) != 2 {
+		t.Fatalf("got %d load rows / %d hedge rows, want 2 / 2", len(rows), len(hedged))
+	}
+	for _, row := range rows {
+		if row.Accusations != 0 {
+			t.Fatalf("overloaded honest server accused %d times (%+v)", row.Accusations, row)
+		}
+		if row.Audits == 0 {
+			t.Fatalf("no audits completed inside the storm window (%+v)", row)
+		}
+		if row.Protected {
+			if row.MaxQueueDepth > cfg.QueueLimit {
+				t.Fatalf("protected queue depth %d exceeded limit %d", row.MaxQueueDepth, cfg.QueueLimit)
+			}
+			if row.Shed == 0 {
+				t.Fatal("bounded admission never shed at 4x offered load")
+			}
+		} else {
+			if row.Shed != 0 {
+				t.Fatalf("unbounded baseline shed %d requests", row.Shed)
+			}
+			if row.MaxQueueDepth <= cfg.QueueLimit {
+				t.Fatalf("unbounded queue peaked at %d — no queue growth at 4x load", row.MaxQueueDepth)
+			}
+		}
+	}
+	for _, row := range hedged {
+		if row.Accusations != 0 {
+			t.Fatalf("slow replica accused %d times (hedge=%v)", row.Accusations, row.Hedge)
+		}
+		if row.Audits == 0 {
+			t.Fatalf("no fleet audits completed (hedge=%v)", row.Hedge)
+		}
+		if !row.Hedge && row.HedgedRounds != 0 {
+			t.Fatalf("hedging disabled but %d rounds hedged", row.HedgedRounds)
+		}
+	}
+	if hedged[1].HedgedRounds == 0 {
+		t.Fatal("hedging enabled against a queue-delayed primary but no round hedged")
+	}
+}
+
+func TestOverloadRejectsBadConfig(t *testing.T) {
+	if _, _, err := Overload(pairing.InsecureTest256(), OverloadConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -131,11 +131,12 @@ func (s *Stats) Reset() {
 // FaultConfig attached (WithFaults) it additionally injects seeded,
 // deterministic network faults on both message legs.
 type Loopback struct {
-	handler Handler
-	link    LinkConfig
-	stats   Stats
-	faults  *faultInjector
-	obs     *rpcObs
+	handler   Handler
+	link      LinkConfig
+	stats     Stats
+	faults    *faultInjector
+	obs       *rpcObs
+	admission *Admission
 }
 
 var _ Client = (*Loopback)(nil)
@@ -159,6 +160,19 @@ func (l *Loopback) WithObs(h *obs.Hub) *Loopback {
 	return l
 }
 
+// WithAdmission puts the "server side" of the loopback behind an
+// admission gate: requests beyond the gate's inflight and queue bounds
+// receive a typed overload response (surfacing to callers as a
+// non-retryable *OverloadedError) instead of executing. Gates are meant
+// to be shared — attach the same *Admission to every loopback reaching
+// one server so the bound covers the server, not the link. Unlike the
+// link's virtual latency, time spent queued at the gate is real blocked
+// time, which is what makes overload experiments honest.
+func (l *Loopback) WithAdmission(a *Admission) *Loopback {
+	l.admission = a
+	return l
+}
+
 // RoundTrip encodes m, delivers it to the handler, and encodes the reply.
 func (l *Loopback) RoundTrip(m wire.Message) (wire.Message, error) {
 	return l.RoundTripContext(context.Background(), m)
@@ -170,6 +184,9 @@ func (l *Loopback) RoundTrip(m wire.Message) (wire.Message, error) {
 // delay), so deadline behaviour is deterministic and test-friendly.
 func (l *Loopback) RoundTripContext(ctx context.Context, m wire.Message) (wire.Message, error) {
 	resp, lat, err := l.roundTripModeled(ctx, m)
+	if err == nil {
+		resp, err = overloadResponse("roundtrip", resp)
+	}
 	l.obs.observe(lat, err)
 	return resp, err
 }
@@ -207,7 +224,28 @@ func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.M
 		l.stats.record(len(reqBytes), 0, lat)
 		return nil, lat, &FaultError{Kind: FaultCorrupt, Op: "request", Err: err}
 	}
-	resp := l.handler.Handle(req)
+	var resp wire.Message
+	shed := false
+	if l.admission != nil {
+		if aerr := l.admission.Acquire(ctx); aerr != nil {
+			if !IsOverloaded(aerr) {
+				// Gave up while queued: the request never executed.
+				l.stats.record(len(reqBytes), 0, lat)
+				return nil, lat, aerr
+			}
+			// Shed: the server answers with the typed overload frame,
+			// which travels the response leg like any other reply.
+			shed = true
+			resp = &wire.OverloadResponse{
+				RetryAfterMillis: int64(l.admission.RetryAfter() / time.Millisecond),
+			}
+		} else {
+			resp = l.handler.Handle(req)
+			l.admission.Release()
+		}
+	} else {
+		resp = l.handler.Handle(req)
+	}
 	if resp == nil {
 		// The "process" died mid-request (crash injection): the caller's
 		// connection just goes dead — a retryable transport fault, not a
@@ -216,11 +254,20 @@ func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.M
 		return nil, lat, &FaultError{Kind: FaultDisconnect, Op: "response",
 			Err: errors.New("netsim: peer died mid-request")}
 	}
-	if reqPlan.duplicate {
+	if reqPlan.duplicate && !shed {
 		// A retransmit the server cannot tell from a fresh request: the
 		// handler runs again and the extra answer is discarded, exactly
 		// what a duplicated datagram does to a stateless responder.
 		_ = l.handler.Handle(req)
+	}
+	if l.admission != nil {
+		// Time spent queued at the gate is real, not modeled: a caller
+		// whose deadline expired while waiting must see a timeout, not a
+		// reply it has already given up on.
+		if cerr := ctx.Err(); cerr != nil {
+			l.stats.record(len(reqBytes), 0, lat)
+			return nil, lat, transportErr("roundtrip", cerr)
+		}
 	}
 
 	// Response leg.

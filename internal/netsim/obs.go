@@ -46,11 +46,15 @@ func (o *rpcObs) observe(lat time.Duration, err error) {
 
 // faultLabel classifies a round-trip error for the rpc_faults_total
 // fault label: injected faults by kind (drop, corrupt, disconnect, …),
-// deadline misses as "timeout", anything else as "transport".
+// typed sheds as "overloaded", deadline misses as "timeout", anything
+// else as "transport".
 func faultLabel(err error) string {
 	var fe *FaultError
 	if errors.As(err, &fe) {
 		return fe.Kind.String()
+	}
+	if IsOverloaded(err) {
+		return "overloaded"
 	}
 	var te *TransportError
 	if errors.As(err, &te) && te.Timeout {

@@ -87,12 +87,19 @@ func IsTimeout(err error) bool {
 type ExhaustedError struct {
 	// Attempts is how many times the operation ran.
 	Attempts int
+	// BudgetDenied marks exhaustion caused by a drained RetryBudget
+	// rather than by MaxAttempts: further attempts were available but the
+	// shared budget refused to amplify load.
+	BudgetDenied bool
 	// Err is the final attempt's error.
 	Err error
 }
 
 // Error implements error.
 func (e *ExhaustedError) Error() string {
+	if e.BudgetDenied {
+		return fmt.Sprintf("netsim: retry budget drained after %d attempts: %v", e.Attempts, e.Err)
+	}
 	return fmt.Sprintf("netsim: %d attempts exhausted: %v", e.Attempts, e.Err)
 }
 
@@ -124,6 +131,12 @@ type Retrier struct {
 	Sleep func(ctx context.Context, d time.Duration) error
 	// OnRetry, if set, observes each scheduled retry.
 	OnRetry func(attempt int, err error, backoff time.Duration)
+	// Budget, if set, is consulted before every retry (never before the
+	// first attempt). A drained budget stops the retry loop with a
+	// budget-denied ExhaustedError even when MaxAttempts remain, and
+	// successes refund it — the token bucket that keeps correlated
+	// failures from multiplying offered load.
+	Budget *RetryBudget
 
 	jitterOnce sync.Once
 	jitterMu   sync.Mutex
@@ -140,6 +153,29 @@ func NewRetrier(seed int64) *Retrier {
 		Multiplier:  2,
 		Jitter:      0.2,
 		Seed:        seed,
+	}
+}
+
+// WithBudget returns a copy of the retry policy drawing from budget b.
+// The clone gets a fresh jitter stream (same seed) and leaves the original
+// untouched, so one template Retrier can fan out per-audit budgets. The
+// struct cannot be copied wholesale — it embeds a sync.Once and Mutex —
+// hence the field-by-field clone.
+func (r *Retrier) WithBudget(b *RetryBudget) *Retrier {
+	if r == nil {
+		return nil
+	}
+	return &Retrier{
+		MaxAttempts:    r.MaxAttempts,
+		BaseDelay:      r.BaseDelay,
+		MaxDelay:       r.MaxDelay,
+		Multiplier:     r.Multiplier,
+		Jitter:         r.Jitter,
+		Seed:           r.Seed,
+		AttemptTimeout: r.AttemptTimeout,
+		Sleep:          r.Sleep,
+		OnRetry:        r.OnRetry,
+		Budget:         b,
 	}
 }
 
@@ -224,6 +260,9 @@ func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) er
 			cancel()
 		}
 		if err == nil {
+			if r != nil {
+				r.Budget.Credit()
+			}
 			return nil
 		}
 		if !IsRetryable(err) {
@@ -232,6 +271,9 @@ func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) er
 		lastErr = err
 		if attempt >= max {
 			return &ExhaustedError{Attempts: attempt, Err: lastErr}
+		}
+		if r != nil && !r.Budget.Take() {
+			return &ExhaustedError{Attempts: attempt, BudgetDenied: true, Err: lastErr}
 		}
 		backoff := r.backoff(attempt)
 		if r.OnRetry != nil {

@@ -23,8 +23,15 @@ type TCPServerConfig struct {
 	// DefaultWriteTimeout; negative disables the deadline.
 	WriteTimeout time.Duration
 	// MaxConns caps concurrently served connections; surplus dials are
-	// accepted and immediately closed. Zero means unlimited.
+	// answered with a typed overload frame and closed, so clients can
+	// classify the refusal instead of seeing a silent drop. Zero means
+	// unlimited.
 	MaxConns int
+	// Admission, when set, gates request execution: requests beyond the
+	// gate's inflight and queue bounds receive a typed overload response.
+	// Connections waiting at the gate serve nothing else meanwhile — the
+	// strict request/response framing is the per-conn backpressure.
+	Admission *Admission
 }
 
 // Default socket deadlines.
@@ -119,8 +126,9 @@ func (s *TCPServer) acceptLoop() {
 		}
 		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
 			s.refused++
+			s.wg.Add(1)
 			s.mu.Unlock()
-			_ = conn.Close()
+			go s.refuseConn(conn)
 			continue
 		}
 		s.conns[conn] = struct{}{}
@@ -128,6 +136,25 @@ func (s *TCPServer) acceptLoop() {
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
+}
+
+// refuseConn answers a dial over the MaxConns cap with the typed
+// overload frame before closing, so the client backs off (or fails over)
+// instead of burning retries on what used to be a silent drop.
+func (s *TCPServer) refuseConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() { _ = conn.Close() }()
+	if wt := s.cfg.writeTimeout(); wt > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	_, _ = wire.WriteMessage(conn, &wire.OverloadResponse{RetryAfterMillis: s.retryAfterMillis()})
+}
+
+func (s *TCPServer) retryAfterMillis() int64 {
+	if s.cfg.Admission != nil {
+		return int64(s.cfg.Admission.RetryAfter() / time.Millisecond)
+	}
+	return 0
 }
 
 func (s *TCPServer) serveConn(conn net.Conn) {
@@ -151,7 +178,17 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return // peer closed, stalled past deadline, or sent garbage
 		}
-		resp := s.handler.Handle(req)
+		var resp wire.Message
+		if gate := s.cfg.Admission; gate != nil {
+			if aerr := gate.Acquire(context.Background()); aerr != nil {
+				resp = &wire.OverloadResponse{RetryAfterMillis: s.retryAfterMillis()}
+			} else {
+				resp = s.handler.Handle(req)
+				gate.Release()
+			}
+		} else {
+			resp = s.handler.Handle(req)
+		}
 		if resp == nil {
 			// Handler "process" died mid-request: drop the connection
 			// without a reply, as a killed process would.
@@ -396,7 +433,9 @@ func (c *TCPClient) roundTripContext(ctx context.Context, m wire.Message) (wire.
 		}
 	}
 	c.stats.record(sent, recvd, 0)
-	return resp, nil
+	// A typed shed surfaces as a non-retryable *OverloadedError, never as
+	// a normal reply.
+	return overloadResponse("roundtrip", resp)
 }
 
 // breakConn closes the live connection and marks it for redial. Callers

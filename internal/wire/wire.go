@@ -229,6 +229,21 @@ func authBody(op, user string, pos, seq uint64, block []byte) []byte {
 	return append([]byte(head), block...)
 }
 
+// OverloadResponse is a server's typed shed reply: the request was NOT
+// executed because the server's admission queue is full. It is distinct
+// from ErrorResponse so clients can classify it as a *non-retryable*
+// overload signal — retrying into a saturated server only amplifies the
+// storm — and back off for RetryAfterMillis instead. Audit layers must
+// record a shed round as an overload outcome, never as a bad proof: the
+// server answered honestly that it is busy, it did not fail a check.
+type OverloadResponse struct {
+	// RetryAfterMillis is the server's backoff hint in milliseconds;
+	// zero means "no hint".
+	RetryAfterMillis int64
+}
+
+func (*OverloadResponse) Kind() string { return "overload" }
+
 // ErrorResponse reports a protocol-level failure.
 type ErrorResponse struct {
 	Code string
@@ -264,6 +279,7 @@ var factories = map[string]func() Message{
 	"challenge_resp": func() Message { return new(ChallengeResponse) },
 	"update_req":     func() Message { return new(UpdateRequest) },
 	"delete_req":     func() Message { return new(DeleteRequest) },
+	"overload":       func() Message { return new(OverloadResponse) },
 	"error":          func() Message { return new(ErrorResponse) },
 }
 

@@ -46,6 +46,7 @@ func sampleMessages() []Message {
 			Auth: IBSig{U: []byte{5}, V: []byte{6}}},
 		&DeleteRequest{UserID: "alice", Position: 4, Seq: 3,
 			Auth: IBSig{U: []byte{7}, V: []byte{8}}},
+		&OverloadResponse{RetryAfterMillis: 250},
 		&ErrorResponse{Code: "bad", Msg: "oops"},
 	}
 }
