@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet bench-overload
+.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet bench-overload bench-multitenant
 
 check: vet build race
 
@@ -59,3 +59,10 @@ bench-fleet:
 # BENCH_overload.json.
 bench-overload:
 	$(GO) run ./cmd/seccloud-bench -exp overload -params test256 -json BENCH_overload.json
+
+# Multi-tenant benchmark: cross-user aggregate verification vs the
+# per-user baseline across 10⁵–10⁶ registered identities under Zipf
+# traffic, plus the determinism and blame-attribution cells. Refreshes
+# BENCH_multitenant.json.
+bench-multitenant:
+	$(GO) run ./cmd/seccloud-bench -exp multitenant -params test256 -json BENCH_multitenant.json

@@ -66,6 +66,15 @@ func main() {
 		retryBudget  = flag.Int("retry-budget", 0, "per-audit retry token budget shared across rounds (0 = unlimited)")
 		degrade      = flag.Bool("degrade", false, "let the DA shrink audit samples along the Theorem-3 curve under overload")
 		hedge        = flag.Bool("hedge", false, "hedge slow fleet challenge rounds to a second healthy replica")
+		multitenant  = flag.Bool("multitenant", false, "run the multi-tenant scheduler simulation instead of the fleet one")
+		tenants      = flag.Int("tenants", 100_000, "registered tenant population (multi-tenant mode)")
+		tenantSess   = flag.Int("tenant-sessions", 40, "audit sessions per epoch drawn from the Zipf trace")
+		tenantZipf   = flag.Float64("tenant-zipf", 1.3, "Zipf traffic skew exponent (> 1)")
+		tenantBlocks = flag.Int("tenant-blocks", 8, "stored blocks per materialized tenant")
+		crossBatch   = flag.Bool("cross-batch", true, "fold all tenants' signature checks into shared aggregates (false = per-tenant baseline)")
+		flushLimit   = flag.Int("flush-limit", 0, "signature checks per cross-tenant aggregate (0 = one flush per drain)")
+		tamperEpoch  = flag.Int("tamper-epoch", 0, "epoch at which one tenant's stored blocks rot (0 = never)")
+		tamperRank   = flag.Int("tamper-rank", 0, "Zipf rank of the tampered tenant (0 = traffic head)")
 	)
 	flag.Parse()
 
@@ -120,6 +129,22 @@ func main() {
 
 	var err error
 	switch {
+	case *multitenant:
+		err = runMultiTenant(epoch.MultiTenantConfig{
+			Tenants:          *tenants,
+			SessionsPerEpoch: *tenantSess,
+			Epochs:           *epochs,
+			ZipfS:            *tenantZipf,
+			BlocksPerTenant:  *tenantBlocks,
+			SampleSize:       *samples,
+			Workers:          *workers,
+			CrossTenantBatch: *crossBatch,
+			FlushLimit:       *flushLimit,
+			TamperEpoch:      *tamperEpoch,
+			TamperRank:       *tamperRank,
+			Seed:             *seed,
+			Hub:              base.Hub,
+		})
 	case *faultSweep:
 		err = runFaultSweep(base)
 	case *sweep:

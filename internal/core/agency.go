@@ -820,7 +820,8 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 	}
 	// Batched signature verification (§VI): one aggregate check; on
 	// failure, fall back to individual verification to attribute blame.
-	for i, err := range a.verifySigBatch(verifyCtx, sigChecks, true, p) {
+	sigErrs, _ := a.verifySigBatch(verifyCtx, sigChecks, true, p)
+	for i, err := range sigErrs {
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
 				Index: sigChecks[i].index, Check: CheckSignature, Detail: err.Error(),
@@ -1256,7 +1257,8 @@ func (a *Agency) AuditStorage(
 		}
 		checks = append(checks, sigCheck{index: pos, msg: BlockMessage(pos, blocks[i]), des: des})
 	}
-	for i, err := range a.verifySigBatch(verifyCtx, checks, cfg.BatchSignatures, p) {
+	checkErrs, _ := a.verifySigBatch(verifyCtx, checks, cfg.BatchSignatures, p)
+	for i, err := range checkErrs {
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
 				Index: checks[i].index, Check: CheckSignature, Detail: err.Error(),

@@ -143,7 +143,8 @@ func (a *Agency) AuditJobs(
 		}
 	}
 	out.BatchedSigItems = len(deferred)
-	for i, err := range a.verifySigBatch(nil, deferred, true, p) {
+	sigErrs, _ := a.verifySigBatch(nil, deferred, true, p)
+	for i, err := range sigErrs {
 		if err != nil {
 			owners[i].Failures = append(owners[i].Failures, AuditFailure{
 				Index: deferred[i].index, Check: CheckSignature, Detail: err.Error(),

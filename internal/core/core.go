@@ -74,13 +74,17 @@ func DecodeBlockSig(sp *ibc.SystemParams, bs *wire.BlockSig, verifierID string) 
 	if err != nil {
 		return nil, fmt.Errorf("core: decoding U: %w", err)
 	}
-	if !sp.G1().InSubgroup(u) {
-		return nil, fmt.Errorf("core: U outside G1")
-	}
-	sigma, err := sp.Pairing().UnmarshalGT(raw)
+	sigma, err := sp.Pairing().UnmarshalGTUnchecked(raw)
 	if err != nil {
 		return nil, fmt.Errorf("core: decoding Σ: %w", err)
 	}
+	// UnmarshalPoint guarantees U is on the curve; order-q membership of
+	// both components is the verifier's job (strict per-item in
+	// Scheme.Verify/BatchVerify, randomized in BatchVerifyRandomized), so
+	// the decoder does not pay an order-q ladder per signature here. A Σ
+	// outside the target subgroup can only make the verifier's equality
+	// check against its own pairing output fail — the pairing's final
+	// exponentiation always lands inside the subgroup.
 	return &dvs.Designated{
 		SignerID:   bs.SignerID,
 		VerifierID: verifierID,

@@ -784,7 +784,8 @@ func (a *Agency) AuditStorageFleet(
 			})
 		}
 	}
-	for i, err := range a.verifySigBatch(context.Background(), checks, cfg.Storage.BatchSignatures, p) {
+	checkErrs, _ := a.verifySigBatch(context.Background(), checks, cfg.Storage.BatchSignatures, p)
+	for i, err := range checkErrs {
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
 				Index: checks[i].index, Check: CheckSignature, Detail: err.Error(),

@@ -144,14 +144,18 @@ func (c *OverloadController) PlanSample(t int) (int, bool) {
 	if c == nil || t <= 1 {
 		return t, false
 	}
+	// Decide and count under one critical section: snapshotting the window
+	// in one lock and incrementing degradedAudits in another let concurrent
+	// audits decide against one window state and count against a different
+	// one, so DegradedAudits could disagree with the plans actually issued.
 	c.mu.Lock()
-	filled, lost := c.filled, c.lost
-	c.mu.Unlock()
-	if filled < minObserved {
+	if c.filled < minObserved {
+		c.mu.Unlock()
 		return t, false
 	}
-	rate := float64(lost) / float64(filled)
+	rate := float64(c.lost) / float64(c.filled)
 	if rate < c.cfg.threshold() {
+		c.mu.Unlock()
 		return t, false
 	}
 	reduced := int(float64(t) * (1 - rate))
@@ -162,9 +166,9 @@ func (c *OverloadController) PlanSample(t int) (int, bool) {
 		reduced = 1
 	}
 	if reduced >= t {
+		c.mu.Unlock()
 		return t, false
 	}
-	c.mu.Lock()
 	c.degradedAudits++
 	c.mu.Unlock()
 	if c.obsDegraded != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 	mrand "math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -270,6 +271,43 @@ func TestOverloadControllerPlanSample(t *testing.T) {
 	}
 	if _, ok := oc.PlanSample(10); ok {
 		t.Fatal("controller still degrading after full recovery")
+	}
+}
+
+// TestOverloadControllerPlanSampleConcurrent is the -race regression for
+// PlanSample's critical section: the decision and the degradedAudits
+// increment used to happen under two separate locks, so concurrent audits
+// could decide against one window state and count against another. The
+// invariant locked here: every ok=true plan is counted, every ok=false
+// plan is not, under heavy Observe/PlanSample interleaving.
+func TestOverloadControllerPlanSampleConcurrent(t *testing.T) {
+	oc := NewOverloadController(OverloadConfig{Threshold: 0.3, Window: 16, MinFraction: 0.25})
+	const (
+		planners  = 8
+		plansEach = 200
+	)
+	var wg sync.WaitGroup
+	var planned atomic.Uint64
+	wg.Add(planners + 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < planners*plansEach; i++ {
+			oc.Observe(i%2 == 0) // oscillate the window across the threshold
+		}
+	}()
+	for p := 0; p < planners; p++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < plansEach; i++ {
+				if _, ok := oc.PlanSample(10); ok {
+					planned.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := oc.DegradedAudits(), planned.Load(); got != want {
+		t.Fatalf("DegradedAudits = %d, want %d (one per ok=true plan)", got, want)
 	}
 }
 

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
+	"seccloud/internal/wire"
+)
+
+// SchedulerConfig shapes a long-lived multi-tenant audit scheduler.
+type SchedulerConfig struct {
+	// Workers bounds the drain's verification concurrency (challenge
+	// rounds in flight plus per-index check fan-out); 0 falls back to the
+	// agency default, ≤ 1 runs sequentially. The worker count never
+	// changes report contents.
+	Workers int
+	// CrossTenantBatch folds the deferred block-signature checks of EVERY
+	// drained session into shared §VI aggregate equations — 2 pairings per
+	// flush regardless of how many tenants contributed. Off, each tenant
+	// session gets its own per-tenant aggregate check (the paper's
+	// single-user shape, kept as the bench baseline).
+	CrossTenantBatch bool
+	// FlushLimit caps the signature checks folded into one cross-tenant
+	// aggregate, bounding how many sessions one flush's verdict latency
+	// rides on; ≤ 0 means one flush for the whole drain.
+	FlushLimit int
+	// SampleSize overrides tenants whose registered budget is 0; ≤ 0
+	// means 4.
+	SampleSize int
+	// Rng drives every session's challenge draw (deterministic sims and
+	// benches); nil derives a crypto-seeded PRNG per drain.
+	Rng *rand.Rand
+	// Overload, when set, degrades per-session samples along the
+	// Theorem-3 curve while the observed shed/timeout rate is above the
+	// controller's threshold, exactly as single-tenant audits do.
+	Overload *OverloadController
+}
+
+func (c SchedulerConfig) sampleSize() int {
+	if c.SampleSize <= 0 {
+		return 4
+	}
+	return c.SampleSize
+}
+
+// TenantVerdict is one drained session's outcome.
+type TenantVerdict struct {
+	UserID string
+	JobID  string
+	Report *AuditReport
+	// Latency is the measurement-side verdict latency: drain start to the
+	// instant this session's verdict became final (its checks done AND the
+	// flush covering its signatures resolved). It is timing telemetry, not
+	// evidence — excluded from Fingerprint so reports stay deterministic
+	// across worker counts.
+	Latency time.Duration
+}
+
+// MultiTenantReport is the outcome of one scheduler drain.
+type MultiTenantReport struct {
+	// Verdicts holds one entry per enqueued session, in enqueue order.
+	Verdicts []TenantVerdict
+	// BatchedSigItems counts block signatures folded into aggregate checks.
+	BatchedSigItems int
+	// Flushes counts aggregate verifications performed (cross-tenant mode:
+	// ⌈items/FlushLimit⌉; per-tenant mode: one per session with items).
+	Flushes int
+	// BlameFallbacks counts flushes whose aggregate failed and fell back
+	// to per-item verification to attribute blame.
+	BlameFallbacks int
+	// Elapsed is the DA-side wall time of the drain.
+	Elapsed time.Duration
+}
+
+// Valid reports whether every session passed.
+func (m *MultiTenantReport) Valid() bool {
+	for i := range m.Verdicts {
+		if !m.Verdicts[i].Report.Valid() {
+			return false
+		}
+	}
+	return true
+}
+
+// Accusations counts sessions with at least one failure.
+func (m *MultiTenantReport) Accusations() int {
+	n := 0
+	for i := range m.Verdicts {
+		if !m.Verdicts[i].Report.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// Fingerprint serializes everything deterministic about the drain —
+// verdict order, per-session samples, round outcomes, and failures — so
+// tests and benches can assert worker-count independence byte-for-byte.
+// Latencies and durations are deliberately excluded.
+func (m *MultiTenantReport) Fingerprint() string {
+	var b strings.Builder
+	for i := range m.Verdicts {
+		v := &m.Verdicts[i]
+		fmt.Fprintf(&b, "%s/%s sample=%v planned=%d effective=%d degraded=%v\n",
+			v.UserID, v.JobID, v.Report.Sampled, v.Report.PlannedSampleSize,
+			v.Report.EffectiveSampleSize, v.Report.DegradedByOverload)
+		for _, rr := range v.Report.Rounds {
+			fmt.Fprintf(&b, "  round %v %s\n", rr.Indices, rr.Outcome)
+		}
+		for _, f := range v.Report.Failures {
+			fmt.Fprintf(&b, "  fail idx=%d check=%s detail=%s\n", f.Index, f.Check, f.Detail)
+		}
+	}
+	fmt.Fprintf(&b, "items=%d flushes=%d fallbacks=%d\n",
+		m.BatchedSigItems, m.Flushes, m.BlameFallbacks)
+	return b.String()
+}
+
+// schedObs holds the scheduler's instrument cells (nil = no hub).
+type schedObs struct {
+	sessions  *obs.CounterVec // tenant_audit_sessions_total{result}
+	flushes   *obs.CounterVec // tenant_sig_flushes_total{mode}
+	items     *obs.Counter    // tenant_sig_items_total
+	fallbacks *obs.Counter    // tenant_blame_fallbacks_total
+}
+
+func newSchedObs(h *obs.Hub) *schedObs {
+	if h == nil {
+		return nil
+	}
+	return &schedObs{
+		sessions:  h.Counter("tenant_audit_sessions_total", "result"),
+		flushes:   h.Counter("tenant_sig_flushes_total", "mode"),
+		items:     h.Counter("tenant_sig_items_total").With(),
+		fallbacks: h.Counter("tenant_blame_fallbacks_total").With(),
+	}
+}
+
+// AuditScheduler is the agency's long-lived multi-tenant front end: a work
+// queue of per-tenant challenge sessions drained through the bounded pool,
+// with every session's block-signature checks deferred into cross-tenant
+// §VI aggregate verifications. It is the refactor away from per-audit
+// entry points — the scheduler owns the tenant registry, validates each
+// delegation once at onboarding, and amortizes the pairing cost of
+// signature verification across however many tenants are in the queue.
+//
+// Determinism contract: every session's challenge set is drawn from the
+// shared RNG sequentially in enqueue order BEFORE the fan-out, results
+// land in per-session slots, verdicts are assembled in enqueue order, and
+// flush boundaries depend only on enqueue order — so for a fixed seed the
+// MultiTenantReport.Fingerprint is identical at every worker count.
+type AuditScheduler struct {
+	agency   *Agency
+	registry *TenantRegistry
+	cfg      SchedulerConfig
+	obs      *schedObs
+
+	mu    sync.Mutex
+	queue []string // user IDs, enqueue order
+}
+
+// NewAuditScheduler builds a scheduler over an agency and its registry.
+func NewAuditScheduler(a *Agency, reg *TenantRegistry, cfg SchedulerConfig) *AuditScheduler {
+	return &AuditScheduler{agency: a, registry: reg, cfg: cfg}
+}
+
+// WithObs wires the scheduler's counters into a hub. Nil hub no-ops.
+func (s *AuditScheduler) WithObs(h *obs.Hub) *AuditScheduler {
+	s.obs = newSchedObs(h)
+	return s
+}
+
+// Registry exposes the tenant registry (registration, lookups).
+func (s *AuditScheduler) Registry() *TenantRegistry { return s.registry }
+
+// Onboard materializes a tenant for auditing: the delegation is validated
+// ONCE here (warrant, root signature, commitment rebuild — the expensive
+// per-call preamble the single-tenant entry points repeat on every audit)
+// and cached in the registry, and the tenant's Q_ID hash-to-point is
+// warmed so no audit session pays it. budget ≤ 0 keeps the registered
+// Theorem-3 budget. Unregistered IDs are registered implicitly.
+func (s *AuditScheduler) Onboard(client netsim.Client, d *JobDelegation, budget int) error {
+	if err := s.agency.AcceptDelegation(d); err != nil {
+		return fmt.Errorf("core: onboarding %s: %w", d.UserID, err)
+	}
+	s.registry.Register(d.UserID, len(d.Tasks), budget)
+	if err := s.registry.attach(d.UserID, client, d, budget); err != nil {
+		return err
+	}
+	s.agency.scheme.Params().QID(d.UserID)
+	return nil
+}
+
+// Enqueue appends one audit session for a tenant. The tenant must be
+// onboarded by the time Drain runs.
+func (s *AuditScheduler) Enqueue(userID string) {
+	s.mu.Lock()
+	s.queue = append(s.queue, userID)
+	s.mu.Unlock()
+}
+
+// Pending counts queued sessions.
+func (s *AuditScheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// session is the per-slot state of one drained audit session.
+type session struct {
+	userID    string
+	client    netsim.Client
+	d         *JobDelegation
+	sample    []uint64
+	planned   int
+	degraded  bool
+	report    *AuditReport
+	sigChecks []sigCheck
+	checksAt  time.Time // when the session's own checks finished
+}
+
+// Drain audits every queued session and empties the queue. Challenge
+// rounds and per-index checks fan out across the bounded pool; block
+// signatures flush through cross-tenant (or per-tenant) aggregates after
+// the fan-out. A tenant whose round is lost to the network/overload gets a
+// non-accusatory lost round, exactly like single-tenant audits; a tenant
+// that was never onboarded fails the whole drain (caller error).
+func (s *AuditScheduler) Drain() (*MultiTenantReport, error) {
+	s.mu.Lock()
+	queue := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+
+	start := s.agency.clock()
+	rng, err := s.agency.challengeRNG(s.cfg.Rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sequential pre-pass in enqueue order: resolve handles and draw every
+	// challenge set before any fan-out, so samples are worker-independent.
+	sessions := make([]*session, len(queue))
+	for i, userID := range queue {
+		client, d, budget, err := s.registry.Session(userID)
+		if err != nil {
+			return nil, err
+		}
+		if budget <= 0 {
+			budget = s.cfg.sampleSize()
+		}
+		if budget > len(d.Tasks) {
+			budget = len(d.Tasks)
+		}
+		planned := budget
+		t, degraded := s.cfg.Overload.PlanSample(budget)
+		sessions[i] = &session{
+			userID:   userID,
+			client:   client,
+			d:        d,
+			sample:   SampleIndices(rng, len(d.Tasks), t),
+			planned:  planned,
+			degraded: degraded,
+		}
+	}
+
+	// Fan-out: each session's challenge round trip plus per-index checks.
+	// Each slot writes only its own state.
+	p := s.agency.auditPool(s.cfg.Workers)
+	p.forEach(nil, len(sessions), func(i int) {
+		s.runSession(sessions[i], p)
+		sessions[i].checksAt = s.agency.clock()
+	})
+
+	// Sequential assembly in enqueue order, then the deferred flushes.
+	out := &MultiTenantReport{Verdicts: make([]TenantVerdict, len(sessions))}
+	var deferred []sigCheck
+	var owners []int // deferred[k] belongs to sessions[owners[k]]
+	for i, sess := range sessions {
+		out.Verdicts[i] = TenantVerdict{
+			UserID:  sess.userID,
+			JobID:   sess.d.JobID,
+			Report:  sess.report,
+			Latency: sess.checksAt.Sub(start),
+		}
+		for _, sc := range sess.sigChecks {
+			deferred = append(deferred, sc)
+			owners = append(owners, i)
+		}
+	}
+	out.BatchedSigItems = len(deferred)
+
+	if s.cfg.CrossTenantBatch {
+		limit := s.cfg.FlushLimit
+		if limit <= 0 {
+			limit = len(deferred)
+		}
+		for lo := 0; lo < len(deferred); lo += limit {
+			hi := lo + limit
+			if hi > len(deferred) {
+				hi = len(deferred)
+			}
+			s.flush(out, sessions, deferred[lo:hi], owners[lo:hi], "cross", p, start)
+		}
+	} else {
+		// Per-tenant baseline: one aggregate per session's own checks.
+		// deferred is grouped by session already (enqueue order).
+		for lo := 0; lo < len(deferred); {
+			hi := lo
+			for hi < len(deferred) && owners[hi] == owners[lo] {
+				hi++
+			}
+			s.flush(out, sessions, deferred[lo:hi], owners[lo:hi], "per_tenant", p, start)
+			lo = hi
+		}
+	}
+
+	// Keep each session's evidence trail consistent with the failures the
+	// flushes attributed after the fact.
+	for _, sess := range sessions {
+		downgradeRounds(sess.report.Rounds, sess.report.Failures)
+	}
+
+	if s.obs != nil {
+		for i := range out.Verdicts {
+			result := "valid"
+			switch {
+			case !out.Verdicts[i].Report.Valid():
+				result = "invalid"
+			case out.Verdicts[i].Report.EffectiveSampleSize == 0:
+				result = "lost"
+			}
+			s.obs.sessions.With(result).Inc()
+		}
+	}
+	out.Elapsed = s.agency.clock().Sub(start)
+	return out, nil
+}
+
+// flush runs one aggregate verification over a chunk of deferred checks
+// and attributes any failures to the owning tenant, job, and index. An
+// empty chunk is skipped outright — dvs.BatchVerifyRandomized now treats
+// an empty batch as an error (ErrEmptyBatch), and an all-shed drain must
+// not manufacture either a verdict or a failure out of nothing.
+func (s *AuditScheduler) flush(
+	out *MultiTenantReport, sessions []*session,
+	chunk []sigCheck, owners []int, mode string, p *pool, start time.Time,
+) {
+	if len(chunk) == 0 {
+		return
+	}
+	out.Flushes++
+	errs, fellBack := s.agency.verifySigBatch(nil, chunk, true, p)
+	if fellBack {
+		out.BlameFallbacks++
+	}
+	for k, err := range errs {
+		if err == nil {
+			continue
+		}
+		sess := sessions[owners[k]]
+		sess.report.Failures = append(sess.report.Failures, AuditFailure{
+			Index: chunk[k].index, Check: CheckSignature,
+			Detail: fmt.Sprintf("tenant %s job %s index %d: %v",
+				sess.userID, sess.d.JobID, chunk[k].index, err),
+		})
+	}
+	// Verdicts covered by this flush are now final: their latency extends
+	// to the flush's resolution.
+	at := s.agency.clock().Sub(start)
+	seen := make(map[int]struct{}, len(owners))
+	for _, oi := range owners {
+		if _, dup := seen[oi]; dup {
+			continue
+		}
+		seen[oi] = struct{}{}
+		out.Verdicts[oi].Latency = at
+	}
+	if s.obs != nil {
+		s.obs.flushes.With(mode).Inc()
+		s.obs.items.Add(uint64(len(chunk)))
+		if fellBack {
+			s.obs.fallbacks.Inc()
+		}
+	}
+}
+
+// runSession executes one tenant's challenge round and per-index checks,
+// deferring signature checks for the drain-wide flush.
+func (s *AuditScheduler) runSession(sess *session, p *pool) {
+	a := s.agency
+	report := &AuditReport{
+		JobID:              sess.d.JobID,
+		SampleSize:         len(sess.sample),
+		PlannedSampleSize:  sess.planned,
+		Sampled:            sess.sample,
+		DegradedByOverload: sess.degraded,
+		SigChecksBatched:   true,
+	}
+	sess.report = report
+	if sess.degraded {
+		a.obs.degradedAudit("tenant")
+	}
+	if len(sess.sample) == 0 {
+		return
+	}
+	resp, err := sess.client.RoundTrip(&wire.ChallengeRequest{
+		JobID:   sess.d.JobID,
+		Indices: sess.sample,
+		Warrant: sess.d.Warrant,
+	})
+	if err != nil {
+		// Transport loss is liveness, not evidence: the round is recorded
+		// as lost and the effective sample shrinks, same as single-tenant
+		// audits. Unclassifiable errors count as network faults.
+		outcome, _ := classifyTransport(err)
+		if !outcome.Lost() {
+			outcome = RoundNetworkFault
+		}
+		report.Rounds = append(report.Rounds, RoundRecord{
+			Indices: sess.sample, Attempts: 1, Outcome: outcome, Detail: err.Error(),
+		})
+		s.cfg.Overload.Observe(true)
+		return
+	}
+	s.cfg.Overload.Observe(false)
+	ch, ok := resp.(*wire.ChallengeResponse)
+	if !ok {
+		report.Failures = append(report.Failures, AuditFailure{
+			Check: CheckResponse, Detail: fmt.Sprintf("unexpected challenge response %T", resp),
+		})
+		report.Rounds = append(report.Rounds, RoundRecord{
+			Indices: sess.sample, Attempts: 1, Outcome: RoundBadProof, Completed: true,
+		})
+		return
+	}
+	if ch.Error != "" {
+		report.Failures = append(report.Failures, AuditFailure{
+			Check: CheckResponse, Detail: "server refused challenge: " + ch.Error,
+		})
+		report.Rounds = append(report.Rounds, RoundRecord{
+			Indices: sess.sample, Attempts: 1, Outcome: RoundBadProof, Completed: true,
+		})
+		return
+	}
+	if len(ch.Items) != len(sess.sample) {
+		report.Failures = append(report.Failures, AuditFailure{
+			Check:  CheckResponse,
+			Detail: fmt.Sprintf("server answered %d of %d challenges", len(ch.Items), len(sess.sample)),
+		})
+		report.Rounds = append(report.Rounds, RoundRecord{
+			Indices: sess.sample, Attempts: 1, Outcome: RoundBadProof, Completed: true,
+		})
+		return
+	}
+	report.EffectiveSampleSize = len(sess.sample)
+	itemFails := make([][]AuditFailure, len(ch.Items))
+	itemSigs := make([][]sigCheck, len(ch.Items))
+	p.forEach(nil, len(ch.Items), func(k int) {
+		itemFails[k], itemSigs[k] = a.checkItem(sess.d, sess.sample[k], ch.Items[k], true)
+	})
+	for k := range ch.Items {
+		report.Failures = append(report.Failures, itemFails[k]...)
+		sess.sigChecks = append(sess.sigChecks, itemSigs[k]...)
+	}
+	outcome := RoundOK
+	if len(report.Failures) > 0 {
+		outcome = RoundBadProof
+	}
+	report.Rounds = append(report.Rounds, RoundRecord{
+		Indices: sess.sample, Attempts: 1, Outcome: outcome, Completed: true,
+	})
+}

@@ -137,7 +137,12 @@ type Server struct {
 	mutSeq    map[string]uint64 // per-user last applied mutation sequence
 	lastStore map[string]uint64 // per-user digest of the last applied upload
 	lastMut   map[string]uint64 // per-user digest of the last applied update/delete
+	warrantOK map[string]struct{} // warrants whose signature already verified
 }
+
+// warrantCacheLimit bounds the verified-warrant cache; past it the cache
+// resets wholesale (re-verification is correct, just slower).
+const warrantCacheLimit = 1 << 14
 
 var _ netsim.Handler = (*Server)(nil)
 
@@ -163,6 +168,7 @@ func NewServer(sp *ibc.SystemParams, key *ibc.PrivateKey, cfg ServerConfig) (*Se
 		mutSeq:    make(map[string]uint64),
 		lastStore: make(map[string]uint64),
 		lastMut:   make(map[string]uint64),
+		warrantOK: make(map[string]struct{}),
 	}
 	if err := s.initDurability(); err != nil {
 		return nil, err
@@ -378,9 +384,31 @@ func (s *Server) handleCompute(req *wire.ComputeRequest) wire.Message {
 }
 
 // checkWarrant verifies the delegation token ("it first verifies the
-// warrant to check whether it is expired", §V-D).
+// warrant to check whether it is expired", §V-D). The pairing-based
+// signature check is memoized per warrant body+signature: a DA drives
+// many challenge rounds under one warrant, and only the policy checks
+// (expiry, bindings) can change between rounds.
 func (s *Server) checkWarrant(w *wire.Warrant, jobID string) error {
-	return VerifyWarrant(s.scheme, w, jobID, "", s.cfg.Clock())
+	if w == nil {
+		return fmt.Errorf("core: missing warrant")
+	}
+	key := string(w.Body()) + "|" + string(w.Sig.U) + "|" + string(w.Sig.V)
+	s.mu.Lock()
+	_, verified := s.warrantOK[key]
+	s.mu.Unlock()
+	if verified {
+		return CheckWarrantPolicy(w, jobID, "", s.cfg.Clock())
+	}
+	if err := VerifyWarrant(s.scheme, w, jobID, "", s.cfg.Clock()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if len(s.warrantOK) >= warrantCacheLimit {
+		s.warrantOK = make(map[string]struct{})
+	}
+	s.warrantOK[key] = struct{}{}
+	s.mu.Unlock()
+	return nil
 }
 
 func (s *Server) handleChallenge(req *wire.ChallengeRequest) wire.Message {

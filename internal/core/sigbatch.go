@@ -27,10 +27,14 @@ type sigCheck struct {
 // ctx aborts the individual fan-out on terminal audit errors; audit
 // deadlines deliberately do NOT reach here (see AuditJob's verifyCtx) —
 // answered rounds always verify in full.
-func (a *Agency) verifySigBatch(ctx context.Context, checks []sigCheck, batched bool, p *pool) []error {
+//
+// The second return reports whether the per-item fallback ran — callers
+// attributing blame across tenants (and the scheduler's fallback counter)
+// use it to distinguish "aggregate passed" from "every item re-verified".
+func (a *Agency) verifySigBatch(ctx context.Context, checks []sigCheck, batched bool, p *pool) ([]error, bool) {
 	errs := make([]error, len(checks))
 	if len(checks) == 0 {
-		return errs
+		return errs, false
 	}
 	if batched {
 		batch := make([]dvs.BatchItem, len(checks))
@@ -38,11 +42,11 @@ func (a *Agency) verifySigBatch(ctx context.Context, checks []sigCheck, batched 
 			batch[i] = dvs.NewBatchItem(sc.msg, sc.des)
 		}
 		if a.scheme.BatchVerifyRandomized(batch, a.key, a.random) == nil {
-			return errs
+			return errs, false
 		}
 	}
 	p.forEach(ctx, len(checks), func(i int) {
 		errs[i] = a.scheme.Verify(checks[i].des, checks[i].msg, a.key)
 	})
-	return errs
+	return errs, batched
 }

@@ -13,6 +13,25 @@ import (
 // job and delegate bindings. Both the cloud server (before answering a
 // challenge) and the DA (before accepting a delegation) run this.
 func VerifyWarrant(scheme *dvs.Scheme, w *wire.Warrant, jobID, delegateID string, now time.Time) error {
+	if err := CheckWarrantPolicy(w, jobID, delegateID, now); err != nil {
+		return err
+	}
+	sig, err := DecodeIBSig(scheme.Params(), w.Sig)
+	if err != nil {
+		return fmt.Errorf("core: warrant signature malformed: %w", err)
+	}
+	if err := scheme.PublicVerify(w.UserID, w.Body(), sig); err != nil {
+		return fmt.Errorf("core: warrant signature invalid: %w", err)
+	}
+	return nil
+}
+
+// CheckWarrantPolicy runs the non-cryptographic warrant checks: job and
+// delegate bindings plus expiry against now. Callers that have already
+// verified the warrant's signature (and cached that fact) still re-run
+// this on every use — expiry is the only part of a warrant that can go
+// stale between challenge rounds.
+func CheckWarrantPolicy(w *wire.Warrant, jobID, delegateID string, now time.Time) error {
 	if w == nil {
 		return fmt.Errorf("core: missing warrant")
 	}
@@ -25,13 +44,6 @@ func VerifyWarrant(scheme *dvs.Scheme, w *wire.Warrant, jobID, delegateID string
 	if now.Unix() > w.NotAfterUnix {
 		return fmt.Errorf("core: warrant expired at %s",
 			time.Unix(w.NotAfterUnix, 0).UTC().Format(time.RFC3339))
-	}
-	sig, err := DecodeIBSig(scheme.Params(), w.Sig)
-	if err != nil {
-		return fmt.Errorf("core: warrant signature malformed: %w", err)
-	}
-	if err := scheme.PublicVerify(w.UserID, w.Body(), sig); err != nil {
-		return fmt.Errorf("core: warrant signature invalid: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"seccloud/internal/sampling"
+)
+
+// TenantBudget derives one tenant's per-audit sampling budget from the
+// Theorem-3 cost model (eq. 17–18): the at-stake loss C_cheat scales with
+// the tenant's dataset size, so larger tenants earn proportionally larger
+// challenge sets while small tenants stop at the point where another
+// sampled pair costs more than the marginal detection it buys. base
+// supplies the shared economics (coefficients, per-pair transmission cost,
+// cheat probability); its CCheat field is ignored.
+//
+// The returned budget is floored at minBudget (≥ 1) so even the smallest
+// registered tenant keeps some detection power — Theorem 3 alone returns 0
+// when auditing a near-worthless dataset is uneconomic, but a multi-tenant
+// agency that silently never audits a tenant class is an availability bug,
+// not an optimization.
+func TenantBudget(base sampling.CostParams, blocks int, valuePerBlock float64, minBudget int) (int, error) {
+	if blocks <= 0 {
+		return 0, fmt.Errorf("costmodel: tenant dataset size must be positive, got %d", blocks)
+	}
+	if valuePerBlock <= 0 {
+		return 0, fmt.Errorf("costmodel: per-block value must be positive, got %v", valuePerBlock)
+	}
+	if minBudget < 1 {
+		minBudget = 1
+	}
+	cp := base
+	cp.CCheat = float64(blocks) * valuePerBlock
+	t, err := sampling.OptimalSampleSize(cp)
+	if err != nil {
+		return 0, err
+	}
+	if t < minBudget {
+		t = minBudget
+	}
+	if t > blocks {
+		t = blocks
+	}
+	return t, nil
+}

@@ -1,0 +1,46 @@
+package costmodel
+
+import (
+	"testing"
+
+	"seccloud/internal/sampling"
+)
+
+func TestTenantBudget(t *testing.T) {
+	base := sampling.CostParams{
+		A1: 1, A2: 1, A3: 1,
+		CTrans: 0.5, CComp: 1, CCheat: 0, // CCheat supplied per tenant
+		Q: 0.9,
+	}
+	small, err := TenantBudget(base, 4, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := TenantBudget(base, 4096, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("bigger tenant got budget %d ≤ smaller tenant's %d", big, small)
+	}
+	// The budget never exceeds the dataset (sampling is without
+	// replacement) and never drops below the floor.
+	if small < 1 || small > 4 {
+		t.Fatalf("small tenant budget %d outside [1, 4]", small)
+	}
+	// A near-worthless dataset still audits at the floor.
+	floor, err := TenantBudget(base, 2, 1e-9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != 2 {
+		t.Fatalf("floored budget = %d, want 2", floor)
+	}
+	// Invalid shapes are rejected.
+	if _, err := TenantBudget(base, 0, 1, 1); err == nil {
+		t.Fatal("zero-block tenant accepted")
+	}
+	if _, err := TenantBudget(base, 8, 0, 1); err == nil {
+		t.Fatal("zero-value tenant accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/big"
 
+	"seccloud/internal/curve"
 	"seccloud/internal/ibc"
 	"seccloud/internal/pairing"
 )
@@ -38,34 +39,127 @@ func (s *Scheme) BatchVerify(items []BatchItem, verifierSK *ibc.PrivateKey) erro
 	return s.batchVerify(items, verifierSK, nil)
 }
 
+// batchExponentBits is λ for the small-exponent test. 128-bit exponents
+// bound error cancellation by 2⁻¹²⁸ while costing a fraction of the
+// full-width ScalarMult/Exp a group-order-sized δ would need — the
+// classic small-exponent batch-verification trade (Bellare–Garay–Rabin).
+const batchExponentBits = 128
+
 // BatchVerifyRandomized is the small-exponent variant: each item is raised
 // to a fresh random exponent δ_ij before aggregation, making error
-// cancellation infeasible (probability ≤ 1/2^λ for λ-bit exponents). This
-// is this repository's hardening extension over the paper's eq. 8.
+// cancellation infeasible (probability ≤ 1/2^λ for λ-bit exponents; λ is
+// batchExponentBits). This is this repository's hardening extension over
+// the paper's eq. 8.
 func (s *Scheme) BatchVerifyRandomized(
 	items []BatchItem, verifierSK *ibc.PrivateKey, random io.Reader,
 ) error {
 	if random == nil {
 		return fmt.Errorf("dvs: randomized batch verify requires a randomness source")
 	}
+	if len(items) == 0 {
+		return ErrEmptyBatch
+	}
+	// λ never exceeds the scalar width: a δ wider than q costs extra
+	// ladder steps without adding security beyond the group order.
+	bits := batchExponentBits
+	if qb := s.sp.G1().Q().BitLen() - 1; qb < bits {
+		bits = qb
+	}
 	deltas := make([]*big.Int, len(items))
+	buf := make([]byte, (bits+7)/8)
+	shift := uint(len(buf)*8 - bits)
 	for i := range items {
-		d, err := s.sp.G1().Scalars().Rand(random)
-		if err != nil {
+		if _, err := io.ReadFull(random, buf); err != nil {
 			return fmt.Errorf("dvs: sampling batch exponent: %w", err)
 		}
+		d := new(big.Int).SetBytes(buf)
+		d.Rsh(d, shift)
+		if d.Sign() == 0 {
+			// δ = 0 would drop the item from both sides; any nonzero
+			// value keeps the bound (probability of hitting 0 is 2⁻λ).
+			d.SetInt64(1)
+		}
 		deltas[i] = d
+	}
+	if err := s.batchMembership(items, random); err != nil {
+		return err
 	}
 	return s.batchVerify(items, verifierSK, deltas)
 }
 
-func (s *Scheme) batchVerify(items []BatchItem, verifierSK *ibc.PrivateKey, deltas []*big.Int) error {
-	if len(items) == 0 {
+// batchMembership checks G1 membership for every item whose U has not
+// already been validated, as one randomized linear combination: T =
+// q·(Σ γᵢUᵢ) with fresh 64-bit coefficients γᵢ must be the identity.
+// Cost is one shared multi-scalar ladder plus a single order-q
+// multiplication, versus one order-q multiplication per point.
+//
+// Soundness: a component of prime order ℓ outside the q-subgroup
+// survives into the sum unless γᵢ ≡ 0 (mod ℓ) — probability ≤ 1/ℓ per
+// check, ≤ 2⁻⁶⁴ for large ℓ. A surviving component fails this check (or,
+// if annihilated here, fails the independently-randomized aggregate
+// equation unless δᵢ also kills it). Both outcomes depend only on the
+// verifier's own randomness, never on the secret key, so accept/reject
+// cannot be used as a key-bit oracle; and an annihilated component
+// leaves an equation identical to the one over the valid order-q parts.
+// Callers that need per-item blame fall back to Verify, whose per-point
+// membership check is strict.
+func (s *Scheme) batchMembership(items []BatchItem, random io.Reader) error {
+	g := s.sp.G1()
+	pts := make([]*curve.Point, 0, len(items))
+	ks := make([]*big.Int, 0, len(items))
+	var buf [8]byte
+	for _, it := range items {
+		d := it.Sig
+		if d == nil || d.U == nil || d.SubgroupChecked {
+			continue // nil handled by batchVerify's item validation
+		}
+		if _, err := io.ReadFull(random, buf[:]); err != nil {
+			return fmt.Errorf("dvs: sampling membership coefficient: %w", err)
+		}
+		k := new(big.Int).SetBytes(buf[:])
+		if k.Sign() == 0 {
+			k.SetInt64(1)
+		}
+		pts = append(pts, d.U)
+		ks = append(ks, k)
+	}
+	if len(pts) == 0 {
 		return nil
 	}
+	sum, err := g.SumScalarMult(pts, ks)
+	if err != nil {
+		return fmt.Errorf("dvs: batch membership: %w", err)
+	}
+	if !g.ScalarMult(sum, g.Q()).Inf {
+		return fmt.Errorf("dvs: batch contains U outside G1: %w", ErrVerifyFailed)
+	}
+	return nil
+}
+
+// batchVerify evaluates the aggregate equation with batch-wide shared
+// ladders rather than per-item multiplications:
+//
+//   - the Q_ID contribution is grouped per signer — Σᵢ∈signer δᵢhᵢ mod q
+//     is accumulated in Zq and Q_ID enters the point sum once per signer,
+//     not once per item (cross-user batches repeat signers heavily);
+//   - U_A is one interleaved multi-scalar multiplication over every Uᵢ
+//     and every grouped Q_ID, sharing a single doubling ladder;
+//   - Σ_A uses one shared squaring ladder (GT multi-exp) for the
+//     randomized path.
+func (s *Scheme) batchVerify(items []BatchItem, verifierSK *ibc.PrivateKey, deltas []*big.Int) error {
+	if len(items) == 0 {
+		return ErrEmptyBatch
+	}
 	g := s.sp.G1()
-	ua := g.Infinity()
+	q := g.Q()
+	one := big.NewInt(1)
+
+	pts := make([]*curve.Point, 0, len(items)+8)
+	ks := make([]*big.Int, 0, len(items)+8)
+	signerK := make(map[string]*big.Int, 8)
+	signerOrder := make([]string, 0, 8)
 	var sigmaA *pairing.GT
+	sigs := make([]*pairing.GT, 0, len(items))
 	for i, it := range items {
 		d := it.Sig
 		if d == nil || d.U == nil || d.Sigma == nil || it.Msg == nil {
@@ -75,21 +169,53 @@ func (s *Scheme) batchVerify(items []BatchItem, verifierSK *ibc.PrivateKey, delt
 			return fmt.Errorf("dvs: batch item %d designated to %q, verifier is %q: %w",
 				i, d.VerifierID, verifierSK.ID, ErrVerifyFailed)
 		}
-		if !g.InSubgroup(d.U) {
-			return fmt.Errorf("dvs: batch item %d has U outside G1: %w", i, ErrVerifyFailed)
+		// The randomized entry point has already run the batched
+		// membership check, and its per-item δ randomization keeps a Σ
+		// outside the target subgroup from cancelling across items. The
+		// plain aggregate has neither shield, so it keeps strict per-item
+		// checks for any component not validated upstream.
+		if deltas == nil {
+			if !d.SubgroupChecked && !g.InSubgroup(d.U) {
+				return fmt.Errorf("dvs: batch item %d has U outside G1: %w", i, ErrVerifyFailed)
+			}
+			if !d.Sigma.InSubgroup() {
+				return fmt.Errorf("dvs: batch item %d has Σ outside GT: %w", i, ErrVerifyFailed)
+			}
 		}
 		h := s.sp.H2(g.MarshalPoint(d.U), *it.Msg)
-		term := g.Add(d.U, g.ScalarMult(s.sp.QID(d.SignerID), h))
-		sig := d.Sigma
+		ku := one
 		if deltas != nil {
-			term = g.ScalarMult(term, deltas[i])
-			sig = sig.Exp(deltas[i])
-		}
-		ua = g.Add(ua, term)
-		if sigmaA == nil {
-			sigmaA = sig
+			ku = deltas[i]
+			h = h.Mul(h, deltas[i]).Mod(h, q)
+			sigs = append(sigs, d.Sigma)
 		} else {
-			sigmaA = sigmaA.Mul(sig)
+			if sigmaA == nil {
+				sigmaA = d.Sigma
+			} else {
+				sigmaA = sigmaA.Mul(d.Sigma)
+			}
+		}
+		pts = append(pts, d.U)
+		ks = append(ks, ku)
+		if acc, ok := signerK[d.SignerID]; ok {
+			acc.Add(acc, h).Mod(acc, q)
+		} else {
+			signerK[d.SignerID] = h
+			signerOrder = append(signerOrder, d.SignerID)
+		}
+	}
+	for _, id := range signerOrder {
+		pts = append(pts, s.sp.QID(id))
+		ks = append(ks, signerK[id])
+	}
+	ua, err := g.SumScalarMult(pts, ks)
+	if err != nil {
+		return fmt.Errorf("dvs: aggregating batch: %w", err)
+	}
+	if deltas != nil {
+		sigmaA, err = s.sp.Pairing().MultiExp(sigs, deltas)
+		if err != nil {
+			return fmt.Errorf("dvs: aggregating batch: %w", err)
 		}
 	}
 	got := s.pairWithVerifier(ua, verifierSK)
@@ -104,11 +230,18 @@ func (s *Scheme) batchVerify(items []BatchItem, verifierSK *ibc.PrivateKey, delt
 // be performed incrementally" remark in §VI).
 func AggregateSigma(items []BatchItem) (*pairing.GT, error) {
 	if len(items) == 0 {
-		return nil, fmt.Errorf("dvs: empty aggregation")
+		return nil, ErrEmptyBatch
 	}
-	acc := items[0].Sig.Sigma
-	for _, it := range items[1:] {
-		acc = acc.Mul(it.Sig.Sigma)
+	var acc *pairing.GT
+	for i, it := range items {
+		if it.Sig == nil || it.Sig.Sigma == nil {
+			return nil, fmt.Errorf("dvs: aggregate item %d incomplete: %w", i, ErrVerifyFailed)
+		}
+		if acc == nil {
+			acc = it.Sig.Sigma
+		} else {
+			acc = acc.Mul(it.Sig.Sigma)
+		}
 	}
 	return acc, nil
 }

@@ -65,10 +65,18 @@ func TestBatchVerifyAcceptsValid(t *testing.T) {
 	}
 }
 
-func TestBatchVerifyEmptyIsValid(t *testing.T) {
+func TestBatchVerifyEmptyIsError(t *testing.T) {
+	// Regression: an empty batch used to verify successfully, letting an
+	// all-shed or all-timed-out multi-tenant flush read as "verified".
 	f := newMultiUserFixture(t, 1, 1)
-	if err := f.scheme.BatchVerify(nil, f.cs); err != nil {
-		t.Fatalf("empty batch should verify: %v", err)
+	if err := f.scheme.BatchVerify(nil, f.cs); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("BatchVerify(nil): got %v, want ErrEmptyBatch", err)
+	}
+	if err := f.scheme.BatchVerify([]BatchItem{}, f.cs); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("BatchVerify(empty): got %v, want ErrEmptyBatch", err)
+	}
+	if err := f.scheme.BatchVerifyRandomized(nil, f.cs, rand.Reader); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("BatchVerifyRandomized(nil): got %v, want ErrEmptyBatch", err)
 	}
 }
 
@@ -172,8 +180,34 @@ func TestAggregateSigma(t *testing.T) {
 	if !agg.Equal(want) {
 		t.Fatal("AggregateSigma mismatch")
 	}
-	if _, err := AggregateSigma(nil); err == nil {
-		t.Fatal("empty aggregation accepted")
+	if _, err := AggregateSigma(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("empty aggregation: got %v, want ErrEmptyBatch", err)
+	}
+}
+
+func TestAggregateSigmaRejectsIncompleteItems(t *testing.T) {
+	// Regression: AggregateSigma used to dereference items[i].Sig.Sigma
+	// unchecked, so a malformed wire item panicked the DA instead of
+	// failing the aggregation.
+	f := newMultiUserFixture(t, 1, 2)
+	cases := []struct {
+		name  string
+		items []BatchItem
+	}{
+		{"nil sig first", []BatchItem{{Msg: f.items[0].Msg, Sig: nil}, f.items[1]}},
+		{"nil sig later", []BatchItem{f.items[0], {Msg: f.items[1].Msg, Sig: nil}}},
+		{"nil sigma", []BatchItem{f.items[0], {Msg: f.items[1].Msg, Sig: &Designated{U: f.items[1].Sig.U}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			agg, err := AggregateSigma(tc.items)
+			if !errors.Is(err, ErrVerifyFailed) {
+				t.Fatalf("got %v, want wrapped ErrVerifyFailed", err)
+			}
+			if agg != nil {
+				t.Fatal("incomplete aggregation returned a value")
+			}
+		})
 	}
 }
 

@@ -38,6 +38,12 @@ import (
 // ErrVerifyFailed reports a signature that did not verify.
 var ErrVerifyFailed = errors.New("dvs: signature verification failed")
 
+// ErrEmptyBatch reports a batch operation invoked with no items. An empty
+// batch carries no evidence, so treating it as verified would let an
+// all-shed or all-timed-out flush read as success; callers that consider
+// emptiness legal must check before verifying.
+var ErrEmptyBatch = errors.New("dvs: empty batch")
+
 // Signature is the raw identity-based signature (U, V). V must be treated
 // as secret when designated verification is in use: publishing V makes the
 // signature publicly verifiable and voids the privacy property.
@@ -53,6 +59,12 @@ type Designated struct {
 	VerifierID string
 	U          *curve.Point
 	Sigma      *pairing.GT
+
+	// SubgroupChecked records that U already passed a G1 membership
+	// check (an order-q scalar multiplication), typically at wire
+	// decode time. Verification then skips the redundant re-check.
+	// Set it only on points that actually passed Group.InSubgroup.
+	SubgroupChecked bool
 }
 
 // Scheme binds the signature algorithms to a parameter set.
@@ -194,7 +206,7 @@ func (s *Scheme) Verify(d *Designated, msg []byte, verifierSK *ibc.PrivateKey) e
 			d.VerifierID, verifierSK.ID, ErrVerifyFailed)
 	}
 	g := s.sp.G1()
-	if !g.InSubgroup(d.U) {
+	if !d.SubgroupChecked && !g.InSubgroup(d.U) {
 		return fmt.Errorf("dvs: U outside G1: %w", ErrVerifyFailed)
 	}
 	h := s.sp.H2(g.MarshalPoint(d.U), msg)

@@ -1,0 +1,367 @@
+package epoch
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"strings"
+	"time"
+
+	"seccloud/internal/core"
+	"seccloud/internal/costmodel"
+	"seccloud/internal/funcs"
+	"seccloud/internal/ibc"
+	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
+	"seccloud/internal/pairing"
+	"seccloud/internal/sampling"
+	"seccloud/internal/workload"
+)
+
+// MultiTenantConfig shapes a multi-tenant audit simulation: a registered
+// population of 10⁵–10⁶ identities, a Zipf-skewed open-loop session
+// arrival trace per epoch, and the agency's long-lived scheduler draining
+// each epoch's queue with cross-tenant aggregate signature verification.
+type MultiTenantConfig struct {
+	// Tenants is the registered identity count (the population, not the
+	// working set — only trace-hit tenants are ever materialized).
+	Tenants int
+	// SessionsPerEpoch is the open-loop audit session arrival count drawn
+	// from the Zipf trace each epoch.
+	SessionsPerEpoch int
+	// Epochs is the number of drain cycles.
+	Epochs int
+	// ZipfS is the traffic skew exponent (> 1).
+	ZipfS float64
+	// BlocksPerTenant sizes each materialized tenant's dataset (≤ 0 = 8).
+	BlocksPerTenant int
+	// SampleSize, when > 0, overrides every tenant's audit budget; 0 lets
+	// each tenant carry its Theorem-3 budget from the cost model.
+	SampleSize int
+	// Workers bounds the scheduler's drain concurrency (never changes
+	// report contents).
+	Workers int
+	// CrossTenantBatch folds every drained session's signature checks into
+	// shared §VI aggregates; off is the per-tenant baseline.
+	CrossTenantBatch bool
+	// FlushLimit caps signatures per cross-tenant aggregate (≤ 0 = one
+	// flush per drain).
+	FlushLimit int
+	// TamperEpoch, when > 0, rots every stored block of the tenant at Zipf
+	// rank TamperRank at the start of that epoch. Accusations against that
+	// tenant afterwards are detections; any other accusation, ever, is a
+	// false flag.
+	TamperEpoch int
+	// TamperRank is the Zipf rank (= tenant index; 0 is the traffic head)
+	// of the tampered tenant.
+	TamperRank int
+	// Seed drives the Zipf trace, dataset synthesis and challenge draws.
+	Seed int64
+	// Hub receives scheduler and registry instruments; nil creates a
+	// private hub so Metrics is always registry-derived.
+	Hub *obs.Hub
+}
+
+func (c *MultiTenantConfig) blocksPerTenant() int {
+	if c.BlocksPerTenant <= 0 {
+		return 8
+	}
+	return c.BlocksPerTenant
+}
+
+func (c *MultiTenantConfig) validate() error {
+	if c.Tenants < 2 {
+		return fmt.Errorf("epoch: multi-tenant population must be ≥ 2, got %d", c.Tenants)
+	}
+	if c.SessionsPerEpoch <= 0 || c.Epochs <= 0 {
+		return fmt.Errorf("epoch: sessions per epoch and epochs must be positive")
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("epoch: zipf exponent must exceed 1, got %v", c.ZipfS)
+	}
+	if c.SampleSize < 0 || c.FlushLimit < 0 || c.Workers < 0 {
+		return fmt.Errorf("epoch: sample size, flush limit and workers must be non-negative")
+	}
+	if c.TamperEpoch < 0 || c.TamperEpoch > c.Epochs {
+		return fmt.Errorf("epoch: tamper epoch %d outside 0..%d", c.TamperEpoch, c.Epochs)
+	}
+	if c.TamperEpoch > 0 && (c.TamperRank < 0 || c.TamperRank >= c.Tenants) {
+		return fmt.Errorf("epoch: tamper rank %d outside the population of %d", c.TamperRank, c.Tenants)
+	}
+	return nil
+}
+
+// MultiTenantEpochStats summarizes one drain cycle.
+type MultiTenantEpochStats struct {
+	Epoch int
+	// Sessions is the number of audit sessions drained.
+	Sessions int
+	// DistinctTenants is how many different tenants the trace hit.
+	DistinctTenants int
+	// NewTenants is how many tenants were materialized (onboarded) this
+	// epoch — first-touch cost, paid once per tenant ever.
+	NewTenants int
+	// Flushes / BatchedSigItems / BlameFallbacks mirror the drain report.
+	Flushes         int
+	BatchedSigItems int
+	BlameFallbacks  int
+	// Detections counts accusations against the tampered tenant.
+	Detections int
+	// FalseFlags counts accusations against honest tenants (must be 0).
+	FalseFlags int
+}
+
+// MultiTenantMetrics is the registry-derived cross-check of a run.
+type MultiTenantMetrics struct {
+	Sessions   int
+	Flushes    int
+	SigItems   int
+	Fallbacks  int
+	Registered int
+}
+
+// SummarizeTenantRegistry derives MultiTenantMetrics from a snapshot.
+func SummarizeTenantRegistry(s obs.Snapshot) MultiTenantMetrics {
+	return MultiTenantMetrics{
+		Sessions:   int(s.Total("tenant_audit_sessions_total", nil)),
+		Flushes:    int(s.Total("tenant_sig_flushes_total", nil)),
+		SigItems:   int(s.Total("tenant_sig_items_total", nil)),
+		Fallbacks:  int(s.Total("tenant_blame_fallbacks_total", nil)),
+		Registered: int(s.Total("tenants_registered", nil)),
+	}
+}
+
+// MultiTenantResult is the whole multi-tenant simulation outcome.
+type MultiTenantResult struct {
+	Config MultiTenantConfig
+	Epochs []MultiTenantEpochStats
+	// RegisteredTenants is the full population size (registry entries).
+	RegisteredTenants int
+	// MaterializedTenants counts tenants the traffic actually onboarded —
+	// bounded by total sessions, not by the population.
+	MaterializedTenants int
+	// SessionsRun totals drained sessions across epochs.
+	SessionsRun int
+	// Flushes / BatchedSigItems / BlameFallbacks total the drain counters.
+	Flushes         int
+	BatchedSigItems int
+	BlameFallbacks  int
+	// Detections totals accusations against the tampered tenant.
+	Detections int
+	// FalseFlags totals accusations against honest tenants (must be 0).
+	FalseFlags int
+	// FirstDetectionEpoch is the first epoch that accused the tampered
+	// tenant (0 = never).
+	FirstDetectionEpoch int
+	// Elapsed is the DA-side wall time summed over drains.
+	Elapsed time.Duration
+	// Fingerprint concatenates every drain's deterministic fingerprint;
+	// byte-identical across worker counts for a fixed seed.
+	Fingerprint string
+	// Metrics is the registry-derived cross-check.
+	Metrics MultiTenantMetrics
+}
+
+// RunMultiTenant executes the multi-tenant simulation: register the whole
+// population up front (cheap — no pairings), then per epoch draw the Zipf
+// session trace, lazily onboard first-touched tenants, enqueue one
+// scheduler session per arrival, and drain.
+func RunMultiTenant(cfg MultiTenantConfig) (*MultiTenantResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	hub := cfg.Hub
+	if hub == nil {
+		hub = obs.NewHub()
+	}
+
+	sio, err := ibc.Setup(pairing.InsecureTest256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	sp := sio.Params()
+	daKey, err := sio.Extract("da:multitenant")
+	if err != nil {
+		return nil, err
+	}
+	agency := core.NewAgency(sp, daKey, rand.Reader).WithWorkers(cfg.Workers).WithObs(hub)
+	serverID := "cs:multitenant-0"
+	serverKey, err := sio.Extract(serverID)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := core.NewServer(sp, serverKey, core.ServerConfig{
+		Random:  rand.Reader,
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	client := netsim.NewLoopback(srv, netsim.LinkConfig{}).WithObs(hub)
+
+	source, err := workload.NewMultiTenant(cfg.Seed, workload.MultiTenantConfig{
+		Tenants:         cfg.Tenants,
+		Sessions:        cfg.SessionsPerEpoch,
+		ZipfS:           cfg.ZipfS,
+		BlocksPerTenant: cfg.blocksPerTenant(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	registry := core.NewTenantRegistry(256).WithObs(hub)
+	sched := core.NewAuditScheduler(agency, registry, core.SchedulerConfig{
+		Workers:          cfg.Workers,
+		CrossTenantBatch: cfg.CrossTenantBatch,
+		FlushLimit:       cfg.FlushLimit,
+		SampleSize:       cfg.SampleSize,
+		Rng:              mrand.New(mrand.NewSource(cfg.Seed + 1)),
+	}).WithObs(hub)
+
+	// Register the whole population. Registration is a map entry plus a
+	// Theorem-3 budget — no keys, no datasets, no pairings — which is what
+	// makes a 10⁵–10⁶ identity registry affordable. The per-tenant budget
+	// prices each tenant's dataset into the optimal sample size.
+	budgetBase := sampling.CostParams{
+		A1: 1, A2: 1, A3: 1,
+		CTrans: 0.5, CComp: 1,
+		Q: 0.95,
+	}
+	blocks := cfg.blocksPerTenant()
+	budget := cfg.SampleSize
+	if budget <= 0 {
+		budget, err = costmodel.TenantBudget(budgetBase, blocks, 1.0, 2)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Tenants; i++ {
+		registry.Register(source.TenantID(i), blocks, budget)
+	}
+
+	// onboard materializes tenant rank i: extract its key, synthesize and
+	// store its dataset, run one computing job, delegate its audit to the
+	// DA, and validate the delegation once at the scheduler.
+	onboarded := make(map[int]bool)
+	onboard := func(i int) error {
+		id := source.TenantID(i)
+		key, err := sio.Extract(id)
+		if err != nil {
+			return err
+		}
+		usr := core.NewUser(sp, key, rand.Reader)
+		ds := source.TenantDataset(i)
+		req, err := usr.PrepareStore(ds, serverID, agency.ID())
+		if err != nil {
+			return err
+		}
+		if err := usr.Store(client, req); err != nil {
+			return err
+		}
+		jobID := fmt.Sprintf("job-%08d", i)
+		job := workload.UniformJob(id, funcs.Spec{Name: "sum"}, blocks)
+		resp, err := usr.SubmitJob(client, jobID, job)
+		if err != nil {
+			return err
+		}
+		warrant, err := usr.Delegate(agency.ID(), jobID, time.Now().Add(24*time.Hour))
+		if err != nil {
+			return err
+		}
+		d := &core.JobDelegation{
+			UserID:   id,
+			ServerID: resp.ServerID,
+			JobID:    jobID,
+			Tasks:    core.TasksToWire(job),
+			Results:  resp.Results,
+			Root:     resp.Root,
+			RootSig:  resp.RootSig,
+			Warrant:  warrant,
+		}
+		if err := sched.Onboard(client, d, budget); err != nil {
+			return err
+		}
+		onboarded[i] = true
+		return nil
+	}
+
+	res := &MultiTenantResult{Config: cfg, RegisteredTenants: registry.Len()}
+	var fp strings.Builder
+	tampered := -1
+	for ep := 1; ep <= cfg.Epochs; ep++ {
+		stats := MultiTenantEpochStats{Epoch: ep}
+
+		// The tamper injection: rot every stored block of the ranked tenant
+		// so its block signatures stop matching the data the server serves.
+		// The tenant is materialized first if the traffic never touched it.
+		if cfg.TamperEpoch > 0 && ep == cfg.TamperEpoch {
+			if !onboarded[cfg.TamperRank] {
+				if err := onboard(cfg.TamperRank); err != nil {
+					return nil, fmt.Errorf("epoch %d: materializing tamper target: %w", ep, err)
+				}
+				stats.NewTenants++
+			}
+			id := source.TenantID(cfg.TamperRank)
+			for pos := 0; pos < blocks; pos++ {
+				rotten := []byte("multitenant-rot")
+				if _, ok := srv.TamperBlock(id, uint64(pos), rotten); !ok {
+					return nil, fmt.Errorf("epoch %d: tampering block %d of %s found nothing", ep, pos, id)
+				}
+			}
+			tampered = cfg.TamperRank
+		}
+
+		trace := source.SessionTrace()
+		stats.Sessions = len(trace)
+		stats.DistinctTenants = workload.DistinctTenants(trace)
+		for _, idx := range trace {
+			if !onboarded[idx] {
+				if err := onboard(idx); err != nil {
+					return nil, fmt.Errorf("epoch %d: onboarding tenant %d: %w", ep, idx, err)
+				}
+				stats.NewTenants++
+			}
+			sched.Enqueue(source.TenantID(idx))
+		}
+
+		rep, err := sched.Drain()
+		if err != nil {
+			return nil, fmt.Errorf("epoch %d: drain: %w", ep, err)
+		}
+		stats.Flushes = rep.Flushes
+		stats.BatchedSigItems = rep.BatchedSigItems
+		stats.BlameFallbacks = rep.BlameFallbacks
+		tamperedID := ""
+		if tampered >= 0 {
+			tamperedID = source.TenantID(tampered)
+		}
+		for i := range rep.Verdicts {
+			v := &rep.Verdicts[i]
+			if v.Report.Valid() {
+				continue
+			}
+			if v.UserID == tamperedID {
+				stats.Detections++
+			} else {
+				stats.FalseFlags++
+			}
+		}
+		fp.WriteString(rep.Fingerprint())
+
+		res.SessionsRun += stats.Sessions
+		res.Flushes += stats.Flushes
+		res.BatchedSigItems += stats.BatchedSigItems
+		res.BlameFallbacks += stats.BlameFallbacks
+		res.Detections += stats.Detections
+		res.FalseFlags += stats.FalseFlags
+		res.Elapsed += rep.Elapsed
+		if stats.Detections > 0 && res.FirstDetectionEpoch == 0 {
+			res.FirstDetectionEpoch = ep
+		}
+		res.Epochs = append(res.Epochs, stats)
+	}
+	res.MaterializedTenants = len(onboarded)
+	res.Fingerprint = fp.String()
+	res.Metrics = SummarizeTenantRegistry(hub.Registry().Snapshot())
+	return res, nil
+}

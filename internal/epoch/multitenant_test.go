@@ -1,0 +1,130 @@
+package epoch
+
+import (
+	"testing"
+)
+
+func TestRunMultiTenantHonest(t *testing.T) {
+	res, err := RunMultiTenant(MultiTenantConfig{
+		Tenants:          50_000,
+		SessionsPerEpoch: 24,
+		Epochs:           2,
+		ZipfS:            1.3,
+		BlocksPerTenant:  6,
+		SampleSize:       3,
+		CrossTenantBatch: true,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RegisteredTenants != 50_000 {
+		t.Fatalf("RegisteredTenants = %d", res.RegisteredTenants)
+	}
+	// Lazy materialization: the working set is bounded by traffic, never
+	// by the population.
+	if res.MaterializedTenants > 48 || res.MaterializedTenants < 1 {
+		t.Fatalf("MaterializedTenants = %d for %d sessions", res.MaterializedTenants, res.SessionsRun)
+	}
+	if res.SessionsRun != 48 {
+		t.Fatalf("SessionsRun = %d, want 48", res.SessionsRun)
+	}
+	if res.FalseFlags != 0 || res.Detections != 0 {
+		t.Fatalf("honest run flagged: detections=%d falseFlags=%d", res.Detections, res.FalseFlags)
+	}
+	// Cross-tenant batching with no flush limit: exactly one aggregate
+	// verification per epoch drain.
+	if res.Flushes != 2 {
+		t.Fatalf("Flushes = %d, want 2 (one per epoch)", res.Flushes)
+	}
+	// Registry-derived metrics agree with the hand-rolled accumulation.
+	if res.Metrics.Sessions != res.SessionsRun || res.Metrics.Flushes != res.Flushes ||
+		res.Metrics.SigItems != res.BatchedSigItems || res.Metrics.Registered != res.RegisteredTenants {
+		t.Fatalf("metrics cross-check mismatch: %+v vs result %+v", res.Metrics, res)
+	}
+}
+
+func TestRunMultiTenantTamperDetectedNoFalseFlags(t *testing.T) {
+	cfg := MultiTenantConfig{
+		Tenants:          10_000,
+		SessionsPerEpoch: 20,
+		Epochs:           3,
+		ZipfS:            1.4,
+		BlocksPerTenant:  6,
+		SampleSize:       4,
+		CrossTenantBatch: true,
+		TamperEpoch:      2,
+		TamperRank:       0, // the traffic head: guaranteed sessions
+		Seed:             7,
+	}
+	res, err := RunMultiTenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections == 0 {
+		t.Fatal("tampered head tenant never detected")
+	}
+	if res.FirstDetectionEpoch != 2 {
+		t.Fatalf("FirstDetectionEpoch = %d, want 2", res.FirstDetectionEpoch)
+	}
+	if res.FalseFlags != 0 {
+		t.Fatalf("false flags: %d", res.FalseFlags)
+	}
+	if res.BlameFallbacks == 0 {
+		t.Fatal("cross-tenant aggregate never fell back to attribute blame")
+	}
+	if res.Epochs[0].Detections != 0 {
+		t.Fatal("detection before the tamper epoch")
+	}
+}
+
+func TestRunMultiTenantDeterministicAcrossWorkers(t *testing.T) {
+	base := MultiTenantConfig{
+		Tenants:          20_000,
+		SessionsPerEpoch: 16,
+		Epochs:           2,
+		ZipfS:            1.3,
+		BlocksPerTenant:  6,
+		SampleSize:       3,
+		CrossTenantBatch: true,
+		FlushLimit:       10,
+		TamperEpoch:      2,
+		TamperRank:       0,
+		Seed:             21,
+	}
+	var first *MultiTenantResult
+	for _, workers := range []int{1, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := RunMultiTenant(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.Fingerprint != first.Fingerprint {
+			t.Fatalf("fingerprint differs between worker counts:\n--- w=1\n%s\n--- w=%d\n%s",
+				first.Fingerprint, workers, res.Fingerprint)
+		}
+		if res.Detections != first.Detections || res.FalseFlags != first.FalseFlags {
+			t.Fatalf("verdict totals differ across workers: %+v vs %+v", first, res)
+		}
+	}
+}
+
+func TestRunMultiTenantValidation(t *testing.T) {
+	bad := []MultiTenantConfig{
+		{Tenants: 1, SessionsPerEpoch: 1, Epochs: 1, ZipfS: 1.2},
+		{Tenants: 10, SessionsPerEpoch: 0, Epochs: 1, ZipfS: 1.2},
+		{Tenants: 10, SessionsPerEpoch: 1, Epochs: 1, ZipfS: 1.0},
+		{Tenants: 10, SessionsPerEpoch: 1, Epochs: 1, ZipfS: 1.2, TamperEpoch: 2},
+		{Tenants: 10, SessionsPerEpoch: 1, Epochs: 1, ZipfS: 1.2, TamperEpoch: 1, TamperRank: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := RunMultiTenant(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+
+	"seccloud/internal/pairing"
+)
+
+// BenchmarkMultiTenantCross profiles one cross-mode drain over a large
+// registered population (go test -bench, excluded from plain `go test`).
+func BenchmarkMultiTenantCross(b *testing.B) {
+	cfg := MultiTenantConfig{
+		UserCounts: []int{1_000_000},
+		Sessions:   240,
+		ZipfS:      1.3,
+		Blocks:     6,
+		SampleSize: 4,
+		Workers:    8,
+		FlushLimit: 48,
+		Seed:       1,
+	}
+	pp := pairing.InsecureTest256()
+	sys, err := newMTSystem(pp, cfg, cfg.UserCounts[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := crossCell(sys, cfg, cfg.UserCounts[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

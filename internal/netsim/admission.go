@@ -43,6 +43,22 @@ func IsOverloaded(err error) bool {
 	return errors.As(err, &oe)
 }
 
+// retryAfterToMillis encodes a backoff hint for the wire, where 0 means
+// "no hint". Sub-millisecond hints round UP to 1ms instead of truncating
+// to 0: a 500µs RetryAfter that arrives as "no hint" strips the client of
+// the backoff signal entirely, which is the opposite of what a shedding
+// server wants.
+func retryAfterToMillis(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	ms := int64(d / time.Millisecond)
+	if d%time.Millisecond != 0 {
+		ms++
+	}
+	return ms
+}
+
 // overloadResponse converts a decoded reply into the typed error when the
 // peer shed the request. Transports call it on every successful decode so
 // an OverloadResponse never leaks to protocol code as a normal message.

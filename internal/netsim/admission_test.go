@@ -180,6 +180,58 @@ func TestLoopbackAdmissionSheds(t *testing.T) {
 	}
 }
 
+// TestSubMillisecondRetryAfterSurvivesWire is the regression for the
+// encode-side truncation bug: a sub-millisecond RetryAfter hint used to
+// truncate to RetryAfterMillis=0 — "no hint" — stripping the backoff
+// signal exactly when the server most wanted the client to pause. The
+// encoder now rounds up to 1ms.
+func TestSubMillisecondRetryAfterSurvivesWire(t *testing.T) {
+	cases := []struct {
+		hint time.Duration
+		want time.Duration
+	}{
+		{500 * time.Microsecond, time.Millisecond},  // rounds up, not to zero
+		{time.Millisecond, time.Millisecond},        // exact stays exact
+		{1500 * time.Microsecond, 2 * time.Millisecond},
+		{0, 0}, // genuinely no hint stays no hint
+	}
+	for _, tc := range cases {
+		gate := NewAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 0, RetryAfter: tc.hint})
+		if err := gate.Acquire(context.Background()); err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		l := NewLoopback(echoHandler{}, LinkConfig{}).WithAdmission(gate)
+		_, err := l.RoundTrip(&wire.StoreRequest{UserID: "alice"})
+		var oe *OverloadedError
+		if !errors.As(err, &oe) {
+			t.Fatalf("hint %v: got %v, want OverloadedError", tc.hint, err)
+		}
+		if oe.RetryAfter != tc.want {
+			t.Fatalf("hint %v came back as %v after the wire, want %v", tc.hint, oe.RetryAfter, tc.want)
+		}
+	}
+}
+
+func TestRetryAfterToMillis(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int64
+	}{
+		{0, 0},
+		{-time.Millisecond, 0},
+		{time.Microsecond, 1},
+		{999 * time.Microsecond, 1},
+		{time.Millisecond, 1},
+		{1001 * time.Microsecond, 2},
+		{250 * time.Millisecond, 250},
+	}
+	for _, tc := range cases {
+		if got := retryAfterToMillis(tc.d); got != tc.want {
+			t.Fatalf("retryAfterToMillis(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
 func TestRetryBudgetStopsAmplification(t *testing.T) {
 	clock := &fakeClock{}
 	r := newTestRetrier(clock)

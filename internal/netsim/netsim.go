@@ -237,7 +237,7 @@ func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.M
 			// which travels the response leg like any other reply.
 			shed = true
 			resp = &wire.OverloadResponse{
-				RetryAfterMillis: int64(l.admission.RetryAfter() / time.Millisecond),
+				RetryAfterMillis: retryAfterToMillis(l.admission.RetryAfter()),
 			}
 		} else {
 			resp = l.handler.Handle(req)

@@ -152,7 +152,7 @@ func (s *TCPServer) refuseConn(conn net.Conn) {
 
 func (s *TCPServer) retryAfterMillis() int64 {
 	if s.cfg.Admission != nil {
-		return int64(s.cfg.Admission.RetryAfter() / time.Millisecond)
+		return retryAfterToMillis(s.cfg.Admission.RetryAfter())
 	}
 	return 0
 }

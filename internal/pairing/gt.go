@@ -43,6 +43,31 @@ func (g *GT) Exp(k *big.Int) *GT {
 	return &GT{pp: g.pp, v: fp.Fp2Exp(g.v, kq)}
 }
 
+// MultiExp returns Π gᵢ^kᵢ with exponents reduced mod q, sharing one
+// squaring ladder across the whole product (ff.Fp2MultiExp). This is the
+// batched analogue of Exp: aggregate verification over n signatures pays
+// the ladder's squarings once instead of n times.
+func (pp *Params) MultiExp(gs []*GT, ks []*big.Int) (*GT, error) {
+	if len(gs) != len(ks) {
+		return nil, fmt.Errorf("pairing: mismatched multi-exp lengths %d vs %d", len(gs), len(ks))
+	}
+	fp := pp.g1.FieldCtx()
+	xs := make([]*ff.Fp2, len(gs))
+	kq := make([]*big.Int, len(ks))
+	for i, g := range gs {
+		if g == nil {
+			return nil, fmt.Errorf("pairing: nil GT element %d in multi-exp", i)
+		}
+		xs[i] = g.v
+		kq[i] = new(big.Int).Mod(ks[i], pp.q)
+	}
+	v, err := fp.Fp2MultiExp(xs, kq)
+	if err != nil {
+		return nil, err
+	}
+	return &GT{pp: pp, v: v}, nil
+}
+
 // Marshal encodes g as two fixed-width big-endian field coordinates.
 func (g *GT) Marshal() []byte {
 	fb := (g.pp.p.BitLen() + 7) / 8
@@ -58,9 +83,36 @@ func (pp *Params) GTLen() int {
 	return 2 * fb
 }
 
+// InSubgroup reports whether g lies in the order-q subgroup of Fp2*,
+// via one full exponentiation by q.
+func (g *GT) InSubgroup() bool {
+	fp := g.pp.g1.FieldCtx()
+	return fp.Fp2IsOne(fp.Fp2Exp(g.v, g.pp.q))
+}
+
 // UnmarshalGT decodes an element produced by GT.Marshal and checks that it
 // lies in the order-q subgroup (rejecting arbitrary Fp2 values).
 func (pp *Params) UnmarshalGT(data []byte) (*GT, error) {
+	g, err := pp.UnmarshalGTUnchecked(data)
+	if err != nil {
+		return nil, err
+	}
+	if !g.InSubgroup() {
+		return nil, fmt.Errorf("pairing: element not in order-q subgroup")
+	}
+	return g, nil
+}
+
+// UnmarshalGTUnchecked decodes an element produced by GT.Marshal without
+// the order-q subgroup exponentiation — only field range and nonzero-ness
+// are enforced. It exists for verifiers whose final step compares the
+// decoded value for equality against a freshly-computed pairing output:
+// the pairing's final exponentiation lands in the order-q subgroup, so a
+// decoded value outside it can only make that comparison fail, never
+// pass. Callers that use the element any other way (inversion via
+// conjugation, reuse as a trusted group element) must call InSubgroup
+// themselves or use UnmarshalGT.
+func (pp *Params) UnmarshalGTUnchecked(data []byte) (*GT, error) {
 	fb := (pp.p.BitLen() + 7) / 8
 	if len(data) != 2*fb {
 		return nil, fmt.Errorf("pairing: GT encoding has %d bytes, want %d", len(data), 2*fb)
@@ -74,9 +126,6 @@ func (pp *Params) UnmarshalGT(data []byte) (*GT, error) {
 	v := &ff.Fp2{A: a, B: b}
 	if fp.Fp2IsZero(v) {
 		return nil, fmt.Errorf("pairing: GT element is zero")
-	}
-	if !fp.Fp2IsOne(fp.Fp2Exp(v, pp.q)) {
-		return nil, fmt.Errorf("pairing: element not in order-q subgroup")
 	}
 	return &GT{pp: pp, v: v}, nil
 }
