@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet bench-overload bench-multitenant
+.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet bench-overload bench-multitenant bench-threshold
 
 check: vet build race
 
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/wire -fuzz FuzzReadMessage -fuzztime 10s
 	$(GO) test ./internal/store -fuzz FuzzReadRecord -fuzztime 10s
+	$(GO) test ./internal/core -fuzz FuzzDecodeEvidence -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -66,3 +67,10 @@ bench-overload:
 # BENCH_multitenant.json.
 bench-multitenant:
 	$(GO) run ./cmd/seccloud-bench -exp multitenant -params test256 -json BENCH_multitenant.json
+
+# Threshold-agency benchmark: t-of-n audit quorums under rotating crash
+# and Byzantine fault schedules, cross-checked against a single-DA
+# reference (zero false flags, zero verdict mismatches). Refreshes
+# BENCH_threshold.json.
+bench-threshold:
+	$(GO) run ./cmd/seccloud-bench -exp threshold -params test256 -json BENCH_threshold.json

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// simFlags holds the flag values that can be rejected before any
+// simulation state is built.
+type simFlags struct {
+	ThresholdT        int
+	ThresholdN        int
+	KilledAuditors    int
+	ByzantineAuditors int
+	AuditDeadline     time.Duration
+	RetryBudget       int
+}
+
+// validateFlags rejects inconsistent flag combinations up front with a
+// clean one-line error instead of letting them surface as mid-run
+// aborts or blame-less quorum failures.
+func validateFlags(f simFlags) error {
+	if f.AuditDeadline < 0 {
+		return fmt.Errorf("-audit-deadline must not be negative (got %v)", f.AuditDeadline)
+	}
+	if f.RetryBudget < 0 {
+		return fmt.Errorf("-retry-budget must not be negative (got %d)", f.RetryBudget)
+	}
+	if f.KilledAuditors < 0 {
+		return fmt.Errorf("-killed-auditors must not be negative (got %d)", f.KilledAuditors)
+	}
+	if f.ByzantineAuditors < 0 {
+		return fmt.Errorf("-byzantine-auditors must not be negative (got %d)", f.ByzantineAuditors)
+	}
+	if f.ThresholdT == 0 && f.ThresholdN == 0 {
+		if f.KilledAuditors > 0 || f.ByzantineAuditors > 0 {
+			return fmt.Errorf("-killed-auditors/-byzantine-auditors require threshold mode (-threshold-t/-threshold-n)")
+		}
+		return nil // threshold mode off
+	}
+	if f.ThresholdT < 1 {
+		return fmt.Errorf("-threshold-t must be at least 1 (got %d)", f.ThresholdT)
+	}
+	if f.ThresholdT > f.ThresholdN {
+		return fmt.Errorf("-threshold-t %d exceeds -threshold-n %d", f.ThresholdT, f.ThresholdN)
+	}
+	if budget := f.ThresholdN - f.ThresholdT; f.KilledAuditors+f.ByzantineAuditors > budget {
+		return fmt.Errorf("%d killed + %d byzantine auditors exceed the n-t = %d fault budget",
+			f.KilledAuditors, f.ByzantineAuditors, budget)
+	}
+	return nil
+}

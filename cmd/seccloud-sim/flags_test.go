@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		flags   simFlags
+		wantErr string // empty = accepted
+	}{
+		{name: "defaults", flags: simFlags{}},
+		{name: "threshold healthy", flags: simFlags{ThresholdT: 3, ThresholdN: 5}},
+		{name: "threshold with faults in budget",
+			flags: simFlags{ThresholdT: 2, ThresholdN: 5, KilledAuditors: 2, ByzantineAuditors: 1}},
+		{name: "deadline and budget set",
+			flags: simFlags{AuditDeadline: time.Second, RetryBudget: 8}},
+		{name: "t above n",
+			flags:   simFlags{ThresholdT: 6, ThresholdN: 5},
+			wantErr: "-threshold-t 6 exceeds -threshold-n 5"},
+		{name: "t below one",
+			flags:   simFlags{ThresholdT: 0, ThresholdN: 5},
+			wantErr: "-threshold-t must be at least 1"},
+		{name: "negative t",
+			flags:   simFlags{ThresholdT: -2, ThresholdN: 5},
+			wantErr: "-threshold-t must be at least 1"},
+		{name: "negative deadline",
+			flags:   simFlags{AuditDeadline: -time.Second},
+			wantErr: "-audit-deadline must not be negative"},
+		{name: "negative retry budget",
+			flags:   simFlags{RetryBudget: -1},
+			wantErr: "-retry-budget must not be negative"},
+		{name: "negative killed auditors",
+			flags:   simFlags{ThresholdT: 3, ThresholdN: 5, KilledAuditors: -1},
+			wantErr: "-killed-auditors must not be negative"},
+		{name: "negative byzantine auditors",
+			flags:   simFlags{ThresholdT: 3, ThresholdN: 5, ByzantineAuditors: -3},
+			wantErr: "-byzantine-auditors must not be negative"},
+		{name: "fault schedule over budget",
+			flags:   simFlags{ThresholdT: 3, ThresholdN: 5, KilledAuditors: 2, ByzantineAuditors: 1},
+			wantErr: "exceed the n-t = 2 fault budget"},
+		{name: "auditor faults without threshold mode",
+			flags:   simFlags{KilledAuditors: 1},
+			wantErr: "require threshold mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.flags)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid flags accepted: %+v", tc.flags)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -15,6 +15,8 @@
 //	seccloud-sim -bad-replica 1 -bad-replica-epoch 2 -repair   # rot, localize, repair
 //	seccloud-sim -overload-every 2 -offered-load 6 -max-inflight 1 \
 //	    -queue-limit 2 -retry-budget 8 -degrade -hedge         # open-loop overload schedule
+//	seccloud-sim -threshold-t 2 -threshold-n 5 -killed-auditors 2 \
+//	    -byzantine-auditors 1                   # t-of-n audit quorums under auditor faults
 package main
 
 import (
@@ -75,8 +77,24 @@ func main() {
 		flushLimit   = flag.Int("flush-limit", 0, "signature checks per cross-tenant aggregate (0 = one flush per drain)")
 		tamperEpoch  = flag.Int("tamper-epoch", 0, "epoch at which one tenant's stored blocks rot (0 = never)")
 		tamperRank   = flag.Int("tamper-rank", 0, "Zipf rank of the tampered tenant (0 = traffic head)")
+		thresholdT   = flag.Int("threshold-t", 0, "audit quorum size t: split the verifier key t-of-n and run the threshold-agency scenario (0 = off)")
+		thresholdN   = flag.Int("threshold-n", 0, "share-holder count n for the threshold-agency scenario")
+		killedAud    = flag.Int("killed-auditors", 0, "share-holders down during each faulty epoch (rotating; threshold mode)")
+		byzantineAud = flag.Int("byzantine-auditors", 0, "live share-holders forging partials each faulty epoch (threshold mode)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(simFlags{
+		ThresholdT:        *thresholdT,
+		ThresholdN:        *thresholdN,
+		KilledAuditors:    *killedAud,
+		ByzantineAuditors: *byzantineAud,
+		AuditDeadline:     *auditDeadlin,
+		RetryBudget:       *retryBudget,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "seccloud-sim:", err)
+		os.Exit(2)
+	}
 
 	base := epoch.Config{
 		Servers:           *servers,
@@ -129,6 +147,19 @@ func main() {
 
 	var err error
 	switch {
+	case *thresholdT > 0 || *thresholdN > 0:
+		err = runThreshold(epoch.ThresholdConfig{
+			T: *thresholdT, N: *thresholdN,
+			Epochs:           *epochs,
+			Blocks:           *blocks,
+			SampleSize:       *samples,
+			CrashedHolders:   *killedAud,
+			ByzantineHolders: *byzantineAud,
+			TamperEpoch:      *tamperEpoch,
+			Workers:          *workers,
+			Seed:             *seed,
+			Hub:              base.Hub,
+		})
 	case *multitenant:
 		err = runMultiTenant(epoch.MultiTenantConfig{
 			Tenants:          *tenants,

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"seccloud/internal/epoch"
+)
+
+// runThreshold drives the t-of-n threshold-agency scenario: every
+// epoch's storage audit is decided by a quorum of partial designated
+// verifications while killed and Byzantine share-holders rotate, and a
+// single-DA reference audit cross-checks every verdict.
+func runThreshold(cfg epoch.ThresholdConfig) error {
+	res, err := epoch.RunThreshold(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("threshold agency %d-of-%d: %d epochs, %d killed + %d byzantine holders rotating per epoch\n\n",
+		cfg.T, cfg.N, cfg.Epochs, cfg.CrashedHolders, cfg.ByzantineHolders)
+	fmt.Printf("%6s %12s %12s %12s %11s %7s %10s %7s\n",
+		"epoch", "killed", "byzantine", "quorum", "recoveries", "valid", "detection", "agrees")
+	for _, ep := range res.Epochs {
+		fmt.Printf("%6d %12s %12s %12s %11d %7v %10v %7v\n",
+			ep.Epoch, joinIndices(ep.Crashed), joinIndices(ep.Byzantine), joinIndices(ep.Quorum),
+			ep.Recoveries, ep.Valid, ep.Detection, ep.AgreesWithSingleDA)
+	}
+	fmt.Printf("\nquorum recoveries: %d   byzantine partials caught: %d   distinct quorums: %d\n",
+		res.QuorumRecoveries, res.ByzantinePartials, res.DistinctQuorums)
+	fmt.Printf("false flags: %d   verdict mismatches vs single-DA: %d\n",
+		res.FalseFlags, res.VerdictMismatches)
+	if res.FirstDetectionEpoch > 0 {
+		fmt.Printf("first tamper detection: epoch %d (%d detections)\n",
+			res.FirstDetectionEpoch, res.Detections)
+	}
+
+	// Registry-derived cross-check, accumulated independently of the
+	// per-epoch trails printed above.
+	m := res.Metrics
+	fmt.Printf("\nmetrics registry summary\n")
+	fmt.Printf("%8s %12s %14s %12s\n", "audits", "recoveries", "byz partials", "false flags")
+	fmt.Printf("%8d %12d %14d %12d\n", m.Audits, m.Recoveries, m.Byzantine, m.FalseFlags)
+	fmt.Println("\nreading: crashed holders are replaced by later shares and forged")
+	fmt.Println("partials are pinned on their share-holder by commitment proofs —")
+	fmt.Println("auditor faults change who computes the verdict, never what it says.")
+	return nil
+}
+
+func joinIndices(idx []int) string {
+	if len(idx) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(idx))
+	for i, v := range idx {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}

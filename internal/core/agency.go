@@ -171,25 +171,31 @@ type AuditCheckpoint struct {
 	Rounds []RoundRecord
 	// Failures are the verdicts already attributed in completed rounds.
 	Failures []AuditFailure
+	// Threshold carries the interrupted run's partial-collection state
+	// (checkpoint format ≥ 3): the share-holders it saw crash or lie are
+	// deprioritized when the resumed audit re-forms its quorum.
+	Threshold *ThresholdTrail
 }
 
 // Checkpoint extracts the resumable state of a (possibly degraded) audit.
 func (r *AuditReport) Checkpoint() *AuditCheckpoint {
 	return &AuditCheckpoint{
-		JobID:    r.JobID,
-		Sampled:  append([]uint64(nil), r.Sampled...),
-		Rounds:   append([]RoundRecord(nil), r.Rounds...),
-		Failures: append([]AuditFailure(nil), r.Failures...),
+		JobID:     r.JobID,
+		Sampled:   append([]uint64(nil), r.Sampled...),
+		Rounds:    append([]RoundRecord(nil), r.Rounds...),
+		Failures:  append([]AuditFailure(nil), r.Failures...),
+		Threshold: r.Threshold,
 	}
 }
 
 // Checkpoint extracts the resumable state of a storage audit.
 func (r *StorageAuditReport) Checkpoint() *AuditCheckpoint {
 	return &AuditCheckpoint{
-		UserID:   r.UserID,
-		Sampled:  append([]uint64(nil), r.Sampled...),
-		Rounds:   append([]RoundRecord(nil), r.Rounds...),
-		Failures: append([]AuditFailure(nil), r.Failures...),
+		UserID:    r.UserID,
+		Sampled:   append([]uint64(nil), r.Sampled...),
+		Rounds:    append([]RoundRecord(nil), r.Rounds...),
+		Failures:  append([]AuditFailure(nil), r.Failures...),
+		Threshold: r.Threshold,
 	}
 }
 
@@ -257,6 +263,9 @@ type AuditReport struct {
 	// SigChecksBatched reports whether block signatures were verified with
 	// the §VI batch equation (2 pairings) instead of per-item.
 	SigChecksBatched bool
+	// Threshold is the quorum trail when the agency verifies through a
+	// t-of-n share quorum; nil for single-key agencies.
+	Threshold *ThresholdTrail
 	// Elapsed is the wall-clock audit duration on the DA side.
 	Elapsed time.Duration
 }
@@ -459,6 +468,10 @@ type Agency struct {
 	clock   func() time.Time
 	workers int
 	obs     *auditObs
+	// thr, when set, routes every designated verification through a
+	// t-of-n quorum of share-holders instead of the agency's own key
+	// (see threshold.go). The agency key then only signs evidence.
+	thr *thresholdState
 }
 
 // NewAgency builds the DA from its extracted identity key. The pairing
@@ -542,7 +555,7 @@ func (a *Agency) challengeRNG(override *rand.Rand) (*rand.Rand, error) {
 // commitment root must match the claimed results; and the root signature
 // must verify against the claimed server.
 func (a *Agency) AcceptDelegation(d *JobDelegation) error {
-	if err := VerifyWarrant(a.scheme, &d.Warrant, d.JobID, a.key.ID, a.clock()); err != nil {
+	if err := VerifyWarrant(a.scheme, &d.Warrant, d.JobID, a.verifierID(), a.clock()); err != nil {
 		return err
 	}
 	sig, err := DecodeIBSig(a.scheme.Params(), d.RootSig)
@@ -820,7 +833,15 @@ func (a *Agency) AuditJob(client netsim.Client, d *JobDelegation, cfg AuditConfi
 	}
 	// Batched signature verification (§VI): one aggregate check; on
 	// failure, fall back to individual verification to attribute blame.
-	sigErrs, _ := a.verifySigBatch(verifyCtx, sigChecks, true, p)
+	// In threshold mode the aggregate pairing is reconstructed from a
+	// share quorum and the trail lands in the report; a quorum that
+	// cannot be reached aborts the audit — it never accuses the server.
+	trail := a.newTrail()
+	sigErrs, _, terr := a.verifySigBatch(verifyCtx, sigChecks, true, p, thresholdAvoid(cfg.Resume), trail)
+	if terr != nil {
+		return nil, terr
+	}
+	report.Threshold = trail
 	for i, err := range sigErrs {
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
@@ -880,7 +901,7 @@ func (a *Agency) checkItem(
 	// signature must verify for its requested position. This is what
 	// catches both deleted/fabricated data and position diversion.
 	for k, pos := range task.Positions {
-		des, err := DecodeBlockSig(a.scheme.Params(), &item.Sigs[k], a.key.ID)
+		des, err := DecodeBlockSig(a.scheme.Params(), &item.Sigs[k], a.verifierID())
 		if err != nil {
 			fails = append(fails, AuditFailure{
 				Index: idx, Check: CheckSignature,
@@ -896,7 +917,9 @@ func (a *Agency) checkItem(
 			continue
 		}
 		msg := BlockMessage(pos, item.Blocks[k])
-		if batchSigs {
+		// Threshold mode always defers: the quorum round that replaces
+		// the ê(·, sk_DA) pairing is batched audit-wide, never per item.
+		if batchSigs || a.thr != nil {
 			sigChecks = append(sigChecks, sigCheck{index: idx, msg: msg, des: des})
 		} else if err := a.scheme.Verify(des, msg, a.key); err != nil {
 			fails = append(fails, AuditFailure{
@@ -990,6 +1013,9 @@ type StorageAuditReport struct {
 	DegradedByOverload bool
 	// BudgetDenied counts retries refused by the shared retry budget.
 	BudgetDenied int
+	// Threshold is the quorum trail when the agency verifies through a
+	// t-of-n share quorum; nil for single-key agencies.
+	Threshold *ThresholdTrail
 }
 
 // Valid reports whether every sampled block verified. Rounds lost to the
@@ -1241,7 +1267,7 @@ func (a *Agency) AuditStorage(
 	preCheck := len(report.Failures)
 	checks := make([]sigCheck, 0, len(positions))
 	for i, pos := range positions {
-		des, err := DecodeBlockSig(a.scheme.Params(), &sigs[i], a.key.ID)
+		des, err := DecodeBlockSig(a.scheme.Params(), &sigs[i], a.verifierID())
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
 				Index: pos, Check: CheckSignature, Detail: err.Error(),
@@ -1257,7 +1283,12 @@ func (a *Agency) AuditStorage(
 		}
 		checks = append(checks, sigCheck{index: pos, msg: BlockMessage(pos, blocks[i]), des: des})
 	}
-	checkErrs, _ := a.verifySigBatch(verifyCtx, checks, cfg.BatchSignatures, p)
+	trail := a.newTrail()
+	checkErrs, _, terr := a.verifySigBatch(verifyCtx, checks, cfg.BatchSignatures, p, thresholdAvoid(cfg.Resume), trail)
+	if terr != nil {
+		return nil, terr
+	}
+	report.Threshold = trail
 	for i, err := range checkErrs {
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{

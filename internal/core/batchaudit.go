@@ -143,7 +143,10 @@ func (a *Agency) AuditJobs(
 		}
 	}
 	out.BatchedSigItems = len(deferred)
-	sigErrs, _ := a.verifySigBatch(nil, deferred, true, p)
+	sigErrs, _, terr := a.verifySigBatch(nil, deferred, true, p, nil, nil)
+	if terr != nil {
+		return nil, terr
+	}
 	for i, err := range sigErrs {
 		if err != nil {
 			owners[i].Failures = append(owners[i].Failures, AuditFailure{

@@ -28,17 +28,20 @@ import (
 // Evidence encoding versions. Version 2 added the fleet fields
 // (FailoverSummary, QuorumSummary) when failover auditing landed; version
 // 3 added the overload section (planned sample size, deliberate
-// degradation, shed/hedged round counts, detection confidence). The body
+// degradation, shed/hedged round counts, detection confidence); version 4
+// added the threshold section (quorum membership, crashed/Byzantine
+// share-holders, recovery count, combined-check digest). The body
 // rendering switches on the version so evidence signed under an earlier
 // format — where those fields did not exist — still verifies
 // byte-for-byte. A decoded struct with Version 0 (old serializations
 // predate the field) renders as version 1.
 const (
 	// EvidenceVersion is the format newly issued Evidence carries.
-	EvidenceVersion = 3
+	EvidenceVersion = 4
 	// CheckpointVersion is the format newly signed checkpoints carry.
-	// Version 2 added the per-round Replica/FailedOver fields.
-	CheckpointVersion = 2
+	// Version 2 added the per-round Replica/FailedOver fields; version 3
+	// binds the threshold partial-collection state.
+	CheckpointVersion = 3
 )
 
 // Evidence is a signed audit verdict.
@@ -95,7 +98,24 @@ type Evidence struct {
 	// success] for the effective sample (0 when the audit ran without a
 	// sampling analysis).
 	DetectionConfidence float64
-	Sig                 wire.IBSig
+	// ThresholdQuorum (version ≥ 4) is the canonical rendering of the
+	// share quorum whose verified partials produced this verdict; "" for
+	// single-key agencies. The verdict is attributable to specific
+	// share-holders, not just "the agency".
+	ThresholdQuorum string
+	// ThresholdFaults (version ≥ 4) canonically renders the share-holders
+	// lost (crashed) or caught lying (Byzantine) during collection. A
+	// Byzantine share-holder appears HERE — in the auditor-side fault
+	// record — and never in FailureSummary, which accuses only storage.
+	ThresholdFaults string
+	// ThresholdRecoveries (version ≥ 4) counts failed share-holders that
+	// were replaced while still reaching quorum.
+	ThresholdRecoveries int
+	// ThresholdCombined (version ≥ 4) is the hex SHA-256 of the combined
+	// aggregate-check GT element — the publicly comparable fingerprint of
+	// the quorum's joint computation (identical for every honest quorum).
+	ThresholdCombined string
+	Sig               wire.IBSig
 }
 
 // evidenceBody is the byte string the verdict signature covers. The
@@ -104,6 +124,8 @@ type Evidence struct {
 func evidenceBody(e *Evidence) []byte {
 	var b strings.Builder
 	switch {
+	case e.Version >= 4:
+		b.WriteString("seccloud/audit-evidence/v4|auditor=")
 	case e.Version >= 3:
 		b.WriteString("seccloud/audit-evidence/v3|auditor=")
 	case e.Version >= 2:
@@ -153,6 +175,16 @@ func evidenceBody(e *Evidence) []byte {
 		// Shortest round-trip float rendering: canonical and stable.
 		b.WriteString(strconv.FormatFloat(e.DetectionConfidence, 'g', -1, 64))
 	}
+	if e.Version >= 4 {
+		b.WriteString("|tquorum=")
+		b.WriteString(e.ThresholdQuorum)
+		b.WriteString("|tfaults=")
+		b.WriteString(e.ThresholdFaults)
+		b.WriteString("|trecoveries=")
+		b.WriteString(strconv.Itoa(e.ThresholdRecoveries))
+		b.WriteString("|tsigma=")
+		b.WriteString(e.ThresholdCombined)
+	}
 	b.WriteString("|sampled=")
 	buf := make([]byte, 8)
 	for _, idx := range e.Sampled {
@@ -171,6 +203,40 @@ func summarizeFailures(failures []AuditFailure) string {
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, ",")
+}
+
+// summarizeShareSet renders a share-index set canonically: sorted,
+// comma-joined ("" for an empty set). Trail slices are already sorted and
+// deduplicated, but the rendering re-sorts defensively — signed bytes
+// must not depend on caller discipline.
+func summarizeShareSet(indices []int) string {
+	s := append([]int(nil), indices...)
+	sort.Ints(s)
+	parts := make([]string, len(s))
+	for i, idx := range s {
+		parts[i] = strconv.Itoa(idx)
+	}
+	return strings.Join(parts, ",")
+}
+
+// summarizeThresholdFaults renders the auditor-side fault record:
+// "crashed=i,j|byz=k". Byzantine share-holders live in this string — on
+// the auditor side of the verdict — by construction; nothing from the
+// trail ever reaches FailureSummary.
+func summarizeThresholdFaults(tr *ThresholdTrail) string {
+	return "crashed=" + summarizeShareSet(tr.Crashed) + "|byz=" + summarizeShareSet(tr.Byzantine)
+}
+
+// applyThresholdTrail stamps a report's quorum trail into version ≥ 4
+// evidence fields. Nil trail (single-key agency) leaves them empty.
+func applyThresholdTrail(e *Evidence, tr *ThresholdTrail) {
+	if tr == nil {
+		return
+	}
+	e.ThresholdQuorum = summarizeShareSet(tr.Quorum)
+	e.ThresholdFaults = summarizeThresholdFaults(tr)
+	e.ThresholdRecoveries = tr.Recoveries
+	e.ThresholdCombined = tr.CombinedDigest
 }
 
 // IssueEvidence signs an audit report into transferable evidence.
@@ -195,6 +261,33 @@ func (a *Agency) IssueEvidence(d *JobDelegation, report *AuditReport) (*Evidence
 		HedgedRounds:        report.HedgedRounds(),
 		DetectionConfidence: report.AchievedConfidence,
 	}
+	applyThresholdTrail(e, report.Threshold)
+	return a.signEvidence(e)
+}
+
+// IssueStorageEvidence signs a storage audit report into transferable
+// evidence, the stored-data twin of IssueEvidence.
+func (a *Agency) IssueStorageEvidence(serverID string, report *StorageAuditReport) (*Evidence, error) {
+	if report == nil {
+		return nil, fmt.Errorf("core: nil storage audit report")
+	}
+	e := &Evidence{
+		Version:             EvidenceVersion,
+		AuditorID:           a.key.ID,
+		UserID:              report.UserID,
+		ServerID:            serverID,
+		Sampled:             append([]uint64(nil), report.Sampled...),
+		Valid:               report.Valid(),
+		FailureSummary:      summarizeFailures(report.Failures),
+		EffectiveSampleSize: report.EffectiveSampleSize,
+		NetworkFaultRounds:  report.NetworkFaultRounds(),
+		PlannedSampleSize:   report.PlannedSampleSize,
+		DegradedByOverload:  report.DegradedByOverload,
+		ShedRounds:          report.ShedRounds(),
+		HedgedRounds:        report.HedgedRounds(),
+		DetectionConfidence: report.AchievedConfidence,
+	}
+	applyThresholdTrail(e, report.Threshold)
 	return a.signEvidence(e)
 }
 
@@ -226,6 +319,7 @@ func (a *Agency) IssueFleetEvidence(f *Fleet, fr *FleetStorageReport) (*Evidence
 		HedgedRounds:        fr.Report.HedgedRounds(),
 		DetectionConfidence: fr.Report.AchievedConfidence,
 	}
+	applyThresholdTrail(e, fr.Report.Threshold)
 	return a.signEvidence(e)
 }
 
@@ -263,13 +357,18 @@ type CheckpointEvidence struct {
 // canonical rendering of the challenge set and every round's verdict.
 // Version ≥ 2 additionally binds each round's serving replica and
 // failover flag, so a resumed fleet audit cannot silently reattribute
-// who answered; version ≤ 1 reproduces the pre-fleet bytes exactly.
+// who answered; version ≥ 3 binds the threshold partial-collection state,
+// so a resumed audit's share avoid-list is as tamper-evident as its
+// challenge set; version ≤ 1 reproduces the pre-fleet bytes exactly.
 func checkpointBody(ce *CheckpointEvidence) []byte {
 	cp := &ce.Checkpoint
 	var b strings.Builder
-	if ce.Version >= 2 {
+	switch {
+	case ce.Version >= 3:
+		b.WriteString("seccloud/audit-checkpoint/v3|auditor=")
+	case ce.Version >= 2:
 		b.WriteString("seccloud/audit-checkpoint/v2|auditor=")
-	} else {
+	default:
 		b.WriteString("seccloud/audit-checkpoint|auditor=")
 	}
 	b.WriteString(ce.AuditorID)
@@ -294,6 +393,19 @@ func checkpointBody(ce *CheckpointEvidence) []byte {
 		for _, idx := range rr.Indices {
 			binary.BigEndian.PutUint64(buf, idx)
 			b.Write(buf)
+		}
+	}
+	if ce.Version >= 3 {
+		b.WriteString("|threshold=")
+		if tr := cp.Threshold; tr != nil {
+			b.WriteString("quorum=")
+			b.WriteString(summarizeShareSet(tr.Quorum))
+			b.WriteString("|")
+			b.WriteString(summarizeThresholdFaults(tr))
+			b.WriteString("|recoveries=")
+			b.WriteString(strconv.Itoa(tr.Recoveries))
+			b.WriteString("|sigma=")
+			b.WriteString(tr.CombinedDigest)
 		}
 	}
 	return []byte(b.String())

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"seccloud/internal/wire"
+)
+
+// codecSamples returns one representative verdict per format version.
+func codecSamples() []*Evidence {
+	base := Evidence{
+		AuditorID:           "da:auditor",
+		JobID:               "job-7",
+		UserID:              "user:alice",
+		ServerID:            "cs:server-0",
+		Sampled:             []uint64{0, 3, 1 << 40},
+		Valid:               true,
+		FailureSummary:      "sig@3",
+		EffectiveSampleSize: 3,
+		NetworkFaultRounds:  1,
+		Sig:                 wire.IBSig{U: []byte{1, 2, 3}, V: []byte{4, 5}},
+	}
+	v1 := base
+	v1.Version = 1
+	v2 := base
+	v2.Version = 2
+	v2.FailoverSummary = "r0>1:timeout"
+	v2.QuorumSummary = "blk3:confirmed"
+	v3 := v2
+	v3.Version = 3
+	v3.PlannedSampleSize = 5
+	v3.DegradedByOverload = true
+	v3.ShedRounds = 2
+	v3.HedgedRounds = 1
+	v3.DetectionConfidence = 0.9921875
+	v4 := v3
+	v4.Version = 4
+	v4.ThresholdQuorum = "1,2,4"
+	v4.ThresholdFaults = "crashed=3|byz=5"
+	v4.ThresholdRecoveries = 2
+	v4.ThresholdCombined = "aabbccdd"
+	return []*Evidence{&v1, &v2, &v3, &v4}
+}
+
+func TestEvidenceCodecRoundTrip(t *testing.T) {
+	for _, e := range codecSamples() {
+		raw, err := EncodeEvidence(e)
+		if err != nil {
+			t.Fatalf("encode v%d: %v", e.Version, err)
+		}
+		got, err := DecodeEvidence(raw)
+		if err != nil {
+			t.Fatalf("decode v%d: %v", e.Version, err)
+		}
+		// The encoding is canonical, so re-encoding the decoded verdict
+		// must reproduce the exact bytes.
+		again, err := EncodeEvidence(got)
+		if err != nil {
+			t.Fatalf("re-encode v%d: %v", e.Version, err)
+		}
+		if !bytes.Equal(raw, again) {
+			t.Fatalf("v%d round trip not canonical:\n  %x\n  %x", e.Version, raw, again)
+		}
+		if got.Version != e.Version || got.AuditorID != e.AuditorID || got.Valid != e.Valid {
+			t.Fatalf("v%d fields lost: %+v", e.Version, got)
+		}
+		if e.Version >= 4 && got.ThresholdQuorum != e.ThresholdQuorum {
+			t.Fatalf("v4 threshold quorum lost: %+v", got)
+		}
+	}
+}
+
+// TestEvidenceCodecSignedRoundTrip: a verdict that travels through the
+// byte codec still verifies against the auditor identity.
+func TestEvidenceCodecSignedRoundTrip(t *testing.T) {
+	sys := newSystem(t, nil)
+	e := &Evidence{
+		Version:             EvidenceVersion,
+		AuditorID:           sys.agency.ID(),
+		UserID:              sys.user.ID(),
+		ServerID:            sys.servers[0].ID(),
+		Sampled:             []uint64{1, 5},
+		Valid:               true,
+		EffectiveSampleSize: 2,
+		ThresholdQuorum:     "1,2,3",
+		ThresholdCombined:   "cafe",
+	}
+	signed, err := sys.agency.signEvidence(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := EncodeEvidence(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeEvidence(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEvidence(sys.agency.scheme, decoded); err != nil {
+		t.Fatalf("codec round trip broke the signature: %v", err)
+	}
+}
+
+func TestEvidenceCodecRejects(t *testing.T) {
+	valid, err := EncodeEvidence(codecSamples()[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         nil,
+		"bad magic":     []byte("XXEV\x01"),
+		"magic only":    []byte("SCEV"),
+		"version 0":     []byte("SCEV\x00"),
+		"version 99":    []byte("SCEV\x63"),
+		"truncated":     valid[:len(valid)/2],
+		"trailing byte": append(append([]byte(nil), valid...), 0),
+	}
+	// Oversized length prefix: promise a 4 GiB auditor ID.
+	over := append([]byte(nil), "SCEV\x04"...)
+	over = append(over, 0xff, 0xff, 0xff, 0xff, 0x0f)
+	cases["oversized length"] = over
+	// Version skew: take the v1 record's bytes and stamp version 4 —
+	// the decoder must demand the v2–v4 sections and fail, not
+	// misinterpret the signature bytes as threshold fields and succeed.
+	v1raw, err := EncodeEvidence(codecSamples()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := append([]byte(nil), v1raw...)
+	skew[4] = 4
+	cases["version skew"] = skew
+	for name, raw := range cases {
+		if _, err := DecodeEvidence(raw); err == nil {
+			t.Errorf("%s: decoder accepted malformed input", name)
+		}
+	}
+}
+
+// FuzzDecodeEvidence: the decoder must error on arbitrary bytes —
+// truncated, oversized, version-skewed — and never panic or
+// over-allocate. Any input it does accept must round-trip canonically.
+func FuzzDecodeEvidence(f *testing.F) {
+	for _, e := range codecSamples() {
+		raw, err := EncodeEvidence(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		f.Add(raw[:len(raw)-3])
+		skew := append([]byte(nil), raw...)
+		skew[4] = byte(e.Version%EvidenceVersion) + 1
+		f.Add(skew)
+	}
+	f.Add([]byte("SCEV"))
+	f.Add([]byte("SCEV\x04\xff\xff\xff\xff\x0f"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		e, err := DecodeEvidence(raw)
+		if err != nil {
+			return
+		}
+		again, err := EncodeEvidence(e)
+		if err != nil {
+			t.Fatalf("decoded evidence failed to re-encode: %v", err)
+		}
+		round, err := DecodeEvidence(again)
+		if err != nil {
+			t.Fatalf("re-encoded evidence failed to decode: %v", err)
+		}
+		if round.Version != e.Version || round.AuditorID != e.AuditorID {
+			t.Fatalf("round trip drifted: %+v vs %+v", e, round)
+		}
+	})
+}

@@ -210,3 +210,158 @@ func TestEvidenceV1StillVerifies(t *testing.T) {
 		t.Fatalf("old-format evidence no longer verifies: %v", err)
 	}
 }
+
+// TestEvidenceV3StillVerifies locks the version-3 byte format now that
+// version 4 added the threshold section: a v3-signed verdict must keep
+// verifying, and the v4 fields must not leak into its signed bytes even
+// if a decoder populates them.
+func TestEvidenceV3StillVerifies(t *testing.T) {
+	sys := newSystem(t, nil)
+	old := &Evidence{
+		Version:             3,
+		AuditorID:           sys.agency.ID(),
+		UserID:              sys.user.ID(),
+		ServerID:            sys.servers[0].ID(),
+		Sampled:             []uint64{1, 5},
+		Valid:               true,
+		EffectiveSampleSize: 2,
+		PlannedSampleSize:   2,
+		DetectionConfidence: 0.75,
+		// A confused writer setting v4 fields on a v3 record must not
+		// change the signed bytes.
+		ThresholdQuorum:   "1,2,3",
+		ThresholdCombined: "deadbeef",
+	}
+	body := evidenceBody(old)
+	if !strings.HasPrefix(string(body), "seccloud/audit-evidence/v3|auditor=") {
+		t.Fatalf("version-3 body lost its prefix: %q", body)
+	}
+	for _, leak := range []string{"|tquorum=", "|tfaults=", "|trecoveries=", "|tsigma="} {
+		if strings.Contains(string(body), leak) {
+			t.Fatalf("version-3 body leaks v4 field %q: %q", leak, body)
+		}
+	}
+	sig, err := sys.agency.scheme.Sign(sys.agency.key, body, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Sig = EncodeIBSig(sys.agency.scheme.Params(), sig)
+	raw, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Evidence
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEvidence(sys.agency.scheme, &decoded); err != nil {
+		t.Fatalf("v3-format evidence no longer verifies: %v", err)
+	}
+}
+
+// TestEvidenceV4BindsThresholdFields: newly issued evidence carries
+// version 4 and its signature covers the quorum trail — rewriting the
+// quorum membership, moving a Byzantine share-holder out of the fault
+// record, or swapping the combined digest must break verification.
+func TestEvidenceV4BindsThresholdFields(t *testing.T) {
+	sys := newSystem(t, nil)
+	e := &Evidence{
+		Version:             EvidenceVersion,
+		AuditorID:           sys.agency.ID(),
+		UserID:              sys.user.ID(),
+		ServerID:            sys.servers[0].ID(),
+		Sampled:             []uint64{1, 5, 7},
+		Valid:               true,
+		EffectiveSampleSize: 3,
+		ThresholdQuorum:     "1,2,4",
+		ThresholdFaults:     "crashed=3|byz=5",
+		ThresholdRecoveries: 2,
+		ThresholdCombined:   "aabbcc",
+	}
+	signed, err := sys.agency.signEvidence(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signed.Version != 4 {
+		t.Fatalf("new evidence version = %d, want 4", signed.Version)
+	}
+	if err := VerifyEvidence(sys.agency.scheme, signed); err != nil {
+		t.Fatalf("VerifyEvidence: %v", err)
+	}
+	for name, mutate := range map[string]func(*Evidence){
+		"quorum":     func(e *Evidence) { e.ThresholdQuorum = "1,2,5" },
+		"faults":     func(e *Evidence) { e.ThresholdFaults = "crashed=3,5|byz=" },
+		"recoveries": func(e *Evidence) { e.ThresholdRecoveries = 0 },
+		"digest":     func(e *Evidence) { e.ThresholdCombined = "ffffff" },
+	} {
+		tampered := *signed
+		mutate(&tampered)
+		if err := VerifyEvidence(sys.agency.scheme, &tampered); err == nil {
+			t.Fatalf("signature survived tampering with threshold %s", name)
+		}
+	}
+}
+
+// TestCheckpointV2StillVerifies locks the version-2 checkpoint bytes now
+// that version 3 binds the threshold section.
+func TestCheckpointV2StillVerifies(t *testing.T) {
+	sys := newSystem(t, nil)
+	old := &CheckpointEvidence{
+		Version:   2,
+		AuditorID: sys.agency.ID(),
+		Checkpoint: AuditCheckpoint{
+			UserID:  sys.user.ID(),
+			Sampled: []uint64{2, 8},
+			Rounds: []RoundRecord{
+				{Indices: []uint64{2, 8}, Attempts: 1, Outcome: RoundOK, Completed: true, Replica: 1},
+			},
+			// v4-era state on a v2 record must not reach the signed bytes.
+			Threshold: &ThresholdTrail{Quorum: []int{1, 2}},
+		},
+	}
+	body := checkpointBody(old)
+	if !strings.HasPrefix(string(body), "seccloud/audit-checkpoint/v2|auditor=") {
+		t.Fatalf("version-2 body lost its prefix: %q", body)
+	}
+	if strings.Contains(string(body), "threshold=") {
+		t.Fatalf("version-2 body leaks the v3 threshold section: %q", body)
+	}
+	sig, err := sys.agency.scheme.Sign(sys.agency.key, body, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Sig = EncodeIBSig(sys.agency.scheme.Params(), sig)
+	if err := VerifyCheckpoint(sys.agency.scheme, old); err != nil {
+		t.Fatalf("v2-format checkpoint no longer verifies: %v", err)
+	}
+}
+
+// TestCheckpointV3BindsThreshold: newly signed checkpoints cover the
+// partial-collection state — rewriting the avoid-list a resumed audit
+// would trust must break the seal.
+func TestCheckpointV3BindsThreshold(t *testing.T) {
+	sys := newSystem(t, nil)
+	cp := &AuditCheckpoint{
+		UserID:  sys.user.ID(),
+		Sampled: []uint64{3},
+		Rounds: []RoundRecord{
+			{Indices: []uint64{3}, Attempts: 1, Outcome: RoundOK, Completed: true},
+		},
+		Threshold: &ThresholdTrail{Quorum: []int{1, 3, 4}, Crashed: []int{2}, Byzantine: []int{5}, Recoveries: 2},
+	}
+	ce, err := sys.agency.SignCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Version != 3 {
+		t.Fatalf("new checkpoint version = %d, want 3", ce.Version)
+	}
+	if err := VerifyCheckpoint(sys.agency.scheme, ce); err != nil {
+		t.Fatalf("VerifyCheckpoint: %v", err)
+	}
+	tampered := *ce
+	tampered.Checkpoint.Threshold = &ThresholdTrail{Quorum: []int{1, 3, 4}, Crashed: nil, Byzantine: []int{5}, Recoveries: 2}
+	if err := VerifyCheckpoint(sys.agency.scheme, &tampered); err == nil {
+		t.Fatal("signature survived rewriting the crashed share list")
+	}
+}

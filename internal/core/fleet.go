@@ -784,7 +784,12 @@ func (a *Agency) AuditStorageFleet(
 			})
 		}
 	}
-	checkErrs, _ := a.verifySigBatch(context.Background(), checks, cfg.Storage.BatchSignatures, p)
+	trail := a.newTrail()
+	checkErrs, _, terr := a.verifySigBatch(context.Background(), checks, cfg.Storage.BatchSignatures, p, nil, trail)
+	if terr != nil {
+		return nil, terr
+	}
+	report.Threshold = trail
 	for i, err := range checkErrs {
 		if err != nil {
 			report.Failures = append(report.Failures, AuditFailure{
@@ -859,7 +864,7 @@ func (a *Agency) AuditStorageFleet(
 // decodeStoredSig decodes and owner-checks one stored block's designated
 // signature, appending the deferred pairing check on success.
 func (a *Agency) decodeStoredSig(userID string, pos uint64, block []byte, sig wire.BlockSig, checks *[]sigCheck) error {
-	des, err := DecodeBlockSig(a.scheme.Params(), &sig, a.key.ID)
+	des, err := DecodeBlockSig(a.scheme.Params(), &sig, a.verifierID())
 	if err != nil {
 		return err
 	}
@@ -873,14 +878,28 @@ func (a *Agency) decodeStoredSig(userID string, pos uint64, block []byte, sig wi
 // verifyStoredBlock runs the full eq. 5/7 check for one (position, block,
 // signature) triple: decode, owner binding, designated verification.
 func (a *Agency) verifyStoredBlock(userID string, pos uint64, block []byte, sig wire.BlockSig) error {
-	des, err := DecodeBlockSig(a.scheme.Params(), &sig, a.key.ID)
+	des, err := DecodeBlockSig(a.scheme.Params(), &sig, a.verifierID())
 	if err != nil {
 		return fmt.Errorf("block %d: %w", pos, err)
 	}
 	if des.SignerID != userID {
 		return fmt.Errorf("block %d signed by %q, want %q", pos, des.SignerID, userID)
 	}
-	if err := a.scheme.Verify(des, BlockMessage(pos, block), a.key); err != nil {
+	msg := BlockMessage(pos, block)
+	if a.thr != nil {
+		// Threshold mode: the pairing runs through a quorum round; a
+		// quorum failure is a terminal error here too, never a bad block.
+		errs, _, terr := a.verifySigBatchThreshold(context.Background(),
+			[]sigCheck{{index: pos, msg: msg, des: des}}, false, nil, &ThresholdTrail{})
+		if terr != nil {
+			return terr
+		}
+		if errs[0] != nil {
+			return fmt.Errorf("block %d: %w", pos, errs[0])
+		}
+		return nil
+	}
+	if err := a.scheme.Verify(des, msg, a.key); err != nil {
 		return fmt.Errorf("block %d: %w", pos, err)
 	}
 	return nil

@@ -27,6 +27,8 @@ type auditObs struct {
 	repairs    *obs.CounterVec   // fleet_repairs_total{stage}
 	degraded   *obs.CounterVec   // audits_degraded_total{type}
 	hedges     *obs.CounterVec   // audit_hedged_rounds_total{type}
+	recoveries *obs.Counter      // threshold_quorum_recoveries_total
+	byzantine  *obs.Counter      // threshold_byzantine_partials_total
 }
 
 func newAuditObs(h *obs.Hub) *auditObs {
@@ -45,7 +47,27 @@ func newAuditObs(h *obs.Hub) *auditObs {
 		repairs:    h.Counter("fleet_repairs_total", "stage"),
 		degraded:   h.Counter("audits_degraded_total", "type"),
 		hedges:     h.Counter("audit_hedged_rounds_total", "type"),
+		recoveries: h.Counter("threshold_quorum_recoveries_total").With(),
+		byzantine:  h.Counter("threshold_byzantine_partials_total").With(),
 	}
+}
+
+// quorumRecoveries counts share-holders that failed mid-collection but
+// were replaced while still reaching quorum.
+func (o *auditObs) quorumRecoveries(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.recoveries.Add(uint64(n))
+}
+
+// byzantinePartial counts one commitment-failed (or refused/misshapen)
+// partial attributed to its share-holder.
+func (o *auditObs) byzantinePartial() {
+	if o == nil {
+		return
+	}
+	o.byzantine.Inc()
 }
 
 // degradedAudit counts one overload-degraded audit of the given type.

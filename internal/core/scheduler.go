@@ -304,7 +304,9 @@ func (s *AuditScheduler) Drain() (*MultiTenantReport, error) {
 			if hi > len(deferred) {
 				hi = len(deferred)
 			}
-			s.flush(out, sessions, deferred[lo:hi], owners[lo:hi], "cross", p, start)
+			if err := s.flush(out, sessions, deferred[lo:hi], owners[lo:hi], "cross", p, start); err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		// Per-tenant baseline: one aggregate per session's own checks.
@@ -314,7 +316,9 @@ func (s *AuditScheduler) Drain() (*MultiTenantReport, error) {
 			for hi < len(deferred) && owners[hi] == owners[lo] {
 				hi++
 			}
-			s.flush(out, sessions, deferred[lo:hi], owners[lo:hi], "per_tenant", p, start)
+			if err := s.flush(out, sessions, deferred[lo:hi], owners[lo:hi], "per_tenant", p, start); err != nil {
+				return nil, err
+			}
 			lo = hi
 		}
 	}
@@ -349,12 +353,17 @@ func (s *AuditScheduler) Drain() (*MultiTenantReport, error) {
 func (s *AuditScheduler) flush(
 	out *MultiTenantReport, sessions []*session,
 	chunk []sigCheck, owners []int, mode string, p *pool, start time.Time,
-) {
+) error {
 	if len(chunk) == 0 {
-		return
+		return nil
 	}
 	out.Flushes++
-	errs, fellBack := s.agency.verifySigBatch(nil, chunk, true, p)
+	errs, fellBack, terr := s.agency.verifySigBatch(nil, chunk, true, p, nil, nil)
+	if terr != nil {
+		// Terminal (threshold quorum unavailable): the drain aborts
+		// without verdicts rather than attributing blame it cannot prove.
+		return terr
+	}
 	if fellBack {
 		out.BlameFallbacks++
 	}
@@ -387,6 +396,7 @@ func (s *AuditScheduler) flush(
 			s.obs.fallbacks.Inc()
 		}
 	}
+	return nil
 }
 
 // runSession executes one tenant's challenge round and per-index checks,

@@ -31,10 +31,26 @@ type sigCheck struct {
 // The second return reports whether the per-item fallback ran — callers
 // attributing blame across tenants (and the scheduler's fallback counter)
 // use it to distinguish "aggregate passed" from "every item re-verified".
-func (a *Agency) verifySigBatch(ctx context.Context, checks []sigCheck, batched bool, p *pool) ([]error, bool) {
+//
+// In threshold mode the same decision procedure runs through a t-of-n
+// quorum of share-holders (see threshold.go): avoid deprioritizes
+// share-holders a resumed audit already saw fail, trail (may be nil)
+// records the quorum story, and the third return is a TERMINAL error —
+// quorum unavailable aborts the audit without a verdict, it never
+// attributes per-item blame. Non-threshold verification never errors.
+func (a *Agency) verifySigBatch(
+	ctx context.Context, checks []sigCheck, batched bool, p *pool,
+	avoid []int, trail *ThresholdTrail,
+) ([]error, bool, error) {
+	if a.thr != nil {
+		if trail == nil {
+			trail = &ThresholdTrail{}
+		}
+		return a.verifySigBatchThreshold(ctx, checks, batched, avoid, trail)
+	}
 	errs := make([]error, len(checks))
 	if len(checks) == 0 {
-		return errs, false
+		return errs, false, nil
 	}
 	if batched {
 		batch := make([]dvs.BatchItem, len(checks))
@@ -42,11 +58,11 @@ func (a *Agency) verifySigBatch(ctx context.Context, checks []sigCheck, batched 
 			batch[i] = dvs.NewBatchItem(sc.msg, sc.des)
 		}
 		if a.scheme.BatchVerifyRandomized(batch, a.key, a.random) == nil {
-			return errs, false
+			return errs, false, nil
 		}
 	}
 	p.forEach(ctx, len(checks), func(i int) {
 		errs[i] = a.scheme.Verify(checks[i].des, checks[i].msg, a.key)
 	})
-	return errs, batched
+	return errs, batched, nil
 }

@@ -59,18 +59,31 @@ func (s *Scheme) BatchVerifyRandomized(
 	if len(items) == 0 {
 		return ErrEmptyBatch
 	}
+	deltas, err := s.sampleDeltas(len(items), random)
+	if err != nil {
+		return err
+	}
+	if err := s.batchMembership(items, random); err != nil {
+		return err
+	}
+	return s.batchVerify(items, verifierSK, deltas)
+}
+
+// sampleDeltas draws the per-item small exponents for the randomized
+// aggregate check.
+func (s *Scheme) sampleDeltas(n int, random io.Reader) ([]*big.Int, error) {
 	// λ never exceeds the scalar width: a δ wider than q costs extra
 	// ladder steps without adding security beyond the group order.
 	bits := batchExponentBits
 	if qb := s.sp.G1().Q().BitLen() - 1; qb < bits {
 		bits = qb
 	}
-	deltas := make([]*big.Int, len(items))
+	deltas := make([]*big.Int, n)
 	buf := make([]byte, (bits+7)/8)
 	shift := uint(len(buf)*8 - bits)
-	for i := range items {
+	for i := range deltas {
 		if _, err := io.ReadFull(random, buf); err != nil {
-			return fmt.Errorf("dvs: sampling batch exponent: %w", err)
+			return nil, fmt.Errorf("dvs: sampling batch exponent: %w", err)
 		}
 		d := new(big.Int).SetBytes(buf)
 		d.Rsh(d, shift)
@@ -81,10 +94,56 @@ func (s *Scheme) BatchVerifyRandomized(
 		}
 		deltas[i] = d
 	}
-	if err := s.batchMembership(items, random); err != nil {
-		return err
+	return deltas, nil
+}
+
+// AggregateRandomized computes the public half of the randomized aggregate
+// check: the batch-wide base U_A = Σ δᵢ·(Uᵢ + hᵢ·Q_IDᵢ) and target
+// Σ_A = Π Σᵢ^δᵢ, after running the batched membership check. No secret is
+// involved — a threshold combiner hands U_A to the share-holders and tests
+// the Lagrange-combined partials against Σ_A, reaching exactly the verdict
+// BatchVerifyRandomized reaches with sk_ver in hand.
+func (s *Scheme) AggregateRandomized(
+	items []BatchItem, verifierID string, random io.Reader,
+) (*curve.Point, *pairing.GT, error) {
+	if random == nil {
+		return nil, nil, fmt.Errorf("dvs: randomized aggregation requires a randomness source")
 	}
-	return s.batchVerify(items, verifierSK, deltas)
+	if len(items) == 0 {
+		return nil, nil, ErrEmptyBatch
+	}
+	deltas, err := s.sampleDeltas(len(items), random)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.batchMembership(items, random); err != nil {
+		return nil, nil, err
+	}
+	return s.aggregate(items, verifierID, deltas)
+}
+
+// VerificationBase computes the eq. 5/7 base U + H2(U‖m)·Q_ID for one
+// designated signature after strict per-item validation (designation
+// match, U ∈ G1, Σ ∈ GT). Pairing the result with sk_ver — directly or
+// share-wise through a threshold quorum — must equal d.Sigma for the
+// signature to verify.
+func (s *Scheme) VerificationBase(d *Designated, msg []byte, verifierID string) (*curve.Point, error) {
+	if d == nil || d.U == nil || d.Sigma == nil {
+		return nil, fmt.Errorf("dvs: incomplete designated signature: %w", ErrVerifyFailed)
+	}
+	if d.VerifierID != verifierID {
+		return nil, fmt.Errorf("dvs: signature designated to %q, verifier is %q: %w",
+			d.VerifierID, verifierID, ErrVerifyFailed)
+	}
+	g := s.sp.G1()
+	if !d.SubgroupChecked && !g.InSubgroup(d.U) {
+		return nil, fmt.Errorf("dvs: U outside G1: %w", ErrVerifyFailed)
+	}
+	if !d.Sigma.InSubgroup() {
+		return nil, fmt.Errorf("dvs: Σ outside GT: %w", ErrVerifyFailed)
+	}
+	h := s.sp.H2(g.MarshalPoint(d.U), msg)
+	return g.Add(d.U, g.ScalarMult(s.sp.QID(d.SignerID), h)), nil
 }
 
 // batchMembership checks G1 membership for every item whose U has not
@@ -147,8 +206,23 @@ func (s *Scheme) batchMembership(items []BatchItem, random io.Reader) error {
 //   - Σ_A uses one shared squaring ladder (GT multi-exp) for the
 //     randomized path.
 func (s *Scheme) batchVerify(items []BatchItem, verifierSK *ibc.PrivateKey, deltas []*big.Int) error {
+	ua, sigmaA, err := s.aggregate(items, verifierSK.ID, deltas)
+	if err != nil {
+		return err
+	}
+	got := s.pairWithVerifier(ua, verifierSK)
+	if !got.Equal(sigmaA) {
+		return ErrVerifyFailed
+	}
+	return nil
+}
+
+// aggregate builds (U_A, Σ_A) for the aggregate equation; see batchVerify
+// for the ladder-sharing layout. deltas == nil selects the plain eq. 8
+// aggregate with strict per-item subgroup checks.
+func (s *Scheme) aggregate(items []BatchItem, verifierID string, deltas []*big.Int) (*curve.Point, *pairing.GT, error) {
 	if len(items) == 0 {
-		return ErrEmptyBatch
+		return nil, nil, ErrEmptyBatch
 	}
 	g := s.sp.G1()
 	q := g.Q()
@@ -163,11 +237,11 @@ func (s *Scheme) batchVerify(items []BatchItem, verifierSK *ibc.PrivateKey, delt
 	for i, it := range items {
 		d := it.Sig
 		if d == nil || d.U == nil || d.Sigma == nil || it.Msg == nil {
-			return fmt.Errorf("dvs: batch item %d incomplete: %w", i, ErrVerifyFailed)
+			return nil, nil, fmt.Errorf("dvs: batch item %d incomplete: %w", i, ErrVerifyFailed)
 		}
-		if d.VerifierID != verifierSK.ID {
-			return fmt.Errorf("dvs: batch item %d designated to %q, verifier is %q: %w",
-				i, d.VerifierID, verifierSK.ID, ErrVerifyFailed)
+		if d.VerifierID != verifierID {
+			return nil, nil, fmt.Errorf("dvs: batch item %d designated to %q, verifier is %q: %w",
+				i, d.VerifierID, verifierID, ErrVerifyFailed)
 		}
 		// The randomized entry point has already run the batched
 		// membership check, and its per-item δ randomization keeps a Σ
@@ -176,10 +250,10 @@ func (s *Scheme) batchVerify(items []BatchItem, verifierSK *ibc.PrivateKey, delt
 		// checks for any component not validated upstream.
 		if deltas == nil {
 			if !d.SubgroupChecked && !g.InSubgroup(d.U) {
-				return fmt.Errorf("dvs: batch item %d has U outside G1: %w", i, ErrVerifyFailed)
+				return nil, nil, fmt.Errorf("dvs: batch item %d has U outside G1: %w", i, ErrVerifyFailed)
 			}
 			if !d.Sigma.InSubgroup() {
-				return fmt.Errorf("dvs: batch item %d has Σ outside GT: %w", i, ErrVerifyFailed)
+				return nil, nil, fmt.Errorf("dvs: batch item %d has Σ outside GT: %w", i, ErrVerifyFailed)
 			}
 		}
 		h := s.sp.H2(g.MarshalPoint(d.U), *it.Msg)
@@ -210,19 +284,15 @@ func (s *Scheme) batchVerify(items []BatchItem, verifierSK *ibc.PrivateKey, delt
 	}
 	ua, err := g.SumScalarMult(pts, ks)
 	if err != nil {
-		return fmt.Errorf("dvs: aggregating batch: %w", err)
+		return nil, nil, fmt.Errorf("dvs: aggregating batch: %w", err)
 	}
 	if deltas != nil {
 		sigmaA, err = s.sp.Pairing().MultiExp(sigs, deltas)
 		if err != nil {
-			return fmt.Errorf("dvs: aggregating batch: %w", err)
+			return nil, nil, fmt.Errorf("dvs: aggregating batch: %w", err)
 		}
 	}
-	got := s.pairWithVerifier(ua, verifierSK)
-	if !got.Equal(sigmaA) {
-		return ErrVerifyFailed
-	}
-	return nil
+	return ua, sigmaA, nil
 }
 
 // AggregateSigma multiplies the Σ components of a batch into the single

@@ -221,3 +221,49 @@ func TestBatchVerifyIncompleteItem(t *testing.T) {
 		t.Fatal("nil randomness accepted")
 	}
 }
+
+// TestAggregateRandomizedMatchesSecretCheck verifies the threshold seam:
+// the public aggregation (U_A, Σ_A) must satisfy ê(U_A, sk_ver) = Σ_A
+// exactly when BatchVerifyRandomized accepts — the combiner reaches the
+// same verdict pairing share-wise as the single key does directly.
+func TestAggregateRandomizedMatchesSecretCheck(t *testing.T) {
+	f := newMultiUserFixture(t, 3, 2)
+	sp := f.scheme.Params()
+	ua, sigmaA, err := f.scheme.AggregateRandomized(f.items, f.cs.ID, rand.Reader)
+	if err != nil {
+		t.Fatalf("AggregateRandomized: %v", err)
+	}
+	if !sp.Pairing().Pair(ua, f.cs.SK).Equal(sigmaA) {
+		t.Fatalf("aggregate equation does not hold for valid batch")
+	}
+
+	// A tampered item must break the equation (with overwhelming
+	// probability over the small exponents).
+	f.items[1].Sig.Sigma = f.items[1].Sig.Sigma.Mul(f.items[1].Sig.Sigma)
+	ua, sigmaA, err = f.scheme.AggregateRandomized(f.items, f.cs.ID, rand.Reader)
+	if err != nil {
+		t.Fatalf("AggregateRandomized on tampered batch: %v", err)
+	}
+	if sp.Pairing().Pair(ua, f.cs.SK).Equal(sigmaA) {
+		t.Fatalf("aggregate equation held for tampered batch")
+	}
+}
+
+// TestVerificationBase verifies the per-item seam against Verify.
+func TestVerificationBase(t *testing.T) {
+	f := newMultiUserFixture(t, 1, 2)
+	sp := f.scheme.Params()
+	base, err := f.scheme.VerificationBase(f.items[0].Sig, f.msgs[0], f.cs.ID)
+	if err != nil {
+		t.Fatalf("VerificationBase: %v", err)
+	}
+	if !sp.Pairing().Pair(base, f.cs.SK).Equal(f.items[0].Sig.Sigma) {
+		t.Fatalf("ê(base, sk) ≠ Σ for a valid signature")
+	}
+	if _, err := f.scheme.VerificationBase(f.items[0].Sig, f.msgs[0], "someone-else"); err == nil {
+		t.Fatalf("base computed for wrong verifier")
+	}
+	if _, err := f.scheme.VerificationBase(nil, f.msgs[0], f.cs.ID); err == nil {
+		t.Fatalf("base computed for nil signature")
+	}
+}

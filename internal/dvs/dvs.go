@@ -25,6 +25,7 @@
 package dvs
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"io"
@@ -67,41 +68,89 @@ type Designated struct {
 	SubgroupChecked bool
 }
 
+// DefaultVerifierCacheSize bounds the per-verifier precompute cache. A
+// single-DA deployment uses one entry; a t-of-n threshold agency uses one
+// per share key, so the default leaves room for realistic quorum sizes
+// while keeping the worst case (a churn of short-lived verifier keys) from
+// growing the cache without bound.
+const DefaultVerifierCacheSize = 16
+
 // Scheme binds the signature algorithms to a parameter set.
 // Safe for concurrent use.
 type Scheme struct {
 	sp *ibc.SystemParams
 
-	// verifierCache memoizes the fixed-argument Miller-loop state for each
-	// verifier secret key: every designated verification pairs against the
-	// same sk_ver (eq. 5/7), so the expensive accumulator arithmetic is
+	// The verifier cache memoizes the fixed-argument Miller-loop state for
+	// each verifier secret key: every designated verification pairs against
+	// the same sk_ver (eq. 5/7), so the expensive accumulator arithmetic is
 	// done once per verifier and replayed per signature. The cached
 	// coefficients are key-dependent and live only inside the verifying
-	// process, same as the key itself.
-	verifierCache sync.Map // string → *verifierPC
+	// process, same as the key itself. Bounded LRU: least-recently used
+	// entries are evicted once cacheCap is exceeded.
+	mu       sync.Mutex
+	cacheCap int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used; values are *verifierPC
 }
 
 // verifierPC pins the key the precomputation was built from so a re-issued
 // key for the same identity invalidates the cache instead of mis-verifying.
 type verifierPC struct {
+	id string
 	sk *curve.Point
 	pc *pairing.Precomp
+}
+
+// lookupVerifier returns the cached precomputation for (id, sk), promoting
+// the entry, or nil on miss. A stale entry (same identity, different key —
+// a re-issued verifier key) is dropped rather than returned.
+func (s *Scheme) lookupVerifier(id string, sk *curve.Point) *pairing.Precomp {
+	g := s.sp.G1()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
+		e := el.Value.(*verifierPC)
+		if g.Equal(e.sk, sk) {
+			s.order.MoveToFront(el)
+			return e.pc
+		}
+		s.order.Remove(el)
+		delete(s.entries, id)
+	}
+	return nil
+}
+
+// storeVerifier inserts a precomputation, evicting from the LRU tail to
+// stay within cacheCap. The expensive Precompute happens outside the lock
+// in the callers; a racing insert for the same identity just overwrites.
+func (s *Scheme) storeVerifier(e *verifierPC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[e.id]; ok {
+		el.Value = e
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[e.id] = s.order.PushFront(e)
+	for s.order.Len() > s.cacheCap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.entries, back.Value.(*verifierPC).id)
+	}
 }
 
 // pairWithVerifier computes ê(q, sk_ver) through the per-verifier
 // precomputation cache, building the entry on first use.
 func (s *Scheme) pairWithVerifier(q *curve.Point, verifierSK *ibc.PrivateKey) *pairing.GT {
 	g := s.sp.G1()
-	if cached, ok := s.verifierCache.Load(verifierSK.ID); ok {
-		if e, ok := cached.(*verifierPC); ok && g.Equal(e.sk, verifierSK.SK) {
-			g.Counters().AddPrecompHit()
-			return e.pc.Pair(q)
-		}
+	if pc := s.lookupVerifier(verifierSK.ID, verifierSK.SK); pc != nil {
+		g.Counters().AddPrecompHit()
+		return pc.Pair(q)
 	}
 	g.Counters().AddPrecompMiss()
-	e := &verifierPC{sk: g.Copy(verifierSK.SK), pc: s.sp.Pairing().Precompute(verifierSK.SK)}
-	s.verifierCache.Store(verifierSK.ID, e)
-	return e.pc.Pair(q)
+	pc := s.sp.Pairing().Precompute(verifierSK.SK)
+	s.storeVerifier(&verifierPC{id: verifierSK.ID, sk: g.Copy(verifierSK.SK), pc: pc})
+	return pc.Pair(q)
 }
 
 // PrecomputeVerifier warms the pairing cache for a verifier key ahead of
@@ -112,20 +161,61 @@ func (s *Scheme) PrecomputeVerifier(verifierSK *ibc.PrivateKey) {
 		return
 	}
 	g := s.sp.G1()
-	if cached, ok := s.verifierCache.Load(verifierSK.ID); ok {
-		if e, ok := cached.(*verifierPC); ok && g.Equal(e.sk, verifierSK.SK) {
-			return
-		}
+	if s.lookupVerifier(verifierSK.ID, verifierSK.SK) != nil {
+		return
 	}
 	g.Counters().AddPrecompMiss()
-	s.verifierCache.Store(verifierSK.ID, &verifierPC{
+	s.storeVerifier(&verifierPC{
+		id: verifierSK.ID,
 		sk: g.Copy(verifierSK.SK),
 		pc: s.sp.Pairing().Precompute(verifierSK.SK),
 	})
 }
 
+// EvictVerifier drops the cached precomputation for a verifier identity,
+// e.g. after its key is retired. Unknown identities are a no-op.
+func (s *Scheme) EvictVerifier(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
+		s.order.Remove(el)
+		delete(s.entries, id)
+	}
+}
+
+// VerifierCacheLen reports how many verifier precomputations are cached.
+func (s *Scheme) VerifierCacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// WithVerifierCacheCap resizes the verifier precompute cache (minimum 1),
+// evicting LRU entries if the new capacity is smaller. Returns s.
+func (s *Scheme) WithVerifierCacheCap(n int) *Scheme {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheCap = n
+	for s.order.Len() > s.cacheCap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.entries, back.Value.(*verifierPC).id)
+	}
+	return s
+}
+
 // NewScheme returns a Scheme over the given system parameters.
-func NewScheme(sp *ibc.SystemParams) *Scheme { return &Scheme{sp: sp} }
+func NewScheme(sp *ibc.SystemParams) *Scheme {
+	return &Scheme{
+		sp:       sp,
+		cacheCap: DefaultVerifierCacheSize,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
 
 // Params returns the system parameters the scheme operates over.
 func (s *Scheme) Params() *ibc.SystemParams { return s.sp }

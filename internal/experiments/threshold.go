@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seccloud/internal/epoch"
+	"seccloud/internal/obs"
+)
+
+// Threshold-agency experiment: t-of-n audit quorums under rotating
+// crash and Byzantine fault schedules, each cell cross-checked against a
+// single-DA reference audit on identical challenge draws. The acceptance
+// figures are zero false flags and zero verdict mismatches in every
+// cell — auditor faults change who computes the verdict, never what the
+// verdict says.
+
+// ThresholdCell is one fault-schedule cell.
+type ThresholdCell struct {
+	// T of N is the dealt quorum shape.
+	T, N int
+	// Crashed / Byzantine are the per-epoch fault counts (rotating
+	// membership). Crashed+Byzantine must stay within the n−t budget.
+	Crashed, Byzantine int
+}
+
+// ThresholdExpConfig shapes the experiment.
+type ThresholdExpConfig struct {
+	// Cells is the fault-schedule sweep.
+	Cells []ThresholdCell
+	// Epochs is the audit cycle count per cell.
+	Epochs int
+	// Blocks / SampleSize shape each cell's storage audits.
+	Blocks     int
+	SampleSize int
+	// TamperEpoch, when > 0, rots the stored blocks at that epoch in
+	// every cell, so the sweep also shows detections flowing through
+	// quorums under auditor faults.
+	TamperEpoch int
+	// Workers bounds verification concurrency.
+	Workers int
+	// Seed drives the challenge draws.
+	Seed int64
+	// Hub, when non-nil, accumulates every cell's audit instruments (the
+	// BENCH metrics snapshot).
+	Hub *obs.Hub
+}
+
+// ThresholdRow is one cell's outcome.
+type ThresholdRow struct {
+	T, N              int
+	Crashed           int
+	Byzantine         int
+	Audits            int
+	QuorumRecoveries  int
+	ByzantinePartials int
+	Detections        int
+	FalseFlags        int
+	VerdictMismatches int
+	DistinctQuorums   int
+	FirstDetection    int
+	Elapsed           time.Duration
+}
+
+// ThresholdSummary carries the acceptance figures across cells.
+type ThresholdSummary struct {
+	// FalseFlags totals honest-storage accusations (must be 0).
+	FalseFlags int
+	// VerdictMismatches totals divergences from the single-DA reference
+	// (must be 0).
+	VerdictMismatches int
+	// QuorumRecoveries totals replaced share-holders across cells —
+	// nonzero whenever any cell schedules faults.
+	QuorumRecoveries int
+	// MaxCrashedTolerated is the largest per-epoch crash count any cell
+	// completed with.
+	MaxCrashedTolerated int
+	// OverBudgetRejected reports that a schedule exceeding the n−t fault
+	// budget is refused up front instead of producing blame-less aborts
+	// mid-run.
+	OverBudgetRejected bool
+}
+
+// Threshold runs the sweep.
+func Threshold(cfg ThresholdExpConfig) ([]ThresholdRow, ThresholdSummary, error) {
+	if len(cfg.Cells) == 0 || cfg.Epochs <= 0 || cfg.Blocks <= 0 || cfg.SampleSize <= 0 {
+		return nil, ThresholdSummary{}, fmt.Errorf("experiments: bad threshold config %+v", cfg)
+	}
+	var rows []ThresholdRow
+	var summary ThresholdSummary
+	for _, cell := range cfg.Cells {
+		start := time.Now()
+		res, err := epoch.RunThreshold(epoch.ThresholdConfig{
+			T: cell.T, N: cell.N,
+			Epochs:           cfg.Epochs,
+			Blocks:           cfg.Blocks,
+			SampleSize:       cfg.SampleSize,
+			CrashedHolders:   cell.Crashed,
+			ByzantineHolders: cell.Byzantine,
+			TamperEpoch:      cfg.TamperEpoch,
+			Workers:          cfg.Workers,
+			Seed:             cfg.Seed,
+			Hub:              cfg.Hub,
+		})
+		if err != nil {
+			return nil, ThresholdSummary{}, fmt.Errorf("cell %d-of-%d crashed=%d byz=%d: %w",
+				cell.T, cell.N, cell.Crashed, cell.Byzantine, err)
+		}
+		row := ThresholdRow{
+			T: cell.T, N: cell.N,
+			Crashed:           cell.Crashed,
+			Byzantine:         cell.Byzantine,
+			Audits:            res.Audits,
+			QuorumRecoveries:  res.QuorumRecoveries,
+			ByzantinePartials: res.ByzantinePartials,
+			Detections:        res.Detections,
+			FalseFlags:        res.FalseFlags,
+			VerdictMismatches: res.VerdictMismatches,
+			DistinctQuorums:   res.DistinctQuorums,
+			FirstDetection:    res.FirstDetectionEpoch,
+			Elapsed:           time.Since(start),
+		}
+		rows = append(rows, row)
+		summary.FalseFlags += row.FalseFlags
+		summary.VerdictMismatches += row.VerdictMismatches
+		summary.QuorumRecoveries += row.QuorumRecoveries
+		if row.Crashed > summary.MaxCrashedTolerated {
+			summary.MaxCrashedTolerated = row.Crashed
+		}
+	}
+
+	// The guard-rail cell: a schedule past the n−t budget must be refused
+	// outright — the alternative is audits that abort without verdicts.
+	first := cfg.Cells[0]
+	_, err := epoch.RunThreshold(epoch.ThresholdConfig{
+		T: first.T, N: first.N,
+		Epochs: cfg.Epochs, Blocks: cfg.Blocks, SampleSize: cfg.SampleSize,
+		CrashedHolders: first.N - first.T + 1,
+		Seed:           cfg.Seed,
+	})
+	summary.OverBudgetRejected = err != nil
+	return rows, summary, nil
+}

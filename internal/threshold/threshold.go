@@ -1,0 +1,345 @@
+// Package threshold distributes the designated agency's verification key
+// sk_DA across n auditor share-holders so that any quorum of t can run the
+// paper's eq. 5/7 designated verification — and no coalition of fewer than
+// t learns anything about sk_DA.
+//
+// The twist versus textbook threshold BLS: sk_DA = s·Q_DA is a *point* in
+// G1 whose discrete log nobody knows (it is an identity-based key extracted
+// by the SIO), so the Shamir polynomial is point-valued,
+//
+//	F(x) = sk_DA + x·A_1 + … + x^{t−1}·A_{t−1},   A_j ←$ G1,
+//
+// with shares share_i = F(i). Reconstruction never happens in G1 — the
+// combiner would otherwise hold sk_DA — but in the exponent: since the
+// pairing is bilinear,
+//
+//	ê(B, sk_DA) = Π_i ê(B, share_i)^{λ_i},
+//
+// for the Lagrange coefficients λ_i at 0 over any t distinct share
+// indices. The combined GT element is mathematically independent of WHICH
+// quorum answered and of the order partials arrive in, so combined
+// verdicts are byte-identical across quorums — the property the audit
+// evidence relies on.
+//
+// Byzantine share-holders are caught per partial, before combination: the
+// dealer publishes Feldman-style coefficient commitments C_j = ê(A_j, P)
+// (C_0 = ê(sk_DA, P)), which determine every share's public commitment
+// C_i = Π_j C_j^(i^j) = ê(share_i, P). A partial T = ê(B, share_i) comes
+// with a Chaum–Pedersen-style DLEQ proof over the two bilinear
+// homomorphisms φ₁(X) = ê(B, X) and φ₂(X) = ê(X, P): the prover picks a
+// random point N, sends (a₁, a₂) = (φ₁(N), φ₂(N)), derives the
+// Fiat–Shamir challenge c, and answers Z = N + c·share_i. The verifier
+// checks φ₁(Z) = a₁·T^c and φ₂(Z) = a₂·C_i^c — two pairings, no secret
+// needed — so a corrupted partial is attributed to its share-holder with
+// a public proof of misbehavior, never to the storage server under audit.
+package threshold
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"seccloud/internal/curve"
+	"seccloud/internal/ibc"
+	"seccloud/internal/pairing"
+)
+
+// dleqDomain separates the Fiat–Shamir challenge from every other hash in
+// the system.
+const dleqDomain = "seccloud/threshold/dleq/v1"
+
+// Share is one auditor's secret share F(i) of the verifier key. Index is
+// the 1-based evaluation point; it doubles as the share-holder's identity
+// in quorum bookkeeping.
+type Share struct {
+	Index int
+	SK    *curve.Point
+}
+
+// PublicInfo is everything a combiner (or any third party) needs to check
+// partials and combine a quorum: the deal's shape and the Feldman
+// coefficient commitments. It contains no secrets.
+type PublicInfo struct {
+	// VerifierID is the identity whose extracted key was dealt (the DA).
+	VerifierID string
+	// T is the quorum threshold, N the number of shares dealt.
+	T, N int
+	// Commitments are C_j = ê(A_j, P) for the polynomial coefficients,
+	// j = 0..T−1; C_0 = ê(sk_DA, P) commits the key itself.
+	Commitments []*pairing.GT
+
+	sp *ibc.SystemParams
+}
+
+// Params returns the system parameters the deal was made over.
+func (pub *PublicInfo) Params() *ibc.SystemParams { return pub.sp }
+
+// Deal is the dealer's output: n shares to distribute plus the public
+// commitment vector to publish.
+type Deal struct {
+	Public *PublicInfo
+	Shares []*Share
+}
+
+// SplitVerifierKey deals the verifier key into n shares with threshold t.
+// The dealer must hold sk_DA (it is the DA bootstrapping its own agency);
+// after the deal the key material can be destroyed — audits need only the
+// shares and the public commitments.
+func SplitVerifierKey(sp *ibc.SystemParams, key *ibc.PrivateKey, t, n int, random io.Reader) (*Deal, error) {
+	if sp == nil || key == nil || key.SK == nil {
+		return nil, fmt.Errorf("threshold: nil parameters or verifier key")
+	}
+	if t < 1 || n < 1 || t > n {
+		return nil, fmt.Errorf("threshold: need 1 ≤ t ≤ n, got t=%d n=%d", t, n)
+	}
+	g := sp.G1()
+	// Point-valued polynomial coefficients: A_0 is the key, the rest are
+	// uniform G1 points (their discrete logs are dealer-local randomness
+	// and are dropped on the floor).
+	coeffs := make([]*curve.Point, t)
+	coeffs[0] = g.Copy(key.SK)
+	for j := 1; j < t; j++ {
+		p, _, err := g.RandPoint(random)
+		if err != nil {
+			return nil, fmt.Errorf("threshold: sampling coefficient %d: %w", j, err)
+		}
+		coeffs[j] = p
+	}
+	pub := &PublicInfo{
+		VerifierID:  key.ID,
+		T:           t,
+		N:           n,
+		Commitments: make([]*pairing.GT, t),
+		sp:          sp,
+	}
+	for j, a := range coeffs {
+		pub.Commitments[j] = sp.PairWithGenerator(a)
+	}
+	shares := make([]*Share, n)
+	for i := 1; i <= n; i++ {
+		sk, err := evalPoly(g, coeffs, i)
+		if err != nil {
+			return nil, fmt.Errorf("threshold: evaluating share %d: %w", i, err)
+		}
+		shares[i-1] = &Share{Index: i, SK: sk}
+	}
+	return &Deal{Public: pub, Shares: shares}, nil
+}
+
+// evalPoly computes F(x) = Σ_j x^j·A_j as one shared multi-scalar ladder.
+func evalPoly(g *curve.Group, coeffs []*curve.Point, x int) (*curve.Point, error) {
+	q := g.Q()
+	xb := big.NewInt(int64(x))
+	ks := make([]*big.Int, len(coeffs))
+	pow := big.NewInt(1)
+	for j := range coeffs {
+		ks[j] = new(big.Int).Set(pow)
+		pow = new(big.Int).Mul(pow, xb)
+		pow.Mod(pow, q)
+	}
+	return g.SumScalarMult(coeffs, ks)
+}
+
+// ShareCommitment derives share index's public commitment from the
+// coefficient commitments: C_i = Π_j C_j^(i^j) = ê(F(i), P). Anyone can
+// compute it; no interaction with the dealer or share-holder needed.
+func (pub *PublicInfo) ShareCommitment(index int) (*pairing.GT, error) {
+	if index < 1 || index > pub.N {
+		return nil, fmt.Errorf("threshold: share index %d outside 1..%d", index, pub.N)
+	}
+	q := pub.sp.G1().Q()
+	xb := big.NewInt(int64(index))
+	ks := make([]*big.Int, len(pub.Commitments))
+	pow := big.NewInt(1)
+	for j := range ks {
+		ks[j] = new(big.Int).Set(pow)
+		pow = new(big.Int).Mul(pow, xb)
+		pow.Mod(pow, q)
+	}
+	return pub.sp.Pairing().MultiExp(pub.Commitments, ks)
+}
+
+// VerifyShare lets a share-holder check the share it received against the
+// published commitments: ê(share_i, P) must equal C_i. A dealer that hands
+// out an inconsistent share is caught here, before any audit depends on it.
+func (pub *PublicInfo) VerifyShare(s *Share) error {
+	if s == nil || s.SK == nil {
+		return fmt.Errorf("threshold: nil share")
+	}
+	if !pub.sp.G1().InSubgroup(s.SK) {
+		return fmt.Errorf("threshold: share %d outside G1", s.Index)
+	}
+	want, err := pub.ShareCommitment(s.Index)
+	if err != nil {
+		return err
+	}
+	if !pub.sp.PairWithGenerator(s.SK).Equal(want) {
+		return fmt.Errorf("threshold: share %d does not match its commitment", s.Index)
+	}
+	return nil
+}
+
+// Partial is share-holder Index's contribution to one designated
+// verification: T = ê(base, share_i) plus the DLEQ proof (A1, A2, Z) that
+// T was computed with the exact share committed by C_i.
+type Partial struct {
+	Index int
+	T     *pairing.GT
+	// A1 = ê(base, N), A2 = ê(N, P) for the prover's random point N.
+	A1, A2 *pairing.GT
+	// Z = N + c·share_i for the Fiat–Shamir challenge c.
+	Z *curve.Point
+}
+
+// Prover is one share-holder's partial-computation state. The pairing
+// precomputation pins the share into the Miller loop once, so each partial
+// costs one replayed pairing for T (the proof needs two cold pairings).
+type Prover struct {
+	sp    *ibc.SystemParams
+	share *Share
+	pc    *pairing.Precomp
+}
+
+// NewProver builds the prover for one share.
+func NewProver(sp *ibc.SystemParams, share *Share) *Prover {
+	return &Prover{sp: sp, share: share, pc: sp.Pairing().Precompute(share.SK)}
+}
+
+// Index returns the share index this prover answers for.
+func (p *Prover) Index() int { return p.share.Index }
+
+// Partial computes the share's contribution for one base point with its
+// DLEQ proof. base is the public eq. 5/7 pairing argument (U + h·Q_ID, or
+// the batched U_A); it must already be subgroup-checked by the caller.
+func (p *Prover) Partial(base *curve.Point, random io.Reader) (*Partial, error) {
+	if base == nil {
+		return nil, fmt.Errorf("threshold: nil partial base")
+	}
+	g := p.sp.G1()
+	t := p.pc.Pair(base)
+	n, _, err := g.RandPoint(random)
+	if err != nil {
+		return nil, fmt.Errorf("threshold: sampling proof nonce: %w", err)
+	}
+	a1 := p.sp.Pairing().Pair(base, n)
+	a2 := p.sp.PairWithGenerator(n)
+	c := dleqChallenge(p.sp, p.share.Index, base, t, a1, a2)
+	z := g.Add(n, g.ScalarMult(p.share.SK, c))
+	return &Partial{Index: p.share.Index, T: t, A1: a1, A2: a2, Z: z}, nil
+}
+
+// dleqChallenge is the Fiat–Shamir challenge binding the whole statement:
+// the share index (which fixes C_i given the published commitments), the
+// base, the claimed partial, and the proof commitments.
+func dleqChallenge(sp *ibc.SystemParams, index int, base *curve.Point, t, a1, a2 *pairing.GT) *big.Int {
+	g := sp.G1()
+	return g.Scalars().HashToScalar(dleqDomain,
+		[]byte(fmt.Sprintf("i=%d", index)),
+		g.MarshalPoint(base),
+		t.Marshal(), a1.Marshal(), a2.Marshal(),
+	)
+}
+
+// VerifyPartial checks one partial against the share's public commitment.
+// A failure here is a *public, attributable* proof that share-holder
+// p.Index misbehaved (or that the partial was corrupted in transit): the
+// commitment C_i is determined by the published deal, so nobody else can
+// be blamed. Cost: two pairings plus two GT exponentiations.
+func (pub *PublicInfo) VerifyPartial(base *curve.Point, p *Partial) error {
+	if p == nil || p.T == nil || p.A1 == nil || p.A2 == nil || p.Z == nil {
+		return fmt.Errorf("threshold: incomplete partial")
+	}
+	if base == nil {
+		return fmt.Errorf("threshold: nil partial base")
+	}
+	g := pub.sp.G1()
+	if !g.InSubgroup(p.Z) {
+		return fmt.Errorf("threshold: partial %d response outside G1", p.Index)
+	}
+	if !p.T.InSubgroup() || !p.A1.InSubgroup() || !p.A2.InSubgroup() {
+		return fmt.Errorf("threshold: partial %d carries GT element outside the target subgroup", p.Index)
+	}
+	ci, err := pub.ShareCommitment(p.Index)
+	if err != nil {
+		return err
+	}
+	c := dleqChallenge(pub.sp, p.Index, base, p.T, p.A1, p.A2)
+	// φ₁(Z) = a₁·T^c  — the partial really is ê(base, ·) of *something*
+	// with a known commitment relation…
+	if !pub.sp.Pairing().Pair(base, p.Z).Equal(p.A1.Mul(p.T.Exp(c))) {
+		return fmt.Errorf("threshold: partial %d failed the base-side proof equation", p.Index)
+	}
+	// …and φ₂(Z) = a₂·C_i^c — that something is exactly the committed
+	// share_i.
+	if !pub.sp.PairWithGenerator(p.Z).Equal(p.A2.Mul(ci.Exp(c))) {
+		return fmt.Errorf("threshold: partial %d failed the commitment-side proof equation", p.Index)
+	}
+	return nil
+}
+
+// LagrangeAtZero computes the interpolation coefficients λ_i at x = 0 for
+// the given distinct share indices: λ_i = Π_{j≠i} x_j / (x_j − x_i) mod q.
+func LagrangeAtZero(sp *ibc.SystemParams, indices []int) ([]*big.Int, error) {
+	sf := sp.G1().Scalars()
+	seen := make(map[int]bool, len(indices))
+	for _, x := range indices {
+		if x < 1 {
+			return nil, fmt.Errorf("threshold: share index %d is not positive", x)
+		}
+		if seen[x] {
+			return nil, fmt.Errorf("threshold: duplicate share index %d", x)
+		}
+		seen[x] = true
+	}
+	out := make([]*big.Int, len(indices))
+	for i, xi := range indices {
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		for j, xj := range indices {
+			if j == i {
+				continue
+			}
+			num = sf.Mul(num, big.NewInt(int64(xj)))
+			den = sf.Mul(den, sf.Sub(big.NewInt(int64(xj)), big.NewInt(int64(xi))))
+		}
+		inv, err := sf.Inv(den)
+		if err != nil {
+			return nil, fmt.Errorf("threshold: lagrange denominator for index %d: %w", xi, err)
+		}
+		out[i] = sf.Mul(num, inv)
+	}
+	return out, nil
+}
+
+// Combine Lagrange-combines a quorum of verified partials for one base
+// into the full designated verification value ê(base, sk_DA). At least T
+// distinct indices are required; the result is identical — bit for bit
+// once marshaled — for ANY quorum and any arrival order, because it equals
+// the unique interpolation of a degree T−1 polynomial at 0. Partials must
+// have passed VerifyPartial first: Combine itself cannot tell a corrupted
+// partial from an honest one.
+func (pub *PublicInfo) Combine(partials []*Partial) (*pairing.GT, error) {
+	if len(partials) < pub.T {
+		return nil, fmt.Errorf("threshold: %d partials below quorum t=%d", len(partials), pub.T)
+	}
+	// Sort by index: the GT multi-exp result is order-independent
+	// mathematically, and sorting makes the evaluation order — hence op
+	// counts and timings — deterministic too.
+	sorted := append([]*Partial(nil), partials...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	indices := make([]int, len(sorted))
+	ts := make([]*pairing.GT, len(sorted))
+	for i, p := range sorted {
+		if p == nil || p.T == nil {
+			return nil, fmt.Errorf("threshold: incomplete partial in quorum")
+		}
+		indices[i] = p.Index
+		ts[i] = p.T
+	}
+	lams, err := LagrangeAtZero(pub.sp, indices)
+	if err != nil {
+		return nil, err
+	}
+	return pub.sp.Pairing().MultiExp(ts, lams)
+}

@@ -229,6 +229,44 @@ func authBody(op, user string, pos, seq uint64, block []byte) []byte {
 	return append([]byte(head), block...)
 }
 
+// PartialRequest asks a threshold share-holder for its partial designated
+// verifications: one partial per base point (the eq. 5/7 pairing argument,
+// marshaled). A batched audit sends a single base (the aggregated U_A);
+// the per-item blame fallback packs every item's base into one request so
+// blame attribution still costs one quorum round, not one per item.
+type PartialRequest struct {
+	// VerifierID names the dealt verifier key the partials must be for.
+	VerifierID string
+	// Bases are the marshaled G1 base points to pair the share against.
+	Bases [][]byte
+}
+
+func (*PartialRequest) Kind() string { return "partial_req" }
+
+// PartialProof carries a marshaled threshold partial with its DLEQ proof:
+// T = ê(base, share_i) plus the (A1, A2, Z) transcript binding T to the
+// share's public Feldman commitment.
+type PartialProof struct {
+	T  []byte
+	A1 []byte
+	A2 []byte
+	Z  []byte
+}
+
+// PartialResponse returns one share-holder's partials, aligned with the
+// request's Bases. Error marks a protocol-level refusal; since only the
+// addressed share-holder can produce these bytes, a malformed or refused
+// response is attributed to the AUDITOR, never to the storage server
+// under audit.
+type PartialResponse struct {
+	// Index is the share-holder's 1-based share index.
+	Index    int
+	Partials []PartialProof
+	Error    string
+}
+
+func (*PartialResponse) Kind() string { return "partial_resp" }
+
 // OverloadResponse is a server's typed shed reply: the request was NOT
 // executed because the server's admission queue is full. It is distinct
 // from ErrorResponse so clients can classify it as a *non-retryable*
@@ -279,6 +317,8 @@ var factories = map[string]func() Message{
 	"challenge_resp": func() Message { return new(ChallengeResponse) },
 	"update_req":     func() Message { return new(UpdateRequest) },
 	"delete_req":     func() Message { return new(DeleteRequest) },
+	"partial_req":    func() Message { return new(PartialRequest) },
+	"partial_resp":   func() Message { return new(PartialResponse) },
 	"overload":       func() Message { return new(OverloadResponse) },
 	"error":          func() Message { return new(ErrorResponse) },
 }

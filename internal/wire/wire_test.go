@@ -46,6 +46,10 @@ func sampleMessages() []Message {
 			Auth: IBSig{U: []byte{5}, V: []byte{6}}},
 		&DeleteRequest{UserID: "alice", Position: 4, Seq: 3,
 			Auth: IBSig{U: []byte{7}, V: []byte{8}}},
+		&PartialRequest{VerifierID: "da", Bases: [][]byte{{1, 2}, {3}}},
+		&PartialResponse{Index: 2, Partials: []PartialProof{
+			{T: []byte{1}, A1: []byte{2}, A2: []byte{3}, Z: []byte{4}}}},
+		&PartialResponse{Index: 4, Error: "no share"},
 		&OverloadResponse{RetryAfterMillis: 250},
 		&ErrorResponse{Code: "bad", Msg: "oops"},
 	}
