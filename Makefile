@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet bench-overload bench-multitenant bench-threshold
+.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet bench-overload bench-multitenant bench-threshold bench-chaos
 
 check: vet build race
 
@@ -22,12 +22,14 @@ vet:
 	$(GO) vet ./...
 
 # Short fuzz pass over the wire codec (the corruption injector's attack
-# surface) and the WAL record decoder (what a torn or bit-rotted log feeds
-# into recovery); extend -fuzztime locally for deeper runs.
+# surface), the WAL record decoder (what a torn or bit-rotted log feeds
+# into recovery) and the snapshot decoder (what a FaultFS-rotted snapshot
+# file feeds into it); extend -fuzztime locally for deeper runs.
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/wire -fuzz FuzzReadMessage -fuzztime 10s
 	$(GO) test ./internal/store -fuzz FuzzReadRecord -fuzztime 10s
+	$(GO) test ./internal/store -fuzz FuzzDecodeSnapshot -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzDecodeEvidence -fuzztime 10s
 
 bench:
@@ -74,3 +76,12 @@ bench-multitenant:
 # BENCH_threshold.json.
 bench-threshold:
 	$(GO) run ./cmd/seccloud-bench -exp threshold -params test256 -json BENCH_threshold.json
+
+# Chaos benchmark: 200 seeded composed disk/network/clock/process fault
+# schedules checked by the invariant engine against fault-free reference
+# replays (zero false flags, every invariant green, every real cheater
+# detected), plus the shrinker demonstration that a planted violation
+# minimizes to a byte-identical one-line repro. The acceptance gate is
+# enforced: any failure exits nonzero. Refreshes BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/seccloud-bench -exp chaos -params test256 -json BENCH_chaos.json

@@ -16,6 +16,7 @@
 //	seccloud-bench -exp overload           # goodput + audit integrity under an open-loop storm
 //	seccloud-bench -exp multitenant        # cross-user aggregate verification at 10⁵–10⁶ users
 //	seccloud-bench -exp threshold          # t-of-n audit quorums under crashes and Byzantine partials
+//	seccloud-bench -exp chaos              # seeded composed-fault schedules vs the invariant engine
 //	seccloud-bench -params ss512           # use the full-size pairing
 //	seccloud-bench -csv                    # machine-readable output
 //	seccloud-bench -exp parallel-audit -json BENCH_parallel_audit.json
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|crash-recovery|fleet-failover|overload|multitenant|threshold|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|crash-recovery|fleet-failover|overload|multitenant|threshold|chaos|all")
 	params := flag.String("params", "ss512", "pairing parameter set: ss512|test256")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	iters := flag.Int("iters", 10, "calibration iterations for op timing")
@@ -97,10 +98,13 @@ func main() {
 		runErr = r.multitenant()
 	case "threshold":
 		runErr = r.threshold()
+	case "chaos":
+		runErr = r.chaos()
 	case "all":
 		for _, f := range []func() error{
 			r.table1, r.table2, r.fig4, r.fig5, r.detection, r.optimalT, r.traffic, r.epochs,
 			r.parallelAudit, r.crashRecovery, r.fleetFailover, r.overload, r.multitenant, r.threshold,
+			r.chaos,
 		} {
 			if runErr = f(); runErr != nil {
 				break

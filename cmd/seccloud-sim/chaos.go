@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+
+	"seccloud/internal/chaos"
+)
+
+// chaosRunFlags carries the -chaos* flag values into the chaos mode.
+type chaosRunFlags struct {
+	Seed   int64  // -chaos-seed: first (or only) schedule seed
+	Steps  string // -chaos-steps: explicit schedule (repro mode)
+	Runs   int    // -chaos-runs: seeds Seed..Seed+Runs-1
+	Tamper bool   // -chaos-tamper: schedules include a real cheating replica
+	Shrink bool   // -chaos-shrink: minimize a failing run to a one-line repro
+}
+
+// runChaos executes seeded chaos runs. Every run uses
+// chaos.Defaults(seed) — the same configuration the bench sweep and the
+// printed repro lines assume — so `-chaos-seed N -chaos-steps "…"`
+// replays a reported failure byte-for-byte.
+func runChaos(f chaosRunFlags) error {
+	base := chaos.Defaults(f.Seed)
+	fmt.Printf("chaos nemesis: %d servers, %d blocks, %d active + %d quiet epochs\n\n",
+		base.Servers, base.Blocks, base.ActiveEpochs, base.QuietEpochs)
+	fmt.Printf("%8s %6s %5s %7s %7s %9s %9s %9s %11s\n",
+		"seed", "steps", "ops", "failed", "audits", "accused", "tampered", "detected", "violations")
+
+	var reports []*chaos.Report
+	falseFlags, violations := 0, 0
+	tampered, detected := 0, 0
+	for i := 0; i < f.Runs; i++ {
+		cfg := chaos.Defaults(f.Seed + int64(i))
+		cfg.Tamper = f.Tamper
+		if f.Steps != "" {
+			sched, err := chaos.ParseSchedule(f.Steps)
+			if err != nil {
+				return err
+			}
+			cfg.Schedule = sched
+		}
+		rep, err := chaos.Run(cfg)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		falseFlags += rep.FalseFlags
+		violations += len(rep.Violations)
+		if rep.Tampered {
+			tampered++
+			if rep.Detected {
+				detected++
+			}
+		}
+		fmt.Printf("%8d %6d %5d %7d %7d %9d %9v %9v %11d\n",
+			rep.Seed, rep.Steps, rep.Ops, rep.OpsFailed, rep.Audits,
+			rep.Accusations, rep.Tampered, rep.Detected, len(rep.Violations))
+	}
+
+	if f.Runs == 1 {
+		fmt.Printf("\nschedule: %s\n", reports[0].Schedule)
+	}
+	fmt.Printf("\nfalse flags: %d   accusations held real tamper: %d/%d tampered runs detected\n",
+		falseFlags, detected, tampered)
+
+	if violations == 0 {
+		fmt.Println("invariants: ok")
+		if tampered > 0 && detected < tampered {
+			return fmt.Errorf("%d of %d tampered runs went undetected", tampered-detected, tampered)
+		}
+		return nil
+	}
+
+	// At least one invariant broke: print every violation and a
+	// one-line reproducer for each failing seed, shrinking first when
+	// asked to.
+	fmt.Printf("invariants: VIOLATED (%d)\n", violations)
+	for _, rep := range reports {
+		if rep.OK() {
+			continue
+		}
+		for _, v := range rep.Violations {
+			fmt.Printf("  seed %d: %s\n", rep.Seed, v)
+		}
+		if f.Shrink {
+			cfg := chaos.Defaults(rep.Seed)
+			cfg.Tamper = f.Tamper
+			sched, err := chaos.ParseSchedule(rep.Schedule)
+			if err != nil {
+				return err
+			}
+			res, err := chaos.Shrink(cfg, sched, 64)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  shrunk %d steps -> %d (%s, %d runs)\n",
+				len(sched), len(res.Schedule), res.Invariant, res.Runs)
+			fmt.Printf("  repro: %s\n", res.Repro())
+		} else {
+			fmt.Printf("  repro: %s\n", rep.Repro())
+		}
+	}
+	return fmt.Errorf("%d invariant violations across %d runs", violations, f.Runs)
+}

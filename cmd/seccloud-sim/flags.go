@@ -14,6 +14,11 @@ type simFlags struct {
 	ByzantineAuditors int
 	AuditDeadline     time.Duration
 	RetryBudget       int
+	Chaos             bool
+	ChaosSteps        string
+	ChaosRuns         int
+	ChaosTamper       bool
+	ChaosShrink       bool
 }
 
 // validateFlags rejects inconsistent flag combinations up front with a
@@ -31,6 +36,26 @@ func validateFlags(f simFlags) error {
 	}
 	if f.ByzantineAuditors < 0 {
 		return fmt.Errorf("-byzantine-auditors must not be negative (got %d)", f.ByzantineAuditors)
+	}
+	if !f.Chaos {
+		// ChaosRuns is 0 when the caller never touched the chaos flag
+		// block and 1 (the flag default) when it came through main.
+		if f.ChaosSteps != "" || f.ChaosRuns > 1 || f.ChaosTamper || f.ChaosShrink {
+			return fmt.Errorf("-chaos-steps/-chaos-runs/-chaos-tamper/-chaos-shrink require chaos mode (-chaos)")
+		}
+	} else {
+		if f.ThresholdT > 0 || f.ThresholdN > 0 {
+			return fmt.Errorf("-chaos and -threshold-t/-threshold-n are mutually exclusive modes")
+		}
+		if f.ChaosRuns < 1 {
+			return fmt.Errorf("-chaos-runs must be at least 1 (got %d)", f.ChaosRuns)
+		}
+		if f.ChaosSteps != "" && f.ChaosRuns != 1 {
+			return fmt.Errorf("-chaos-steps replays one explicit schedule; drop -chaos-runs %d", f.ChaosRuns)
+		}
+		if f.ChaosSteps != "" && f.ChaosTamper {
+			return fmt.Errorf("-chaos-tamper shapes generated schedules; an explicit -chaos-steps schedule carries its own tamper steps")
+		}
 	}
 	if f.ThresholdT == 0 && f.ThresholdN == 0 {
 		if f.KilledAuditors > 0 || f.ByzantineAuditors > 0 {

@@ -45,6 +45,27 @@ func TestValidateFlags(t *testing.T) {
 		{name: "auditor faults without threshold mode",
 			flags:   simFlags{KilledAuditors: 1},
 			wantErr: "require threshold mode"},
+		{name: "chaos sweep", flags: simFlags{Chaos: true, ChaosRuns: 6, ChaosTamper: true}},
+		{name: "chaos replay",
+			flags: simFlags{Chaos: true, ChaosRuns: 1, ChaosSteps: "e1:plant(forged-evidence,1)", ChaosShrink: true}},
+		{name: "chaos sub-flags without chaos mode",
+			flags:   simFlags{ChaosTamper: true},
+			wantErr: "require chaos mode"},
+		{name: "chaos steps without chaos mode",
+			flags:   simFlags{ChaosSteps: "e1:restart(0)"},
+			wantErr: "require chaos mode"},
+		{name: "chaos and threshold at once",
+			flags:   simFlags{Chaos: true, ChaosRuns: 1, ThresholdT: 2, ThresholdN: 5},
+			wantErr: "mutually exclusive modes"},
+		{name: "chaos runs below one",
+			flags:   simFlags{Chaos: true, ChaosRuns: 0},
+			wantErr: "-chaos-runs must be at least 1"},
+		{name: "chaos steps with a sweep",
+			flags:   simFlags{Chaos: true, ChaosRuns: 4, ChaosSteps: "e1:restart(0)"},
+			wantErr: "replays one explicit schedule"},
+		{name: "chaos steps with tamper",
+			flags:   simFlags{Chaos: true, ChaosRuns: 1, ChaosSteps: "e1:restart(0)", ChaosTamper: true},
+			wantErr: "carries its own tamper steps"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

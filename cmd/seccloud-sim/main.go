@@ -17,6 +17,9 @@
 //	    -queue-limit 2 -retry-budget 8 -degrade -hedge         # open-loop overload schedule
 //	seccloud-sim -threshold-t 2 -threshold-n 5 -killed-auditors 2 \
 //	    -byzantine-auditors 1                   # t-of-n audit quorums under auditor faults
+//	seccloud-sim -chaos -chaos-seed 7           # one seeded composed-fault schedule
+//	seccloud-sim -chaos -chaos-runs 8 -chaos-tamper   # fixed-seed schedule sweep
+//	seccloud-sim -chaos -chaos-seed 5 -chaos-steps "e1:plant(lost-write,2)"   # replay a repro line
 package main
 
 import (
@@ -81,6 +84,12 @@ func main() {
 		thresholdN   = flag.Int("threshold-n", 0, "share-holder count n for the threshold-agency scenario")
 		killedAud    = flag.Int("killed-auditors", 0, "share-holders down during each faulty epoch (rotating; threshold mode)")
 		byzantineAud = flag.Int("byzantine-auditors", 0, "live share-holders forging partials each faulty epoch (threshold mode)")
+		chaosMode    = flag.Bool("chaos", false, "run the seed-deterministic chaos nemesis + invariant engine instead of the fleet simulation")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "chaos schedule seed (chaos mode; the repro-line seed)")
+		chaosSteps   = flag.String("chaos-steps", "", "explicit chaos schedule, e.g. from a printed repro line (chaos mode)")
+		chaosRuns    = flag.Int("chaos-runs", 1, "run this many consecutive seeds starting at -chaos-seed (chaos mode)")
+		chaosTamper  = flag.Bool("chaos-tamper", false, "include a real cheating replica in each generated chaos schedule")
+		chaosShrink  = flag.Bool("chaos-shrink", false, "minimize any failing chaos run to a one-line repro before printing it")
 	)
 	flag.Parse()
 
@@ -91,6 +100,11 @@ func main() {
 		ByzantineAuditors: *byzantineAud,
 		AuditDeadline:     *auditDeadlin,
 		RetryBudget:       *retryBudget,
+		Chaos:             *chaosMode,
+		ChaosSteps:        *chaosSteps,
+		ChaosRuns:         *chaosRuns,
+		ChaosTamper:       *chaosTamper,
+		ChaosShrink:       *chaosShrink,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "seccloud-sim:", err)
 		os.Exit(2)
@@ -147,6 +161,14 @@ func main() {
 
 	var err error
 	switch {
+	case *chaosMode:
+		err = runChaos(chaosRunFlags{
+			Seed:   *chaosSeed,
+			Steps:  *chaosSteps,
+			Runs:   *chaosRuns,
+			Tamper: *chaosTamper,
+			Shrink: *chaosShrink,
+		})
 	case *thresholdT > 0 || *thresholdN > 0:
 		err = runThreshold(epoch.ThresholdConfig{
 			T: *thresholdT, N: *thresholdN,

@@ -1,0 +1,521 @@
+package chaos
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"path/filepath"
+	"time"
+
+	"seccloud/internal/core"
+	"seccloud/internal/dvs"
+	"seccloud/internal/ibc"
+	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
+	"seccloud/internal/pairing"
+	"seccloud/internal/store"
+	"seccloud/internal/wire"
+	"seccloud/internal/workload"
+)
+
+// splitmix64 derives independent sub-seeds from the run seed; every
+// consumer of randomness (link faults, disks, audit sampling, retriers)
+// gets its own stream, keyed by a stable label, so fault draws in one
+// dimension never shift the draws of another.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func subSeed(seed int64, dim string, a, b int) int64 {
+	h := uint64(seed)
+	for _, c := range []byte(dim) {
+		h = splitmix64(h ^ uint64(c))
+	}
+	h = splitmix64(h ^ uint64(a)<<32 ^ uint64(b))
+	return int64(h >> 1) // keep it positive, rand.NewSource is fine either way
+}
+
+// posKey addresses one replica's copy of one block.
+type posKey struct {
+	srv int
+	pos uint64
+}
+
+// ledger is the harness's ground truth: for every (replica, position) it
+// holds the set of byte strings the system is ALLOWED to be storing
+// there. An acked update collapses the set to exactly the new content —
+// that is what "acked" means. A failed update ADDS the attempted content
+// instead: a blocked response leg or a post-log crash may legitimately
+// have applied the write even though the client saw an error, and the
+// harness, like a real client, cannot know which. Anything outside the
+// set — an acked write that vanished, bytes nobody ever wrote — is a
+// durability violation.
+type ledger struct {
+	acceptable map[posKey]map[string]bool
+	// tamperContent records the nemesis's REAL cheating: srv → pos →
+	// rotten bytes. Serving rot at these keys is expected (and accusing
+	// the server for it is not a false flag); recovery must still come
+	// back clean, because rot is planted in memory, never in the WAL.
+	tamperContent map[int]map[uint64][]byte
+}
+
+func newLedger(servers int, blocks [][]byte) *ledger {
+	l := &ledger{
+		acceptable:    make(map[posKey]map[string]bool),
+		tamperContent: make(map[int]map[uint64][]byte),
+	}
+	for s := 0; s < servers; s++ {
+		for p, b := range blocks {
+			l.acceptable[posKey{s, uint64(p)}] = map[string]bool{string(b): true}
+		}
+	}
+	return l
+}
+
+func (l *ledger) acked(srv int, pos uint64, content []byte) {
+	l.acceptable[posKey{srv, pos}] = map[string]bool{string(content): true}
+}
+
+func (l *ledger) maybe(srv int, pos uint64, content []byte) {
+	k := posKey{srv, pos}
+	if l.acceptable[k] == nil {
+		l.acceptable[k] = make(map[string]bool)
+	}
+	l.acceptable[k][string(content)] = true
+}
+
+func (l *ledger) tamper(srv int, pos uint64, rot []byte) {
+	if l.tamperContent[srv] == nil {
+		l.tamperContent[srv] = make(map[uint64][]byte)
+	}
+	l.tamperContent[srv][pos] = rot
+}
+
+// tampered reports whether the nemesis registered real rot on srv.
+func (l *ledger) tampered(srv int) bool { return len(l.tamperContent[srv]) > 0 }
+
+// expectedServed is the acceptable set for what srv serves at pos right
+// now: the ledgered rot if the nemesis tampered this copy, otherwise the
+// acceptable content set.
+func (l *ledger) expectedServed(srv int, pos uint64) map[string]bool {
+	if rot, ok := l.tamperContent[srv][pos]; ok {
+		return map[string]bool{string(rot): true}
+	}
+	return l.acceptable[posKey{srv, pos}]
+}
+
+// cluster is one live SecCloud deployment under the nemesis: n replica
+// servers with FaultFS-backed WALs, a DA and a CSP reaching them through
+// partitionable, fault-injectable, clock-skewed links, plus the ledger
+// the invariant engine checks against.
+type cluster struct {
+	cfg       Config
+	reference bool // fault-free replay: only tamper/plant steps apply
+
+	sio      *ibc.SIO
+	scheme   *dvs.Scheme
+	user     *core.User
+	agency   *core.Agency
+	fleet    *core.Fleet
+	warrant  wire.Warrant
+	ds       *workload.Dataset
+	verifiers []string
+
+	handlers []*netsim.SwappableHandler
+	downs    []*netsim.DownableHandler
+	crashers []*store.Crasher
+	disks    []*store.FaultFS
+	links    []*netsim.Loopback
+	clocks   []*netsim.Clock
+	daClock  *netsim.Clock
+	part     *netsim.Partition
+
+	daClients  []netsim.Client // raw partitioned links the fleet audits over
+	cspClients []netsim.Client // retrying, breaker-instrumented store path
+
+	dir string
+	hub *obs.Hub
+	led *ledger
+
+	killed       []bool // whole-epoch outage (state intact)
+	crashPending []bool // process died, awaiting epoch-boundary restart
+	sickEver     []bool // disk faults were active at some point
+	forgeNext    []bool // plant: corrupt this primary's next evidence blob
+
+	// chain is the run's evidence trail: one encoded Evidence blob and
+	// one signed checkpoint per fleet audit, verified wholesale at the
+	// end — if chaos can make the DA emit a blob that no longer decodes
+	// and publicly verifies, the paper's public-verifiability story dies.
+	chain []chainEntry
+
+	outcomes   []auditOutcome
+	violations *violationLog
+
+	opsTotal, opsFailed int
+	opsFailedFinal      int // op failures in the last (quiet) epoch
+	opIndex             int
+	falseFlags          int
+	accusations         int
+	detected            bool
+	lostRounds          int
+	failovers           int
+	auditErrors         int
+}
+
+type chainEntry struct {
+	Epoch, Primary int
+	Raw            []byte
+	Checkpoint     *core.CheckpointEvidence
+}
+
+// auditOutcome is the per-fleet-audit record the agreement invariant
+// compares between the chaos run and the fault-free reference replay.
+type auditOutcome struct {
+	Epoch, Primary int
+	Err            string
+	Valid          bool
+	Accused        []int
+	Classes        []string
+	Failovers      int
+	LostRounds     int
+	Degraded       bool
+	// CleanFleet: every breaker closed, nobody killed or crash-pending
+	// when the audit started. Only then is exact verdict agreement with
+	// the reference demanded; a degraded fleet may legally route rounds
+	// differently.
+	CleanFleet bool
+}
+
+const (
+	tamperReserve = 2 // top positions ops never touch; tamper lands here
+	serverIDFmt   = "cs:chaos-%d"
+)
+
+func xorA5(b []byte) []byte {
+	rot := append([]byte(nil), b...)
+	for i := range rot {
+		rot[i] ^= 0xA5
+	}
+	return rot
+}
+
+// newCluster builds and seeds a deployment: keys, servers with
+// FaultFS-backed WALs (real fsyncs — sync faults must have something to
+// fail), links, fleet breakers, the outsourced dataset, and the ledger.
+func newCluster(cfg Config, dir string, reference bool) (*cluster, error) {
+	hub := cfg.Hub
+	if hub == nil {
+		hub = obs.NewHub()
+	}
+	c := &cluster{
+		cfg:          cfg,
+		reference:    reference,
+		dir:          dir,
+		hub:          hub,
+		part:         netsim.NewPartition(),
+		daClock:      netsim.NewClock(),
+		killed:       make([]bool, cfg.Servers),
+		crashPending: make([]bool, cfg.Servers),
+		sickEver:     make([]bool, cfg.Servers),
+		forgeNext:    make([]bool, cfg.Servers),
+		violations: &violationLog{
+			scrub:   dir,
+			counter: hub.Counter("chaos_violations_total", "invariant"),
+		},
+	}
+
+	sio := cfg.SIO
+	if sio == nil {
+		var err error
+		sio, err = ibc.Setup(pairing.InsecureTest256(), rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.sio = sio
+	sp := sio.Params()
+	c.scheme = dvs.NewScheme(sp)
+
+	userKey, err := sio.Extract("user:chaos")
+	if err != nil {
+		return nil, err
+	}
+	daKey, err := sio.Extract("da:chaos")
+	if err != nil {
+		return nil, err
+	}
+	c.user = core.NewUser(sp, userKey, rand.Reader)
+	c.agency = core.NewAgency(sp, daKey, rand.Reader).
+		WithWorkers(cfg.Workers).
+		WithObs(c.hub).
+		WithClock(c.daClock.Now)
+
+	c.handlers = make([]*netsim.SwappableHandler, cfg.Servers)
+	c.downs = make([]*netsim.DownableHandler, cfg.Servers)
+	c.crashers = make([]*store.Crasher, cfg.Servers)
+	c.disks = make([]*store.FaultFS, cfg.Servers)
+	c.links = make([]*netsim.Loopback, cfg.Servers)
+	c.clocks = make([]*netsim.Clock, cfg.Servers)
+	c.daClients = make([]netsim.Client, cfg.Servers)
+	c.cspClients = make([]netsim.Client, cfg.Servers)
+
+	noSleep := func(context.Context, time.Duration) error { return nil }
+
+	for i := 0; i < cfg.Servers; i++ {
+		c.crashers[i] = &store.Crasher{}
+		// The disk persists across restarts — a sick disk stays sick when
+		// the process comes back, which is exactly why recovery must cope.
+		c.disks[i] = store.NewFaultFS(store.FaultFSConfig{Seed: subSeed(cfg.Seed, "disk", i, 0)})
+		c.clocks[i] = netsim.NewClock()
+
+		srv, err := c.newServer(i)
+		if err != nil {
+			return nil, err
+		}
+		c.handlers[i] = netsim.NewSwappableHandler(srv)
+		c.downs[i] = netsim.NewDownableHandler(c.handlers[i])
+		c.links[i] = netsim.NewLoopback(c.downs[i], netsim.LinkConfig{}).
+			WithObs(c.hub).
+			WithClock(c.clocks[i])
+
+		// Both paths traverse the same physical link (same fault injector,
+		// same outage switch) but enter the partition map under their own
+		// names, so a cut can sever the DA's view while the CSP's works.
+		c.daClients[i] = netsim.PartitionClient(c.links[i], c.part, "da", nodeLabel(i))
+		r := netsim.NewRetrier(subSeed(cfg.Seed, "retry-csp", i, 0))
+		r.MaxAttempts = 4
+		r.Sleep = noSleep
+		c.cspClients[i] = netsim.NewRetryClient(
+			netsim.PartitionClient(c.links[i], c.part, "csp", nodeLabel(i)), r)
+	}
+
+	ids := make([]string, cfg.Servers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf(serverIDFmt, i)
+	}
+	c.fleet, err = core.NewFleet(c.daClients, ids, core.BreakerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	core.ObserveFleet(c.hub, c.fleet)
+	for i := range c.cspClients {
+		// Store traffic feeds the same breakers the audits consult.
+		c.cspClients[i] = c.fleet.Instrument(i, c.cspClients[i])
+	}
+
+	// Outsource the dataset to every replica, fault-free (the nemesis
+	// only wakes at epoch 1).
+	gen := workload.NewGenerator(cfg.Seed)
+	c.ds = gen.GenDataset(c.user.ID(), cfg.Blocks, 8)
+	c.verifiers = append(ids[:len(ids):len(ids)], c.agency.ID())
+	storeReq, err := c.user.PrepareStore(c.ds, c.verifiers...)
+	if err != nil {
+		return nil, err
+	}
+	csp, err := core.NewCSP(c.cspClients)
+	if err != nil {
+		return nil, err
+	}
+	if err := csp.ReplicateStore(c.user, storeReq); err != nil {
+		return nil, err
+	}
+	c.warrant, err = core.WildcardWarrant(c.user, c.agency.ID(), time.Now().Add(24*time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	c.led = newLedger(cfg.Servers, c.ds.Blocks)
+	return c, nil
+}
+
+func nodeLabel(i int) string { return fmt.Sprintf("%d", i) }
+
+// server returns the *core.Server currently behind slot i's stable
+// network identity — the harness's omniscient backdoor for tamper
+// injection and state reads.
+func (c *cluster) server(i int) *core.Server {
+	return c.handlers[i].Current().(*core.Server)
+}
+
+// newServer builds server i's current incarnation over its (possibly
+// sick) disk; on a non-empty directory this runs the full recovery path.
+func (c *cluster) newServer(i int) (*core.Server, error) {
+	key, err := c.sio.Extract(fmt.Sprintf(serverIDFmt, i))
+	if err != nil {
+		return nil, err
+	}
+	return core.NewServer(c.sio.Params(), key, core.ServerConfig{
+		Policy:  core.Honest{},
+		Random:  rand.Reader,
+		Workers: c.cfg.Workers,
+		Clock:   c.clocks[i].Now,
+		Durability: &core.DurabilityConfig{
+			Dir:           filepath.Join(c.dir, fmt.Sprintf("cs-%d", i)),
+			SnapshotEvery: 4,
+			// Real syncs: the chaos disk's fsync faults need an fsync to
+			// fail, and torn-tail recovery needs real write ordering.
+			NoSync: false,
+			Crash:  c.crashers[i],
+			FS:     c.disks[i],
+			Obs:    c.hub,
+		},
+	})
+}
+
+// restart replaces server i with a fresh incarnation recovered from its
+// WAL directory, re-applying any ledgered tamper (rot lives in memory, a
+// reboot heals it, and a cheater that survives reboots keeps cheating).
+// Returns an error when recovery itself refuses — e.g. the disk is still
+// rotting snapshots — in which case the caller leaves the server down
+// and tries again later.
+func (c *cluster) restart(i int) error {
+	c.crashers[i] = &store.Crasher{}
+	srv, err := c.newServer(i)
+	if err != nil {
+		return err
+	}
+	for b := 0; b < tamperReserve; b++ {
+		pos := uint64(c.cfg.Blocks - 1 - b)
+		if rot, ok := c.led.tamperContent[i][pos]; ok {
+			if _, ok := srv.TamperBlock(c.user.ID(), pos, rot); !ok {
+				return fmt.Errorf("chaos: re-tamper pos %d on server %d found no block", pos, i)
+			}
+		}
+	}
+	c.handlers[i].Swap(srv)
+	c.crashPending[i] = false
+	if !c.killed[i] {
+		c.downs[i].SetDown(false)
+	}
+	return nil
+}
+
+// readState reads the blocks a server is serving right now, straight
+// from its handler — the invariant engine is omniscient and does not
+// traverse the (possibly partitioned) network.
+func (c *cluster) readState(srv *core.Server, positions []uint64) ([][]byte, error) {
+	resp := srv.Handle(&wire.StorageAuditRequest{
+		UserID:    c.user.ID(),
+		Positions: positions,
+		Warrant:   c.warrant,
+	})
+	sar, ok := resp.(*wire.StorageAuditResponse)
+	if !ok || sar.Error != "" {
+		return nil, fmt.Errorf("chaos: state read failed: %v", resp)
+	}
+	if len(sar.Blocks) != len(positions) {
+		return nil, fmt.Errorf("chaos: state read returned %d blocks, want %d", len(sar.Blocks), len(positions))
+	}
+	return sar.Blocks, nil
+}
+
+func allPositions(n int) []uint64 {
+	ps := make([]uint64, n)
+	for i := range ps {
+		ps[i] = uint64(i)
+	}
+	return ps
+}
+
+// auditRetrier builds the per-audit retry helper (virtual backoff).
+func (c *cluster) auditRetrier(ep, pi int) *netsim.Retrier {
+	r := netsim.NewRetrier(subSeed(c.cfg.Seed, "retry-audit", ep, pi))
+	r.MaxAttempts = 3
+	r.Sleep = func(context.Context, time.Duration) error { return nil }
+	return r
+}
+
+// runAudit runs one fleet storage audit with primary pi. The sampling
+// Rng seed depends only on (run seed, epoch, primary), so the chaos run
+// and the reference replay challenge the same positions.
+func (c *cluster) runAudit(ep, pi int) auditOutcome {
+	out := auditOutcome{Epoch: ep, Primary: pi, CleanFleet: c.fleetClean()}
+	fcfg := core.FleetAuditConfig{
+		Storage: core.StorageAuditConfig{
+			DatasetSize:     c.cfg.Blocks,
+			SampleSize:      c.cfg.SampleSize,
+			Rounds:          2,
+			BatchSignatures: true,
+			Rng:             mrand.New(mrand.NewSource(subSeed(c.cfg.Seed, "audit", ep, pi))),
+			Retry:           c.auditRetrier(ep, pi),
+		},
+		Primary: pi,
+		QuorumK: 2,
+	}
+	fr, err := c.agency.AuditStorageFleet(c.fleet, c.user.ID(), c.warrant, fcfg)
+	if err != nil {
+		// A fleet with every replica dark can fail the audit outright;
+		// that is an availability fact, not a harness bug. Liveness
+		// checks refuse it in the quiet phase.
+		out.Err = err.Error()
+		c.auditErrors++
+		return out
+	}
+	out.Valid = fr.Report.Valid()
+	out.Degraded = fr.Report.Degraded()
+	out.Failovers = len(fr.Failovers)
+	c.failovers += out.Failovers
+	for _, rr := range fr.Report.Rounds {
+		if rr.Outcome.Lost() {
+			out.LostRounds++
+		}
+	}
+	c.lostRounds += out.LostRounds
+	for _, q := range fr.Quorums {
+		out.Accused = append(out.Accused, q.Accused)
+		out.Classes = append(out.Classes, q.Class.String())
+		c.accusations++
+		if c.led.tampered(q.Accused) {
+			c.detected = true
+		} else {
+			// Zero tolerance: chaos may slow the system down, it must
+			// never make the DA accuse an honest replica.
+			c.falseFlags++
+			c.violations.addf("false-flag", "epoch %d primary %d: accused honest server %d (%s)",
+				ep, pi, q.Accused, q.Class)
+		}
+	}
+
+	// Evidence trail: issue, encode, (maybe forge — that's a plant), and
+	// bank for the end-of-run verification pass.
+	ev, err := c.agency.IssueFleetEvidence(c.fleet, fr)
+	if err != nil {
+		c.violations.addf("evidence-chain", "epoch %d primary %d: issue: %v", ep, pi, err)
+		return out
+	}
+	raw, err := core.EncodeEvidence(ev)
+	if err != nil {
+		c.violations.addf("evidence-chain", "epoch %d primary %d: encode: %v", ep, pi, err)
+		return out
+	}
+	if c.forgeNext[pi] {
+		raw[len(raw)/2] ^= 0x01
+		c.forgeNext[pi] = false
+	}
+	cp := fr.Report.Checkpoint()
+	ce, err := c.agency.SignCheckpoint(cp)
+	if err != nil {
+		c.violations.addf("evidence-chain", "epoch %d primary %d: checkpoint: %v", ep, pi, err)
+		return out
+	}
+	c.chain = append(c.chain, chainEntry{Epoch: ep, Primary: pi, Raw: raw, Checkpoint: ce})
+	return out
+}
+
+// fleetClean reports whether every breaker is closed and every server is
+// reachable — the precondition for demanding exact verdict agreement
+// with the reference replay.
+func (c *cluster) fleetClean() bool {
+	for i := 0; i < c.cfg.Servers; i++ {
+		if c.killed[i] || c.crashPending[i] {
+			return false
+		}
+		if c.fleet.Health().Breaker(i).State() != core.StateClosed {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"seccloud/internal/ibc"
+	"seccloud/internal/obs"
+)
+
+// Config shapes one chaos run. The zero value is not runnable; use
+// Defaults() or fill every field.
+type Config struct {
+	// Seed is the single source of randomness: schedule generation, link
+	// faults, disk faults, audit sampling and retry jitter all derive
+	// sub-seeds from it. Same seed, same run.
+	Seed int64
+	// Servers is the replica fleet size.
+	Servers int
+	// Blocks is the outsourced dataset size; the top positions
+	// (tamperReserve of them) are reserved for the nemesis's tamper so
+	// client writes and rot never collide.
+	Blocks int
+	// ActiveEpochs is how long the nemesis acts; QuietEpochs is the
+	// healing horizon the liveness invariant measures.
+	ActiveEpochs, QuietEpochs int
+	// OpsPerEpoch is the client write workload.
+	OpsPerEpoch int
+	// SampleSize is the per-audit challenge budget.
+	SampleSize int
+	// MaxStepsPerEpoch bounds the generator's moves per epoch.
+	MaxStepsPerEpoch int
+	// Tamper asks the generator to include a real cheating replica, so
+	// detection runs under weather.
+	Tamper bool
+	// Palette restricts the generator's fault dimensions.
+	Palette Palette
+	// Schedule, when non-nil, replaces the generated schedule (shrinker
+	// reruns, explicit reproducers, mutation self-tests).
+	Schedule Schedule
+	// Dir is the WAL root; empty uses a temp directory.
+	Dir string
+	// Workers bounds hashing/verification pools (outcome-neutral).
+	Workers int
+	// SIO, when non-nil, reuses an existing IBC setup — key generation
+	// dominates small runs, and verdicts never depend on key material.
+	SIO *ibc.SIO
+	// Hub, when non-nil, receives the chaos cluster's metrics (audit
+	// outcomes, disk faults, chaos_violations_total). The reference
+	// replay always gets a private hub so shared instruments count real
+	// chaos traffic only. Safe to share across concurrent runs.
+	Hub *obs.Hub
+}
+
+// Defaults returns the standard small-cluster configuration: 3 replicas,
+// 8 blocks, 4 chaotic epochs, 2 quiet ones.
+func Defaults(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		Servers:          3,
+		Blocks:           8,
+		ActiveEpochs:     4,
+		QuietEpochs:      2,
+		OpsPerEpoch: 4,
+		// 4 of 8 positions per round: with tamperReserve (2) blocks rotted
+		// a round misses the rot with probability C(6,4)/C(8,4) ≈ 0.21, an
+		// audit (2 rounds) with ≈ 0.046. Even a cheater the weather keeps
+		// off the network until the quiet phase still faces two serving
+		// audits there (miss ≈ 2·10⁻³); a cheater serving all four
+		// post-tamper epochs faces eight rounds (miss ≈ 4·10⁻⁶). At 3 the
+		// two-audit case missed ≈ 1.6% of the time — about one seed per
+		// 200-run sweep, observed live as seed 27.
+		SampleSize:       4,
+		MaxStepsPerEpoch: 3,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Servers < 3 {
+		return fmt.Errorf("chaos: need ≥ 3 servers for quorum cross-examination, got %d", c.Servers)
+	}
+	if c.Blocks < tamperReserve+2 {
+		return fmt.Errorf("chaos: need ≥ %d blocks, got %d", tamperReserve+2, c.Blocks)
+	}
+	if c.ActiveEpochs < 1 || c.QuietEpochs < 1 {
+		return fmt.Errorf("chaos: need ≥ 1 active and ≥ 1 quiet epoch")
+	}
+	if c.OpsPerEpoch < 1 || c.SampleSize < 1 {
+		return fmt.Errorf("chaos: ops and sample size must be positive")
+	}
+	if c.MaxStepsPerEpoch < 0 {
+		return fmt.Errorf("chaos: negative step budget")
+	}
+	return nil
+}
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	Seed     int64  `json:"seed"`
+	Schedule string `json:"schedule"`
+	Steps    int    `json:"steps"`
+	Epochs   int    `json:"epochs"`
+
+	Ops       int `json:"ops"`
+	OpsFailed int `json:"ops_failed"`
+	Audits    int `json:"audits"`
+
+	FalseFlags  int  `json:"false_flags"`
+	Accusations int  `json:"accusations"`
+	Detected    bool `json:"detected"`
+	Tampered    bool `json:"tampered"`
+
+	LostRounds  int `json:"lost_rounds"`
+	Failovers   int `json:"failovers"`
+	AuditErrors int `json:"audit_errors"`
+
+	DiskFaults int64 `json:"disk_faults"`
+	NetDrops   int64 `json:"net_drops"`
+
+	// Violations is empty iff every invariant held.
+	Violations []string `json:"violations,omitempty"`
+
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Repro is the one-line reproducer: feeding these flags back into
+// seccloud-sim reruns the exact schedule, byte-for-byte.
+func (r *Report) Repro() string {
+	return fmt.Sprintf("seccloud-sim -chaos -chaos-seed %d -chaos-steps %q", r.Seed, r.Schedule)
+}
+
+// Run executes one seed-deterministic chaos run: build the schedule (or
+// take an explicit one), run the chaos cluster under it, run the
+// fault-free reference replay of the same schedule's adversarial steps,
+// then hand everything to the invariant engine.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = Generate(cfg.Seed, cfg.Servers, cfg.ActiveEpochs, cfg.MaxStepsPerEpoch, cfg.Tamper, cfg.Palette)
+	}
+
+	// Every run gets a fresh directory (under cfg.Dir when set, the
+	// system temp dir otherwise): recovering a previous run's WALs would
+	// poison determinism — and the shrinker runs dozens of times.
+	dir, err := os.MkdirTemp(cfg.Dir, "chaos-run-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// The chaos run: full weather.
+	cc, err := newCluster(cfg, dir+"/chaos", false)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building cluster: %w", err)
+	}
+	if err := cc.runEpochs(sched); err != nil {
+		return nil, err
+	}
+
+	// The reference replay: identical ops, identical audit draws,
+	// identical adversary — zero weather. Sharing the chaos run's SIO
+	// halves setup cost without coupling verdicts.
+	refCfg := cfg
+	if refCfg.SIO == nil {
+		refCfg.SIO = cc.sio
+	}
+	refCfg.Hub = nil
+	ref, err := newCluster(refCfg, dir+"/ref", true)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building reference cluster: %w", err)
+	}
+	if err := ref.runEpochs(sched); err != nil {
+		return nil, err
+	}
+
+	// The invariant engine's final pass.
+	cc.checkChain()
+	cc.checkLiveness()
+	cc.checkRecovery()
+	checkAgreement(cc, ref)
+
+	var diskFaults int64
+	for _, d := range cc.disks {
+		diskFaults += d.Counts().Total()
+	}
+	rep := &Report{
+		Seed:        cfg.Seed,
+		Schedule:    sched.String(),
+		Steps:       len(sched),
+		Epochs:      cfg.ActiveEpochs + cfg.QuietEpochs,
+		Ops:         cc.opsTotal,
+		OpsFailed:   cc.opsFailed,
+		Audits:      len(cc.outcomes),
+		FalseFlags:  cc.falseFlags,
+		Accusations: cc.accusations,
+		Detected:    cc.detected,
+		Tampered:    len(cc.led.tamperContent) > 0,
+		LostRounds:  cc.lostRounds,
+		Failovers:   cc.failovers,
+		AuditErrors: cc.auditErrors,
+		DiskFaults:  diskFaults,
+		NetDrops:    cc.part.Drops(),
+		Violations:  cc.violations.list,
+		Elapsed:     time.Since(start),
+	}
+	return rep, nil
+}

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShrinkResult is the outcome of minimizing a failing schedule.
+type ShrinkResult struct {
+	// Schedule is the minimal failing schedule found.
+	Schedule Schedule
+	// Report is the minimal schedule's run report (still violating).
+	Report *Report
+	// Invariant is the violated invariant the shrink preserved.
+	Invariant string
+	// Runs is how many chaos runs the search spent.
+	Runs int
+}
+
+// Repro is the one-line reproducer for the minimal schedule.
+func (s *ShrinkResult) Repro() string { return s.Report.Repro() }
+
+// firstInvariant extracts the invariant name of the first violation
+// ("inv=<name> …"), or "" for a clean report.
+func firstInvariant(r *Report) string {
+	if len(r.Violations) == 0 {
+		return ""
+	}
+	f, _, _ := strings.Cut(r.Violations[0], " ")
+	return strings.TrimPrefix(f, "inv=")
+}
+
+// Shrink minimizes a failing schedule, ddmin-style: repeatedly delete
+// chunks (halves, then quarters, … then single steps) and keep any
+// deletion under which the run still violates the SAME invariant as the
+// original first violation. Every trial is a full deterministic run, so
+// the result is exact, just not cheap; maxRuns caps the search (≤ 0
+// means a default of 64). The returned schedule re-fails identically on
+// every rerun — that is what makes the printed repro line worth filing.
+func Shrink(cfg Config, sched Schedule, maxRuns int) (*ShrinkResult, error) {
+	if maxRuns <= 0 {
+		maxRuns = 64
+	}
+	runs := 0
+	try := func(s Schedule) (*Report, error) {
+		runs++
+		c := cfg
+		c.Schedule = s
+		return Run(c)
+	}
+
+	rep, err := try(sched)
+	if err != nil {
+		return nil, err
+	}
+	target := firstInvariant(rep)
+	if target == "" {
+		return nil, fmt.Errorf("chaos: schedule does not violate any invariant; nothing to shrink")
+	}
+
+	cur := append(Schedule(nil), sched...)
+	best := rep
+	for size := (len(cur) + 1) / 2; size >= 1; size /= 2 {
+		for i := 0; i+size <= len(cur) && runs < maxRuns; {
+			trial := append(append(Schedule(nil), cur[:i]...), cur[i+size:]...)
+			trep, err := try(trial)
+			if err != nil {
+				// A harness error on a sub-schedule (e.g. a reference op
+				// blocked by a surviving plant prerequisite) just means
+				// this deletion is off-limits.
+				i += size
+				continue
+			}
+			if firstInvariant(trep) == target {
+				cur, best = trial, trep // keep the deletion, stay at i
+			} else {
+				i += size
+			}
+		}
+		if runs >= maxRuns {
+			break
+		}
+	}
+	return &ShrinkResult{Schedule: cur, Report: best, Invariant: target, Runs: runs}, nil
+}

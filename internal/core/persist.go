@@ -37,6 +37,9 @@ const (
 type DurabilityConfig struct {
 	// Dir is the WAL/snapshot directory, owned exclusively by one server.
 	Dir string
+	// FS is the filesystem backend the log writes through; nil means the
+	// real one. The chaos harness injects a store.FaultFS here.
+	FS store.FS
 	// SnapshotEvery compacts the log after this many appended records;
 	// 0 disables automatic snapshots.
 	SnapshotEvery int
@@ -126,6 +129,7 @@ func (s *Server) initDurability() error {
 	}
 	l, rec, err := store.Open(store.Config{
 		Dir:           d.Dir,
+		FS:            d.FS,
 		SnapshotEvery: d.SnapshotEvery,
 		NoSync:        d.NoSync,
 		Crash:         d.Crash,

@@ -483,34 +483,6 @@ func (h *latentHandler) Handle(m wire.Message) wire.Message {
 	return h.inner.Handle(m)
 }
 
-// restartableHandler is the stable network identity of one server slot: a
-// crash swaps the *core.Server behind it while every client keeps its
-// existing connection object, exactly as a process restart behind a fixed
-// address would look to the fleet.
-type restartableHandler struct {
-	mu  sync.Mutex
-	srv *core.Server
-}
-
-func (h *restartableHandler) Handle(m wire.Message) wire.Message {
-	h.mu.Lock()
-	srv := h.srv
-	h.mu.Unlock()
-	return srv.Handle(m)
-}
-
-func (h *restartableHandler) swap(srv *core.Server) {
-	h.mu.Lock()
-	h.srv = srv
-	h.mu.Unlock()
-}
-
-func (h *restartableHandler) current() *core.Server {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.srv
-}
-
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
@@ -567,7 +539,7 @@ func Run(cfg Config) (*Result, error) {
 	policies := make([]*switchablePolicy, cfg.Servers)
 	clients := make([]netsim.Client, cfg.Servers)
 	cspClients := make([]netsim.Client, cfg.Servers)
-	handlers := make([]*restartableHandler, cfg.Servers)
+	handlers := make([]*netsim.SwappableHandler, cfg.Servers)
 	downs := make([]*netsim.DownableHandler, cfg.Servers)
 	crashers := make([]*store.Crasher, cfg.Servers)
 	var gates []*netsim.Admission
@@ -610,7 +582,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		handlers[i] = &restartableHandler{srv: srv}
+		handlers[i] = netsim.NewSwappableHandler(srv)
 		// The downable wrapper sits between the stable identity and the
 		// link: the kill schedule flips it so the whole epoch sees the
 		// server as unreachable, with its state (and WAL) intact.
@@ -734,7 +706,7 @@ func Run(cfg Config) (*Result, error) {
 			if !srv.Recovery().Recovered {
 				return nil, fmt.Errorf("epoch %d: server %d restart recovered nothing", ep, v)
 			}
-			handlers[v].swap(srv)
+			handlers[v].Swap(srv)
 			result.Recoveries++
 			// The client re-issues the unacked mutation (fresh sequence
 			// number); durable-or-lost, the state converges either way.
@@ -763,7 +735,7 @@ func Run(cfg Config) (*Result, error) {
 		// signature change, exactly what a quorum cross-examination must
 		// classify as localized.
 		if cfg.BadReplicaEpoch > 0 && ep == cfg.BadReplicaEpoch {
-			srv := handlers[cfg.BadReplica].current()
+			srv := handlers[cfg.BadReplica].Current().(*core.Server)
 			for b := 0; b < cfg.BadBlocks; b++ {
 				// Bit-flip the real block rather than truncating it: the
 				// rotten bytes stay structurally decodable, so compute jobs

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"seccloud/internal/chaos"
+	"seccloud/internal/ibc"
+	"seccloud/internal/obs"
+	"seccloud/internal/pairing"
+)
+
+// ChaosExpConfig shapes the chaos sweep: many distinct seeded
+// composed-fault schedules, a fraction of them carrying a real cheating
+// replica, plus one deliberately-broken run for the shrinker to
+// minimize.
+type ChaosExpConfig struct {
+	// Runs is the number of distinct seeded schedules (the bench gate
+	// demands ≥ 200).
+	Runs int
+	// BaseSeed numbers the schedules BaseSeed, BaseSeed+1, …
+	BaseSeed int64
+	// TamperEvery makes every k-th schedule include a real cheating
+	// replica (0 = never). Tampered schedules must detect the cheater;
+	// clean ones must stay accusation-free.
+	TamperEvery int
+	// Parallel bounds concurrent runs (0 = NumCPU, capped at 8). Each
+	// run is internally deterministic; parallelism only reorders row
+	// completion, never row content.
+	Parallel int
+	// ShrinkSeed seeds the known-violation demonstration run.
+	ShrinkSeed int64
+	// Hub receives the chaos clusters' metrics when non-nil.
+	Hub *obs.Hub
+}
+
+// ChaosRow is one seeded schedule's outcome.
+type ChaosRow struct {
+	Seed        int64
+	Steps       int
+	Ops         int
+	OpsFailed   int
+	Audits      int
+	FalseFlags  int
+	Accusations int
+	Tampered    bool
+	Detected    bool
+	LostRounds  int
+	Failovers   int
+	AuditErrors int
+	DiskFaults  int64
+	NetDrops    int64
+	Violations  []string
+	Elapsed     time.Duration
+}
+
+// ChaosShrink is the known-violation demonstration: a forged-evidence
+// plant buried in noise steps, minimized by the shrinker, with the
+// minimal schedule rerun twice to prove the printed repro line fails
+// byte-for-byte.
+type ChaosShrink struct {
+	Schedule      string // the original noisy failing schedule
+	Minimal       string // what the shrinker kept
+	Invariant     string // the violated invariant the shrink preserved
+	Repro         string // one-line seccloud-sim reproducer
+	StepsBefore   int
+	StepsAfter    int
+	Runs          int // chaos runs the ddmin search spent
+	ByteIdentical bool
+}
+
+// ChaosSummary aggregates the sweep — the acceptance figures.
+type ChaosSummary struct {
+	Runs         int
+	TamperedRuns int
+	DetectedRuns int // tampered runs whose cheater was accused
+	FalseFlags   int
+	Violations   int
+	Ops          int
+	OpsFailed    int
+	Audits       int
+	AuditErrors  int
+	DiskFaults   int64
+	NetDrops     int64
+}
+
+// Chaos runs the sweep and the shrink demonstration. Every run uses
+// chaos.Defaults(seed) — the exact configuration `seccloud-sim -chaos`
+// uses — so any violation's printed repro line replays it verbatim.
+func Chaos(cfg ChaosExpConfig) ([]ChaosRow, *ChaosShrink, *ChaosSummary, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 200
+	}
+	if cfg.BaseSeed == 0 {
+		cfg.BaseSeed = 1
+	}
+	if cfg.TamperEvery < 0 {
+		cfg.TamperEvery = 0
+	}
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.NumCPU()
+		if par > 8 {
+			par = 8
+		}
+	}
+	if par > cfg.Runs {
+		par = cfg.Runs
+	}
+
+	// One IBC setup for the whole sweep: key generation dominates a
+	// small run's wall clock and verdicts never depend on key material.
+	sio, err := ibc.Setup(pairing.InsecureTest256(), rand.Reader)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	rows := make([]ChaosRow, cfg.Runs)
+	errs := make([]error, cfg.Runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := 0; i < cfg.Runs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seed := cfg.BaseSeed + int64(i)
+			rc := chaos.Defaults(seed)
+			rc.Tamper = cfg.TamperEvery > 0 && i%cfg.TamperEvery == cfg.TamperEvery-1
+			rc.SIO = sio
+			rc.Hub = cfg.Hub
+			rep, err := chaos.Run(rc)
+			if err != nil {
+				errs[i] = fmt.Errorf("seed %d: %w", seed, err)
+				return
+			}
+			rows[i] = ChaosRow{
+				Seed:        rep.Seed,
+				Steps:       rep.Steps,
+				Ops:         rep.Ops,
+				OpsFailed:   rep.OpsFailed,
+				Audits:      rep.Audits,
+				FalseFlags:  rep.FalseFlags,
+				Accusations: rep.Accusations,
+				Tampered:    rep.Tampered,
+				Detected:    rep.Detected,
+				LostRounds:  rep.LostRounds,
+				Failovers:   rep.Failovers,
+				AuditErrors: rep.AuditErrors,
+				DiskFaults:  rep.DiskFaults,
+				NetDrops:    rep.NetDrops,
+				Violations:  rep.Violations,
+				Elapsed:     rep.Elapsed,
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, nil, e
+		}
+	}
+
+	sum := &ChaosSummary{Runs: cfg.Runs}
+	for _, row := range rows {
+		if row.Tampered {
+			sum.TamperedRuns++
+			if row.Detected {
+				sum.DetectedRuns++
+			}
+		}
+		sum.FalseFlags += row.FalseFlags
+		sum.Violations += len(row.Violations)
+		sum.Ops += row.Ops
+		sum.OpsFailed += row.OpsFailed
+		sum.Audits += row.Audits
+		sum.AuditErrors += row.AuditErrors
+		sum.DiskFaults += row.DiskFaults
+		sum.NetDrops += row.NetDrops
+	}
+
+	shrink, err := chaosShrinkDemo(cfg.ShrinkSeed, sio)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rows, shrink, sum, nil
+}
+
+// chaosShrinkDemo plants a forged evidence byte in a schedule padded
+// with harmless weather, shrinks it, and replays the minimal schedule
+// twice to prove the repro line reproduces the violation byte-for-byte.
+func chaosShrinkDemo(seed int64, sio *ibc.SIO) (*ChaosShrink, error) {
+	if seed == 0 {
+		seed = 31
+	}
+	noisy, err := chaos.ParseSchedule(
+		"e1:skew(da,50ms) e1:faults(0,drop=0.1,corrupt=0) e1:plant(forged-evidence,1) " +
+			"e2:calm(0) e2:skew(da,0s) e2:restart(2)")
+	if err != nil {
+		return nil, err
+	}
+	cfg := chaos.Defaults(seed)
+	cfg.SIO = sio
+	res, err := chaos.Shrink(cfg, noisy, 24)
+	if err != nil {
+		return nil, fmt.Errorf("chaos shrink demo: %w", err)
+	}
+
+	recfg := cfg
+	recfg.Schedule = res.Schedule
+	first, err := chaos.Run(recfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos shrink replay: %w", err)
+	}
+	second, err := chaos.Run(recfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos shrink replay: %w", err)
+	}
+	identical := !first.OK() &&
+		strings.Join(first.Violations, "\n") == strings.Join(second.Violations, "\n")
+
+	return &ChaosShrink{
+		Schedule:      noisy.String(),
+		Minimal:       res.Schedule.String(),
+		Invariant:     res.Invariant,
+		Repro:         res.Repro(),
+		StepsBefore:   len(noisy),
+		StepsAfter:    len(res.Schedule),
+		Runs:          res.Runs,
+		ByteIdentical: identical,
+	}, nil
+}

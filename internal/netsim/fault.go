@@ -29,6 +29,10 @@ const (
 	FaultCorrupt
 	// FaultDisconnect tears the connection down mid-exchange.
 	FaultDisconnect
+	// FaultPartition blocks the message at a network partition: the two
+	// endpoints are in groups that currently cannot reach each other in
+	// this direction (partitions are directional; see Partition).
+	FaultPartition
 )
 
 // String renders the fault class.
@@ -44,6 +48,8 @@ func (k FaultKind) String() string {
 		return "corrupt"
 	case FaultDisconnect:
 		return "disconnect"
+	case FaultPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seccloud/internal/obs"
@@ -134,7 +135,8 @@ type Loopback struct {
 	handler   Handler
 	link      LinkConfig
 	stats     Stats
-	faults    *faultInjector
+	faults    atomic.Pointer[faultInjector]
+	clock     atomic.Pointer[Clock]
 	obs       *rpcObs
 	admission *Admission
 }
@@ -148,8 +150,44 @@ func NewLoopback(handler Handler, link LinkConfig) *Loopback {
 
 // WithFaults attaches a fault injector to the link and returns l.
 func (l *Loopback) WithFaults(fc FaultConfig) *Loopback {
-	l.faults = newFaultInjector(fc)
+	l.faults.Store(newFaultInjector(fc))
 	return l
+}
+
+// SetFaults replaces the link's fault configuration at runtime — the
+// nemesis handle. The fault counters accumulated so far carry over to the
+// new injector, so Stats stays monotonic across reconfigurations; the
+// PRNG restarts from the new config's seed, keeping every configuration
+// epoch independently reproducible.
+func (l *Loopback) SetFaults(fc FaultConfig) {
+	old := l.faults.Load()
+	inj := newFaultInjector(fc)
+	if old != nil {
+		if inj == nil {
+			// Inert config: keep an injector alive purely to carry the
+			// historical counters (all rates zero, so it never fires).
+			inj = &faultInjector{}
+		}
+		inj.counts = old.snapshot()
+	}
+	l.faults.Store(inj)
+}
+
+// WithClock makes the link evaluate caller deadlines against c instead of
+// the wall clock, so injected clock skew feeds the same deadline
+// arithmetic production code would run. A nil clock (the default) means
+// time.Now.
+func (l *Loopback) WithClock(c *Clock) *Loopback {
+	l.clock.Store(c)
+	return l
+}
+
+// now reads the link's notion of current time.
+func (l *Loopback) now() time.Time {
+	if c := l.clock.Load(); c != nil {
+		return c.Now()
+	}
+	return time.Now()
 }
 
 // WithObs attaches observability instruments to the link (latency
@@ -203,9 +241,12 @@ func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.M
 	if err != nil {
 		return nil, lat, err
 	}
+	// One injector per round trip: a concurrent SetFaults reconfigures
+	// the *next* call, never a call in flight.
+	faults := l.faults.Load()
 
 	// Request leg.
-	reqPlan := l.faults.plan(true)
+	reqPlan := faults.plan(true)
 	lat += reqPlan.delay
 	if reqPlan.disconnect {
 		return nil, lat, &FaultError{Kind: FaultDisconnect, Op: "request"}
@@ -216,7 +257,7 @@ func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.M
 	}
 	if reqPlan.corrupt {
 		reqBytes = append([]byte(nil), reqBytes...)
-		l.faults.corruptFrame(reqBytes)
+		faults.corruptFrame(reqBytes)
 	}
 	// Decode on the "server side" to faithfully model (de)serialization.
 	req, err := wire.Decode(reqBytes)
@@ -275,7 +316,7 @@ func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.M
 	if err != nil {
 		return nil, lat, err
 	}
-	respPlan := l.faults.plan(false)
+	respPlan := faults.plan(false)
 	lat += respPlan.delay
 	if respPlan.disconnect {
 		l.stats.record(len(reqBytes), 0, lat)
@@ -287,7 +328,7 @@ func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.M
 	}
 	if respPlan.corrupt {
 		respBytes = append([]byte(nil), respBytes...)
-		l.faults.corruptFrame(respBytes)
+		faults.corruptFrame(respBytes)
 	}
 	resp2, err := wire.Decode(respBytes)
 	if err != nil {
@@ -302,8 +343,10 @@ func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.M
 	if deadline, ok := ctx.Deadline(); ok {
 		// Virtual time vs. the caller's budget: if the modeled latency of
 		// this call exceeds the remaining real budget, the reply would
-		// have arrived too late.
-		if remaining := time.Until(deadline); lat > remaining {
+		// have arrived too late. The budget is read off the link's clock,
+		// so injected skew shifts deadline decisions exactly as a skewed
+		// host clock would.
+		if remaining := deadline.Sub(l.now()); lat > remaining {
 			l.stats.record(len(reqBytes), len(respBytes), lat)
 			return nil, lat, &TransportError{Op: "roundtrip", Timeout: true, Err: context.DeadlineExceeded}
 		}
@@ -315,7 +358,7 @@ func (l *Loopback) roundTripModeled(ctx context.Context, m wire.Message) (wire.M
 // Stats returns the link counters.
 func (l *Loopback) Stats() StatsSnapshot {
 	snap := l.stats.Snapshot()
-	snap.Faults = l.faults.snapshot()
+	snap.Faults = l.faults.Load().snapshot()
 	return snap
 }
 

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+)
+
+// FaultFS wraps another FS and injects disk faults from a seeded PRNG, so
+// a given (seed, operation sequence) always misbehaves identically — the
+// property the chaos harness's reproducers depend on. Four fault classes:
+//
+//   - SyncErrRate: File.Sync (and SyncDir) fail with an injected EIO.
+//     After a failed fsync the kernel page-cache state is indeterminate
+//     (the "fsyncgate" lesson), which is why Log wedges itself sticky on
+//     this error rather than retrying.
+//   - ShortWriteRate: File.Write persists only a prefix and fails with an
+//     injected ENOSPC — the torn-tail artifact of a full disk.
+//   - ReadRotRate: ReadFile returns a copy with one bit flipped, but only
+//     for snapshot files ("snap-*"): cold-sector media rot. The WAL tail
+//     is deliberately exempt, because flipping the final record's bytes is
+//     byte-indistinguishable from a torn write, which recovery is allowed
+//     (and required) to truncate — rotting it would make an acked write
+//     vanish "legally" and turn the durability invariant into noise. The
+//     disk content itself is never modified: a retried read may succeed.
+//   - RenameTornRate: Rename fails before doing anything (a power-cut
+//     during snapshot publication). The temp file stays; the WAL remains
+//     authoritative; recovery ignores *.tmp.
+//
+// Metadata ops (MkdirAll, ReadDir, Remove, Truncate) are passed through
+// untouched: they model the directory fan-out the harness does not vary.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	cfg    FaultFSConfig
+	rng    *rand.Rand
+	counts FaultFSCounts
+}
+
+// FaultFSConfig sets the per-operation fault probabilities (all in [0,1])
+// and the PRNG seed that makes the injection deterministic.
+type FaultFSConfig struct {
+	Seed           int64
+	SyncErrRate    float64
+	ShortWriteRate float64
+	ReadRotRate    float64
+	RenameTornRate float64
+}
+
+// active reports whether any fault can fire under this config.
+func (c FaultFSConfig) active() bool {
+	return c.SyncErrRate > 0 || c.ShortWriteRate > 0 || c.ReadRotRate > 0 || c.RenameTornRate > 0
+}
+
+// FaultFSCounts is a snapshot of how many faults actually fired.
+type FaultFSCounts struct {
+	SyncErrs    int64
+	ShortWrites int64
+	ReadRots    int64
+	TornRenames int64
+}
+
+// Total sums every fired fault.
+func (c FaultFSCounts) Total() int64 {
+	return c.SyncErrs + c.ShortWrites + c.ReadRots + c.TornRenames
+}
+
+// DiskFaultError is the error every injected disk fault surfaces as.
+type DiskFaultError struct {
+	Op   string // "write", "sync", "rename"
+	Path string
+	Kind string // "enospc", "eio", "torn-rename"
+}
+
+func (e *DiskFaultError) Error() string {
+	return fmt.Sprintf("faultfs: injected %s during %s of %s", e.Kind, e.Op, e.Path)
+}
+
+// IsDiskFault reports whether err (or anything it wraps) is an injected
+// disk fault.
+func IsDiskFault(err error) bool {
+	var de *DiskFaultError
+	return errors.As(err, &de)
+}
+
+// NewFaultFS wraps the real filesystem with seeded fault injection.
+func NewFaultFS(cfg FaultFSConfig) *FaultFS {
+	return &FaultFS{inner: OSFS(), cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetRates replaces the fault probabilities without resetting the PRNG or
+// the counters, so a nemesis can sicken and heal the disk mid-run while
+// the draw sequence stays a pure function of the seed.
+func (f *FaultFS) SetRates(cfg FaultFSConfig) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seed := f.cfg.Seed
+	f.cfg = cfg
+	f.cfg.Seed = seed
+}
+
+// Counts returns how many faults have fired so far.
+func (f *FaultFS) Counts() FaultFSCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+// roll draws once and reports whether a fault with probability rate fires.
+// Always drawing (even at rate 0) keeps the draw sequence aligned across
+// schedules that toggle rates at different times... but it would also make
+// every passthrough op consume entropy; instead the PRNG is only consulted
+// while the config is active, which keeps fault-free runs byte-identical
+// to runs with FaultFS absent entirely.
+func (f *FaultFS) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return f.rng.Float64() < rate
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	inner, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, inner: inner}, nil
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	data, err := f.inner.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.cfg.active() || !strings.HasPrefix(baseName(path), "snap-") {
+		return data, nil
+	}
+	if f.roll(f.cfg.ReadRotRate) && len(data) > 0 {
+		f.counts.ReadRots++
+		rotten := append([]byte(nil), data...)
+		i := f.rng.Intn(len(rotten))
+		rotten[i] ^= 1 << uint(f.rng.Intn(8))
+		return rotten, nil
+	}
+	return data, nil
+}
+
+func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error) { return f.inner.ReadDir(path) }
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	if f.cfg.active() && f.roll(f.cfg.RenameTornRate) {
+		f.counts.TornRenames++
+		f.mu.Unlock()
+		return &DiskFaultError{Op: "rename", Path: newpath, Kind: "torn-rename"}
+	}
+	f.mu.Unlock()
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error               { return f.inner.Remove(path) }
+func (f *FaultFS) Truncate(path string, size int64) error { return f.inner.Truncate(path, size) }
+
+func (f *FaultFS) SyncDir(path string) error {
+	f.mu.Lock()
+	if f.cfg.active() && f.roll(f.cfg.SyncErrRate) {
+		f.counts.SyncErrs++
+		f.mu.Unlock()
+		return &DiskFaultError{Op: "sync", Path: path, Kind: "eio"}
+	}
+	f.mu.Unlock()
+	return f.inner.SyncDir(path)
+}
+
+// faultFile intercepts writes and syncs on one open handle.
+type faultFile struct {
+	fs    *FaultFS
+	path  string
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	if ff.fs.cfg.active() && ff.fs.roll(ff.fs.cfg.ShortWriteRate) {
+		ff.fs.counts.ShortWrites++
+		n := len(p) / 2
+		ff.fs.mu.Unlock()
+		// The prefix really lands on disk — that is what makes the fault
+		// "torn" rather than clean: the next recovery must cope with it.
+		if n > 0 {
+			if _, werr := ff.inner.Write(p[:n]); werr != nil {
+				return 0, werr
+			}
+		}
+		return n, &DiskFaultError{Op: "write", Path: ff.path, Kind: "enospc"}
+	}
+	ff.fs.mu.Unlock()
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	if ff.fs.cfg.active() && ff.fs.roll(ff.fs.cfg.SyncErrRate) {
+		ff.fs.counts.SyncErrs++
+		ff.fs.mu.Unlock()
+		return &DiskFaultError{Op: "sync", Path: ff.path, Kind: "eio"}
+	}
+	ff.fs.mu.Unlock()
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+
+// baseName is filepath.Base without the import noise.
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// appendN appends n records and returns the payload of the last acked one.
+func appendN(t *testing.T, l *Log, n int, tag byte) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(1, []byte{tag, byte(i)}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// TestFsyncErrorWedgesLog is the regression test for the swallowed-fsync
+// bug: a failed fsync must leave the log sticky-wedged — every later
+// append and snapshot fails loudly with ErrWedged — and a fresh Open must
+// recover exactly the records that were acked before the failure.
+func TestFsyncErrorWedgesLog(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(FaultFSConfig{Seed: 1})
+	l, _, err := Open(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, l, 3, 'a')
+
+	ffs.SetRates(FaultFSConfig{SyncErrRate: 1})
+	if _, err := l.Append(1, []byte("doomed")); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	} else if !IsDiskFault(err) {
+		t.Fatalf("append error does not expose the disk fault: %v", err)
+	}
+	if l.Wedged() == nil {
+		t.Fatal("log not wedged after fsync failure")
+	}
+
+	// The disk is healed, but the log must stay wedged: a post-failure
+	// fsync reporting success proves nothing about the lost pages.
+	ffs.SetRates(FaultFSConfig{})
+	if _, err := l.Append(1, []byte("late")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append after wedge: got %v, want ErrWedged", err)
+	}
+	if err := l.Snapshot([]byte("snap")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("snapshot after wedge: got %v, want ErrWedged", err)
+	}
+	if l.SnapshotDue() {
+		t.Fatal("wedged log claims a snapshot is due")
+	}
+
+	// Recovery (the only exit from a wedge) returns at least the acked
+	// prefix. The unacked 4th record's frame did reach the disk before
+	// the fsync failed, so it may legitimately reappear — recovering an
+	// unacked write is allowed (upper-layer idempotency absorbs it);
+	// losing an acked one never is.
+	l2, rec, err := Open(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(rec.Records) < 3 {
+		t.Fatalf("recovered %d records, want at least the 3 acked", len(rec.Records))
+	}
+}
+
+// TestShortWriteWedgesAndRecovers: an injected ENOSPC mid-frame leaves a
+// torn tail on disk; the log wedges, and recovery truncates the tear
+// while keeping every acked record.
+func TestShortWriteWedgesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(FaultFSConfig{Seed: 2})
+	l, _, err := Open(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, l, 4, 'b')
+
+	ffs.SetRates(FaultFSConfig{ShortWriteRate: 1})
+	if _, err := l.Append(1, []byte("torn-by-enospc")); err == nil {
+		t.Fatal("short write acked")
+	}
+	if l.Wedged() == nil {
+		t.Fatal("log not wedged after short write")
+	}
+	ffs.SetRates(FaultFSConfig{})
+
+	l2, rec, err := Open(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer l2.Close()
+	if !rec.TornTail {
+		t.Fatal("recovery did not report the torn tail")
+	}
+	if len(rec.Records) != 4 {
+		t.Fatalf("recovered %d records, want 4", len(rec.Records))
+	}
+	// The reopened log must append cleanly past the repaired tear.
+	if _, err := l2.Append(1, []byte("after-repair")); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+}
+
+// TestSnapshotReadRotRefusedLoudly: bit-rot on the snapshot read path is
+// detected by the CRC and surfaces as a loud recovery error — never
+// silently served — and because the rot is read-path only, a later clean
+// read recovers everything.
+func TestSnapshotReadRotRefusedLoudly(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(FaultFSConfig{Seed: 3})
+	l, _, err := Open(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, l, 2, 'c')
+	if err := l.Snapshot([]byte("state-after-2")); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	l.Kill()
+
+	ffs.SetRates(FaultFSConfig{ReadRotRate: 1})
+	if _, _, err := Open(Config{Dir: dir, FS: ffs}); err == nil {
+		t.Fatal("recovery served a rotten snapshot")
+	} else if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("rot surfaced as %v, want ErrCorrupt", err)
+	}
+	if ffs.Counts().ReadRots == 0 {
+		t.Fatal("rot never fired")
+	}
+
+	ffs.SetRates(FaultFSConfig{})
+	l2, rec, err := Open(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("clean reopen: %v", err)
+	}
+	defer l2.Close()
+	if string(rec.Snapshot) != "state-after-2" {
+		t.Fatalf("recovered snapshot %q", rec.Snapshot)
+	}
+}
+
+// TestTornRenameKeepsWALAuthoritative: a torn rename fails the snapshot
+// publication, the temp file is ignored by recovery, and the WAL still
+// replays every acked record.
+func TestTornRenameKeepsWALAuthoritative(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(FaultFSConfig{Seed: 4})
+	l, _, err := Open(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, l, 5, 'd')
+
+	ffs.SetRates(FaultFSConfig{RenameTornRate: 1})
+	if err := l.Snapshot([]byte("never-published")); err == nil {
+		t.Fatal("torn rename published a snapshot")
+	} else if !IsDiskFault(err) {
+		t.Fatalf("torn rename surfaced as %v", err)
+	}
+	// Snapshot failure must not wedge: the WAL is still authoritative.
+	if _, err := l.Append(1, []byte("still-writable")); err != nil {
+		t.Fatalf("append after failed snapshot: %v", err)
+	}
+	l.Kill()
+
+	ffs.SetRates(FaultFSConfig{})
+	l2, rec, err := Open(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rec.Snapshot != nil {
+		t.Fatal("unpublished snapshot leaked into recovery")
+	}
+	if len(rec.Records) != 6 {
+		t.Fatalf("recovered %d records, want 6", len(rec.Records))
+	}
+}
+
+// TestFaultFSDeterminism: identical seeds and operation sequences fire
+// identical faults — the property every chaos reproducer rests on.
+func TestFaultFSDeterminism(t *testing.T) {
+	run := func(seed int64) (FaultFSCounts, []error) {
+		dir := t.TempDir()
+		ffs := NewFaultFS(FaultFSConfig{
+			Seed: seed, SyncErrRate: 0.3, ShortWriteRate: 0.2, RenameTornRate: 0.5,
+		})
+		l, _, err := Open(Config{Dir: dir, FS: ffs})
+		if err != nil {
+			// Open can fail under faults; that is itself a deterministic outcome.
+			return ffs.Counts(), []error{err}
+		}
+		var errs []error
+		for i := 0; i < 20; i++ {
+			_, err := l.Append(1, []byte{byte(i)})
+			errs = append(errs, err)
+			if l.Wedged() != nil {
+				ffs2 := ffs // same disk, fresh process
+				nl, _, oerr := Open(Config{Dir: dir, FS: ffs2})
+				errs = append(errs, oerr)
+				if oerr != nil {
+					break
+				}
+				l = nl
+			}
+		}
+		l.Close()
+		return ffs.Counts(), errs
+	}
+	c1, e1 := run(42)
+	c2, e2 := run(42)
+	if c1 != c2 {
+		t.Fatalf("same seed, different fault counts: %+v vs %+v", c1, c2)
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("same seed, different error traces: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("same seed, error trace diverges at op %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	c3, _ := run(43)
+	if c1 == c3 && c1.Total() > 0 {
+		t.Log("different seeds produced identical counts (possible but suspicious)")
+	}
+}
+
+// TestFaultFSInertPassthrough: a FaultFS with zero rates must behave
+// byte-identically to the raw filesystem, including snapshot compaction.
+func TestFaultFSInertPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(FaultFSConfig{Seed: 9})
+	l, _, err := Open(Config{Dir: dir, FS: ffs, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, l, 2, 'e')
+	if !l.SnapshotDue() {
+		t.Fatal("snapshot not due")
+	}
+	if err := l.Snapshot([]byte("compact-me")); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	appendN(t, l, 1, 'f')
+	l.Kill()
+	l2, rec, err := Open(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if string(rec.Snapshot) != "compact-me" || len(rec.Records) != 1 {
+		t.Fatalf("recovered snapshot %q + %d records", rec.Snapshot, len(rec.Records))
+	}
+	if got := ffs.Counts().Total(); got != 0 {
+		t.Fatalf("inert FaultFS fired %d faults", got)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+}

@@ -7,6 +7,35 @@ import (
 	"testing"
 )
 
+// FuzzDecodeSnapshot drives arbitrary bytes through the snapshot decoder
+// — the exact path a FaultFS read-rot fault attacks. Damage of any shape
+// must surface as a typed ErrCorrupt (never a panic, never a silently
+// wrong payload), and intact snapshots must round-trip.
+func FuzzDecodeSnapshot(f *testing.F) {
+	good := encodeSnapshot(42, []byte("snapshot payload"))
+	f.Add(good)
+	f.Add(good[:len(good)/2]) // truncated
+	rot := append([]byte(nil), good...)
+	rot[len(rot)-1] ^= 0x01 // single-bit rot in the payload
+	f.Add(rot)
+	f.Add([]byte{})
+	f.Add([]byte("SECSNAP1 but then garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lsn, payload, err := decodeSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped snapshot decode error: %v", err)
+			}
+			return
+		}
+		again := encodeSnapshot(lsn, payload)
+		if !bytes.Equal(again, data) {
+			t.Fatal("snapshot round trip not stable")
+		}
+	})
+}
+
 // FuzzReadRecord drives arbitrary bytes through the WAL record decoder:
 // whatever the disk hands back after a crash, the decoder must return a
 // typed error (torn / corrupt / EOF) — never panic, never over-allocate,

@@ -35,10 +35,21 @@ const (
 	snapMagic = "SECSNAP1"
 )
 
+// ErrWedged marks a log that refused further writes after an earlier
+// write or fsync failure. A failed fsync leaves the page cache in an
+// indeterminate state and a short write leaves a torn frame mid-file;
+// either way, appending more records would bury the damage where
+// recovery's torn-tail repair can no longer reach it. The only way out
+// is a fresh Open, which re-reads the directory and truncates the tear.
+var ErrWedged = errors.New("store: log wedged by earlier write failure")
+
 // Config shapes a Log.
 type Config struct {
 	// Dir is the log directory (created if missing).
 	Dir string
+	// FS is the filesystem backend; nil means the real one (OSFS). Tests
+	// and the chaos harness substitute a FaultFS to model a sick disk.
+	FS FS
 	// SnapshotEvery makes SnapshotDue return true after this many records
 	// appended since the last snapshot; 0 disables the hint (the owner
 	// can still snapshot explicitly).
@@ -72,11 +83,13 @@ type Recovered struct {
 type Log struct {
 	mu        sync.Mutex
 	cfg       Config
+	fs        FS
 	dir       string
-	f         *os.File // active WAL segment
-	lsn       uint64   // last assigned LSN
+	f         File   // active WAL segment
+	lsn       uint64 // last assigned LSN
 	sinceSnap int
 	dead      bool
+	wedge     error // first write/fsync failure; non-nil refuses all writes
 	obs       *walObs
 }
 
@@ -89,21 +102,25 @@ func Open(cfg Config) (*Log, *Recovered, error) {
 	if cfg.Dir == "" {
 		return nil, nil, fmt.Errorf("store: log needs a directory")
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: creating log dir: %w", err)
 	}
-	rec, maxLSN, walPath, err := recoverDir(cfg.Dir)
+	rec, maxLSN, walPath, err := recoverDir(fsys, cfg.Dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{cfg: cfg, dir: cfg.Dir, lsn: maxLSN, obs: newWALObs(cfg.Obs)}
+	l := &Log{cfg: cfg, fs: fsys, dir: cfg.Dir, lsn: maxLSN, obs: newWALObs(cfg.Obs)}
 	if walPath == "" {
 		walPath = filepath.Join(cfg.Dir, walName(maxLSN))
 		if err := l.createSegment(walPath); err != nil {
 			return nil, nil, err
 		}
 	} else {
-		f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, nil, fmt.Errorf("store: reopening WAL: %w", err)
 		}
@@ -116,17 +133,25 @@ func Open(cfg Config) (*Log, *Recovered, error) {
 // createSegment starts a fresh WAL segment at path. Callers must hold l.mu
 // (or own l exclusively).
 func (l *Log) createSegment(path string) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: creating WAL segment: %w", err)
 	}
+	// On failure the half-created file must be scrubbed, not just closed:
+	// left on disk it sorts after the still-live segment, so recovery would
+	// treat that segment as sealed and turn its recoverable torn tail into
+	// fatal mid-log corruption. (Found by the chaos harness: a FaultFS
+	// short write during compaction's segment rotation, followed later by
+	// a torn-tail crash, bricked recovery.)
 	if _, err := f.Write([]byte(walMagic)); err != nil {
 		f.Close()
+		_ = l.fs.Remove(path)
 		return fmt.Errorf("store: writing WAL magic: %w", err)
 	}
 	if !l.cfg.NoSync {
 		if err := f.Sync(); err != nil {
 			f.Close()
+			_ = l.fs.Remove(path)
 			return fmt.Errorf("store: syncing WAL magic: %w", err)
 		}
 		l.obs.fsync()
@@ -150,6 +175,9 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 	if l.dead {
 		return 0, ErrCrashed
 	}
+	if l.wedge != nil {
+		return 0, fmt.Errorf("%w (first failure: %v)", ErrWedged, l.wedge)
+	}
 	var start time.Time
 	if l.obs != nil {
 		start = time.Now()
@@ -164,7 +192,10 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 		return 0, err
 	}
 	if l.cfg.Crash.at(CrashTornTail) {
-		// The process dies mid-write: half a record reaches the disk.
+		// The process dies mid-write: half a record reaches the disk. The
+		// write and sync results are deliberately discarded — this models
+		// a power cut, where nobody is left to observe them. Recovery's
+		// torn-tail truncation is what handles the artifact.
 		l.dead = true
 		if _, werr := l.f.Write(frame[:len(frame)/2]); werr == nil {
 			_ = l.f.Sync()
@@ -172,10 +203,20 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 		return 0, ErrCrashed
 	}
 	if _, err := l.f.Write(frame); err != nil {
+		// The frame may be partially on disk (short write). Wedge: any
+		// further append would land after the tear and turn recoverable
+		// tail damage into unrecoverable mid-file corruption.
+		l.wedge = err
 		return 0, fmt.Errorf("store: appending record: %w", err)
 	}
 	if !l.cfg.NoSync {
 		if err := l.f.Sync(); err != nil {
+			// fsyncgate discipline: after a failed fsync the kernel may
+			// have dropped the dirty pages and cleared the error, so a
+			// retried fsync reporting success proves nothing. The record
+			// was acked to nobody; wedge so every later append fails
+			// loudly instead of building on unsynced state.
+			l.wedge = err
 			return 0, fmt.Errorf("store: syncing record: %w", err)
 		}
 		l.obs.fsync()
@@ -198,7 +239,15 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 func (l *Log) SnapshotDue() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return !l.dead && l.cfg.SnapshotEvery > 0 && l.sinceSnap >= l.cfg.SnapshotEvery
+	return !l.dead && l.wedge == nil && l.cfg.SnapshotEvery > 0 && l.sinceSnap >= l.cfg.SnapshotEvery
+}
+
+// Wedged returns the first write/fsync failure that wedged the log, or
+// nil while the log is healthy.
+func (l *Log) Wedged() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wedge
 }
 
 // Snapshot writes a snapshot covering every record appended so far, then
@@ -212,22 +261,33 @@ func (l *Log) Snapshot(payload []byte) error {
 	if l.dead {
 		return ErrCrashed
 	}
+	if l.wedge != nil {
+		return fmt.Errorf("%w (first failure: %v)", ErrWedged, l.wedge)
+	}
 	tmp := filepath.Join(l.dir, snapName(l.lsn)+".tmp")
 	data := encodeSnapshot(l.lsn, payload)
 	if l.cfg.Crash.at(CrashMidSnapshot) {
+		// Another power-cut injection: the half-written temp file's write
+		// result is deliberately discarded (the process is "dead"), and
+		// recovery ignores *.tmp files entirely.
 		l.dead = true
-		_ = os.WriteFile(tmp, data[:len(data)/2], 0o644)
+		if tf, terr := l.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644); terr == nil {
+			_, _ = tf.Write(data[:len(data)/2])
+			_ = tf.Close()
+		}
 		return ErrCrashed
 	}
-	if err := writeFileSync(tmp, data); err != nil {
+	if err := writeFileSync(l.fs, tmp, data); err != nil {
+		// A snapshot failure does not wedge the log: the temp file is
+		// scratch, the WAL stays authoritative, and appends continue.
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
 	l.obs.fsync()
 	final := filepath.Join(l.dir, snapName(l.lsn))
-	if err := os.Rename(tmp, final); err != nil {
+	if err := l.fs.Rename(tmp, final); err != nil {
 		return fmt.Errorf("store: publishing snapshot: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		return err
 	}
 	l.obs.fsync()
@@ -237,6 +297,9 @@ func (l *Log) Snapshot(payload []byte) error {
 		l.f = old
 		return err
 	}
+	// Close result deliberately dropped: the segment was fsync'd on every
+	// append (or the owner opted out via NoSync), so close has nothing
+	// left to make durable, and the replacement segment is already live.
 	_ = old.Close()
 	l.sinceSnap = 0
 	if l.obs != nil {
@@ -248,10 +311,13 @@ func (l *Log) Snapshot(payload []byte) error {
 }
 
 // removeSuperseded deletes every snapshot/WAL file other than the two
-// just published. Best-effort: leftovers are harmless (recovery skips
-// covered records) and vanish at the next compaction.
+// just published. Best-effort by design — the ReadDir and Remove results
+// are deliberately ignored: leftovers are harmless (recovery skips
+// covered records) and vanish at the next compaction, whereas failing
+// the snapshot over an undeletable stale file would trade durability for
+// tidiness.
 func (l *Log) removeSuperseded(keepSnap, keepWAL string) {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return
 	}
@@ -262,7 +328,7 @@ func (l *Log) removeSuperseded(keepSnap, keepWAL string) {
 			continue
 		}
 		if strings.HasPrefix(name, "snap-") || strings.HasPrefix(name, "wal-") {
-			_ = os.Remove(p)
+			_ = l.fs.Remove(p)
 		}
 	}
 }
@@ -347,8 +413,8 @@ func decodeSnapshot(data []byte) (lsn uint64, payload []byte, err error) {
 // record after it. It returns the recovered contents, the highest LSN
 // seen, and the path of the WAL segment to keep appending to ("" when a
 // fresh segment must be created).
-func recoverDir(dir string) (*Recovered, uint64, string, error) {
-	entries, err := os.ReadDir(dir)
+func recoverDir(fsys FS, dir string) (*Recovered, uint64, string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, 0, "", fmt.Errorf("store: reading log dir: %w", err)
 	}
@@ -371,7 +437,7 @@ func recoverDir(dir string) (*Recovered, uint64, string, error) {
 	rec := &Recovered{}
 	// Newest intact snapshot wins; older ones are compaction leftovers.
 	for i := len(snaps) - 1; i >= 0; i-- {
-		data, err := os.ReadFile(filepath.Join(dir, snaps[i]))
+		data, err := fsys.ReadFile(filepath.Join(dir, snaps[i]))
 		if err != nil {
 			return nil, 0, "", fmt.Errorf("store: reading snapshot: %w", err)
 		}
@@ -396,7 +462,7 @@ func recoverDir(dir string) (*Recovered, uint64, string, error) {
 	for wi, name := range wals {
 		path := filepath.Join(dir, name)
 		final := wi == len(wals)-1
-		records, torn, err := readSegment(path, final)
+		records, torn, err := readSegment(fsys, path, final)
 		if err != nil {
 			return nil, 0, "", fmt.Errorf("store: segment %s: %w", name, err)
 		}
@@ -428,8 +494,8 @@ func recoverDir(dir string) (*Recovered, uint64, string, error) {
 // segment, a record that ends mid-frame or fails its CRC *at the tail* is
 // truncated away and reported; the same damage followed by further intact
 // bytes — or in a non-final segment — is corruption.
-func readSegment(path string, final bool) ([]*Record, bool, error) {
-	data, err := os.ReadFile(path)
+func readSegment(fsys FS, path string, final bool) ([]*Record, bool, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, false, fmt.Errorf("store: reading WAL: %w", err)
 	}
@@ -454,7 +520,7 @@ func readSegment(path string, final bool) ([]*Record, bool, error) {
 				// segment) cannot be a torn tail: report, don't repair.
 				return nil, false, err
 			}
-			if terr := os.Truncate(path, int64(offset)); terr != nil {
+			if terr := fsys.Truncate(path, int64(offset)); terr != nil {
 				return nil, false, fmt.Errorf("store: truncating torn tail: %w", terr)
 			}
 			return records, true, nil
@@ -467,8 +533,8 @@ func readSegment(path string, final bool) ([]*Record, bool, error) {
 // --- fsync helpers ----------------------------------------------------------
 
 // writeFileSync writes data to path and fsyncs it.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+func writeFileSync(fsys FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -481,18 +547,4 @@ func writeFileSync(path string, data []byte) error {
 		return err
 	}
 	return f.Close()
-}
-
-// syncDir fsyncs a directory so renames within it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: opening dir for sync: %w", err)
-	}
-	err = d.Sync()
-	cerr := d.Close()
-	if err != nil {
-		return fmt.Errorf("store: syncing dir: %w", err)
-	}
-	return cerr
 }
