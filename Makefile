@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet bench-overload bench-multitenant bench-threshold bench-chaos
+.PHONY: check build test race vet fuzz bench bench-audit bench-recovery bench-fleet bench-overload bench-multitenant bench-threshold bench-chaos bench-daemon
 
 check: vet build race
 
@@ -28,6 +28,7 @@ vet:
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/wire -fuzz FuzzReadMessage -fuzztime 10s
+	$(GO) test ./internal/wire -fuzz FuzzHandshake -fuzztime 10s
 	$(GO) test ./internal/store -fuzz FuzzReadRecord -fuzztime 10s
 	$(GO) test ./internal/store -fuzz FuzzDecodeSnapshot -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzDecodeEvidence -fuzztime 10s
@@ -85,3 +86,12 @@ bench-threshold:
 # enforced: any failure exits nonzero. Refreshes BENCH_chaos.json.
 bench-chaos:
 	$(GO) run ./cmd/seccloud-bench -exp chaos -params test256 -json BENCH_chaos.json
+
+# Daemon benchmark: real localhost TCP/TLS fleet under 50 ms simulated
+# RTT — streamed challenge pipelining vs sequential rounds (gate: >= 1.5x
+# throughput), graceful drain with every in-flight audit completing, zero
+# false flags, byte-identical verdicts on netsim vs daemon transport, and
+# the mutual-TLS identity cells. The acceptance gate is enforced: any
+# failure exits nonzero. Refreshes BENCH_daemon.json.
+bench-daemon:
+	$(GO) run ./cmd/seccloud-bench -exp daemon -params test256 -json BENCH_daemon.json

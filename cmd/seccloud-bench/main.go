@@ -17,6 +17,7 @@
 //	seccloud-bench -exp multitenant        # cross-user aggregate verification at 10⁵–10⁶ users
 //	seccloud-bench -exp threshold          # t-of-n audit quorums under crashes and Byzantine partials
 //	seccloud-bench -exp chaos              # seeded composed-fault schedules vs the invariant engine
+//	seccloud-bench -exp daemon             # daemon mode: TLS sockets, pooling, streamed pipelining
 //	seccloud-bench -params ss512           # use the full-size pairing
 //	seccloud-bench -csv                    # machine-readable output
 //	seccloud-bench -exp parallel-audit -json BENCH_parallel_audit.json
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|crash-recovery|fleet-failover|overload|multitenant|threshold|chaos|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|detection|optimal-t|traffic|epochs|parallel-audit|crash-recovery|fleet-failover|overload|multitenant|threshold|chaos|daemon|all")
 	params := flag.String("params", "ss512", "pairing parameter set: ss512|test256")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	iters := flag.Int("iters", 10, "calibration iterations for op timing")
@@ -100,11 +101,13 @@ func main() {
 		runErr = r.threshold()
 	case "chaos":
 		runErr = r.chaos()
+	case "daemon":
+		runErr = r.daemon()
 	case "all":
 		for _, f := range []func() error{
 			r.table1, r.table2, r.fig4, r.fig5, r.detection, r.optimalT, r.traffic, r.epochs,
 			r.parallelAudit, r.crashRecovery, r.fleetFailover, r.overload, r.multitenant, r.threshold,
-			r.chaos,
+			r.chaos, r.daemon,
 		} {
 			if runErr = f(); runErr != nil {
 				break

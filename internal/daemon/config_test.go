@@ -1,0 +1,61 @@
+package daemon
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLoadFileConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seccloudd.json")
+	blob := `{
+		"listen": "127.0.0.1:7700",
+		"admin": "127.0.0.1:7701",
+		"params": "test256",
+		"seed": 42,
+		"blocks": 256,
+		"block_size": 1024,
+		"mtls": true,
+		"identities": {"agency.seccloud.local": "da:demo"},
+		"max_conns": 64,
+		"max_inflight": 8,
+		"max_queue": 16,
+		"drain_idle_millis": 1500
+	}`
+	if err := os.WriteFile(path, []byte(blob), 0o600); err != nil {
+		t.Fatalf("writing config: %v", err)
+	}
+	cfg, err := LoadFileConfig(path)
+	if err != nil {
+		t.Fatalf("LoadFileConfig: %v", err)
+	}
+	if cfg.Listen != "127.0.0.1:7700" || cfg.Params != "test256" || cfg.Seed != 42 {
+		t.Fatalf("core fields: %+v", cfg)
+	}
+	if !cfg.MTLS || cfg.Identities["agency.seccloud.local"] != "da:demo" {
+		t.Fatalf("identity fields: %+v", cfg)
+	}
+	if cfg.MaxConns != 64 || cfg.MaxInflight != 8 || cfg.MaxQueue != 16 {
+		t.Fatalf("limit fields: %+v", cfg)
+	}
+	if got := Millis(cfg.DrainIdleMillis, DefaultDrainIdle); got != 1500*time.Millisecond {
+		t.Fatalf("DrainIdle = %v", got)
+	}
+}
+
+func TestLoadFileConfigDefaults(t *testing.T) {
+	cfg, err := LoadFileConfig("")
+	if err != nil {
+		t.Fatalf("empty path: %v", err)
+	}
+	if cfg.Listen != "" || cfg.Seed != 0 || cfg.MTLS || cfg.Identities != nil {
+		t.Fatalf("zero config expected, got %+v", cfg)
+	}
+	if got := Millis(0, DefaultDrainIdle); got != DefaultDrainIdle {
+		t.Fatalf("Millis default: %v", got)
+	}
+	if _, err := LoadFileConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing config file did not error")
+	}
+}

@@ -1,0 +1,90 @@
+// Chaos-palette registration for real-socket servers. The daemon always
+// serves through a netsim.SwappableHandler slot, so the same nemesis
+// moves that kill and revive simulated servers work unchanged against a
+// live TCP/TLS listener: swap in DeadHandler and every in-flight request
+// drops its connection exactly as a killed process would; swap the live
+// handler back and the socket serves again — same address, same conns
+// refused in between, same client-side fault classification.
+package daemon
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"seccloud/internal/netsim"
+	"seccloud/internal/wire"
+)
+
+// DeadHandler is a killed process behind a live socket: every request is
+// answered with nil, which the serve loop turns into a dropped
+// connection (no reply, conn closed) — indistinguishable on the wire
+// from a crashed seccloudd.
+type DeadHandler struct{}
+
+// Handle implements netsim.Handler by dying.
+func (DeadHandler) Handle(wire.Message) wire.Message { return nil }
+
+// Nemesis kills and revives the process behind a daemon server's socket.
+type Nemesis struct {
+	slot *netsim.SwappableHandler
+	live netsim.Handler
+
+	mu   sync.Mutex
+	dead bool
+}
+
+// NewNemesis targets a daemon server. The handler currently in the slot
+// is remembered as the live incarnation Revive restores.
+func NewNemesis(s *Server) *Nemesis {
+	return &Nemesis{slot: s.Slot(), live: s.Slot().Current()}
+}
+
+// Kill swaps the dead handler in. Idempotent.
+func (n *Nemesis) Kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.dead {
+		n.slot.Swap(DeadHandler{})
+		n.dead = true
+	}
+}
+
+// Revive restores the live handler. Idempotent.
+func (n *Nemesis) Revive() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead {
+		n.slot.Swap(n.live)
+		n.dead = false
+	}
+}
+
+// Dead reports whether the server is currently killed.
+func (n *Nemesis) Dead() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dead
+}
+
+// Schedule runs a seeded kill/revive flap sequence: flips alternating
+// up/down phases whose durations are drawn deterministically from seed
+// in [min, max). It blocks until the schedule completes and always
+// leaves the server revived — a chaos schedule ends with the world
+// repaired so invariants can be checked post-quiescence.
+func (n *Nemesis) Schedule(seed int64, flips int, min, max time.Duration) {
+	if max <= min {
+		max = min + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < flips; i++ {
+		phase := min + time.Duration(rng.Int63n(int64(max-min)))
+		if i%2 == 0 {
+			n.Kill()
+		} else {
+			n.Revive()
+		}
+		time.Sleep(phase)
+	}
+	n.Revive()
+}

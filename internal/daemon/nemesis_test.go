@@ -1,0 +1,98 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"seccloud/internal/core"
+	"seccloud/internal/netsim"
+)
+
+// TestNemesisKillRevive: killing the handler behind a live socket drops
+// requests like a crashed process; reviving restores service on the same
+// address without redialing side effects.
+func TestNemesisKillRevive(t *testing.T) {
+	u := newTestUniverse(t, 50)
+	s := startDaemon(t, newSeededServer(t, u, "0", core.ServerConfig{}), nil)
+	nemesis := NewNemesis(s)
+
+	tr := NewTCPTransport(TCPTransportConfig{Timeout: 5 * time.Second})
+	defer tr.Close()
+	client, err := tr.Dial(s.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+
+	report := runAudit(t, u, client, 3, testAuditConfig(1))
+	if !report.Valid() || report.EffectiveSampleSize != testSample {
+		t.Fatalf("pre-kill audit: valid=%t effective=%d", report.Valid(), report.EffectiveSampleSize)
+	}
+
+	nemesis.Kill()
+	if !nemesis.Dead() {
+		t.Fatal("Kill did not mark the server dead")
+	}
+	dead := runAudit(t, u, client, 4, testAuditConfig(1))
+	if dead.EffectiveSampleSize != 0 {
+		t.Fatalf("killed server still answered %d positions", dead.EffectiveSampleSize)
+	}
+	if falseFlags(dead) != 0 {
+		t.Fatalf("killed server produced %d accusatory rounds — crashes must never read as cheating", falseFlags(dead))
+	}
+
+	nemesis.Revive()
+	revived := runAudit(t, u, client, 5, testAuditConfig(1))
+	if !revived.Valid() || revived.EffectiveSampleSize != testSample {
+		t.Fatalf("post-revive audit: valid=%t effective=%d", revived.Valid(), revived.EffectiveSampleSize)
+	}
+}
+
+// TestNemesisScheduleDuringStreamedAudit runs a seeded kill/revive flap
+// schedule under a streamed, retrying audit over real sockets. The
+// invariant engine's rule, restated for the daemon: whatever the chaos
+// schedule does, an honest server is never flagged.
+func TestNemesisScheduleDuringStreamedAudit(t *testing.T) {
+	u := newTestUniverse(t, 51)
+	s := startDaemon(t, newSeededServer(t, u, "0", core.ServerConfig{}), nil)
+	nemesis := NewNemesis(s)
+
+	tr := NewTCPTransport(TCPTransportConfig{Timeout: 2 * time.Second})
+	defer tr.Close()
+	client, err := tr.Dial(s.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nemesis.Schedule(1234, 6, 10*time.Millisecond, 40*time.Millisecond)
+	}()
+
+	retry := netsim.NewRetrier(7)
+	retry.MaxAttempts = 5
+	retry.BaseDelay = 20 * time.Millisecond
+	retry.MaxDelay = 100 * time.Millisecond
+	cfg := testAuditConfig(2)
+	cfg.Retry = retry
+	cfg.RoundTimeout = time.Second
+
+	report := runAudit(t, u, client, 9, cfg)
+	<-done
+
+	if !report.Valid() {
+		t.Fatalf("honest server flagged under chaos schedule: %+v", report.Failures)
+	}
+	if falseFlags(report) != 0 {
+		t.Fatalf("chaos schedule produced %d accusatory rounds", falseFlags(report))
+	}
+	if nemesis.Dead() {
+		t.Fatal("schedule ended with the server dead; must always end revived")
+	}
+
+	// Post-quiescence: full service on the same socket.
+	after := runAudit(t, u, client, 10, testAuditConfig(2))
+	if !after.Valid() || after.EffectiveSampleSize != testSample {
+		t.Fatalf("post-chaos audit: valid=%t effective=%d", after.Valid(), after.EffectiveSampleSize)
+	}
+}

@@ -1,0 +1,222 @@
+// TLS identity for the daemon socket. Peers authenticate with mutual
+// TLS; the certificate's SAN names are mapped through an IdentityMap to
+// registered principal IDs (tenants, agency replicas), so authorization
+// decisions happen on protocol identities, never raw cert bytes.
+package daemon
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// IdentityMap maps TLS SAN DNS names to registered principal IDs. Nil is
+// a valid map that knows no one.
+type IdentityMap struct {
+	sans map[string]string
+}
+
+// NewIdentityMap builds a map from SAN → principal pairs.
+func NewIdentityMap(pairs map[string]string) *IdentityMap {
+	m := &IdentityMap{sans: make(map[string]string, len(pairs))}
+	for san, principal := range pairs {
+		m.sans[san] = principal
+	}
+	return m
+}
+
+// Principal resolves a verified peer certificate to a registered
+// principal by its SAN DNS names. The first registered SAN wins; a cert
+// with no registered SAN is unknown.
+func (m *IdentityMap) Principal(cert *x509.Certificate) (string, bool) {
+	if m == nil || cert == nil {
+		return "", false
+	}
+	for _, san := range cert.DNSNames {
+		if p, ok := m.sans[san]; ok {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// LoadServerTLS builds the daemon's server-side TLS config. caFile and
+// mtls together enable mutual TLS: client certs must chain to the CA.
+func LoadServerTLS(certFile, keyFile, caFile string, mtls bool) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: loading server keypair: %w", err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS13,
+	}
+	if mtls {
+		if caFile == "" {
+			return nil, errors.New("daemon: mTLS requires a CA file")
+		}
+		pool, err := loadCertPool(caFile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}
+
+// LoadClientTLS builds the dialing side's TLS config. serverName pins
+// the expected server identity (SNI + verification name).
+func LoadClientTLS(certFile, keyFile, caFile, serverName string) (*tls.Config, error) {
+	pool, err := loadCertPool(caFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &tls.Config{
+		RootCAs:    pool,
+		ServerName: serverName,
+		MinVersion: tls.VersionTLS13,
+	}
+	if certFile != "" || keyFile != "" {
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: loading client keypair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
+}
+
+func loadCertPool(caFile string) (*x509.CertPool, error) {
+	data, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: reading CA %s: %w", caFile, err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(data) {
+		return nil, fmt.Errorf("daemon: no certificates in %s", caFile)
+	}
+	return pool, nil
+}
+
+// PKIFiles names the PEM files GeneratePKI writes under a directory.
+var PKIFiles = struct {
+	CA, CAKey, ServerCert, ServerKey, ClientCert, ClientKey string
+}{
+	CA:         "ca.pem",
+	CAKey:      "ca-key.pem",
+	ServerCert: "server.pem",
+	ServerKey:  "server-key.pem",
+	ClientCert: "client.pem",
+	ClientKey:  "client-key.pem",
+}
+
+// GeneratePKI writes a self-contained demo PKI into dir: an ECDSA P-256
+// CA, a server certificate valid for localhost (DNS "localhost" plus
+// loopback IPs and any extra SANs), and a client certificate carrying
+// clientSAN — the name an IdentityMap pins to the agency principal.
+// Demo-grade: one CA, no intermediaries, no revocation.
+func GeneratePKI(dir string, serverSANs []string, clientSAN string) error {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return fmt.Errorf("daemon: creating PKI dir: %w", err)
+	}
+	now := time.Now()
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return err
+	}
+	caTpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "seccloud demo CA"},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.Add(10 * 365 * 24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTpl, caTpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		return err
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return err
+	}
+	if err := writePEMPair(dir, PKIFiles.CA, caDER, PKIFiles.CAKey, caKey); err != nil {
+		return err
+	}
+
+	issue := func(serial int64, cn string, dns []string, ips []net.IP, usage x509.ExtKeyUsage, certFile, keyFile string) error {
+		key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+		if err != nil {
+			return err
+		}
+		tpl := &x509.Certificate{
+			SerialNumber: big.NewInt(serial),
+			Subject:      pkix.Name{CommonName: cn},
+			NotBefore:    now.Add(-time.Hour),
+			NotAfter:     now.Add(365 * 24 * time.Hour),
+			DNSNames:     dns,
+			IPAddresses:  ips,
+			KeyUsage:     x509.KeyUsageDigitalSignature,
+			ExtKeyUsage:  []x509.ExtKeyUsage{usage},
+		}
+		der, err := x509.CreateCertificate(rand.Reader, tpl, caCert, &key.PublicKey, caKey)
+		if err != nil {
+			return err
+		}
+		return writePEMPair(dir, certFile, der, keyFile, key)
+	}
+
+	serverDNS := append([]string{"localhost"}, serverSANs...)
+	serverIPs := []net.IP{net.ParseIP("127.0.0.1"), net.ParseIP("::1")}
+	if err := issue(2, "seccloudd", serverDNS, serverIPs, x509.ExtKeyUsageServerAuth, PKIFiles.ServerCert, PKIFiles.ServerKey); err != nil {
+		return err
+	}
+	if clientSAN == "" {
+		clientSAN = DefaultAgencySAN
+	}
+	return issue(3, clientSAN, []string{clientSAN}, nil, x509.ExtKeyUsageClientAuth, PKIFiles.ClientCert, PKIFiles.ClientKey)
+}
+
+// DefaultAgencySAN is the SAN GeneratePKI stamps into the client cert
+// and the default IdentityMap entry for the demo agency principal.
+const DefaultAgencySAN = "agency.seccloud.local"
+
+func writePEMPair(dir, certFile string, der []byte, keyFile string, key *ecdsa.PrivateKey) error {
+	certOut, err := os.OpenFile(filepath.Join(dir, certFile), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := pem.Encode(certOut, &pem.Block{Type: "CERTIFICATE", Bytes: der}); err != nil {
+		_ = certOut.Close()
+		return err
+	}
+	if err := certOut.Close(); err != nil {
+		return err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return err
+	}
+	keyOut, err := os.OpenFile(filepath.Join(dir, keyFile), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := pem.Encode(keyOut, &pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}); err != nil {
+		_ = keyOut.Close()
+		return err
+	}
+	return keyOut.Close()
+}

@@ -1,0 +1,161 @@
+package daemon
+
+import (
+	"crypto/tls"
+	"fmt"
+	"sync"
+	"time"
+
+	"seccloud/internal/netsim"
+	"seccloud/internal/obs"
+)
+
+// Transport abstracts "dial an audit target": the agency's audit code
+// runs unchanged whether the target is an in-process handler (the test
+// harness) or a real daemon socket. Dial returns a ready netsim.Client;
+// Close releases every client the transport handed out.
+type Transport interface {
+	Dial(addr string) (netsim.Client, error)
+	Close() error
+}
+
+// SimTransport serves registered handlers in-process over netsim
+// loopbacks — the simulator kept as a test harness behind the daemon's
+// interface.
+type SimTransport struct {
+	// RTT, when > 0, wraps every dialed client in a LatentClient so the
+	// simulated link costs real wall-clock time per round trip.
+	RTT time.Duration
+	// Faults configures a deterministic injector per dialed link.
+	Faults netsim.FaultConfig
+	// Obs instruments every dialed link.
+	Obs *obs.Hub
+
+	mu       sync.Mutex
+	handlers map[string]netsim.Handler
+	clients  []netsim.Client
+}
+
+var _ Transport = (*SimTransport)(nil)
+
+// NewSimTransport builds an empty in-process transport.
+func NewSimTransport() *SimTransport {
+	return &SimTransport{handlers: make(map[string]netsim.Handler)}
+}
+
+// Register binds addr to a handler; Dial(addr) loops back to it.
+func (t *SimTransport) Register(addr string, h netsim.Handler) {
+	t.mu.Lock()
+	t.handlers[addr] = h
+	t.mu.Unlock()
+}
+
+// Dial returns a loopback client to the registered handler.
+func (t *SimTransport) Dial(addr string) (netsim.Client, error) {
+	t.mu.Lock()
+	h, ok := t.handlers[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("daemon: no handler registered for %q", addr)
+	}
+	lb := netsim.NewLoopback(h, netsim.LinkConfig{}).WithObs(t.Obs)
+	if t.Faults != (netsim.FaultConfig{}) {
+		lb = lb.WithFaults(t.Faults)
+	}
+	var client netsim.Client = lb
+	if t.RTT > 0 {
+		client = netsim.NewLatentClient(client, t.RTT)
+	}
+	t.mu.Lock()
+	t.clients = append(t.clients, client)
+	t.mu.Unlock()
+	return client, nil
+}
+
+// Close closes every dialed client.
+func (t *SimTransport) Close() error {
+	t.mu.Lock()
+	clients := t.clients
+	t.clients = nil
+	t.mu.Unlock()
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	return nil
+}
+
+// TCPTransportConfig shapes every client a TCPTransport dials.
+type TCPTransportConfig struct {
+	// TLS dials mutual TLS when set (use LoadClientTLS).
+	TLS *tls.Config
+	// MaxIdle / MaxActive / IdleTimeout / DialTimeout configure each
+	// remote's pool (see PoolConfig).
+	MaxIdle     int
+	MaxActive   int
+	IdleTimeout time.Duration
+	DialTimeout time.Duration
+	// Timeout bounds each round trip without a ctx deadline.
+	Timeout time.Duration
+	// RTT, when > 0, adds simulated symmetric latency on top of the real
+	// socket (LatentClient) — how benches model a WAN on localhost.
+	RTT time.Duration
+	// Faults injects deterministic client-side faults per dialed remote.
+	Faults netsim.FaultConfig
+	// Legacy dials bare-frame v1 (for netsim.TCPServer peers).
+	Legacy bool
+	// Obs instruments pools and clients.
+	Obs *obs.Hub
+}
+
+// TCPTransport dials pooled real-socket clients to daemon servers.
+type TCPTransport struct {
+	cfg TCPTransportConfig
+
+	mu      sync.Mutex
+	clients []netsim.Client
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport builds a transport; conns are dialed lazily per
+// round trip through each remote's pool.
+func NewTCPTransport(cfg TCPTransportConfig) *TCPTransport {
+	return &TCPTransport{cfg: cfg}
+}
+
+// Dial returns a pooled client for addr.
+func (t *TCPTransport) Dial(addr string) (netsim.Client, error) {
+	pool := NewPool(PoolConfig{
+		Addr:        addr,
+		MaxIdle:     t.cfg.MaxIdle,
+		MaxActive:   t.cfg.MaxActive,
+		IdleTimeout: t.cfg.IdleTimeout,
+		DialTimeout: t.cfg.DialTimeout,
+		TLS:         t.cfg.TLS,
+		Legacy:      t.cfg.Legacy,
+	})
+	var client netsim.Client = NewClient(pool, ClientConfig{
+		Timeout: t.cfg.Timeout,
+		Faults:  t.cfg.Faults,
+		Obs:     t.cfg.Obs,
+	})
+	if t.cfg.RTT > 0 {
+		client = netsim.NewLatentClient(client, t.cfg.RTT)
+	}
+	t.mu.Lock()
+	t.clients = append(t.clients, client)
+	t.mu.Unlock()
+	return client, nil
+}
+
+// Close closes every dialed client (and so every pool).
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	clients := t.clients
+	t.clients = nil
+	t.mu.Unlock()
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	return nil
+}

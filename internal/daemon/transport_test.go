@@ -1,0 +1,99 @@
+package daemon
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"seccloud/internal/core"
+)
+
+// buildTwinServers derives two byte-identical server instances from the
+// same universe seed — one to stand behind the simulator, one behind a
+// real daemon socket.
+func buildTwinServers(t *testing.T, seed int64, policy func() core.CheatPolicy) (*Universe, *core.Server, *core.Server) {
+	t.Helper()
+	u := newTestUniverse(t, seed)
+	var pa, pb core.CheatPolicy
+	if policy != nil {
+		pa, pb = policy(), policy()
+	}
+	a := newSeededServer(t, u, "0", core.ServerConfig{Policy: pa})
+	b := newSeededServer(t, u, "0", core.ServerConfig{Policy: pb})
+	return u, a, b
+}
+
+// auditFingerprint runs one seeded audit over tr and fingerprints it.
+func auditFingerprint(t *testing.T, u *Universe, tr Transport, addr string, auditSeed int64, stream int) string {
+	t.Helper()
+	client, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	report := runAudit(t, u, client, auditSeed, testAuditConfig(stream))
+	return FingerprintReports(report)
+}
+
+// TestTransportVerdictDeterminism is the acceptance invariant: the same
+// epoch scenario (same universe seed, same audit seed) produces
+// byte-identical verdicts whether the audit rides the in-process
+// simulator or a real daemon TCP socket — honest and cheating servers
+// alike.
+func TestTransportVerdictDeterminism(t *testing.T) {
+	cases := []struct {
+		name      string
+		policy    func() core.CheatPolicy
+		wantValid bool
+	}{
+		{"honest", nil, true},
+		// Seeded deletions: both twins delete the same blocks at
+		// store-time, so both transports must attribute identical failures.
+		{"storage-cheater", func() core.CheatPolicy {
+			return &core.StorageCheater{KeepFraction: 0.6, Rng: rand.New(rand.NewSource(99))}
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u, simSrv, tcpSrv := buildTwinServers(t, 40, tc.policy)
+
+			sim := NewSimTransport()
+			sim.Register("cs:0", simSrv)
+			defer sim.Close()
+			simFP := auditFingerprint(t, u, sim, "cs:0", 77, 2)
+
+			s := startDaemon(t, tcpSrv, nil)
+			tcp := NewTCPTransport(TCPTransportConfig{Timeout: 10 * time.Second})
+			defer tcp.Close()
+			tcpFP := auditFingerprint(t, u, tcp, s.Addr(), 77, 2)
+
+			if simFP != tcpFP {
+				t.Fatalf("verdict fingerprints diverge across transports:\nsim: %s\ntcp: %s", simFP, tcpFP)
+			}
+
+			// Cross-check the verdict itself via a fresh sim audit.
+			client, err := sim.Dial("cs:0")
+			if err != nil {
+				t.Fatalf("Dial: %v", err)
+			}
+			report := runAudit(t, u, client, 77, testAuditConfig(2))
+			if report.Valid() != tc.wantValid {
+				t.Fatalf("valid=%t, want %t", report.Valid(), tc.wantValid)
+			}
+		})
+	}
+}
+
+// TestTransportStreamInvariance: the verdict (not the timing) is also
+// independent of the streaming width on the same transport.
+func TestTransportStreamInvariance(t *testing.T) {
+	u := newTestUniverse(t, 41)
+	s := startDaemon(t, newSeededServer(t, u, "0", core.ServerConfig{}), nil)
+	tcp := NewTCPTransport(TCPTransportConfig{Timeout: 10 * time.Second})
+	defer tcp.Close()
+
+	seq := auditFingerprint(t, u, tcp, s.Addr(), 13, 1)
+	streamed := auditFingerprint(t, u, tcp, s.Addr(), 13, 4)
+	if seq != streamed {
+		t.Fatalf("verdict depends on stream width:\nseq:      %s\nstreamed: %s", seq, streamed)
+	}
+}

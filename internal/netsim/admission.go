@@ -70,6 +70,21 @@ func overloadResponse(op string, m wire.Message) (wire.Message, error) {
 	return nil, &OverloadedError{Op: op, RetryAfter: time.Duration(ov.RetryAfterMillis) * time.Millisecond}
 }
 
+// CheckOverload is the exported face of overloadResponse for transports
+// outside this package (the daemon's pooled client): it converts a decoded
+// OverloadResponse into the typed *OverloadedError so sheds never reach
+// protocol code as normal messages. Any other message passes through.
+func CheckOverload(op string, m wire.Message) (wire.Message, error) {
+	return overloadResponse(op, m)
+}
+
+// RetryAfterMillis is the exported wire encoding of a backoff hint (0
+// means "no hint"; sub-millisecond hints round up), for servers outside
+// this package that build their own OverloadResponse frames.
+func RetryAfterMillis(d time.Duration) int64 {
+	return retryAfterToMillis(d)
+}
+
 // AdmissionConfig bounds a server's concurrent work and its request
 // queue.
 type AdmissionConfig struct {

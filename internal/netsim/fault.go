@@ -205,3 +205,64 @@ func (f *faultInjector) snapshot() FaultCounts {
 	defer f.mu.Unlock()
 	return f.counts
 }
+
+// Injector is the exported face of the fault injector, so transports
+// outside this package (the daemon's pooled TLS client) can draw the same
+// seeded fault decisions the in-process simulator and TCP shim use. A nil
+// *Injector is valid and injects nothing.
+type Injector struct {
+	inner *faultInjector
+}
+
+// LegPlan is one leg's drawn fault decision, in injector order: a
+// disconnect or drop preempts everything else; corrupt, duplicate and
+// delay can stack.
+type LegPlan struct {
+	Drop       bool
+	Delay      time.Duration
+	Duplicate  bool
+	Corrupt    bool
+	Disconnect bool
+}
+
+// NewInjector builds a seeded injector from cfg; nil when cfg is inert,
+// which every method tolerates.
+func NewInjector(cfg FaultConfig) *Injector {
+	inner := newFaultInjector(cfg)
+	if inner == nil {
+		return nil
+	}
+	return &Injector{inner: inner}
+}
+
+// Plan draws the fault decisions for one message leg. allowDuplicate
+// limits duplication to request legs.
+func (inj *Injector) Plan(allowDuplicate bool) LegPlan {
+	if inj == nil {
+		return LegPlan{}
+	}
+	p := inj.inner.plan(allowDuplicate)
+	return LegPlan{
+		Drop:       p.drop,
+		Delay:      p.delay,
+		Duplicate:  p.duplicate,
+		Corrupt:    p.corrupt,
+		Disconnect: p.disconnect,
+	}
+}
+
+// Corrupt flips one byte of data in place at a PRNG-chosen offset.
+func (inj *Injector) Corrupt(data []byte) {
+	if inj == nil {
+		return
+	}
+	inj.inner.corruptFrame(data)
+}
+
+// Snapshot copies the fault counters.
+func (inj *Injector) Snapshot() FaultCounts {
+	if inj == nil {
+		return FaultCounts{}
+	}
+	return inj.inner.snapshot()
+}

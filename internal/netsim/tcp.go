@@ -168,11 +168,20 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	readTimeout := s.cfg.readTimeout()
 	writeTimeout := s.cfg.writeTimeout()
 	for {
-		if s.stopping() {
-			return
-		}
+		// Deadline first, stop-check second — this order is load-bearing.
+		// Shutdown flips draining and then stamps an immediate read
+		// deadline on every live conn; re-arming the deadline AFTER the
+		// stop check opens a race where this loop passes the check, then
+		// overwrites the drain deadline with a fresh full-length one and
+		// parks in ReadMessage until it expires, stalling graceful drain
+		// for up to ReadTimeout. With this order, whichever side writes
+		// the deadline last, the loop either observes draining here or
+		// wakes immediately from the expired read.
 		if readTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(readTimeout))
+		}
+		if s.stopping() {
+			return
 		}
 		req, _, err := wire.ReadMessage(conn)
 		if err != nil {

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seccloud/internal/wire"
+)
+
+// drainCountHandler tallies every request that enters the handler — the
+// server-side definition of "in flight" the drain contract protects.
+type drainCountHandler struct {
+	entered atomic.Int64
+}
+
+func (h *drainCountHandler) Handle(m wire.Message) wire.Message {
+	h.entered.Add(1)
+	return &wire.StoreResponse{OK: true}
+}
+
+// Satellite regression for the drain race: Shutdown under concurrent
+// streamed rounds must (a) complete promptly — with the old
+// check-then-arm ordering in serveConn, a conn could overwrite the drain
+// deadline with a fresh full-length one and stall the drain for up to
+// ReadTimeout — (b) drop zero in-flight requests (every round that
+// entered the handler gets its response back to the client), and (c)
+// leak no goroutines.
+func TestTCPServerShutdownStreamedRoundsNoDropNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	handler := &drainCountHandler{}
+	// The default (2-minute) ReadTimeout is the point: if drain depends on
+	// read deadlines expiring naturally, this test times out.
+	srv, err := NewTCPServer("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const streams = 8
+	var (
+		wg        sync.WaitGroup
+		succeeded atomic.Int64
+		stop      = make(chan struct{})
+	)
+	for i := 0; i < streams; i++ {
+		c, err := DialTCP(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c *TCPClient) {
+			defer wg.Done()
+			defer func() { _ = c.Close() }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := c.RoundTrip(&wire.ChallengeRequest{JobID: "drain"})
+				if err != nil {
+					// The conn died at the read stage during drain: the
+					// request never entered the handler, and the error is
+					// a classifiable transport fault — never a success
+					// that went missing.
+					if !IsRetryable(err) && !IsTimeout(err) {
+						t.Errorf("drain produced a non-transport error: %v", err)
+					}
+					return
+				}
+				succeeded.Add(1)
+			}
+		}(c)
+	}
+
+	// Let the streams reach a steady request/response rhythm so Shutdown
+	// lands in every phase of the serve loop across the 8 conns.
+	for handler.entered.Load() < streams*4 {
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not drain gracefully: %v", err)
+	}
+	if drainTook := time.Since(start); drainTook > 10*time.Second {
+		t.Fatalf("graceful drain of idle-or-active conns took %v; drain deadline race is back", drainTook)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Zero dropped in-flight: the server can have entered at most one
+	// request per stream that the client never got an answer for — and
+	// with graceful drain, even that must not happen: every entered
+	// request's response write completes before its conn closes.
+	entered, ok := handler.entered.Load(), succeeded.Load()
+	if entered != ok {
+		t.Fatalf("drain dropped in-flight requests: handler entered %d, clients completed %d", entered, ok)
+	}
+
+	// New dials after drain must be refused, not accepted and wedged.
+	if _, err := DialTCP(srv.Addr()); err == nil {
+		t.Fatal("dial succeeded after Shutdown")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	stacks := string(buf[:n])
+	if strings.Contains(stacks, "netsim.(*TCPServer)") {
+		t.Fatalf("leaked server goroutines after Shutdown:\n%s", stacks)
+	}
+}
+
+// A conn parked mid-read when Shutdown fires must wake immediately even
+// though its read deadline was freshly re-armed moments earlier.
+func TestTCPServerShutdownWakesFreshlyArmedReader(t *testing.T) {
+	srv, err := NewTCPServerConfig("127.0.0.1:0", echoHandler{}, TCPServerConfig{
+		ReadTimeout: time.Hour, // drain must not wait for this
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	// One round trip parks the server-side reader with a fresh 1h deadline.
+	if _, err := c.RoundTrip(&wire.StoreResponse{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("drain of one idle conn took %v", took)
+	}
+	if _, err := c.RoundTrip(&wire.StoreResponse{OK: true}); err == nil {
+		t.Fatal("round trip succeeded on a drained server")
+	} else if !IsRetryable(err) && !IsTimeout(err) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("post-drain round trip error is not a classifiable transport fault: %v", err)
+	}
+}

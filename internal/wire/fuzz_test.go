@@ -70,6 +70,49 @@ func FuzzReadMessage(f *testing.F) {
 	})
 }
 
+// FuzzHandshake hammers the version-negotiation decoders with
+// attacker-controlled bytes: both hello parsers must never panic, and
+// anything they accept must re-encode to the identical bytes (the hellos
+// are fixed-width, so accepted input is canonical by construction).
+func FuzzHandshake(f *testing.F) {
+	f.Add(EncodeClientHello(ClientHello{Min: 1, Max: 2}))
+	f.Add(EncodeServerHello(ServerHello{Version: 2}))
+	f.Add(EncodeServerHello(ServerHello{Version: 0}))
+	f.Add([]byte(HandshakeMagic))
+	f.Add([]byte{})
+	f.Add([]byte{'S', 'E', 'C', 'W', 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x10, 0, 1, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if ch, err := DecodeClientHello(data); err == nil {
+			if ch.Min == 0 || ch.Min > ch.Max {
+				t.Fatalf("decoder accepted illegal range %+v", ch)
+			}
+			if !bytes.Equal(EncodeClientHello(ch), data) {
+				t.Fatalf("accepted client hello is not canonical: %x", data)
+			}
+			// An accepted offer must negotiate deterministically against
+			// this build's range: either a version inside both ranges or
+			// a typed mismatch, never a crash or an out-of-range pick.
+			if v, err := Negotiate(MinProto, MaxProto, ch); err == nil {
+				if v < MinProto || v > MaxProto || v < ch.Min || v > ch.Max {
+					t.Fatalf("negotiated %d outside ranges srv [%d,%d] cli %+v", v, MinProto, MaxProto, ch)
+				}
+			}
+		}
+		if sh, err := DecodeServerHello(data); err == nil {
+			if !bytes.Equal(EncodeServerHello(sh), data) {
+				t.Fatalf("accepted server hello is not canonical: %x", data)
+			}
+		}
+		// The stream readers must classify arbitrary prefixes without
+		// panicking.
+		_, _ = ReadServerHello(bytes.NewReader(data))
+		var prefix [4]byte
+		copy(prefix[:], HandshakeMagic)
+		_, _ = ReadClientHelloTail(bytes.NewReader(data), prefix)
+	})
+}
+
 // FuzzRoundtrip: anything we can decode must re-encode and decode to the
 // same kind (weak idempotence; exact equality needs typed comparison).
 func FuzzRoundtrip(f *testing.F) {

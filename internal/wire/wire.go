@@ -383,8 +383,14 @@ func WriteMessage(w io.Writer, m Message) (int, error) {
 
 // WriteFrame writes pre-encoded frame bytes with the length prefix. It
 // exists so transports (and fault injectors) can put exact — possibly
-// deliberately damaged — bytes on the wire.
+// deliberately damaged — bytes on the wire. The MaxFrameLen bound holds
+// on this path too: a frame every peer is required to refuse must never
+// leave the sender, and the refusal happens before any byte is written so
+// the stream stays usable.
 func WriteFrame(w io.Writer, data []byte) (int, error) {
+	if len(data) > MaxFrameLen {
+		return 0, fmt.Errorf("wire: frame is %d bytes: %w", len(data), ErrFrameTooLarge)
+	}
 	var prefix [4]byte
 	prefix[0] = byte(len(data) >> 24)
 	prefix[1] = byte(len(data) >> 16)

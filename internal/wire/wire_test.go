@@ -266,6 +266,25 @@ func TestWriteFrameMatchesWriteMessage(t *testing.T) {
 	}
 }
 
+// Regression: the MaxFrameLen bound must hold on the write path too. A
+// sender that emits an over-limit frame forces every honest peer to
+// refuse it and tear the stream down, so the refusal belongs at the
+// source — and before any bytes hit the wire, leaving the stream clean.
+func TestWriteFrameRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteFrame(&buf, make([]byte, MaxFrameLen+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if n != 0 || buf.Len() != 0 {
+		t.Fatalf("oversized frame leaked %d bytes onto the wire", buf.Len())
+	}
+	// Exactly at the limit is still legal.
+	if _, err := WriteFrame(&buf, make([]byte, 16)); err != nil {
+		t.Fatalf("in-bounds frame refused: %v", err)
+	}
+}
+
 func TestReadMessageRejectsHugeFrame(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // ~4 GiB advertised
