@@ -25,7 +25,10 @@ type ClientConfig struct {
 	// Report, when set, is fed exactly once per round trip that reached
 	// the network: ok is true for successes AND typed overload sheds (a
 	// shedding server is alive and honest — PR6 invariant: sheds never
-	// trip breakers).
+	// trip breakers). Trips that fail before any network activity — ctx
+	// already expired on entry, the pool saturated at its MaxActive cap,
+	// the pool closed, or the request failing to encode — never feed
+	// Report: purely client-local backpressure must not trip the breaker.
 	Report func(ok bool)
 	// Obs instruments the client under transport="daemon".
 	Obs *obs.Hub
@@ -90,17 +93,20 @@ func (c *Client) RoundTripContext(ctx context.Context, m wire.Message) (wire.Mes
 		return nil, &netsim.TransportError{Op: "breaker", Err: ErrBreakerOpen}
 	}
 	start := time.Now()
-	resp, err := c.roundTrip(ctx, m)
+	resp, reached, err := c.roundTrip(ctx, m)
 	c.met.observe(time.Since(start), err)
-	if c.cfg.Report != nil {
+	if c.cfg.Report != nil && reached {
 		c.cfg.Report(err == nil || netsim.IsOverloaded(err))
 	}
 	return resp, err
 }
 
-func (c *Client) roundTrip(ctx context.Context, m wire.Message) (wire.Message, error) {
+// roundTrip's second return reports whether the trip reached the network
+// (a conn was used, a dial was attempted, or an injected network fault
+// consumed the request) — only those trips feed the Report hook.
+func (c *Client) roundTrip(ctx context.Context, m wire.Message) (wire.Message, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, &netsim.TransportError{Op: "roundtrip", Timeout: errors.Is(err, context.DeadlineExceeded), Err: err}
+		return nil, false, &netsim.TransportError{Op: "roundtrip", Timeout: errors.Is(err, context.DeadlineExceeded), Err: err}
 	}
 	deadline, hasDeadline := ctx.Deadline()
 	if !hasDeadline && c.cfg.Timeout > 0 {
@@ -112,28 +118,30 @@ func (c *Client) roundTrip(ctx context.Context, m wire.Message) (wire.Message, e
 
 	plan := c.inj.Plan(true)
 	if plan.Drop {
-		// A lost request: nothing reaches the server.
-		return nil, &netsim.FaultError{Kind: netsim.FaultDrop, Op: "request"}
+		// A lost request: an injected network fault, so it reports.
+		return nil, true, &netsim.FaultError{Kind: netsim.FaultDrop, Op: "request"}
 	}
 	if plan.Delay > 0 {
 		t := time.NewTimer(plan.Delay)
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return nil, &netsim.TransportError{Op: "roundtrip", Timeout: errors.Is(ctx.Err(), context.DeadlineExceeded), Err: ctx.Err()}
+			return nil, true, &netsim.TransportError{Op: "roundtrip", Timeout: errors.Is(ctx.Err(), context.DeadlineExceeded), Err: ctx.Err()}
 		case <-t.C:
 		}
 	}
 
 	conn, err := c.pool.Get(ctx)
 	if err != nil {
-		return nil, err
+		// A failed dial/TLS/handshake reached the network; waiting out
+		// the MaxActive semaphore or hitting a closed pool did not.
+		return nil, !errors.Is(err, ErrPoolClosed) && !isPoolWait(err), err
 	}
 	if plan.Disconnect {
 		// Mid-exchange teardown: the conn the request would have used
 		// dies and leaves the pool, exactly like a peer RST.
 		c.pool.Discard(conn)
-		return nil, &netsim.FaultError{Kind: netsim.FaultDisconnect, Op: "request"}
+		return nil, true, &netsim.FaultError{Kind: netsim.FaultDisconnect, Op: "request"}
 	}
 	if hasDeadline {
 		_ = conn.nc.SetDeadline(deadline)
@@ -143,8 +151,10 @@ func (c *Client) roundTrip(ctx context.Context, m wire.Message) (wire.Message, e
 
 	data, err := wire.Encode(m)
 	if err != nil {
+		// Encode failures happen before any bytes flow; the conn is
+		// untouched and goes back to the pool.
 		c.pool.Put(conn)
-		return nil, err
+		return nil, false, err
 	}
 	if plan.Corrupt {
 		data = append([]byte(nil), data...)
@@ -160,7 +170,7 @@ func (c *Client) roundTrip(ctx context.Context, m wire.Message) (wire.Message, e
 		sent += n
 		if err != nil {
 			c.pool.Discard(conn)
-			return nil, wrapTransport("write", err)
+			return nil, true, wrapTransport("write", err)
 		}
 	}
 
@@ -170,15 +180,15 @@ func (c *Client) roundTrip(ctx context.Context, m wire.Message) (wire.Message, e
 		// decode and drops the conn.
 		c.pool.Discard(conn)
 		if plan.Corrupt {
-			return nil, &netsim.FaultError{Kind: netsim.FaultCorrupt, Op: "request", Err: err}
+			return nil, true, &netsim.FaultError{Kind: netsim.FaultCorrupt, Op: "request", Err: err}
 		}
-		return nil, wrapTransport("read", err)
+		return nil, true, wrapTransport("read", err)
 	}
 	if plan.Duplicate {
 		// Drain the duplicate's response to keep the stream in sync.
 		if _, _, err := wire.ReadMessage(conn.nc); err != nil {
 			c.pool.Discard(conn)
-			return nil, wrapTransport("read", err)
+			return nil, true, wrapTransport("read", err)
 		}
 	}
 	c.pool.Put(conn)
@@ -189,7 +199,15 @@ func (c *Client) roundTrip(ctx context.Context, m wire.Message) (wire.Message, e
 	c.mu.Unlock()
 	// A typed shed surfaces as a non-retryable *OverloadedError, never as
 	// a normal reply.
-	return netsim.CheckOverload("roundtrip", resp)
+	resp, err = netsim.CheckOverload("roundtrip", resp)
+	return resp, true, err
+}
+
+// isPoolWait reports whether err is Pool.Get failing while parked at the
+// MaxActive semaphore — client-local backpressure, no network involved.
+func isPoolWait(err error) bool {
+	var te *netsim.TransportError
+	return errors.As(err, &te) && te.Op == "pool"
 }
 
 func wrapTransport(op string, err error) error {

@@ -194,6 +194,72 @@ func TestPoolDisconnectMidStreamEvictsAndRetriesFresh(t *testing.T) {
 	}
 }
 
+// TestClientPreNetworkFailuresDoNotReport: trips that die before any
+// network activity — ctx expired on entry, Get timing out at the
+// MaxActive semaphore — must not feed the Report hook; a breaker wired
+// to Report must never trip from purely client-local backpressure. A
+// failed dial, by contrast, did reach the network and reports once.
+func TestClientPreNetworkFailuresDoNotReport(t *testing.T) {
+	u := newTestUniverse(t, 25)
+	s := startDaemon(t, newSeededServer(t, u, "0", core.ServerConfig{}), nil)
+
+	var reports, failures atomic.Int64
+	report := func(ok bool) {
+		reports.Add(1)
+		if !ok {
+			failures.Add(1)
+		}
+	}
+	pool := NewPool(PoolConfig{Addr: s.Addr(), MaxActive: 1})
+	client := NewClient(pool, ClientConfig{Report: report})
+	defer client.Close()
+	req := &wire.StorageAuditRequest{UserID: u.User.ID()}
+
+	// ctx already expired on entry: nothing reaches the network.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.RoundTripContext(expired, req); err == nil {
+		t.Fatal("trip with expired ctx succeeded")
+	}
+	if got := reports.Load(); got != 0 {
+		t.Fatalf("expired-ctx trip fed Report %d times, want 0", got)
+	}
+
+	// Saturate MaxActive, then time out waiting for a slot: client-local
+	// backpressure, still no network activity.
+	held, err := pool.Get(context.Background())
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	waitCtx, cancelWait := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancelWait()
+	if _, err := client.RoundTripContext(waitCtx, req); !netsim.IsTimeout(err) {
+		t.Fatalf("saturated trip got %v, want timeout-classified error", err)
+	}
+	if got := reports.Load(); got != 0 {
+		t.Fatalf("MaxActive wait fed Report %d times, want 0 — breakers must not see local backpressure", got)
+	}
+	pool.Put(held)
+
+	// A healthy trip reaches the network: exactly one ok report.
+	if _, err := client.RoundTrip(req); err != nil {
+		t.Fatalf("healthy trip: %v", err)
+	}
+	if got, bad := reports.Load(), failures.Load(); got != 1 || bad != 0 {
+		t.Fatalf("healthy trip: reports=%d failures=%d, want 1/0", got, bad)
+	}
+
+	// A refused dial is network evidence about the peer: one failure report.
+	dead := NewClient(NewPool(PoolConfig{Addr: "127.0.0.1:1", DialTimeout: time.Second}), ClientConfig{Report: report})
+	defer dead.Close()
+	if _, err := dead.RoundTrip(req); err == nil {
+		t.Fatal("trip to dead addr succeeded")
+	}
+	if got, bad := reports.Load(), failures.Load(); got != 2 || bad != 1 {
+		t.Fatalf("failed dial: reports=%d failures=%d, want 2/1", got, bad)
+	}
+}
+
 // TestPoolInjectedDisconnectsOpenBreakerOnce: with the deterministic
 // injector disconnecting every trip, the breaker opens after exactly
 // FailThreshold reported failures, and breaker-open refusals never feed

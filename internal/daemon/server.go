@@ -87,6 +87,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
+	serving  int // conns in s.conns that are genuinely served (not shed)
 	draining bool
 	closed   bool
 	refused  int64
@@ -158,12 +159,18 @@ func (s *Server) acceptLoop() {
 		// still gets the protocol handshake, then its first request is
 		// answered with the typed overload frame — classifiable by both
 		// v1 and v2 clients — and closed.
+		// Only genuinely served conns count against MaxConns: shed conns
+		// linger in s.conns just long enough to receive their overload
+		// frame, and must not push the server into refusing capacity it
+		// actually has.
 		shed := s.draining
-		if !shed && s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		if !shed && s.cfg.MaxConns > 0 && s.serving >= s.cfg.MaxConns {
 			shed = true
 		}
 		if shed {
 			s.refused++
+		} else {
+			s.serving++
 		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
@@ -177,6 +184,9 @@ func (s *Server) serveConn(raw net.Conn, shed bool) {
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, raw)
+		if !shed {
+			s.serving--
+		}
 		s.mu.Unlock()
 		_ = raw.Close()
 	}()

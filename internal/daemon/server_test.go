@@ -191,6 +191,58 @@ func TestDaemonRefusesOverMaxConns(t *testing.T) {
 	}
 }
 
+// TestDaemonShedConnsDoNotConsumeCapacity: a shed conn lingers in the
+// server's table only long enough to receive its overload frame, and
+// must not count toward MaxConns — otherwise a burst of refused dials
+// pushes the server into shedding conns it could actually serve until
+// the shed conns' read timeouts expire.
+func TestDaemonShedConnsDoNotConsumeCapacity(t *testing.T) {
+	u := newTestUniverse(t, 6)
+	s := startDaemon(t, newSeededServer(t, u, "0", core.ServerConfig{}), func(cfg *ServerConfig) {
+		cfg.MaxConns = 1
+		// Keep shed conns parked server-side for the whole test window.
+		cfg.DrainIdle = 5 * time.Second
+	})
+	req := &wire.StorageAuditRequest{UserID: u.User.ID()}
+
+	// Occupy the single serving slot with a parked-but-open conn.
+	holder := NewClient(NewPool(PoolConfig{Addr: s.Addr()}), ClientConfig{Timeout: 5 * time.Second})
+	if _, err := holder.RoundTrip(req); err != nil {
+		t.Fatalf("holder trip: %v", err)
+	}
+
+	// A burst of surplus dials: each handshakes, is marked shed at accept
+	// time, and sits in the server's conn table awaiting its first request.
+	burst := NewPool(PoolConfig{Addr: s.Addr(), MaxIdle: 3})
+	defer burst.Close()
+	if err := burst.Warm(context.Background(), 3); err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	if got := s.RefusedConns(); got != 3 {
+		t.Fatalf("RefusedConns = %d, want 3", got)
+	}
+
+	// Free the serving slot. The three lingering shed conns must not keep
+	// the server refusing a conn it now has capacity for.
+	_ = holder.Close()
+	fresh := NewClient(NewPool(PoolConfig{Addr: s.Addr()}), ClientConfig{Timeout: 5 * time.Second})
+	defer fresh.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, err := fresh.RoundTrip(req)
+		if err == nil {
+			break
+		}
+		if !netsim.IsOverloaded(err) {
+			t.Fatalf("fresh trip after slot freed: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server kept shedding after its slot freed: shed conns consumed MaxConns capacity")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 // TestDaemonGracefulDrain is the tentpole lifecycle guarantee: Shutdown
 // overlapping a streamed audit lets every in-flight round finish on its
 // grandfathered conns (zero lost rounds, zero false flags), refuses new

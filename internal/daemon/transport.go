@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"crypto/tls"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -107,12 +108,17 @@ type TCPTransportConfig struct {
 	Obs *obs.Hub
 }
 
-// TCPTransport dials pooled real-socket clients to daemon servers.
+// TCPTransport dials pooled real-socket clients to daemon servers. One
+// pool+client pair is cached per remote address for the transport's
+// lifetime: re-dialing an addr (the auditor dials every server on every
+// sweep) returns the cached client, so conns are reused across sweeps
+// and the fd/pool footprint stays bounded by the number of distinct
+// remotes rather than the number of dials.
 type TCPTransport struct {
 	cfg TCPTransportConfig
 
 	mu      sync.Mutex
-	clients []netsim.Client
+	clients map[string]netsim.Client
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -120,11 +126,21 @@ var _ Transport = (*TCPTransport)(nil)
 // NewTCPTransport builds a transport; conns are dialed lazily per
 // round trip through each remote's pool.
 func NewTCPTransport(cfg TCPTransportConfig) *TCPTransport {
-	return &TCPTransport{cfg: cfg}
+	return &TCPTransport{cfg: cfg, clients: make(map[string]netsim.Client)}
 }
 
-// Dial returns a pooled client for addr.
+// Dial returns the pooled client for addr, building it on first use.
+// The transport owns the client: callers must not Close it, and repeat
+// dials of the same addr share its pool.
 func (t *TCPTransport) Dial(addr string) (netsim.Client, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.clients == nil {
+		return nil, errors.New("daemon: transport closed")
+	}
+	if client, ok := t.clients[addr]; ok {
+		return client, nil
+	}
 	pool := NewPool(PoolConfig{
 		Addr:        addr,
 		MaxIdle:     t.cfg.MaxIdle,
@@ -142,13 +158,11 @@ func (t *TCPTransport) Dial(addr string) (netsim.Client, error) {
 	if t.cfg.RTT > 0 {
 		client = netsim.NewLatentClient(client, t.cfg.RTT)
 	}
-	t.mu.Lock()
-	t.clients = append(t.clients, client)
-	t.mu.Unlock()
+	t.clients[addr] = client
 	return client, nil
 }
 
-// Close closes every dialed client (and so every pool).
+// Close closes every cached client (and so every pool).
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	clients := t.clients

@@ -83,6 +83,47 @@ func TestTransportVerdictDeterminism(t *testing.T) {
 	}
 }
 
+// TestTCPTransportReusesPoolAcrossDials is the sweep-lifecycle
+// regression: the auditor dials every server on every sweep, so Dial
+// must hand back one cached per-addr client instead of minting a fresh
+// pool per call — otherwise each sweep abandons a pool of open sockets
+// (unbounded fd growth) and no conn ever survives to the next sweep.
+func TestTCPTransportReusesPoolAcrossDials(t *testing.T) {
+	u := newTestUniverse(t, 42)
+	s := startDaemon(t, newSeededServer(t, u, "0", core.ServerConfig{}), nil)
+
+	tr := NewTCPTransport(TCPTransportConfig{Timeout: 10 * time.Second})
+	defer tr.Close()
+
+	first, err := tr.Dial(s.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	const sweeps = 4
+	for i := 0; i < sweeps; i++ {
+		client, err := tr.Dial(s.Addr())
+		if err != nil {
+			t.Fatalf("sweep %d Dial: %v", i, err)
+		}
+		if client != first {
+			t.Fatalf("sweep %d got a fresh client; want the cached per-addr client", i)
+		}
+		report := runAudit(t, u, client, int64(100+i), testAuditConfig(2))
+		if !report.Valid() {
+			t.Fatalf("sweep %d flagged an honest server", i)
+		}
+	}
+	stats := first.(*Client).Pool().Stats()
+	// Stream width 2 → at most 2 conns ever dialed; every later round
+	// trip across all sweeps rides a pooled conn.
+	if stats.Dials > 2 {
+		t.Fatalf("%d sweeps dialed %d conns, want ≤2 (pooled reuse across sweeps)", sweeps+1, stats.Dials)
+	}
+	if stats.Reuses == 0 {
+		t.Fatalf("no conn reuse across sweeps: %+v", stats)
+	}
+}
+
 // TestTransportStreamInvariance: the verdict (not the timing) is also
 // independent of the streaming width on the same transport.
 func TestTransportStreamInvariance(t *testing.T) {
